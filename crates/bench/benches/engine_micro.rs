@@ -1,0 +1,112 @@
+//! Micro-benchmarks of the substrate engine: parsing, planning+execution
+//! of indexed point lookups vs full scans, inserts, and updates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use delayguard_query::{parse, Engine};
+use delayguard_workload::Rng;
+use std::hint::black_box;
+
+const ROWS: u64 = 20_000;
+
+fn engine() -> Engine {
+    let e = Engine::new();
+    e.execute("CREATE TABLE m (id INT NOT NULL, title TEXT NOT NULL, gross FLOAT)")
+        .unwrap();
+    e.execute("CREATE UNIQUE INDEX m_pk ON m (id)").unwrap();
+    let mut batch = String::new();
+    for id in 0..ROWS {
+        if batch.is_empty() {
+            batch.push_str("INSERT INTO m VALUES ");
+        } else {
+            batch.push(',');
+        }
+        batch.push_str(&format!("({id}, 'title-{id}', {}.5)", id % 500));
+        if batch.len() > 60_000 || id == ROWS - 1 {
+            e.execute(&batch).unwrap();
+            batch.clear();
+        }
+    }
+    e
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_micro");
+    let e = engine();
+    let mut rng = Rng::new(42);
+
+    group.bench_function("parse_select", |b| {
+        b.iter(|| {
+            black_box(
+                parse("SELECT id, title FROM m WHERE id = 123 AND gross > 1.0 LIMIT 5").unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("indexed_point_lookup", |b| {
+        b.iter(|| {
+            let id = rng.below(ROWS);
+            black_box(
+                e.query(&format!("SELECT * FROM m WHERE id = {id}"))
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+
+    group.bench_function("index_range_scan_100", |b| {
+        b.iter(|| {
+            let lo = rng.below(ROWS - 100);
+            black_box(
+                e.query(&format!(
+                    "SELECT id FROM m WHERE id >= {lo} AND id < {}",
+                    lo + 100
+                ))
+                .unwrap()
+                .len(),
+            )
+        })
+    });
+
+    group.bench_function("full_scan_filter", |b| {
+        b.iter(|| {
+            black_box(
+                e.query("SELECT id FROM m WHERE gross = 250.5")
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+
+    group.bench_function("update_point", |b| {
+        b.iter(|| {
+            let id = rng.below(ROWS);
+            black_box(
+                e.execute(&format!(
+                    "UPDATE m SET gross = gross + 1.0 WHERE id = {id}"
+                ))
+                .unwrap()
+                .row_count(),
+            )
+        })
+    });
+
+    // Insert/delete cycle to avoid unbounded growth.
+    group.bench_function("insert_delete_cycle", |b| {
+        let mut next = ROWS;
+        b.iter(|| {
+            next += 1;
+            e.execute(&format!("INSERT INTO m VALUES ({next}, 't', 0.0)"))
+                .unwrap();
+            black_box(
+                e.execute(&format!("DELETE FROM m WHERE id = {next}"))
+                    .unwrap()
+                    .row_count(),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 1 kernel: synthesize a Calgary-shaped trace and extract its
+//! top-10 rank/frequency table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use delayguard_popularity::{top_k, FrequencyTracker};
+use delayguard_workload::CalgaryConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_calgary_distribution");
+    group.sample_size(10);
+
+    let cfg = CalgaryConfig {
+        objects: 12_179,
+        requests: 100_000,
+        alpha: 1.5,
+        inter_arrival_secs: 1.0,
+        seed: 1,
+    };
+
+    group.bench_function("trace_generation_100k", |b| {
+        b.iter(|| black_box(cfg.generate().len()))
+    });
+
+    let trace = cfg.generate();
+    group.bench_function("count_learning_100k", |b| {
+        b.iter(|| {
+            let mut tracker = FrequencyTracker::no_decay();
+            for r in &trace.requests {
+                tracker.record(r.key);
+            }
+            black_box(tracker.events())
+        })
+    });
+
+    let mut tracker = FrequencyTracker::no_decay();
+    for r in &trace.requests {
+        tracker.record(r.key);
+    }
+    group.bench_function("top10_extraction", |b| {
+        b.iter(|| black_box(top_k(&tracker, 10)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figures 4–6 kernel: update-rate assignment, full extraction, and
+//! staleness accounting at one skew point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delayguard_core::UpdateDelayPolicy;
+use delayguard_sim::{extract_update_based, uniform_user_median_delay};
+use delayguard_workload::{ExtractionOrder, UpdateRates};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig456_update_skew");
+    group.sample_size(10);
+    let n = 100_000u64;
+    let policy = UpdateDelayPolicy::new(2.0).with_cap(10.0);
+
+    for alpha in [0.25, 1.0, 2.5] {
+        group.bench_with_input(
+            BenchmarkId::new("rate_assignment", alpha),
+            &alpha,
+            |b, &a| b.iter(|| black_box(UpdateRates::zipf(n, a, n as f64, 1).rmax())),
+        );
+        let rates = UpdateRates::zipf(n, alpha, n as f64, 1);
+        group.bench_with_input(
+            BenchmarkId::new("extraction", alpha),
+            &alpha,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        extract_update_based(&rates, &policy, ExtractionOrder::Sequential)
+                            .total_delay_secs,
+                    )
+                })
+            },
+        );
+        let report = extract_update_based(&rates, &policy, ExtractionOrder::Sequential);
+        group.bench_with_input(
+            BenchmarkId::new("staleness", alpha),
+            &alpha,
+            |b, _| {
+                b.iter(|| {
+                    black_box(report.schedule.expected_stale_fraction(&rates))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("user_median", alpha),
+            &alpha,
+            |b, _| b.iter(|| black_box(uniform_user_median_delay(&rates, &policy))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

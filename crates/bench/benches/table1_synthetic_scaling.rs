@@ -1,0 +1,41 @@
+//! Table 1 kernel: full replay (delay charging + count learning +
+//! adversary accounting) of a scaled Calgary-shaped trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delayguard_core::AccessDelayPolicy;
+use delayguard_sim::{replay_keys, DecayMode, ReplayConfig};
+use delayguard_workload::CalgaryConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_synthetic_scaling");
+    group.sample_size(10);
+    for objects in [5_000u64, 20_000, 50_000] {
+        let cfg = CalgaryConfig {
+            objects,
+            requests: objects * 10,
+            alpha: 1.5,
+            inter_arrival_secs: 1.0,
+            seed: 7,
+        };
+        let replay_cfg = ReplayConfig {
+            policy: AccessDelayPolicy::new(1.5, 1.0).with_cap(10.0),
+            decay: DecayMode::PerRequest(1.0),
+            pretrack_all: true,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("replay", objects),
+            &objects,
+            |b, &_n| {
+                b.iter(|| {
+                    let result = replay_keys(cfg.key_stream(), objects, &replay_cfg, 16);
+                    black_box(result.adversary_total_secs)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Table 2 kernel: adversary-total computation across delay caps on a
+//! learned distribution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delayguard_core::AccessDelayPolicy;
+use delayguard_popularity::FrequencyTracker;
+use delayguard_workload::CalgaryConfig;
+use std::hint::black_box;
+
+fn learned() -> (FrequencyTracker, u64) {
+    let cfg = CalgaryConfig {
+        objects: 12_179,
+        requests: 200_000,
+        alpha: 1.5,
+        inter_arrival_secs: 1.0,
+        seed: 3,
+    };
+    let mut tracker = FrequencyTracker::no_decay();
+    for key in 0..cfg.objects {
+        tracker.ensure_tracked(key);
+    }
+    for key in cfg.key_stream() {
+        tracker.record(key);
+    }
+    (tracker, cfg.objects)
+}
+
+fn bench(c: &mut Criterion) {
+    let (tracker, objects) = learned();
+    let mut group = c.benchmark_group("table2_cap_scaling");
+    group.sample_size(10);
+    for cap in [0.1, 1.0, 10.0, 100.0] {
+        let policy = AccessDelayPolicy::new(1.5, 1.0).with_cap(cap);
+        group.bench_with_input(
+            BenchmarkId::new("adversary_total", format!("cap_{cap}")),
+            &cap,
+            |b, _| b.iter(|| black_box(policy.adversary_total(&tracker, objects))),
+        );
+    }
+    // The per-tuple delay lookup that every legitimate query pays.
+    let policy = AccessDelayPolicy::new(1.5, 1.0).with_cap(10.0);
+    group.bench_function("single_tuple_delay", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key = (key + 1) % objects;
+            black_box(policy.delay(&tracker, objects, key))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

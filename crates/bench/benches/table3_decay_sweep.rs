@@ -1,0 +1,42 @@
+//! Table 3 kernel: replay under per-request decay (the decayed-counter
+//! hot path: tick + inflated increment + rank maintenance).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delayguard_core::AccessDelayPolicy;
+use delayguard_sim::{replay_keys, DecayMode, ReplayConfig};
+use delayguard_workload::CalgaryConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = CalgaryConfig {
+        objects: 12_179,
+        requests: 100_000,
+        alpha: 1.5,
+        inter_arrival_secs: 1.0,
+        seed: 5,
+    };
+    let keys: Vec<u64> = cfg.key_stream().collect();
+    let mut group = c.benchmark_group("table3_decay_sweep");
+    group.sample_size(10);
+    for rate in [1.0, 1.00001, 1.001] {
+        let replay_cfg = ReplayConfig {
+            policy: AccessDelayPolicy::new(1.5, 1.0).with_cap(10.0),
+            decay: DecayMode::PerRequest(rate),
+            pretrack_all: true,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("replay_100k", format!("decay_{rate}")),
+            &rate,
+            |b, _| {
+                b.iter(|| {
+                    let r = replay_keys(keys.iter().copied(), cfg.objects, &replay_cfg, 16);
+                    black_box(r.adversary_total_secs)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table 4 kernel: box-office season synthesis and weekly-boundary-decay
+//! replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use delayguard_core::access::FmaxMode;
+use delayguard_core::AccessDelayPolicy;
+use delayguard_sim::{replay, DecayMode, ReplayConfig};
+use delayguard_workload::{BoxOfficeConfig, WEEK_SECS};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_boxoffice_decay");
+    group.sample_size(10);
+
+    group.bench_function("season_generation", |b| {
+        b.iter(|| black_box(BoxOfficeConfig::default().generate().films()))
+    });
+
+    let season = BoxOfficeConfig::default().generate();
+    group.bench_function("trace_generation", |b| {
+        b.iter(|| black_box(season.trace().len()))
+    });
+
+    let trace = season.trace();
+    let replay_cfg = ReplayConfig {
+        policy: AccessDelayPolicy::new(1.5, 1.0)
+            .with_cap(10.0)
+            .with_fmax_mode(FmaxMode::RawCount),
+        decay: DecayMode::PerBoundary {
+            rate: 1.5,
+            period_secs: WEEK_SECS,
+        },
+        pretrack_all: true,
+    };
+    group.bench_function("weekly_decay_replay", |b| {
+        b.iter(|| black_box(replay(&trace, &replay_cfg).adversary_total_secs))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Table 5 kernel: single random selection query, base engine vs guarded
+//! database — the per-query mechanism cost the paper quantifies at ~20%.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use delayguard_core::{GuardConfig, GuardedDatabase};
+use delayguard_query::Engine;
+use delayguard_workload::Rng;
+use std::hint::black_box;
+
+const ROWS: u64 = 10_000;
+
+fn build_engine() -> Engine {
+    let engine = Engine::new();
+    engine
+        .execute("CREATE TABLE records (id INT NOT NULL, payload TEXT NOT NULL)")
+        .unwrap();
+    engine
+        .execute("CREATE UNIQUE INDEX records_pk ON records (id)")
+        .unwrap();
+    let mut batch = String::new();
+    for id in 0..ROWS {
+        if batch.is_empty() {
+            batch.push_str("INSERT INTO records VALUES ");
+        } else {
+            batch.push(',');
+        }
+        batch.push_str(&format!("({id}, 'payload-{id}')"));
+        if batch.len() > 60_000 || id == ROWS - 1 {
+            engine.execute(&batch).unwrap();
+            batch.clear();
+        }
+    }
+    engine
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_overhead");
+
+    let engine = build_engine();
+    let mut rng = Rng::new(1);
+    group.bench_function("base_selection", |b| {
+        b.iter(|| {
+            let id = rng.below(ROWS);
+            let out = engine
+                .query(&format!("SELECT * FROM records WHERE id = {id}"))
+                .unwrap();
+            black_box(out.len())
+        })
+    });
+
+    let guarded = GuardedDatabase::with_engine(build_engine(), GuardConfig::paper_default());
+    let mut rng = Rng::new(1);
+    let mut t = 0.0;
+    group.bench_function("guarded_selection", |b| {
+        b.iter(|| {
+            let id = rng.below(ROWS);
+            t += 1.0;
+            let resp = guarded
+                .execute_at(&format!("SELECT * FROM records WHERE id = {id}"), t)
+                .unwrap();
+            black_box(resp.tuples_charged)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

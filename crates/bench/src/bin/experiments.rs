@@ -1,0 +1,89 @@
+//! Regenerate every table and figure of the paper's evaluation (§4).
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments                  # run everything (full sizes; ~1-2 min)
+//! experiments --quick          # smaller Table 1 sizes (seconds)
+//! experiments fig1 table3 ...  # run selected artifacts only
+//! ```
+//!
+//! Artifact ids: fig1, table1, table2, table3, fig2, fig3, table4,
+//! fig4, fig5, fig6 (aliases: fig456), table5, analysis.
+
+use delayguard_bench::experiments;
+use delayguard_sim::OverheadConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let want = |ids: &[&str]| -> bool {
+        selected.is_empty() || ids.iter().any(|id| selected.contains(id))
+    };
+
+    println!("delayguard experiments — reproducing Jayapandian et al., SDM/VLDB 2004\n");
+
+    if want(&["fig1"]) {
+        let (_, rendered) = experiments::fig1();
+        println!("{rendered}");
+    }
+    if want(&["table1"]) {
+        let sizes: &[u64] = if quick {
+            &[10_000, 50_000, 100_000]
+        } else {
+            &[100_000, 500_000, 1_000_000]
+        };
+        eprintln!("[table1] replaying scaled traces (largest: {} objects)...", sizes.last().unwrap());
+        let (_, rendered) = experiments::table1(sizes);
+        println!("{rendered}");
+    }
+    if want(&["table2"]) {
+        let (_, rendered) = experiments::table2();
+        println!("{rendered}");
+    }
+    if want(&["table3"]) {
+        let (_, rendered) = experiments::table3();
+        println!("{rendered}");
+    }
+    if want(&["fig2", "fig3"]) {
+        let (_, _, rendered) = experiments::fig2_fig3();
+        println!("{rendered}");
+    }
+    if want(&["table4"]) {
+        let (_, rendered) = experiments::table4();
+        println!("{rendered}");
+    }
+    if want(&["fig4", "fig5", "fig6", "fig456"]) {
+        let cfg = if quick {
+            experiments::UpdateSkewConfig {
+                objects: 20_000,
+                total_update_rate: 20_000.0,
+                ..Default::default()
+            }
+        } else {
+            experiments::UpdateSkewConfig::default()
+        };
+        let (_, rendered) = experiments::fig456(&cfg, &experiments::paper_alphas());
+        println!("{rendered}");
+    }
+    if want(&["table5"]) {
+        let cfg = if quick {
+            OverheadConfig {
+                rows: 2_000,
+                ..Default::default()
+            }
+        } else {
+            OverheadConfig::default()
+        };
+        let (_, rendered) = experiments::table5(&cfg);
+        println!("{rendered}");
+    }
+    if want(&["analysis"]) {
+        println!("{}", experiments::analysis_table());
+    }
+}

@@ -1,0 +1,15 @@
+//! # delayguard-bench
+//!
+//! Experiment implementations ([`experiments`]) shared by the
+//! `experiments` harness binary (regenerates every table and figure of the
+//! paper) and the Criterion benches under `benches/`.
+//!
+//! Run the full harness with:
+//!
+//! ```text
+//! cargo run -p delayguard-bench --release --bin experiments
+//! cargo run -p delayguard-bench --release --bin experiments -- table3
+//! cargo run -p delayguard-bench --release --bin experiments -- --quick
+//! ```
+
+pub mod experiments;

@@ -1,0 +1,239 @@
+//! Access-rate delay policy (paper §2.1–§2.3).
+//!
+//! Implements Eq. 1 with the Eq. 5 cap:
+//!
+//! ```text
+//! d(i) = min( d_max,  (1/N) · i^(α+β) / f_max )
+//! ```
+//!
+//! where `i` is the tuple's popularity rank (1 = most popular), `N` the
+//! relation size, `f_max` the relative frequency of the most popular
+//! tuple, `α` the assumed skew of the workload, and `β` the operator's
+//! aggressiveness knob ("chosen to balance the desired penalty imposed on
+//! an extraction attack with the undesirable delays to legitimate users").
+//!
+//! Start-up transients (§2.3) fall out naturally: before any counts exist
+//! `f_max = 0`, every rank is "last", and all delays sit at the cap; as the
+//! distribution is learned, delays of popular items collapse toward zero.
+
+use delayguard_popularity::FrequencyTracker;
+
+/// How `f_max` is estimated from learned counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FmaxMode {
+    /// §2.3 literally: the (decayed) top count "normalized by a global
+    /// count of all requests". Under decay this shrinks as history is
+    /// forgotten, inflating all delays — the behaviour behind the
+    /// decay-rate sweeps of Tables 3–4.
+    #[default]
+    GlobalRequests,
+    /// Decay-aware: top count over the *decayed* total; the mathematically
+    /// self-consistent relative frequency. Kept as an ablation
+    /// (`ablation_decay` bench).
+    DecayedTotal,
+    /// The (decayed) top count itself, unnormalized. Reading Eq. 1's
+    /// `f_max` as "the frequency with which the most popular item is
+    /// requested" in *absolute events* rather than as a relative
+    /// frequency. The paper's box-office experiment (Table 4) is only
+    /// consistent with this reading; see EXPERIMENTS.md.
+    RawCount,
+}
+
+/// Parameters of the access-rate delay policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessDelayPolicy {
+    /// Assumed Zipf parameter of the legitimate workload (`α`).
+    pub alpha: f64,
+    /// Penalty exponent (`β`): higher hurts the adversary more.
+    pub beta: f64,
+    /// Maximum delay added to any single tuple, in seconds (`d_max`).
+    pub cap_secs: f64,
+    /// `f_max` estimation mode.
+    pub fmax_mode: FmaxMode,
+}
+
+impl AccessDelayPolicy {
+    /// A policy with the paper's default 10-second cap.
+    pub fn new(alpha: f64, beta: f64) -> AccessDelayPolicy {
+        AccessDelayPolicy {
+            alpha,
+            beta,
+            cap_secs: 10.0,
+            fmax_mode: FmaxMode::GlobalRequests,
+        }
+    }
+
+    /// Override the `f_max` estimation mode.
+    pub fn with_fmax_mode(mut self, mode: FmaxMode) -> AccessDelayPolicy {
+        self.fmax_mode = mode;
+        self
+    }
+
+    /// The `f_max` estimate this policy reads from a tracker.
+    pub fn fmax_of(&self, tracker: &FrequencyTracker) -> f64 {
+        match self.fmax_mode {
+            FmaxMode::GlobalRequests => tracker.fmax_global(),
+            FmaxMode::DecayedTotal => tracker.fmax(),
+            FmaxMode::RawCount => tracker.max_count(),
+        }
+    }
+
+    /// Override the cap (Table 2 sweeps 0.1 s – 100 s). `f64::INFINITY`
+    /// disables capping (the uncapped Eq. 1 scheme of §2.1).
+    pub fn with_cap(mut self, cap_secs: f64) -> AccessDelayPolicy {
+        assert!(cap_secs >= 0.0, "cap must be non-negative");
+        self.cap_secs = cap_secs;
+        self
+    }
+
+    /// The uncapped Eq. 1 delay for popularity rank `rank` in a relation of
+    /// `n` tuples whose most popular tuple has relative frequency `fmax`.
+    pub fn raw_delay(&self, n: u64, rank: usize, fmax: f64) -> f64 {
+        if n == 0 || fmax <= 0.0 {
+            return f64::INFINITY; // nothing learned yet: treat as most obscure
+        }
+        (rank as f64).powf(self.alpha + self.beta) / (n as f64 * fmax)
+    }
+
+    /// The capped delay for a rank (Eq. 5).
+    pub fn delay_for_rank(&self, n: u64, rank: usize, fmax: f64) -> f64 {
+        self.raw_delay(n, rank, fmax).min(self.cap_secs)
+    }
+
+    /// The capped delay for a concrete tuple given learned statistics.
+    /// A key the tracker has never seen is treated as the least popular
+    /// tuple of the relation (rank `n`): the tracker only knows about the
+    /// keys it has observed, but the relation has `n` tuples.
+    pub fn delay(&self, tracker: &FrequencyTracker, n: u64, key: u64) -> f64 {
+        let fmax = self.fmax_of(tracker);
+        let rank = if tracker.contains(key) {
+            tracker.rank(key)
+        } else {
+            n as usize
+        };
+        self.delay_for_rank(n, rank, fmax)
+    }
+
+    /// The cap rank `M` (Eq. 5): the smallest rank whose uncapped delay
+    /// meets the cap. Ranks `>= M` are all charged `cap_secs`.
+    pub fn cap_rank(&self, n: u64, fmax: f64) -> u64 {
+        if fmax <= 0.0 || n == 0 {
+            return 1; // everything capped during start-up
+        }
+        let exponent = self.alpha + self.beta;
+        if exponent <= 0.0 {
+            return 1;
+        }
+        let m = (self.cap_secs * n as f64 * fmax).powf(1.0 / exponent);
+        (m.ceil() as u64).clamp(1, n)
+    }
+
+    /// Total delay an adversary pays to extract all `n` tuples with the
+    /// *learned* statistics in `tracker` (each tuple charged once).
+    /// Untracked tuples (never requested) are charged the cap, matching the
+    /// paper's method of "examining the access counts after the trace was
+    /// replayed".
+    pub fn adversary_total(&self, tracker: &FrequencyTracker, n: u64) -> f64 {
+        let fmax = self.fmax_of(tracker);
+        let mut total = 0.0;
+        let mut seen = 0u64;
+        for (key, _) in tracker.iter() {
+            total += self.delay_for_rank(n, tracker.rank(key), fmax);
+            seen += 1;
+        }
+        debug_assert!(seen <= n, "tracker holds more keys than the relation");
+        total + (n.saturating_sub(seen)) as f64 * self.cap_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn learned_tracker() -> FrequencyTracker {
+        // Keys 0..10 with counts 2^(10-k): key 0 most popular.
+        let mut t = FrequencyTracker::no_decay();
+        for key in 0..10u64 {
+            for _ in 0..(1u64 << (10 - key)) {
+                t.record(key);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn popular_items_get_short_delays() {
+        let t = learned_tracker();
+        let p = AccessDelayPolicy::new(1.0, 1.0);
+        let d_popular = p.delay(&t, 10, 0);
+        let d_unpopular = p.delay(&t, 10, 9);
+        assert!(d_popular < d_unpopular);
+        // Rank 1, alpha+beta=2, fmax ~ 0.5: d = 1/(10*0.5) = 0.2.
+        assert!((d_popular - 1.0 / (10.0 * t.fmax())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unseen_tuple_pays_cap() {
+        let t = learned_tracker();
+        let p = AccessDelayPolicy::new(1.0, 1.0).with_cap(5.0);
+        assert_eq!(p.delay(&t, 1000, 999_999), 5.0);
+    }
+
+    #[test]
+    fn startup_transient_all_capped() {
+        let t = FrequencyTracker::no_decay();
+        let p = AccessDelayPolicy::new(1.5, 1.0).with_cap(10.0);
+        assert_eq!(p.delay(&t, 100, 0), 10.0);
+        assert_eq!(p.cap_rank(100, t.fmax()), 1);
+    }
+
+    #[test]
+    fn delay_monotone_in_rank() {
+        let p = AccessDelayPolicy::new(1.5, 0.5).with_cap(f64::INFINITY);
+        let mut last = 0.0;
+        for rank in 1..100 {
+            let d = p.delay_for_rank(10_000, rank, 0.3);
+            assert!(d >= last);
+            last = d;
+        }
+    }
+
+    #[test]
+    fn cap_rank_splits_capped_from_uncapped() {
+        let p = AccessDelayPolicy::new(1.0, 1.0).with_cap(1.0);
+        let n = 10_000u64;
+        let fmax = 0.2;
+        let m = p.cap_rank(n, fmax);
+        assert!(m > 1 && m < n);
+        // Just below M: uncapped. At/above M: capped.
+        assert!(p.raw_delay(n, (m - 1) as usize, fmax) < 1.0 + 1e-9);
+        assert!(p.raw_delay(n, (m + 1) as usize, fmax) >= 1.0);
+        assert_eq!(p.delay_for_rank(n, (m + 1) as usize, fmax), 1.0);
+    }
+
+    #[test]
+    fn higher_beta_hurts_adversary_more() {
+        let t = learned_tracker();
+        let lo = AccessDelayPolicy::new(1.0, 0.5).with_cap(1e9);
+        let hi = AccessDelayPolicy::new(1.0, 2.0).with_cap(1e9);
+        assert!(hi.adversary_total(&t, 1000) > lo.adversary_total(&t, 1000));
+    }
+
+    #[test]
+    fn adversary_total_charges_unseen_at_cap() {
+        let t = learned_tracker(); // 10 tracked keys
+        let p = AccessDelayPolicy::new(1.0, 1.0).with_cap(10.0);
+        let total = p.adversary_total(&t, 1_000);
+        // 990 unseen keys at the 10 s cap dominate.
+        assert!(total >= 9_900.0);
+        assert!(total <= 10_000.0 + 1.0);
+    }
+
+    #[test]
+    fn zero_cap_disables_delays() {
+        let t = learned_tracker();
+        let p = AccessDelayPolicy::new(1.0, 1.0).with_cap(0.0);
+        assert_eq!(p.delay(&t, 10, 0), 0.0);
+        assert_eq!(p.adversary_total(&t, 100), 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Closed-form analysis from §2.1–§2.2 and §3.1 of the paper.
+//!
+//! These functions reproduce the paper's equations exactly (by direct
+//! summation where the paper gives a sum, by the stated closed form where
+//! it gives one), so simulations can be cross-checked against theory in
+//! `EXPERIMENTS.md` and the `analysis_vs_sim` integration test.
+
+use delayguard_workload::{generalized_harmonic, power_sum};
+
+/// Eq. 1: delay of the `i`-th most popular of `n` tuples.
+pub fn delay_at_rank(n: u64, alpha: f64, beta: f64, fmax: f64, rank: u64) -> f64 {
+    assert!(n > 0 && rank >= 1 && fmax > 0.0);
+    (rank as f64).powf(alpha + beta) / (n as f64 * fmax)
+}
+
+/// Eq. 2: total (uncapped) delay to extract all `n` tuples.
+pub fn adversary_total(n: u64, alpha: f64, beta: f64, fmax: f64) -> f64 {
+    assert!(n > 0 && fmax > 0.0);
+    power_sum(n, alpha + beta) / (n as f64 * fmax)
+}
+
+/// Eq. 5 inverted: the cap rank `M` at which delay reaches `dmax`.
+pub fn cap_rank(n: u64, alpha: f64, beta: f64, fmax: f64, dmax: f64) -> u64 {
+    assert!(n > 0 && fmax > 0.0 && dmax >= 0.0);
+    let exponent = alpha + beta;
+    if exponent <= 0.0 {
+        return 1;
+    }
+    let m = (dmax * n as f64 * fmax).powf(1.0 / exponent);
+    (m.ceil() as u64).clamp(1, n)
+}
+
+/// Eq. 6: total delay to extract all `n` tuples under a `dmax` cap.
+pub fn adversary_total_capped(n: u64, alpha: f64, beta: f64, fmax: f64, dmax: f64) -> f64 {
+    let m = cap_rank(n, alpha, beta, fmax, dmax);
+    let below: f64 = (1..=m)
+        .map(|i| delay_at_rank(n, alpha, beta, fmax, i).min(dmax))
+        .sum();
+    below + (n - m) as f64 * dmax
+}
+
+/// The exact median *request* rank for a Zipf(α) workload over `n` items:
+/// the smallest `i` such that `H(i, α) ≥ H(n, α)/2`. (Eq. 3 gives its
+/// asymptotics; this is the finite-n value.)
+pub fn median_rank_exact(n: u64, alpha: f64) -> u64 {
+    assert!(n > 0);
+    let half = generalized_harmonic(n, alpha) / 2.0;
+    let mut acc = 0.0;
+    for i in 1..=n {
+        acc += (i as f64).powf(-alpha);
+        if acc >= half {
+            return i;
+        }
+    }
+    n
+}
+
+/// Asymptotic class of the median rank (Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MedianRankClass {
+    /// `α < 1`: `Θ(2^(1/(α-1)) · N)` — a constant fraction of N.
+    LinearInN,
+    /// `α = 1`: `Θ(√N)`.
+    SqrtN,
+    /// `α > 1`: `Θ(log N)`.
+    LogN,
+}
+
+/// Classify the asymptotic regime of Eq. 3/4 for a given skew.
+pub fn median_rank_class(alpha: f64) -> MedianRankClass {
+    if (alpha - 1.0).abs() < 1e-9 {
+        MedianRankClass::SqrtN
+    } else if alpha < 1.0 {
+        MedianRankClass::LinearInN
+    } else {
+        MedianRankClass::LogN
+    }
+}
+
+/// Eq. 4 (and Eq. 7 with a cap): the adversary-to-median delay ratio,
+/// computed exactly for finite `n`. This is the paper's headline quantity:
+/// "orders of magnitude higher than that for legitimate user queries".
+pub fn delay_ratio(n: u64, alpha: f64, beta: f64, fmax: f64, dmax: Option<f64>) -> f64 {
+    let med = median_rank_exact(n, alpha);
+    let d_med = match dmax {
+        Some(cap) => delay_at_rank(n, alpha, beta, fmax, med).min(cap),
+        None => delay_at_rank(n, alpha, beta, fmax, med),
+    };
+    let d_total = match dmax {
+        Some(cap) => adversary_total_capped(n, alpha, beta, fmax, cap),
+        None => adversary_total(n, alpha, beta, fmax),
+    };
+    d_total / d_med
+}
+
+/// Eq. 11/12: exact maximum stale fraction for a Zipf(α) update
+/// distribution of `n` items with delay scale `c`: the fraction `S` such
+/// that the `(S·N)`-th ranked item's update period equals the total
+/// extraction delay. Also see [`smax_asymptotic`].
+pub fn stale_fraction_exact(n: u64, alpha: f64, c: f64) -> f64 {
+    assert!(n > 0 && alpha > 0.0 && c > 0.0);
+    // d_total = (c/N) * sum(i^alpha) / rmax ; item i stale iff
+    // 1/r_i <= d_total, i.e. i^alpha / rmax <= d_total.
+    // => i_stale_max = (d_total * rmax)^(1/alpha); S = i/N.
+    let d_total_rmax = (c / n as f64) * power_sum(n, alpha);
+    let i_max = d_total_rmax.powf(1.0 / alpha);
+    (i_max / n as f64).min(1.0)
+}
+
+/// Eq. 12: the paper's asymptotic approximation
+/// `S_max ≈ (c/(1+α))^(1/α)`.
+pub fn smax_asymptotic(alpha: f64, c: f64) -> f64 {
+    assert!(alpha > 0.0 && c > 0.0);
+    (c / (1.0 + alpha)).powf(1.0 / alpha).min(1.0)
+}
+
+/// Parallel (Sybil) attack economics (§2.4): if registration of new
+/// identities is limited to one per `t_register` seconds, an adversary
+/// wanting wall-clock `T_total / k` must first spend `k · t_register`
+/// accumulating identities. The optimum `k` minimizes
+/// `k·t_register + T_total/k`; this returns `(k_opt, best_wall_clock)`.
+pub fn sybil_optimum(total_delay: f64, t_register: f64) -> (f64, f64) {
+    assert!(total_delay >= 0.0 && t_register > 0.0);
+    let k = (total_delay / t_register).sqrt().max(1.0);
+    (k, k * t_register + total_delay / k)
+}
+
+/// The registration interval that makes a parallel attack no better than a
+/// serial one by a factor `slowdown ∈ (0, 1]`: choose `t_register` so the
+/// optimal parallel wall clock is at least `slowdown · total_delay`.
+pub fn registration_interval_for(total_delay: f64, slowdown: f64) -> f64 {
+    assert!(total_delay > 0.0 && slowdown > 0.0 && slowdown <= 1.0);
+    // best wall clock = 2·sqrt(t·T)  =>  t = (slowdown·T)^2 / (4T).
+    (slowdown * total_delay).powi(2) / (4.0 * total_delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_at_rank_matches_formula() {
+        // N=100, alpha+beta=2, fmax=0.5: d(i) = i^2/50.
+        let d = delay_at_rank(100, 1.0, 1.0, 0.5, 10);
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adversary_total_is_sum_of_ranks() {
+        let n = 50;
+        let (a, b, f) = (1.0, 0.5, 0.3);
+        let direct: f64 = (1..=n).map(|i| delay_at_rank(n, a, b, f, i)).sum();
+        assert!((adversary_total(n, a, b, f) - direct).abs() / direct < 1e-12);
+    }
+
+    #[test]
+    fn capped_total_below_uncapped_and_above_floor() {
+        let (n, a, b, f, cap) = (10_000u64, 1.5, 1.0, 0.4, 10.0);
+        let capped = adversary_total_capped(n, a, b, f, cap);
+        let uncapped = adversary_total(n, a, b, f);
+        assert!(capped < uncapped);
+        // At least the tail pays full cap.
+        let m = cap_rank(n, a, b, f, cap);
+        assert!(capped >= (n - m) as f64 * cap);
+        assert!(capped <= n as f64 * cap + 1e-9);
+    }
+
+    #[test]
+    fn median_rank_exact_regimes() {
+        // alpha > 1: logarithmic — tiny even for a million items.
+        assert!(median_rank_exact(1_000_000, 1.5) < 50);
+        // alpha = 1: ~sqrt(N).
+        let m = median_rank_exact(1_000_000, 1.0);
+        assert!((500..5_000).contains(&m), "got {m}");
+        // alpha < 1: a constant fraction of N.
+        let m = median_rank_exact(1_000_000, 0.5);
+        assert!(m > 100_000, "got {m}");
+    }
+
+    #[test]
+    fn median_rank_classes() {
+        assert_eq!(median_rank_class(0.5), MedianRankClass::LinearInN);
+        assert_eq!(median_rank_class(1.0), MedianRankClass::SqrtN);
+        assert_eq!(median_rank_class(1.5), MedianRankClass::LogN);
+    }
+
+    #[test]
+    fn ratio_explodes_with_n_for_high_skew() {
+        // Eq. 4: for alpha >= 1 the ratio grows super-linearly in N.
+        let f = 0.4;
+        let r_small = delay_ratio(1_000, 1.5, 1.0, f, None);
+        let r_big = delay_ratio(100_000, 1.5, 1.0, f, None);
+        assert!(r_big / r_small > 100.0, "{r_small} -> {r_big}");
+        // And stays "orders of magnitude" even with a cap.
+        let r_capped = delay_ratio(100_000, 1.5, 1.0, f, Some(10.0));
+        assert!(r_capped > 1e4, "capped ratio {r_capped}");
+    }
+
+    #[test]
+    fn stale_fraction_exact_close_to_asymptotic() {
+        for &alpha in &[0.5, 1.0, 1.5, 2.0] {
+            let c = 0.5;
+            let exact = stale_fraction_exact(1_000_000, alpha, c);
+            let approx = smax_asymptotic(alpha, c);
+            let rel = (exact - approx).abs() / approx;
+            assert!(rel < 0.05, "alpha {alpha}: exact {exact} vs approx {approx}");
+        }
+    }
+
+    #[test]
+    fn stale_fraction_monotone_in_c() {
+        let s1 = stale_fraction_exact(10_000, 1.0, 0.2);
+        let s2 = stale_fraction_exact(10_000, 1.0, 0.8);
+        assert!(s2 > s1);
+        assert!(stale_fraction_exact(10_000, 1.0, 1e9) <= 1.0);
+    }
+
+    #[test]
+    fn sybil_optimum_balances_terms() {
+        let (k, wall) = sybil_optimum(1_000_000.0, 100.0);
+        assert!((k - 100.0).abs() < 1.0);
+        assert!((wall - 20_000.0).abs() < 10.0);
+        // Registering faster helps the adversary.
+        let (_, wall_fast) = sybil_optimum(1_000_000.0, 1.0);
+        assert!(wall_fast < wall);
+    }
+
+    #[test]
+    fn registration_interval_achieves_slowdown() {
+        let total = 1_000_000.0;
+        for slowdown in [0.1, 0.5, 1.0] {
+            let t = registration_interval_for(total, slowdown);
+            let (_, wall) = sybil_optimum(total, t);
+            assert!(
+                wall >= slowdown * total * 0.999,
+                "slowdown {slowdown}: wall {wall}"
+            );
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Guard configuration.
+
+use crate::access::AccessDelayPolicy;
+use crate::error::{GuardError, Result};
+use crate::policy::{ChargingModel, GuardPolicy};
+
+/// Configuration of a [`crate::GuardedDatabase`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardConfig {
+    /// Which delay scheme to apply.
+    pub policy: GuardPolicy,
+    /// How multi-tuple queries are charged.
+    pub charging: ChargingModel,
+    /// Decay rate for access counts (`1.0` = no decay; paper Table 3
+    /// sweeps `1.0..=1.00002` per request).
+    pub access_decay_rate: f64,
+    /// Decay rate for update counts.
+    pub update_decay_rate: f64,
+}
+
+impl GuardConfig {
+    /// The paper's canonical configuration: access-rate delays with
+    /// `α = 1.5`, `β = 1.0`, a 10-second cap, per-tuple-sum charging and
+    /// no decay.
+    pub fn paper_default() -> GuardConfig {
+        GuardConfig {
+            policy: GuardPolicy::AccessRate(AccessDelayPolicy::new(1.5, 1.0)),
+            charging: ChargingModel::PerTupleSum,
+            access_decay_rate: 1.0,
+            update_decay_rate: 1.0,
+        }
+    }
+
+    /// Replace the policy.
+    pub fn with_policy(mut self, policy: GuardPolicy) -> GuardConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Replace the access decay rate.
+    pub fn with_access_decay(mut self, rate: f64) -> GuardConfig {
+        self.access_decay_rate = rate;
+        self
+    }
+
+    /// Replace the charging model.
+    pub fn with_charging(mut self, charging: ChargingModel) -> GuardConfig {
+        self.charging = charging;
+        self
+    }
+
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<()> {
+        if self.access_decay_rate < 1.0 || !self.access_decay_rate.is_finite() {
+            return Err(GuardError::Config(format!(
+                "access decay rate must be >= 1.0, got {}",
+                self.access_decay_rate
+            )));
+        }
+        if self.update_decay_rate < 1.0 || !self.update_decay_rate.is_finite() {
+            return Err(GuardError::Config(format!(
+                "update decay rate must be >= 1.0, got {}",
+                self.update_decay_rate
+            )));
+        }
+        if let GuardPolicy::AccessRate(p) | GuardPolicy::Hybrid(p, _) = self.policy {
+            if p.alpha < 0.0 || p.beta < 0.0 || p.cap_secs < 0.0 {
+                return Err(GuardError::Config(
+                    "access policy parameters must be non-negative".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        assert!(GuardConfig::paper_default().validate().is_ok());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = GuardConfig::paper_default()
+            .with_access_decay(1.00001)
+            .with_charging(ChargingModel::PerQueryMax)
+            .with_policy(GuardPolicy::None);
+        assert_eq!(c.access_decay_rate, 1.00001);
+        assert_eq!(c.charging, ChargingModel::PerQueryMax);
+        assert_eq!(c.policy, GuardPolicy::None);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn bad_decay_rejected() {
+        let c = GuardConfig::paper_default().with_access_decay(0.5);
+        assert!(c.validate().is_err());
+        let mut c = GuardConfig::paper_default();
+        c.update_decay_rate = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn bad_policy_rejected() {
+        let mut c = GuardConfig::paper_default();
+        c.policy = GuardPolicy::AccessRate(
+            crate::access::AccessDelayPolicy::new(-1.0, 1.0),
+        );
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Errors for the guard layer.
+
+use delayguard_query::QueryError;
+use delayguard_storage::StorageError;
+use std::fmt;
+
+/// Errors produced by the guarded database and gatekeeper.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuardError {
+    /// The underlying query engine failed.
+    Query(QueryError),
+    /// The gatekeeper refused the request (rate limit, unregistered user).
+    Refused(String),
+    /// Invalid guard configuration.
+    Config(String),
+}
+
+impl fmt::Display for GuardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardError::Query(e) => write!(f, "query error: {e}"),
+            GuardError::Refused(m) => write!(f, "request refused: {m}"),
+            GuardError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GuardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GuardError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for GuardError {
+    fn from(e: QueryError) -> Self {
+        GuardError::Query(e)
+    }
+}
+
+impl From<StorageError> for GuardError {
+    fn from(e: StorageError) -> Self {
+        GuardError::Query(QueryError::Storage(e))
+    }
+}
+
+/// Result alias for guard operations.
+pub type Result<T> = std::result::Result<T, GuardError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: GuardError = StorageError::TableNotFound("t".into()).into();
+        assert!(e.to_string().contains("query error"));
+        let e = GuardError::Refused("too fast".into());
+        assert!(e.to_string().contains("refused"));
+        assert!(GuardError::Config("bad".into()).to_string().contains("config"));
+    }
+}

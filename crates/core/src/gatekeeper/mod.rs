@@ -1,0 +1,282 @@
+//! The gatekeeper: identity admission and rate limiting (paper §2.4).
+//!
+//! Delay protects against a *single* patient adversary; the gatekeeper
+//! closes the parallelism loopholes the paper analyzes:
+//!
+//! * **Sybil attacks** — registration of new identities is rate-limited
+//!   (or fee-gated) by [`Registrar`], bounding how fast an adversary can
+//!   amass the `k` identities a parallel extraction needs.
+//! * **Subnet farms** — per-/24 aggregate token buckets mean many
+//!   identities behind one subnet share one budget.
+//! * **Storefronts** — per-identity query budgets plus a volume anomaly
+//!   detector flag identities whose traffic dwarfs a normal user's.
+
+pub mod identity;
+pub mod registration;
+pub mod token_bucket;
+
+pub use identity::{Ipv4, Subnet, UserId};
+pub use registration::{RegistrationOutcome, RegistrationPolicy, Registrar};
+pub use token_bucket::TokenBucket;
+
+use std::collections::HashMap;
+
+/// Gatekeeper configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GatekeeperConfig {
+    /// Per-identity sustained query rate (queries/sec).
+    pub per_user_rate: f64,
+    /// Per-identity burst size.
+    pub per_user_burst: f64,
+    /// Per-/24-subnet sustained rate (aggregate over all identities).
+    pub per_subnet_rate: f64,
+    /// Per-subnet burst size.
+    pub per_subnet_burst: f64,
+    /// Registration policy for new identities.
+    pub registration: RegistrationPolicy,
+    /// Queries per identity above which it is flagged as a possible
+    /// storefront (0 disables flagging).
+    pub storefront_query_threshold: u64,
+}
+
+impl Default for GatekeeperConfig {
+    fn default() -> Self {
+        GatekeeperConfig {
+            per_user_rate: 1.0,
+            per_user_burst: 10.0,
+            per_subnet_rate: 5.0,
+            per_subnet_burst: 50.0,
+            registration: RegistrationPolicy::interval(60.0),
+            storefront_query_threshold: 100_000,
+        }
+    }
+}
+
+/// Why a query was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefusalReason {
+    /// The identity is not registered.
+    Unregistered,
+    /// The identity exceeded its own rate budget.
+    UserRateExceeded,
+    /// The identity's subnet exceeded its aggregate budget.
+    SubnetRateExceeded,
+}
+
+/// Decision on one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The query may proceed.
+    Granted,
+    /// The query is refused.
+    Refused(RefusalReason),
+}
+
+/// Per-identity accounting.
+#[derive(Debug)]
+struct UserState {
+    bucket: TokenBucket,
+    queries: u64,
+}
+
+/// The gatekeeper itself.
+#[derive(Debug)]
+pub struct Gatekeeper {
+    config: GatekeeperConfig,
+    registrar: Registrar,
+    users: HashMap<UserId, UserState>,
+    subnets: HashMap<Subnet, TokenBucket>,
+}
+
+impl Gatekeeper {
+    /// A gatekeeper with the given configuration.
+    pub fn new(config: GatekeeperConfig) -> Gatekeeper {
+        Gatekeeper {
+            config,
+            registrar: Registrar::new(config.registration),
+            users: HashMap::new(),
+            subnets: HashMap::new(),
+        }
+    }
+
+    /// Register a new identity from `ip` at `now`.
+    pub fn register(&mut self, ip: Ipv4, now: f64) -> RegistrationOutcome {
+        let outcome = self.registrar.register(ip, now);
+        if let RegistrationOutcome::Admitted { user, .. } = outcome {
+            self.users.insert(
+                user,
+                UserState {
+                    bucket: TokenBucket::new(
+                        self.config.per_user_rate,
+                        self.config.per_user_burst,
+                    ),
+                    queries: 0,
+                },
+            );
+        }
+        outcome
+    }
+
+    /// Decide whether `user`'s query at `now` may proceed, charging the
+    /// relevant budgets on success.
+    pub fn admit(&mut self, user: UserId, now: f64) -> Admission {
+        let Some(ip) = self.registrar.ip_of(user) else {
+            return Admission::Refused(RefusalReason::Unregistered);
+        };
+        let subnet = ip.subnet24();
+        // Check both budgets before charging either, so a refusal leaves
+        // no residue.
+        let user_ok = {
+            let state = self.users.get_mut(&user).expect("registered user has state");
+            state.bucket.available(now) >= 1.0 - 1e-9
+        };
+        if !user_ok {
+            return Admission::Refused(RefusalReason::UserRateExceeded);
+        }
+        let subnet_bucket = self.subnets.entry(subnet).or_insert_with(|| {
+            TokenBucket::new(self.config.per_subnet_rate, self.config.per_subnet_burst)
+        });
+        if subnet_bucket.available(now) < 1.0 - 1e-9 {
+            return Admission::Refused(RefusalReason::SubnetRateExceeded);
+        }
+        subnet_bucket.try_take(now);
+        let state = self.users.get_mut(&user).expect("registered user has state");
+        state.bucket.try_take(now);
+        state.queries += 1;
+        Admission::Granted
+    }
+
+    /// Number of queries an identity has issued.
+    pub fn query_count(&self, user: UserId) -> u64 {
+        self.users.get(&user).map(|s| s.queries).unwrap_or(0)
+    }
+
+    /// Identities whose query volume exceeds the storefront threshold —
+    /// candidates for the §2.4 storefront defense (manual review, per-user
+    /// limits, or termination).
+    pub fn storefront_suspects(&self) -> Vec<UserId> {
+        let threshold = self.config.storefront_query_threshold;
+        if threshold == 0 {
+            return Vec::new();
+        }
+        let mut v: Vec<UserId> = self
+            .users
+            .iter()
+            .filter(|(_, s)| s.queries > threshold)
+            .map(|(&u, _)| u)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// The registrar (for attack-economics queries).
+    pub fn registrar(&self) -> &Registrar {
+        &self.registrar
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keeper() -> Gatekeeper {
+        Gatekeeper::new(GatekeeperConfig {
+            per_user_rate: 1.0,
+            per_user_burst: 2.0,
+            per_subnet_rate: 2.0,
+            per_subnet_burst: 3.0,
+            registration: RegistrationPolicy::interval(10.0),
+            storefront_query_threshold: 5,
+        })
+    }
+
+    fn register(k: &mut Gatekeeper, ip: &str, now: f64) -> UserId {
+        match k.register(Ipv4::parse(ip).unwrap(), now) {
+            RegistrationOutcome::Admitted { user, .. } => user,
+            other => panic!("registration failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unregistered_refused() {
+        let mut k = keeper();
+        assert_eq!(
+            k.admit(UserId(42), 0.0),
+            Admission::Refused(RefusalReason::Unregistered)
+        );
+    }
+
+    #[test]
+    fn per_user_budget_enforced() {
+        let mut k = keeper();
+        let u = register(&mut k, "10.0.0.1", 0.0);
+        assert_eq!(k.admit(u, 0.0), Admission::Granted);
+        assert_eq!(k.admit(u, 0.0), Admission::Granted);
+        assert_eq!(
+            k.admit(u, 0.0),
+            Admission::Refused(RefusalReason::UserRateExceeded)
+        );
+        // Refills over time.
+        assert_eq!(k.admit(u, 1.0), Admission::Granted);
+        assert_eq!(k.query_count(u), 3);
+    }
+
+    #[test]
+    fn subnet_budget_shared_across_sybils() {
+        let mut k = keeper();
+        // Three identities in the same /24 (registered 10s apart).
+        let a = register(&mut k, "10.0.0.1", 0.0);
+        let b = register(&mut k, "10.0.0.2", 10.0);
+        let c = register(&mut k, "10.0.0.3", 20.0);
+        // At t=100 everyone is full, but the subnet bucket holds only 3.
+        assert_eq!(k.admit(a, 100.0), Admission::Granted);
+        assert_eq!(k.admit(b, 100.0), Admission::Granted);
+        assert_eq!(k.admit(c, 100.0), Admission::Granted);
+        let d = k.admit(a, 100.0);
+        assert_eq!(d, Admission::Refused(RefusalReason::SubnetRateExceeded));
+        // A user in a different subnet is unaffected.
+        let z = register(&mut k, "10.9.0.1", 30.0);
+        assert_eq!(k.admit(z, 100.0), Admission::Granted);
+    }
+
+    #[test]
+    fn refusal_charges_no_budget() {
+        let mut k = keeper();
+        let a = register(&mut k, "10.0.0.1", 0.0);
+        let b = register(&mut k, "10.0.0.2", 10.0);
+        // Exhaust a's personal budget.
+        assert_eq!(k.admit(a, 20.0), Admission::Granted);
+        assert_eq!(k.admit(a, 20.0), Admission::Granted);
+        assert_eq!(
+            k.admit(a, 20.0),
+            Admission::Refused(RefusalReason::UserRateExceeded)
+        );
+        // b still has subnet tokens available: a's refusals cost nothing.
+        assert_eq!(k.admit(b, 20.0), Admission::Granted);
+    }
+
+    #[test]
+    fn registration_throttled() {
+        let mut k = keeper();
+        register(&mut k, "10.0.0.1", 0.0);
+        assert!(matches!(
+            k.register(Ipv4::parse("10.0.0.2").unwrap(), 5.0),
+            RegistrationOutcome::TooSoon { .. }
+        ));
+    }
+
+    #[test]
+    fn storefront_suspects_flagged() {
+        let mut k = keeper();
+        let u = register(&mut k, "10.0.0.1", 0.0);
+        let mut t = 0.0;
+        for _ in 0..10 {
+            assert_eq!(k.admit(u, t), Admission::Granted);
+            t += 2.0; // slow enough to never hit rate limits
+        }
+        assert_eq!(k.storefront_suspects(), vec![u]);
+        let quiet = register(&mut k, "10.1.0.1", 10.0);
+        k.admit(quiet, 1000.0);
+        assert_eq!(k.storefront_suspects(), vec![u]);
+    }
+}

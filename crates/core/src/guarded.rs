@@ -1,0 +1,393 @@
+//! The guarded database: the paper's scheme wrapped around the engine.
+//!
+//! [`GuardedDatabase`] executes SQL through [`delayguard_query::Engine`]
+//! and, for every *returned tuple*, (a) charges a delay according to the
+//! configured [`GuardPolicy`] and (b) records the access in the table's
+//! popularity tracker. Updates feed the update-rate tracker; inserts
+//! pre-register tuples at zero popularity (start-up transient, §2.3).
+//!
+//! The computed delay is *returned*, not slept, so simulations can account
+//! years of adversary delay instantly; [`GuardedDatabase::execute_blocking`]
+//! actually sleeps for deployments.
+
+use crate::config::GuardConfig;
+use crate::error::Result;
+use delayguard_popularity::{DecaySchedule, FrequencyTracker};
+use delayguard_query::{parse, Engine, StatementOutput};
+use delayguard_query::ast::Statement;
+use delayguard_storage::RowId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Per-table guard state.
+struct TableGuard {
+    access: FrequencyTracker,
+    updates: FrequencyTracker,
+    /// Virtual time when this table first came under observation; the
+    /// update-rate window is measured from here.
+    epoch: Option<f64>,
+}
+
+impl TableGuard {
+    fn new(config: &GuardConfig) -> TableGuard {
+        TableGuard {
+            access: FrequencyTracker::new(DecaySchedule::new(config.access_decay_rate)),
+            updates: FrequencyTracker::new(DecaySchedule::new(config.update_decay_rate)),
+            epoch: None,
+        }
+    }
+
+    fn window(&self, now: f64) -> f64 {
+        match self.epoch {
+            Some(e) => (now - e).max(1e-9),
+            None => 1e-9,
+        }
+    }
+}
+
+/// Outcome of a guarded statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardedResponse {
+    /// The engine's output (rows, affected RowIds, ...).
+    pub output: StatementOutput,
+    /// Total delay charged to this statement, in seconds.
+    pub delay_secs: f64,
+    /// How many tuples contributed to the delay.
+    pub tuples_charged: usize,
+}
+
+/// A database whose front door is defended by delay.
+pub struct GuardedDatabase {
+    engine: Engine,
+    config: GuardConfig,
+    guards: Mutex<HashMap<String, TableGuard>>,
+    started: Instant,
+}
+
+impl GuardedDatabase {
+    /// A guarded database over a fresh engine.
+    pub fn new(config: GuardConfig) -> GuardedDatabase {
+        GuardedDatabase::with_engine(Engine::new(), config)
+    }
+
+    /// Guard an existing engine (e.g. with pre-loaded data).
+    pub fn with_engine(engine: Engine, config: GuardConfig) -> GuardedDatabase {
+        GuardedDatabase {
+            engine,
+            config,
+            guards: Mutex::new(HashMap::new()),
+            started: Instant::now(),
+        }
+    }
+
+    /// The underlying engine (unguarded access for administration).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The guard configuration.
+    pub fn config(&self) -> &GuardConfig {
+        &self.config
+    }
+
+    /// Execute at an explicit virtual time (simulation entry point).
+    pub fn execute_at(&self, sql: &str, now_secs: f64) -> Result<GuardedResponse> {
+        let stmt = parse(sql)?;
+        self.execute_stmt_at(&stmt, now_secs)
+    }
+
+    /// Execute a pre-parsed statement at a virtual time.
+    pub fn execute_stmt_at(&self, stmt: &Statement, now_secs: f64) -> Result<GuardedResponse> {
+        let output = self.engine.execute_stmt(stmt)?;
+        let table = statement_table(stmt);
+        let (delay_secs, tuples_charged) = match (&output, table) {
+            (StatementOutput::Rows(rows), Some(table)) => {
+                self.charge_select(table, rows.row_ids(), now_secs)?
+            }
+            (StatementOutput::Updated { rids }, Some(table)) => {
+                self.note_updates(table, rids, now_secs);
+                (0.0, 0)
+            }
+            (StatementOutput::Inserted { rids }, Some(table)) => {
+                self.note_inserts(table, rids, now_secs);
+                (0.0, 0)
+            }
+            _ => (0.0, 0),
+        };
+        Ok(GuardedResponse {
+            output,
+            delay_secs,
+            tuples_charged,
+        })
+    }
+
+    /// Execute using wall-clock time since the guard was created.
+    pub fn execute(&self, sql: &str) -> Result<GuardedResponse> {
+        self.execute_at(sql, self.started.elapsed().as_secs_f64())
+    }
+
+    /// Execute and actually sleep for the computed delay (deployment mode).
+    pub fn execute_blocking(&self, sql: &str) -> Result<GuardedResponse> {
+        let resp = self.execute(sql)?;
+        if resp.delay_secs > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(resp.delay_secs));
+        }
+        Ok(resp)
+    }
+
+    /// Compute (and charge) the delay for a set of returned tuples, then
+    /// record their accesses.
+    fn charge_select(
+        &self,
+        table: &str,
+        rids: impl Iterator<Item = RowId>,
+        now: f64,
+    ) -> Result<(f64, usize)> {
+        let n = self.table_len(table)?;
+        let mut guards = self.guards.lock();
+        let guard = guards
+            .entry(table.to_owned())
+            .or_insert_with(|| TableGuard::new(&self.config));
+        guard.epoch.get_or_insert(now);
+        let window = guard.window(now);
+        let mut delays = Vec::new();
+        for rid in rids {
+            let key = rid.raw();
+            // Delay reflects popularity *before* this access.
+            let d = self.config.policy.tuple_delay(
+                &guard.access,
+                &guard.updates,
+                n,
+                key,
+                window,
+            );
+            delays.push(d);
+            guard.access.record(key);
+        }
+        let total = self.config.charging.combine(delays.iter().copied());
+        Ok((total, delays.len()))
+    }
+
+    fn note_updates(&self, table: &str, rids: &[RowId], now: f64) {
+        let mut guards = self.guards.lock();
+        let guard = guards
+            .entry(table.to_owned())
+            .or_insert_with(|| TableGuard::new(&self.config));
+        guard.epoch.get_or_insert(now);
+        for rid in rids {
+            guard.updates.record(rid.raw());
+        }
+    }
+
+    fn note_inserts(&self, table: &str, rids: &[RowId], now: f64) {
+        let mut guards = self.guards.lock();
+        let guard = guards
+            .entry(table.to_owned())
+            .or_insert_with(|| TableGuard::new(&self.config));
+        guard.epoch.get_or_insert(now);
+        for rid in rids {
+            guard.access.ensure_tracked(rid.raw());
+        }
+    }
+
+    /// The delay one tuple would currently be charged (without executing a
+    /// query) — used by extraction accounting and by operators inspecting
+    /// the policy.
+    pub fn tuple_delay(&self, table: &str, rid: RowId, now: f64) -> Result<f64> {
+        let n = self.table_len(table)?;
+        let mut guards = self.guards.lock();
+        let guard = guards
+            .entry(table.to_owned())
+            .or_insert_with(|| TableGuard::new(&self.config));
+        let window = guard.window(now);
+        Ok(self
+            .config
+            .policy
+            .tuple_delay(&guard.access, &guard.updates, n, rid.raw(), window))
+    }
+
+    /// Popularity rank of a tuple (1 = most popular), if the table has been
+    /// observed.
+    pub fn popularity_rank(&self, table: &str, rid: RowId) -> Option<usize> {
+        let guards = self.guards.lock();
+        guards.get(table).map(|g| g.access.rank(rid.raw()))
+    }
+
+    /// Number of accesses recorded against a table.
+    pub fn access_events(&self, table: &str) -> u64 {
+        let guards = self.guards.lock();
+        guards.get(table).map(|g| g.access.events()).unwrap_or(0)
+    }
+
+    fn table_len(&self, table: &str) -> Result<u64> {
+        let t = self.engine.catalog().table(table)?;
+        let len = t.read().len() as u64;
+        Ok(len)
+    }
+}
+
+/// The table a statement touches, if any.
+fn statement_table(stmt: &Statement) -> Option<&str> {
+    match stmt {
+        Statement::Select { table, .. }
+        | Statement::Insert { table, .. }
+        | Statement::Update { table, .. }
+        | Statement::Delete { table, .. }
+        | Statement::CreateIndex { table, .. } => Some(table),
+        Statement::CreateTable { name, .. } | Statement::DropTable { name } => Some(name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessDelayPolicy;
+    use crate::policy::{ChargingModel, GuardPolicy};
+    use crate::update::UpdateDelayPolicy;
+
+    fn setup(policy: GuardPolicy) -> GuardedDatabase {
+        let config = GuardConfig {
+            policy,
+            charging: ChargingModel::PerTupleSum,
+            access_decay_rate: 1.0,
+            update_decay_rate: 1.0,
+        };
+        let db = GuardedDatabase::new(config);
+        db.execute_at("CREATE TABLE items (id INT NOT NULL, body TEXT)", 0.0)
+            .unwrap();
+        db.execute_at("CREATE UNIQUE INDEX items_pk ON items (id)", 0.0)
+            .unwrap();
+        for i in 0..100 {
+            db.execute_at(&format!("INSERT INTO items VALUES ({i}, 'row-{i}')"), 0.0)
+                .unwrap();
+        }
+        db
+    }
+
+    fn access_policy() -> GuardPolicy {
+        GuardPolicy::AccessRate(AccessDelayPolicy::new(1.0, 1.0).with_cap(10.0))
+    }
+
+    #[test]
+    fn first_touch_pays_cap_then_popular_gets_fast() {
+        let db = setup(access_policy());
+        // Start-up: everything at cap.
+        let r = db
+            .execute_at("SELECT * FROM items WHERE id = 1", 1.0)
+            .unwrap();
+        assert_eq!(r.delay_secs, 10.0);
+        assert_eq!(r.tuples_charged, 1);
+        // Hammer tuple 1; its delay collapses.
+        for t in 0..200 {
+            db.execute_at("SELECT * FROM items WHERE id = 1", 2.0 + t as f64)
+                .unwrap();
+        }
+        let fast = db
+            .execute_at("SELECT * FROM items WHERE id = 1", 300.0)
+            .unwrap();
+        assert!(fast.delay_secs < 0.1, "got {}", fast.delay_secs);
+        // An unrequested tuple still pays the cap.
+        let slow = db
+            .execute_at("SELECT * FROM items WHERE id = 77", 301.0)
+            .unwrap();
+        assert_eq!(slow.delay_secs, 10.0);
+    }
+
+    #[test]
+    fn multi_tuple_query_charged_as_aggregate() {
+        let db = setup(access_policy());
+        let r = db
+            .execute_at("SELECT * FROM items WHERE id < 5", 1.0)
+            .unwrap();
+        assert_eq!(r.tuples_charged, 5);
+        assert_eq!(r.delay_secs, 50.0, "5 unknown tuples at the 10s cap");
+    }
+
+    #[test]
+    fn per_query_max_charging() {
+        let config = GuardConfig {
+            policy: access_policy(),
+            charging: ChargingModel::PerQueryMax,
+            access_decay_rate: 1.0,
+            update_decay_rate: 1.0,
+        };
+        let db = GuardedDatabase::new(config);
+        db.execute_at("CREATE TABLE t (id INT)", 0.0).unwrap();
+        for i in 0..10 {
+            db.execute_at(&format!("INSERT INTO t VALUES ({i})"), 0.0)
+                .unwrap();
+        }
+        let r = db.execute_at("SELECT * FROM t", 1.0).unwrap();
+        assert_eq!(r.delay_secs, 10.0, "max, not sum");
+    }
+
+    #[test]
+    fn update_policy_tracks_update_rates() {
+        let db = setup(GuardPolicy::UpdateRate(
+            UpdateDelayPolicy::new(1.0).with_cap(10.0),
+        ));
+        // Update tuple 1 frequently over 100 seconds.
+        for t in 0..100 {
+            db.execute_at(
+                "UPDATE items SET body = 'fresh' WHERE id = 1",
+                t as f64,
+            )
+            .unwrap();
+        }
+        let hot = db
+            .execute_at("SELECT * FROM items WHERE id = 1", 100.0)
+            .unwrap();
+        let cold = db
+            .execute_at("SELECT * FROM items WHERE id = 50", 100.0)
+            .unwrap();
+        assert!(hot.delay_secs < 0.1, "hot {}", hot.delay_secs);
+        assert_eq!(cold.delay_secs, 10.0, "never-updated pays cap");
+    }
+
+    #[test]
+    fn none_policy_charges_nothing_but_tracks() {
+        let db = setup(GuardPolicy::None);
+        let r = db
+            .execute_at("SELECT * FROM items WHERE id = 3", 1.0)
+            .unwrap();
+        assert_eq!(r.delay_secs, 0.0);
+        assert_eq!(db.access_events("items"), 1);
+    }
+
+    #[test]
+    fn popularity_rank_reflects_traffic() {
+        let db = setup(access_policy());
+        for _ in 0..50 {
+            db.execute_at("SELECT * FROM items WHERE id = 9", 1.0).unwrap();
+        }
+        db.execute_at("SELECT * FROM items WHERE id = 8", 2.0).unwrap();
+        // Find rid of tuple 9 via a query.
+        let out = db
+            .execute_at("SELECT * FROM items WHERE id = 9", 3.0)
+            .unwrap();
+        let rid = match &out.output {
+            StatementOutput::Rows(rows) => rows.rows[0].0,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(db.popularity_rank("items", rid), Some(1));
+    }
+
+    #[test]
+    fn non_row_statements_are_free() {
+        let db = setup(access_policy());
+        let r = db
+            .execute_at("DELETE FROM items WHERE id = 99", 1.0)
+            .unwrap();
+        assert_eq!(r.delay_secs, 0.0);
+        let r = db.execute_at("INSERT INTO items VALUES (500, 'x')", 1.0).unwrap();
+        assert_eq!(r.delay_secs, 0.0);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let db = setup(access_policy());
+        assert!(db.execute_at("SELECT * FROM missing", 0.0).is_err());
+        assert!(db.execute_at("NOT SQL AT ALL", 0.0).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Policy composition and per-query delay charging.
+
+use crate::access::AccessDelayPolicy;
+use crate::update::UpdateDelayPolicy;
+use delayguard_popularity::FrequencyTracker;
+
+/// Which delay scheme guards a table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GuardPolicy {
+    /// No delays (baseline for overhead measurements, Table 5's base row).
+    None,
+    /// Access-rate delays (§2): popular tuples fast, obscure tuples slow.
+    AccessRate(AccessDelayPolicy),
+    /// Update-rate delays (§3): hot tuples fast, stale-prone tuples slow.
+    UpdateRate(UpdateDelayPolicy),
+    /// Both schemes; each tuple pays the larger of the two delays. The
+    /// paper's conclusion suggests exploiting "skew — either in access or
+    /// update pattern"; the max-combine covers datasets with both.
+    Hybrid(AccessDelayPolicy, UpdateDelayPolicy),
+}
+
+impl GuardPolicy {
+    /// Compute the delay for one tuple.
+    ///
+    /// * `access` / `updates` — learned statistics for the table.
+    /// * `n` — table cardinality.
+    /// * `key` — the tuple's key (RowId raw).
+    /// * `window_secs` — observation window for update-rate estimation.
+    pub fn tuple_delay(
+        &self,
+        access: &FrequencyTracker,
+        updates: &FrequencyTracker,
+        n: u64,
+        key: u64,
+        window_secs: f64,
+    ) -> f64 {
+        match self {
+            GuardPolicy::None => 0.0,
+            GuardPolicy::AccessRate(p) => p.delay(access, n, key),
+            GuardPolicy::UpdateRate(p) => p.delay(updates, n, key, window_secs),
+            GuardPolicy::Hybrid(a, u) => a
+                .delay(access, n, key)
+                .max(u.delay(updates, n, key, window_secs)),
+        }
+    }
+
+    /// The largest delay this policy can assign to a single tuple.
+    pub fn max_tuple_delay(&self) -> f64 {
+        match self {
+            GuardPolicy::None => 0.0,
+            GuardPolicy::AccessRate(p) => p.cap_secs,
+            GuardPolicy::UpdateRate(p) => p.cap_secs,
+            GuardPolicy::Hybrid(a, u) => a.cap_secs.max(u.cap_secs),
+        }
+    }
+}
+
+/// How a multi-tuple query is charged.
+///
+/// §2.1 treats "a query that returns multiple tuples ... as the aggregate
+/// of multiple simple queries that return one tuple each" — i.e. the sum.
+/// The per-query max is the loophole a parallel adversary exploits (§2.4),
+/// kept here as an ablation (`ablation_charging` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChargingModel {
+    /// Sum of per-tuple delays (the paper's model).
+    PerTupleSum,
+    /// Maximum per-tuple delay (what an unbounded parallel attacker pays).
+    PerQueryMax,
+}
+
+impl ChargingModel {
+    /// Combine per-tuple delays into the query's total delay.
+    pub fn combine(&self, per_tuple: impl Iterator<Item = f64>) -> f64 {
+        match self {
+            ChargingModel::PerTupleSum => per_tuple.sum(),
+            ChargingModel::PerQueryMax => per_tuple.fold(0.0, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trackers() -> (FrequencyTracker, FrequencyTracker) {
+        let mut access = FrequencyTracker::no_decay();
+        for _ in 0..100 {
+            access.record(1);
+        }
+        access.record(2);
+        let mut updates = FrequencyTracker::no_decay();
+        for _ in 0..50 {
+            updates.record(3);
+        }
+        (access, updates)
+    }
+
+    #[test]
+    fn none_is_free() {
+        let (a, u) = trackers();
+        let p = GuardPolicy::None;
+        assert_eq!(p.tuple_delay(&a, &u, 100, 1, 10.0), 0.0);
+        assert_eq!(p.max_tuple_delay(), 0.0);
+    }
+
+    #[test]
+    fn access_policy_dispatch() {
+        let (a, u) = trackers();
+        let p = GuardPolicy::AccessRate(AccessDelayPolicy::new(1.0, 1.0).with_cap(10.0));
+        let popular = p.tuple_delay(&a, &u, 100, 1, 10.0);
+        let obscure = p.tuple_delay(&a, &u, 100, 999, 10.0);
+        assert!(popular < obscure);
+        assert_eq!(obscure, 10.0);
+    }
+
+    #[test]
+    fn update_policy_dispatch() {
+        let (a, u) = trackers();
+        let p = GuardPolicy::UpdateRate(UpdateDelayPolicy::new(1.0).with_cap(10.0));
+        let hot = p.tuple_delay(&a, &u, 100, 3, 10.0);
+        let cold = p.tuple_delay(&a, &u, 100, 999, 10.0);
+        assert!(hot < cold);
+        assert_eq!(cold, 10.0);
+    }
+
+    #[test]
+    fn hybrid_takes_max() {
+        let (a, u) = trackers();
+        let ap = AccessDelayPolicy::new(1.0, 1.0).with_cap(10.0);
+        let up = UpdateDelayPolicy::new(1.0).with_cap(10.0);
+        let h = GuardPolicy::Hybrid(ap, up);
+        // Key 1 is access-popular but never updated: update scheme says
+        // cap, access scheme says fast — hybrid charges the cap.
+        let d = h.tuple_delay(&a, &u, 100, 1, 10.0);
+        assert_eq!(d, 10.0);
+        assert_eq!(h.max_tuple_delay(), 10.0);
+    }
+
+    #[test]
+    fn charging_models() {
+        let delays = [1.0, 2.0, 3.0];
+        assert_eq!(
+            ChargingModel::PerTupleSum.combine(delays.iter().copied()),
+            6.0
+        );
+        assert_eq!(
+            ChargingModel::PerQueryMax.combine(delays.iter().copied()),
+            3.0
+        );
+        assert_eq!(ChargingModel::PerTupleSum.combine(std::iter::empty()), 0.0);
+        assert_eq!(ChargingModel::PerQueryMax.combine(std::iter::empty()), 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Update-rate delay policy (paper §3).
+//!
+//! When access patterns are uniform the access-rate scheme assigns every
+//! tuple the same delay, which either hurts users or spares the adversary.
+//! §3 instead charges delays inversely proportional to *update* rates
+//! (Eq. 8/9):
+//!
+//! ```text
+//! d(i) = (c/N) · i^α / r_max      ⟺      d = c / (N · r)
+//! ```
+//!
+//! so frequently-updated tuples return quickly while stale-prone tuples
+//! are slow. The point is not the delay itself but the *staleness
+//! guarantee* (Eq. 11–12): by the time an adversary finishes extracting,
+//! a fraction `S_max ≈ (c_max/(1+α))^(1/α)` of its copy is already
+//! obsolete.
+
+use delayguard_popularity::FrequencyTracker;
+
+/// Parameters of the update-rate delay policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateDelayPolicy {
+    /// Scale constant `c` of Eq. 9.
+    pub c: f64,
+    /// Maximum delay per tuple, seconds.
+    pub cap_secs: f64,
+}
+
+impl UpdateDelayPolicy {
+    /// Policy with scale `c` and the paper's 10-second cap.
+    pub fn new(c: f64) -> UpdateDelayPolicy {
+        assert!(c > 0.0 && c.is_finite());
+        UpdateDelayPolicy { c, cap_secs: 10.0 }
+    }
+
+    /// Override the cap.
+    pub fn with_cap(mut self, cap_secs: f64) -> UpdateDelayPolicy {
+        assert!(cap_secs >= 0.0);
+        self.cap_secs = cap_secs;
+        self
+    }
+
+    /// Choose `c` so that at least a fraction `s` of an extracted copy of a
+    /// Zipf(α)-updated dataset is stale (inverts Eq. 12:
+    /// `c = s^α · (1+α)`).
+    pub fn for_staleness(s: f64, alpha: f64) -> UpdateDelayPolicy {
+        assert!((0.0..=1.0).contains(&s) && s > 0.0);
+        assert!(alpha > 0.0);
+        UpdateDelayPolicy::new(s.powf(alpha) * (1.0 + alpha))
+    }
+
+    /// Delay for a tuple with update rate `rate` (updates/sec) in a
+    /// relation of `n` tuples: `min(cap, c / (N·rate))`. Never-updated
+    /// tuples (`rate = 0`) pay the cap.
+    pub fn delay_from_rate(&self, n: u64, rate: f64) -> f64 {
+        if n == 0 {
+            return self.cap_secs;
+        }
+        if rate <= 0.0 {
+            return self.cap_secs;
+        }
+        (self.c / (n as f64 * rate)).min(self.cap_secs)
+    }
+
+    /// Analytic Eq. 9 form: delay for the tuple at update-rank `i` when
+    /// rates are Zipf(α) with maximum rate `rmax`.
+    pub fn delay_for_rank(&self, n: u64, rank: u64, alpha: f64, rmax: f64) -> f64 {
+        if n == 0 || rmax <= 0.0 {
+            return self.cap_secs;
+        }
+        ((self.c / n as f64) * (rank as f64).powf(alpha) / rmax).min(self.cap_secs)
+    }
+
+    /// Delay using *learned* update statistics: rate is estimated as the
+    /// tuple's decayed update count over the observation window.
+    pub fn delay(
+        &self,
+        updates: &FrequencyTracker,
+        n: u64,
+        key: u64,
+        window_secs: f64,
+    ) -> f64 {
+        if window_secs <= 0.0 {
+            return self.cap_secs;
+        }
+        let rate = updates.count(key) / window_secs;
+        self.delay_from_rate(n, rate)
+    }
+
+    /// Maximum staleness fraction guaranteed against a full extraction of a
+    /// Zipf(α)-updated dataset (Eq. 12).
+    pub fn smax(&self, alpha: f64) -> f64 {
+        assert!(alpha > 0.0);
+        (self.c / (1.0 + alpha)).powf(1.0 / alpha).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_tuples_fast_cold_tuples_capped() {
+        let p = UpdateDelayPolicy::new(1.0).with_cap(10.0);
+        let n = 1000;
+        let hot = p.delay_from_rate(n, 100.0);
+        let warm = p.delay_from_rate(n, 0.01);
+        let cold = p.delay_from_rate(n, 0.0);
+        assert!(hot < warm);
+        assert_eq!(cold, 10.0);
+        assert!((hot - 1.0 / (1000.0 * 100.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_form_matches_rate_form_under_zipf() {
+        // r_i = rmax * i^-alpha  =>  both formulas agree.
+        let p = UpdateDelayPolicy::new(2.0).with_cap(f64::INFINITY);
+        let (n, alpha, rmax) = (10_000u64, 1.2, 5.0);
+        for rank in [1u64, 3, 10, 100, 5000] {
+            let rate = rmax * (rank as f64).powf(-alpha);
+            let a = p.delay_for_rank(n, rank, alpha, rmax);
+            let b = p.delay_from_rate(n, rate);
+            assert!((a - b).abs() / a < 1e-12, "rank {rank}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn smax_matches_paper_equation() {
+        // S_max = (c/(1+alpha))^(1/alpha)
+        let p = UpdateDelayPolicy::new(1.5);
+        let alpha = 1.0;
+        assert!((p.smax(alpha) - 0.75).abs() < 1e-12);
+        // Higher alpha (more focused updates) -> smaller stale fraction.
+        assert!(p.smax(2.5) < p.smax(0.5));
+    }
+
+    #[test]
+    fn for_staleness_round_trips() {
+        for (s, alpha) in [(0.5, 1.0), (0.9, 1.5), (0.25, 0.75)] {
+            let p = UpdateDelayPolicy::for_staleness(s, alpha);
+            assert!((p.smax(alpha) - s).abs() < 1e-9, "s={s}, alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn smax_clamped_to_one() {
+        let p = UpdateDelayPolicy::new(1e6);
+        assert_eq!(p.smax(1.0), 1.0);
+    }
+
+    #[test]
+    fn learned_delay_uses_window() {
+        use delayguard_popularity::FrequencyTracker;
+        let mut updates = FrequencyTracker::no_decay();
+        for _ in 0..100 {
+            updates.record(1);
+        }
+        let p = UpdateDelayPolicy::new(1.0).with_cap(10.0);
+        // 100 updates over 50 s -> rate 2/s -> d = 1/(10*2) = 0.05.
+        let d = p.delay(&updates, 10, 1, 50.0);
+        assert!((d - 0.05).abs() < 1e-12);
+        // Unknown key -> cap.
+        assert_eq!(p.delay(&updates, 10, 2, 50.0), 10.0);
+        // Degenerate window -> cap.
+        assert_eq!(p.delay(&updates, 10, 1, 0.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_c_rejected() {
+        UpdateDelayPolicy::new(0.0);
+    }
+}

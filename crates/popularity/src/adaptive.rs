@@ -1,0 +1,212 @@
+//! Adaptive decay-rate selection (paper §2.3).
+//!
+//! "In situations where [the right decay term] is not known, one can
+//! simultaneously track counts with more than one decay term, switching
+//! to the appropriate set as the request pattern warrants — a technique
+//! used previously in both wireless networking [16] and energy
+//! management [10]. This adaptive strategy has the added benefit of
+//! tracking distributions with non-stationary second-order terms."
+//!
+//! [`AdaptiveTracker`] maintains one [`FrequencyTracker`] per candidate
+//! decay rate and scores each by its one-step-ahead predictive likelihood:
+//! before recording a request, each candidate's current frequency estimate
+//! for the requested key is treated as the probability it assigned to that
+//! request; the running (exponentially smoothed) log-score picks the
+//! active candidate. Stationary workloads reward slow decay (long
+//! histories), drifting workloads reward fast decay (recency).
+
+use crate::decay::DecaySchedule;
+use crate::tracker::FrequencyTracker;
+
+/// A set of concurrently-maintained trackers with different decay rates,
+/// one of which is *active* at any time.
+#[derive(Debug, Clone)]
+pub struct AdaptiveTracker {
+    trackers: Vec<FrequencyTracker>,
+    rates: Vec<f64>,
+    /// Exponentially smoothed predictive log-scores, one per candidate.
+    scores: Vec<f64>,
+    /// Smoothing factor for the score EMA.
+    score_smoothing: f64,
+    active: usize,
+    events: u64,
+    /// Re-evaluate the active candidate every this many events.
+    switch_period: u64,
+    switches: u64,
+}
+
+impl AdaptiveTracker {
+    /// Track with the given candidate decay rates (must be non-empty;
+    /// rates ≥ 1.0). The first candidate starts active.
+    pub fn new(rates: &[f64]) -> AdaptiveTracker {
+        assert!(!rates.is_empty(), "need at least one candidate rate");
+        AdaptiveTracker {
+            trackers: rates
+                .iter()
+                .map(|&r| FrequencyTracker::new(DecaySchedule::new(r)))
+                .collect(),
+            rates: rates.to_vec(),
+            scores: vec![0.0; rates.len()],
+            score_smoothing: 0.995,
+            active: 0,
+            events: 0,
+            switch_period: 256,
+            switches: 0,
+        }
+    }
+
+    /// Change how often the active candidate is re-evaluated.
+    pub fn with_switch_period(mut self, period: u64) -> AdaptiveTracker {
+        assert!(period > 0);
+        self.switch_period = period;
+        self
+    }
+
+    /// The candidate rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Index of the active candidate.
+    pub fn active_index(&self) -> usize {
+        self.active
+    }
+
+    /// The active candidate's decay rate.
+    pub fn active_rate(&self) -> f64 {
+        self.rates[self.active]
+    }
+
+    /// The active tracker (used for ranks, frequencies, delays).
+    pub fn active(&self) -> &FrequencyTracker {
+        &self.trackers[self.active]
+    }
+
+    /// How many times the active candidate changed.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Total events recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Pre-register a key in every candidate.
+    pub fn ensure_tracked(&mut self, key: u64) {
+        for t in &mut self.trackers {
+            t.ensure_tracked(key);
+        }
+    }
+
+    /// Record a request: score every candidate's prediction, feed the
+    /// request to all of them, and periodically adopt the best scorer.
+    pub fn record(&mut self, key: u64) {
+        // Score first: predict-then-update keeps scoring honest.
+        for (i, t) in self.trackers.iter().enumerate() {
+            // Laplace-style floor keeps log finite for unseen keys.
+            let p = t.frequency(key).max(1e-9);
+            self.scores[i] =
+                self.score_smoothing * self.scores[i] + (1.0 - self.score_smoothing) * p.ln();
+        }
+        for t in &mut self.trackers {
+            t.record(key);
+        }
+        self.events += 1;
+        if self.events.is_multiple_of(self.switch_period) {
+            let best = self
+                .scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            if best != self.active {
+                self.active = best;
+                self.switches += 1;
+            }
+        }
+    }
+
+    /// Current smoothed predictive log-scores (diagnostics).
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift for the tests (workload crate is not a
+    /// dependency of this crate).
+    struct X(u64);
+    impl X {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+    }
+
+    #[test]
+    fn stationary_workload_prefers_slow_decay() {
+        let mut at = AdaptiveTracker::new(&[1.0, 1.05]).with_switch_period(64);
+        let mut x = X(42);
+        // Fixed skewed preferences over 16 keys, forever.
+        for _ in 0..20_000 {
+            let r = x.next();
+            let key = (r % 16).min(r % 7).min(r % 3);
+            at.record(key);
+        }
+        assert_eq!(
+            at.active_rate(),
+            1.0,
+            "stationary data: the long-memory candidate should win (scores {:?})",
+            at.scores()
+        );
+    }
+
+    #[test]
+    fn drifting_workload_prefers_fast_decay() {
+        let mut at = AdaptiveTracker::new(&[1.0, 1.05]).with_switch_period(64);
+        let mut x = X(7);
+        // The popular block of keys shifts every 500 requests: stale
+        // history is actively misleading.
+        for epoch in 0..40u64 {
+            let base = epoch * 100;
+            for _ in 0..500 {
+                let r = x.next();
+                let key = base + (r % 16).min(r % 7).min(r % 3);
+                at.record(key);
+            }
+        }
+        assert_eq!(
+            at.active_rate(),
+            1.05,
+            "drifting data: the fast-decay candidate should win (scores {:?})",
+            at.scores()
+        );
+        assert!(at.switches() >= 1);
+    }
+
+    #[test]
+    fn active_tracker_serves_ranks() {
+        let mut at = AdaptiveTracker::new(&[1.0, 1.01]);
+        at.ensure_tracked(99);
+        for _ in 0..100 {
+            at.record(1);
+        }
+        at.record(2);
+        assert_eq!(at.active().rank(1), 1);
+        assert!(at.active().rank(99) > 2);
+        assert_eq!(at.events(), 101);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_candidates_rejected() {
+        AdaptiveTracker::new(&[]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Fenwick tree (binary indexed tree) over bucket counts.
+//!
+//! Supports point add/remove and prefix/suffix sums in `O(log n)`; backs the
+//! approximate order-statistics structure in [`crate::rank`].
+
+/// A Fenwick tree holding non-negative integer counts per bucket.
+#[derive(Debug, Clone)]
+pub struct Fenwick {
+    tree: Vec<u64>,
+    len: usize,
+    total: u64,
+}
+
+impl Fenwick {
+    /// A tree with `len` buckets, all zero.
+    pub fn new(len: usize) -> Fenwick {
+        Fenwick {
+            tree: vec![0; len + 1],
+            len,
+            total: 0,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree has zero buckets.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sum of all buckets.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Add `delta` to bucket `i` (0-based).
+    pub fn add(&mut self, i: usize, delta: u64) {
+        assert!(i < self.len, "bucket {i} out of range {}", self.len);
+        let mut idx = i + 1;
+        while idx <= self.len {
+            self.tree[idx] += delta;
+            idx += idx & idx.wrapping_neg();
+        }
+        self.total += delta;
+    }
+
+    /// Subtract `delta` from bucket `i`. Panics in debug builds if the
+    /// bucket would go negative (callers must pair adds and removes).
+    pub fn sub(&mut self, i: usize, delta: u64) {
+        debug_assert!(self.bucket(i) >= delta, "bucket {i} underflow");
+        assert!(i < self.len, "bucket {i} out of range {}", self.len);
+        let mut idx = i + 1;
+        while idx <= self.len {
+            self.tree[idx] -= delta;
+            idx += idx & idx.wrapping_neg();
+        }
+        self.total -= delta;
+    }
+
+    /// Sum of buckets `0..=i`.
+    pub fn prefix(&self, i: usize) -> u64 {
+        let mut idx = (i + 1).min(self.len);
+        let mut sum = 0;
+        while idx > 0 {
+            sum += self.tree[idx];
+            idx -= idx & idx.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Sum of buckets strictly greater than `i`.
+    pub fn suffix_above(&self, i: usize) -> u64 {
+        self.total - self.prefix(i)
+    }
+
+    /// Value of a single bucket.
+    pub fn bucket(&self, i: usize) -> u64 {
+        let lo = if i == 0 { 0 } else { self.prefix(i - 1) };
+        self.prefix(i) - lo
+    }
+
+    /// Reset all buckets to zero, keeping capacity.
+    pub fn clear(&mut self) {
+        self.tree.iter_mut().for_each(|v| *v = 0);
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_prefix() {
+        let mut f = Fenwick::new(10);
+        f.add(0, 1);
+        f.add(3, 2);
+        f.add(9, 5);
+        assert_eq!(f.prefix(0), 1);
+        assert_eq!(f.prefix(2), 1);
+        assert_eq!(f.prefix(3), 3);
+        assert_eq!(f.prefix(9), 8);
+        assert_eq!(f.total(), 8);
+    }
+
+    #[test]
+    fn suffix_above() {
+        let mut f = Fenwick::new(8);
+        for i in 0..8 {
+            f.add(i, 1);
+        }
+        assert_eq!(f.suffix_above(3), 4);
+        assert_eq!(f.suffix_above(7), 0);
+        assert_eq!(f.suffix_above(0), 7);
+    }
+
+    #[test]
+    fn sub_and_bucket() {
+        let mut f = Fenwick::new(4);
+        f.add(2, 3);
+        f.sub(2, 1);
+        assert_eq!(f.bucket(2), 2);
+        assert_eq!(f.bucket(1), 0);
+        assert_eq!(f.total(), 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = Fenwick::new(4);
+        f.add(1, 7);
+        f.clear();
+        assert_eq!(f.total(), 0);
+        assert_eq!(f.prefix(3), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let mut f = Fenwick::new(4);
+        f.add(4, 1);
+    }
+
+    #[test]
+    fn matches_naive_model() {
+        // Deterministic pseudo-random sequence of adds/subs, cross-checked
+        // against a plain vector.
+        let mut f = Fenwick::new(64);
+        let mut model = vec![0u64; 64];
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let i = (x % 64) as usize;
+            if x & 1 == 0 || model[i] == 0 {
+                f.add(i, 1);
+                model[i] += 1;
+            } else {
+                f.sub(i, 1);
+                model[i] -= 1;
+            }
+        }
+        for i in 0..64 {
+            let want: u64 = model[..=i].iter().sum();
+            assert_eq!(f.prefix(i), want, "prefix({i})");
+            assert_eq!(f.bucket(i), model[i], "bucket({i})");
+        }
+        assert_eq!(f.total(), model.iter().sum::<u64>());
+    }
+}

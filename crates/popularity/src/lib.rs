@@ -1,0 +1,42 @@
+//! # delayguard-popularity
+//!
+//! Frequency statistics for the delay defense (paper §2.3 and §4.4):
+//!
+//! * [`decay`] — exponential decay by inflated increments, with periodic
+//!   rescaling; multi-rate tracking for non-stationary workloads.
+//! * [`tracker`] — per-key decayed counts, normalized frequencies, `f_max`,
+//!   and popularity ranks.
+//! * [`rank`] — log-bucketed order statistics over a Fenwick tree
+//!   ([`fenwick`]) giving `O(log B)` approximate ranks.
+//! * [`topk`] — top-k extraction for the paper's distribution figures.
+//! * [`sketch`] — a count–min sketch as a memory-bounded count synopsis.
+//! * [`writebehind`] — the write-behind count cache of §4.4 that keeps
+//!   read queries from becoming read-modify-write storms.
+//!
+//! ```
+//! use delayguard_popularity::{DecaySchedule, FrequencyTracker};
+//!
+//! let mut t = FrequencyTracker::new(DecaySchedule::new(1.000001));
+//! for _ in 0..1000 { t.record(7); }
+//! t.record(8);
+//! assert_eq!(t.rank(7), 1);
+//! assert!(t.fmax() > 0.99);
+//! ```
+
+pub mod adaptive;
+pub mod decay;
+pub mod fenwick;
+pub mod rank;
+pub mod sketch;
+pub mod topk;
+pub mod tracker;
+pub mod writebehind;
+
+pub use adaptive::AdaptiveTracker;
+pub use decay::{DecaySchedule, MultiDecay};
+pub use fenwick::Fenwick;
+pub use rank::RankIndex;
+pub use sketch::CountMinSketch;
+pub use topk::top_k;
+pub use tracker::FrequencyTracker;
+pub use writebehind::{CountStore, MemoryStore, WriteBehindCache};

@@ -1,0 +1,174 @@
+//! Count–min sketch: a memory-bounded approximate counter.
+//!
+//! The paper cites Gibbons-style sampling synopses [14] as a way to keep
+//! count-maintenance overheads low. A count–min sketch serves the same
+//! role with hard memory bounds and one-sided error: estimated counts are
+//! never *under* the true count, so delays derived from sketch counts are
+//! never *longer* than deserved for popular items — the failure mode that
+//! would hurt legitimate users.
+
+/// A count–min sketch over `u64` keys with `f64` cells (so inflated decayed
+/// increments work unchanged).
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    cells: Vec<f64>,
+    seeds: Vec<u64>,
+    total: f64,
+}
+
+impl CountMinSketch {
+    /// A sketch with the given `width` (counters per row) and `depth`
+    /// (independent rows). Error ≈ `2·total/width` with probability
+    /// `1 - 2^-depth`.
+    ///
+    /// # Panics
+    /// If width or depth is zero.
+    pub fn new(width: usize, depth: usize) -> CountMinSketch {
+        assert!(width > 0 && depth > 0, "sketch dimensions must be positive");
+        // Fixed, distinct seeds: deterministic across runs.
+        let seeds = (0..depth)
+            .map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1) ^ 0xD1B5_4A32_D192_ED03)
+            .collect();
+        CountMinSketch {
+            width,
+            depth,
+            cells: vec![0.0; width * depth],
+            seeds,
+            total: 0.0,
+        }
+    }
+
+    /// Sketch sized for a target relative error `eps` and failure
+    /// probability `delta` (standard CM sizing: `w = ⌈e/eps⌉`,
+    /// `d = ⌈ln(1/delta)⌉`).
+    pub fn with_error(eps: f64, delta: f64) -> CountMinSketch {
+        assert!(eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0);
+        let width = (std::f64::consts::E / eps).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        CountMinSketch::new(width, depth)
+    }
+
+    fn cell_index(&self, row: usize, key: u64) -> usize {
+        // SplitMix64-style mixing with a per-row seed.
+        let mut z = key ^ self.seeds[row];
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        row * self.width + (z % self.width as u64) as usize
+    }
+
+    /// Add `units` to `key`'s estimate.
+    pub fn add(&mut self, key: u64, units: f64) {
+        for row in 0..self.depth {
+            let idx = self.cell_index(row, key);
+            self.cells[idx] += units;
+        }
+        self.total += units;
+    }
+
+    /// Point estimate for `key` (never less than the true count).
+    pub fn estimate(&self, key: u64) -> f64 {
+        (0..self.depth)
+            .map(|row| self.cells[self.cell_index(row, key)])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Sum of all additions.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Divide every cell by `factor` (decay rescaling).
+    pub fn rescale(&mut self, factor: f64) {
+        assert!(factor > 0.0);
+        for c in &mut self.cells {
+            *c /= factor;
+        }
+        self.total /= factor;
+    }
+
+    /// Memory footprint in bytes (cells only).
+    pub fn memory_bytes(&self) -> usize {
+        self.cells.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut s = CountMinSketch::new(64, 4);
+        let mut truth = std::collections::HashMap::new();
+        let mut x: u64 = 99;
+        for _ in 0..5_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 500;
+            s.add(key, 1.0);
+            *truth.entry(key).or_insert(0.0) += 1.0;
+        }
+        for (&key, &count) in &truth {
+            assert!(
+                s.estimate(key) >= count,
+                "key {key}: estimate {} < true {count}",
+                s.estimate(key)
+            );
+        }
+    }
+
+    #[test]
+    fn exact_when_sparse() {
+        let mut s = CountMinSketch::new(1024, 4);
+        s.add(1, 3.0);
+        s.add(2, 7.0);
+        assert_eq!(s.estimate(1), 3.0);
+        assert_eq!(s.estimate(2), 7.0);
+        assert_eq!(s.estimate(3), 0.0);
+        assert_eq!(s.total(), 10.0);
+    }
+
+    #[test]
+    fn error_bound_holds_on_heavy_hitters() {
+        let mut s = CountMinSketch::with_error(0.01, 0.01);
+        // One heavy key among uniform noise.
+        for _ in 0..10_000 {
+            s.add(42, 1.0);
+        }
+        for k in 0..10_000u64 {
+            s.add(k + 100, 1.0);
+        }
+        let est = s.estimate(42);
+        let bound = 10_000.0 + 0.01 * s.total() * 2.0;
+        assert!(est >= 10_000.0);
+        assert!(est <= bound, "estimate {est} above bound {bound}");
+    }
+
+    #[test]
+    fn rescale_divides() {
+        let mut s = CountMinSketch::new(16, 2);
+        s.add(5, 8.0);
+        s.rescale(4.0);
+        assert_eq!(s.estimate(5), 2.0);
+        assert_eq!(s.total(), 2.0);
+    }
+
+    #[test]
+    fn sizing_from_error() {
+        let s = CountMinSketch::with_error(0.001, 0.01);
+        assert!(s.width >= 2718);
+        assert!(s.depth >= 4);
+        assert!(s.memory_bytes() >= s.width * s.depth * 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_rejected() {
+        CountMinSketch::new(0, 1);
+    }
+}

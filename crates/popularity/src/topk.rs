@@ -1,0 +1,105 @@
+//! Top-k extraction over tracked frequencies (Figures 1–3 of the paper).
+
+use crate::tracker::FrequencyTracker;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A `(key, count)` pair ordered by count ascending (min-heap helper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    key: u64,
+    count: f64,
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need the smallest on top.
+        other
+            .count
+            .total_cmp(&self.count)
+            .then_with(|| other.key.cmp(&self.key))
+    }
+}
+
+/// The `k` most frequent keys with their decay-normalized counts, sorted by
+/// count descending (rank 1 first). Ties break toward the smaller key for
+/// determinism.
+pub fn top_k(tracker: &FrequencyTracker, k: usize) -> Vec<(u64, f64)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+    for (key, count) in tracker.iter() {
+        heap.push(Entry { key, count });
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    let mut out: Vec<(u64, f64)> = heap.into_iter().map(|e| (e.key, e.count)).collect();
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker_with(counts: &[(u64, usize)]) -> FrequencyTracker {
+        let mut t = FrequencyTracker::no_decay();
+        for &(key, n) in counts {
+            for _ in 0..n {
+                t.record(key);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn picks_the_largest() {
+        let t = tracker_with(&[(1, 5), (2, 50), (3, 10), (4, 1)]);
+        let top = top_k(&t, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 2);
+        assert_eq!(top[1].0, 3);
+        assert_eq!(top[0].1, 50.0);
+    }
+
+    #[test]
+    fn k_larger_than_population() {
+        let t = tracker_with(&[(1, 2), (2, 1)]);
+        let top = top_k(&t, 10);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 1);
+    }
+
+    #[test]
+    fn k_zero() {
+        let t = tracker_with(&[(1, 1)]);
+        assert!(top_k(&t, 0).is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let t = tracker_with(&[(9, 3), (4, 3), (7, 3)]);
+        let top = top_k(&t, 3);
+        let keys: Vec<u64> = top.iter().map(|e| e.0).collect();
+        assert_eq!(keys, vec![4, 7, 9], "equal counts sort by key");
+    }
+
+    #[test]
+    fn sorted_descending() {
+        let t = tracker_with(&[(1, 1), (2, 2), (3, 3), (4, 4), (5, 5)]);
+        let top = top_k(&t, 5);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Write-behind count cache (paper §4.4).
+//!
+//! Adding a count attribute to each tuple "has the undesirable effect of
+//! turning every read access into a read-modify-write access". The paper's
+//! implementation instead keeps "a small, write-behind cache of tuple
+//! counts" and flushes deltas to the backing store periodically. This
+//! module models that design: increments accumulate in a bounded in-memory
+//! delta buffer and are flushed to a [`CountStore`] when the buffer fills
+//! (or on demand), amortizing the expensive store writes over many reads.
+
+use std::collections::HashMap;
+
+/// A durable (or at least authoritative) destination for count deltas.
+pub trait CountStore {
+    /// Apply a batch of `(key, delta)` increments.
+    fn apply(&mut self, deltas: &[(u64, f64)]);
+    /// Read the stored count for a key (0 if absent).
+    fn read(&self, key: u64) -> f64;
+    /// Number of keys stored.
+    fn len(&self) -> usize;
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A simple in-memory store that counts flushes, standing in for the
+/// on-disk count table of the paper's implementation.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    counts: HashMap<u64, f64>,
+    flushes: u64,
+    rows_written: u64,
+}
+
+impl MemoryStore {
+    /// A fresh, empty store.
+    pub fn new() -> MemoryStore {
+        MemoryStore::default()
+    }
+
+    /// Number of flush batches applied.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Total individual deltas applied across all flushes.
+    pub fn rows_written(&self) -> u64 {
+        self.rows_written
+    }
+}
+
+impl CountStore for MemoryStore {
+    fn apply(&mut self, deltas: &[(u64, f64)]) {
+        for &(key, delta) in deltas {
+            *self.counts.entry(key).or_insert(0.0) += delta;
+        }
+        self.flushes += 1;
+        self.rows_written += deltas.len() as u64;
+    }
+
+    fn read(&self, key: u64) -> f64 {
+        self.counts.get(&key).copied().unwrap_or(0.0)
+    }
+
+    fn len(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// A bounded write-behind delta buffer in front of a [`CountStore`].
+#[derive(Debug)]
+pub struct WriteBehindCache<S: CountStore> {
+    store: S,
+    buffer: HashMap<u64, f64>,
+    capacity: usize,
+    increments: u64,
+}
+
+impl<S: CountStore> WriteBehindCache<S> {
+    /// Cache up to `capacity` distinct dirty keys before auto-flushing.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    pub fn new(store: S, capacity: usize) -> WriteBehindCache<S> {
+        assert!(capacity > 0, "capacity must be positive");
+        WriteBehindCache {
+            store,
+            buffer: HashMap::with_capacity(capacity),
+            capacity,
+            increments: 0,
+        }
+    }
+
+    /// Record an increment; flushes automatically when the dirty set would
+    /// exceed capacity.
+    pub fn increment(&mut self, key: u64, delta: f64) {
+        if !self.buffer.contains_key(&key) && self.buffer.len() >= self.capacity {
+            self.flush();
+        }
+        *self.buffer.entry(key).or_insert(0.0) += delta;
+        self.increments += 1;
+    }
+
+    /// The authoritative count: store value plus any buffered delta.
+    pub fn read(&self, key: u64) -> f64 {
+        self.store.read(key) + self.buffer.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Push all buffered deltas to the store.
+    pub fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let mut deltas: Vec<(u64, f64)> = self.buffer.drain().collect();
+        // Deterministic order helps testing and gives the store sequential
+        // access patterns.
+        deltas.sort_by_key(|&(k, _)| k);
+        self.store.apply(&deltas);
+    }
+
+    /// Number of dirty (buffered) keys.
+    pub fn dirty(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Total increments recorded.
+    pub fn increments(&self) -> u64 {
+        self.increments
+    }
+
+    /// Access the backing store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Flush and unwrap the backing store.
+    pub fn into_store(mut self) -> S {
+        self.flush();
+        self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_see_buffered_and_flushed_state() {
+        let mut c = WriteBehindCache::new(MemoryStore::new(), 4);
+        c.increment(1, 1.0);
+        c.increment(1, 1.0);
+        assert_eq!(c.read(1), 2.0, "buffered deltas visible");
+        c.flush();
+        assert_eq!(c.read(1), 2.0, "flushed state visible");
+        c.increment(1, 3.0);
+        assert_eq!(c.read(1), 5.0, "mixed state visible");
+    }
+
+    #[test]
+    fn auto_flush_on_capacity() {
+        let mut c = WriteBehindCache::new(MemoryStore::new(), 2);
+        c.increment(1, 1.0);
+        c.increment(2, 1.0);
+        assert_eq!(c.store().flushes(), 0);
+        c.increment(3, 1.0); // third distinct key forces a flush
+        assert_eq!(c.store().flushes(), 1);
+        assert_eq!(c.dirty(), 1);
+    }
+
+    #[test]
+    fn repeat_keys_do_not_force_flush() {
+        let mut c = WriteBehindCache::new(MemoryStore::new(), 2);
+        for _ in 0..100 {
+            c.increment(7, 1.0);
+        }
+        assert_eq!(c.store().flushes(), 0, "hot key coalesces in buffer");
+        assert_eq!(c.read(7), 100.0);
+        assert_eq!(c.increments(), 100);
+    }
+
+    #[test]
+    fn flush_amortization() {
+        // 10_000 increments over 100 keys with a 100-key buffer should
+        // produce dramatically fewer store writes than increments.
+        let mut c = WriteBehindCache::new(MemoryStore::new(), 100);
+        for i in 0..10_000u64 {
+            c.increment(i % 100, 1.0);
+        }
+        c.flush();
+        let store = c.store();
+        assert!(store.rows_written() <= 200, "wrote {}", store.rows_written());
+        let total: f64 = (0..100).map(|k| store.read(k)).sum();
+        assert_eq!(total, 10_000.0);
+    }
+
+    #[test]
+    fn into_store_flushes() {
+        let mut c = WriteBehindCache::new(MemoryStore::new(), 8);
+        c.increment(5, 2.5);
+        let store = c.into_store();
+        assert_eq!(store.read(5), 2.5);
+    }
+
+    #[test]
+    fn empty_flush_is_free() {
+        let mut c = WriteBehindCache::new(MemoryStore::new(), 8);
+        c.flush();
+        assert_eq!(c.store().flushes(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        WriteBehindCache::new(MemoryStore::new(), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Abstract syntax tree for the SQL subset.
+
+use delayguard_storage::{DataType, Value};
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col TYPE [NOT NULL], ...)`
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+    },
+    /// `CREATE [UNIQUE] INDEX name ON table (col, ...)`
+    CreateIndex {
+        name: String,
+        table: String,
+        columns: Vec<String>,
+        unique: bool,
+    },
+    /// `DROP TABLE name`
+    DropTable { name: String },
+    /// `INSERT INTO table VALUES (...), (...)`
+    Insert {
+        table: String,
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `SELECT ... FROM table [WHERE ...] [ORDER BY col [ASC|DESC]] [LIMIT n]`
+    Select {
+        table: String,
+        projection: Projection,
+        filter: Option<Expr>,
+        order_by: Option<OrderBy>,
+        limit: Option<u64>,
+    },
+    /// `UPDATE table SET col = expr, ... [WHERE ...]`
+    Update {
+        table: String,
+        assignments: Vec<(String, Expr)>,
+        filter: Option<Expr>,
+    },
+    /// `DELETE FROM table [WHERE ...]`
+    Delete {
+        table: String,
+        filter: Option<Expr>,
+    },
+}
+
+/// Column definition in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub dtype: DataType,
+    pub not_null: bool,
+}
+
+/// What a SELECT projects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Projection {
+    /// `SELECT *`
+    All,
+    /// `SELECT a, b, c`
+    Columns(Vec<String>),
+}
+
+/// `ORDER BY column [ASC|DESC]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderBy {
+    pub column: String,
+    pub ascending: bool,
+}
+
+/// Scalar expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// A column reference.
+    Column(String),
+    /// Unary operator application.
+    Unary { op: UnaryOp, expr: Box<Expr> },
+    /// Binary operator application.
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Convenience constructor `column op literal`.
+    pub fn cmp(column: &str, op: BinOp, value: impl Into<Value>) -> Expr {
+        Expr::binary(
+            op,
+            Expr::Column(column.to_owned()),
+            Expr::Literal(value.into()),
+        )
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl BinOp {
+    /// Whether this operator is a comparison yielding a boolean.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical NOT.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_helpers() {
+        let e = Expr::cmp("id", BinOp::Eq, 42i64);
+        match e {
+            Expr::Binary { op, left, right } => {
+                assert_eq!(op, BinOp::Eq);
+                assert_eq!(*left, Expr::Column("id".into()));
+                assert_eq!(*right, Expr::Literal(Value::Int(42)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(BinOp::GtEq.is_comparison());
+        assert!(!BinOp::And.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+    }
+}

@@ -1,0 +1,299 @@
+//! The query engine: parse → plan → execute against a shared catalog.
+
+use crate::ast::{Statement};
+use crate::error::{QueryError, Result};
+use crate::exec::{const_eval, run_delete, run_select, run_update, SelectOutput};
+use crate::parser::parse;
+use crate::planner::{plan_locate, plan_select};
+use delayguard_storage::{Catalog, Column, Row, RowId, Schema};
+use std::sync::Arc;
+
+/// The outcome of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementOutput {
+    /// `CREATE TABLE` succeeded.
+    TableCreated,
+    /// `CREATE INDEX` succeeded.
+    IndexCreated,
+    /// `DROP TABLE` succeeded.
+    TableDropped,
+    /// Rows inserted, with their new RowIds.
+    Inserted { rids: Vec<RowId> },
+    /// Rows updated, with their (possibly relocated) RowIds.
+    Updated { rids: Vec<RowId> },
+    /// Rows deleted, with their former RowIds.
+    Deleted { rids: Vec<RowId> },
+    /// SELECT result set.
+    Rows(SelectOutput),
+}
+
+impl StatementOutput {
+    /// Number of rows affected or returned.
+    pub fn row_count(&self) -> usize {
+        match self {
+            StatementOutput::Inserted { rids }
+            | StatementOutput::Updated { rids }
+            | StatementOutput::Deleted { rids } => rids.len(),
+            StatementOutput::Rows(out) => out.len(),
+            _ => 0,
+        }
+    }
+
+    /// The SELECT output, if this was a SELECT.
+    pub fn rows(&self) -> Option<&SelectOutput> {
+        match self {
+            StatementOutput::Rows(out) => Some(out),
+            _ => None,
+        }
+    }
+}
+
+/// A SQL engine bound to a catalog.
+///
+/// `Engine` is cheap to clone (it shares the catalog) and safe to use from
+/// multiple threads; per-statement locking is at table granularity.
+#[derive(Clone)]
+pub struct Engine {
+    catalog: Arc<Catalog>,
+}
+
+impl Engine {
+    /// An engine over a fresh, empty catalog.
+    pub fn new() -> Engine {
+        Engine {
+            catalog: Arc::new(Catalog::new()),
+        }
+    }
+
+    /// An engine over an existing catalog (e.g. loaded from a snapshot).
+    pub fn with_catalog(catalog: Arc<Catalog>) -> Engine {
+        Engine { catalog }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Parse and execute one SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<StatementOutput> {
+        let stmt = parse(sql)?;
+        self.execute_stmt(&stmt)
+    }
+
+    /// Execute a pre-parsed statement (hot paths can cache the parse).
+    pub fn execute_stmt(&self, stmt: &Statement) -> Result<StatementOutput> {
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                let cols = columns
+                    .iter()
+                    .map(|c| Column {
+                        name: c.name.clone(),
+                        dtype: c.dtype,
+                        not_null: c.not_null,
+                    })
+                    .collect();
+                let schema = Schema::new(cols)?;
+                self.catalog.create_table(name, schema)?;
+                Ok(StatementOutput::TableCreated)
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+            } => {
+                let t = self.catalog.table(table)?;
+                let col_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+                t.write().create_index(name, &col_refs, *unique)?;
+                Ok(StatementOutput::IndexCreated)
+            }
+            Statement::DropTable { name } => {
+                self.catalog.drop_table(name)?;
+                Ok(StatementOutput::TableDropped)
+            }
+            Statement::Insert { table, rows } => {
+                let t = self.catalog.table(table)?;
+                let mut t = t.write();
+                let mut rids = Vec::with_capacity(rows.len());
+                for exprs in rows {
+                    let mut values = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        values.push(const_eval(e)?);
+                    }
+                    rids.push(t.insert(Row::new(values))?);
+                }
+                Ok(StatementOutput::Inserted { rids })
+            }
+            Statement::Select {
+                table,
+                projection,
+                filter,
+                order_by,
+                limit,
+            } => {
+                let t = self.catalog.table(table)?;
+                let mut t = t.write();
+                let plan = plan_select(&t, projection, filter.as_ref(), order_by.as_ref(), *limit)?;
+                let out = run_select(&mut t, &plan)?;
+                Ok(StatementOutput::Rows(out))
+            }
+            Statement::Update {
+                table,
+                assignments,
+                filter,
+            } => {
+                let t = self.catalog.table(table)?;
+                let mut t = t.write();
+                let (access, bound_filter) = plan_locate(&t, filter.as_ref())?;
+                let schema = t.schema().clone();
+                let mut bound_assignments = Vec::with_capacity(assignments.len());
+                for (col, e) in assignments {
+                    let idx = schema.index_of(col)?;
+                    bound_assignments.push((idx, crate::expr::bind(e, &schema)?));
+                }
+                let rids = run_update(&mut t, &access, bound_filter.as_ref(), &bound_assignments)?;
+                Ok(StatementOutput::Updated { rids })
+            }
+            Statement::Delete { table, filter } => {
+                let t = self.catalog.table(table)?;
+                let mut t = t.write();
+                let (access, bound_filter) = plan_locate(&t, filter.as_ref())?;
+                let rids = run_delete(&mut t, &access, bound_filter.as_ref())?;
+                Ok(StatementOutput::Deleted { rids })
+            }
+        }
+    }
+
+    /// Convenience: run a SELECT and return just its output, erroring if the
+    /// statement is not a SELECT.
+    pub fn query(&self, sql: &str) -> Result<SelectOutput> {
+        match self.execute(sql)? {
+            StatementOutput::Rows(out) => Ok(out),
+            other => Err(QueryError::Semantic(format!(
+                "expected a SELECT, statement produced {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delayguard_storage::Value;
+
+    fn engine_with_movies() -> Engine {
+        let e = Engine::new();
+        e.execute("CREATE TABLE movies (id INT NOT NULL, title TEXT NOT NULL, gross FLOAT)")
+            .unwrap();
+        e.execute("CREATE UNIQUE INDEX movies_pk ON movies (id)")
+            .unwrap();
+        e.execute(
+            "INSERT INTO movies VALUES \
+             (1, 'Spider-Man', 403.7), (2, 'Two Towers', 339.8), (3, 'Attack of the Clones', 302.2)",
+        )
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let e = engine_with_movies();
+        let out = e.query("SELECT title FROM movies WHERE id = 2").unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out.rows[0].1.get(0),
+            Some(&Value::Text("Two Towers".into()))
+        );
+    }
+
+    #[test]
+    fn insert_reports_rids() {
+        let e = engine_with_movies();
+        let out = e
+            .execute("INSERT INTO movies VALUES (4, 'Signs', 228.0)")
+            .unwrap();
+        assert_eq!(out.row_count(), 1);
+        assert!(matches!(out, StatementOutput::Inserted { .. }));
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let e = engine_with_movies();
+        let out = e
+            .execute("UPDATE movies SET gross = gross + 1.0 WHERE id = 1")
+            .unwrap();
+        assert_eq!(out.row_count(), 1);
+        let rows = e.query("SELECT gross FROM movies WHERE id = 1").unwrap();
+        assert_eq!(rows.rows[0].1.get(0), Some(&Value::Float(404.7)));
+        let out = e.execute("DELETE FROM movies WHERE id = 3").unwrap();
+        assert_eq!(out.row_count(), 1);
+        assert_eq!(e.query("SELECT * FROM movies").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unique_violation_surfaces() {
+        let e = engine_with_movies();
+        let err = e
+            .execute("INSERT INTO movies VALUES (1, 'Dup', 0.0)")
+            .unwrap_err();
+        assert!(err.to_string().contains("unique"));
+    }
+
+    #[test]
+    fn null_and_not_null() {
+        let e = engine_with_movies();
+        e.execute("INSERT INTO movies VALUES (9, 'NoGross', NULL)")
+            .unwrap();
+        let err = e
+            .execute("INSERT INTO movies VALUES (10, NULL, 1.0)")
+            .unwrap_err();
+        assert!(err.to_string().contains("NOT NULL"));
+    }
+
+    #[test]
+    fn drop_table() {
+        let e = engine_with_movies();
+        e.execute("DROP TABLE movies").unwrap();
+        assert!(e.query("SELECT * FROM movies").is_err());
+    }
+
+    #[test]
+    fn query_rejects_non_select() {
+        let e = engine_with_movies();
+        assert!(e.query("DELETE FROM movies").is_err());
+    }
+
+    #[test]
+    fn engine_is_cloneable_and_shares_state() {
+        let e = engine_with_movies();
+        let e2 = e.clone();
+        e2.execute("INSERT INTO movies VALUES (5, 'Ice Age', 176.0)")
+            .unwrap();
+        assert_eq!(e.query("SELECT * FROM movies").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn concurrent_queries() {
+        let e = engine_with_movies();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let e = e.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let out = e.query("SELECT * FROM movies WHERE id = 1").unwrap();
+                    assert_eq!(out.len(), 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

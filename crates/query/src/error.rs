@@ -1,0 +1,74 @@
+//! Query-layer errors.
+
+use delayguard_storage::StorageError;
+use std::fmt;
+
+/// Errors produced while lexing, parsing, planning, or executing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Lexical error at a byte offset.
+    Lex { offset: usize, message: String },
+    /// Syntax error with a human-readable description.
+    Parse(String),
+    /// Semantic error (unknown column, type misuse in an expression, ...).
+    Semantic(String),
+    /// Error surfaced from the storage layer.
+    Storage(StorageError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { offset, message } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            QueryError::Parse(m) => write!(f, "parse error: {m}"),
+            QueryError::Semantic(m) => write!(f, "semantic error: {m}"),
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+
+/// Result alias for query operations.
+pub type Result<T> = std::result::Result<T, QueryError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(QueryError::Parse("x".into()).to_string().contains("parse"));
+        assert!(QueryError::Lex {
+            offset: 3,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("byte 3"));
+        let e: QueryError = StorageError::TableNotFound("t".into()).into();
+        assert!(e.to_string().contains("storage"));
+    }
+
+    #[test]
+    fn source_chains_storage() {
+        use std::error::Error;
+        let e: QueryError = StorageError::TableNotFound("t".into()).into();
+        assert!(e.source().is_some());
+        assert!(QueryError::Parse("p".into()).source().is_none());
+    }
+}

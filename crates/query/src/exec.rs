@@ -1,0 +1,351 @@
+//! Plan execution against a single table.
+
+use crate::ast::{Expr, UnaryOp};
+use crate::error::{QueryError, Result};
+use crate::expr::{eval, eval_filter, BoundExpr};
+use crate::plan::{AccessPath, SelectPlan};
+use delayguard_storage::{Row, RowId, Table, Value};
+use std::ops::Bound;
+
+/// Result of executing a SELECT: projected rows with their RowIds.
+///
+/// The RowIds are retained deliberately: the delay defense charges each
+/// *returned tuple* to the requester's popularity ledger (§2.1 treats a
+/// multi-tuple result as the aggregate of simple single-tuple queries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectOutput {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// `(row id, projected row)` pairs in output order.
+    pub rows: Vec<(RowId, Row)>,
+}
+
+impl SelectOutput {
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The RowIds of every returned tuple.
+    pub fn row_ids(&self) -> impl Iterator<Item = RowId> + '_ {
+        self.rows.iter().map(|(rid, _)| *rid)
+    }
+}
+
+/// Collect the RowIds of rows matched by `access` + `filter`.
+pub fn locate(
+    table: &Table,
+    access: &AccessPath,
+    filter: Option<&BoundExpr>,
+) -> Result<Vec<RowId>> {
+    let mut out = Vec::new();
+    match access {
+        AccessPath::FullScan => {
+            for item in table.scan() {
+                let (rid, row) = item?;
+                if passes(filter, &row)? {
+                    out.push(rid);
+                }
+            }
+        }
+        AccessPath::IndexEq { columns, key } => {
+            let rids = table
+                .index_lookup(columns, key)
+                .ok_or_else(|| QueryError::Semantic("planned index disappeared".into()))?;
+            for rid in rids {
+                let row = table.peek(rid)?;
+                if passes(filter, &row)? {
+                    out.push(rid);
+                }
+            }
+        }
+        AccessPath::IndexRange { columns, lo, hi } => {
+            let rids = table
+                .index_range(columns, as_ref_bound(lo), as_ref_bound(hi))
+                .ok_or_else(|| QueryError::Semantic("planned index disappeared".into()))?;
+            for rid in rids {
+                let row = table.peek(rid)?;
+                if passes(filter, &row)? {
+                    out.push(rid);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn as_ref_bound(b: &Bound<Vec<Value>>) -> Bound<&Vec<Value>> {
+    match b {
+        Bound::Included(k) => Bound::Included(k),
+        Bound::Excluded(k) => Bound::Excluded(k),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+fn passes(filter: Option<&BoundExpr>, row: &Row) -> Result<bool> {
+    match filter {
+        Some(f) => eval_filter(f, row),
+        None => Ok(true),
+    }
+}
+
+/// Execute a SELECT plan.
+pub fn run_select(table: &mut Table, plan: &SelectPlan) -> Result<SelectOutput> {
+    let rids = locate(table, &plan.access, plan.filter.as_ref())?;
+    let mut full: Vec<(RowId, Row)> = Vec::with_capacity(rids.len());
+    for rid in rids {
+        full.push((rid, table.peek(rid)?));
+    }
+    if let Some((col, ascending)) = plan.order_by {
+        full.sort_by(|(_, a), (_, b)| {
+            let av = a.get(col).cloned().unwrap_or(Value::Null);
+            let bv = b.get(col).cloned().unwrap_or(Value::Null);
+            if ascending {
+                av.cmp(&bv)
+            } else {
+                bv.cmp(&av)
+            }
+        });
+    }
+    if let Some(limit) = plan.limit {
+        full.truncate(limit as usize);
+    }
+    let rows: Vec<(RowId, Row)> = full
+        .into_iter()
+        .map(|(rid, row)| (rid, row.project(&plan.projection)))
+        .collect();
+    table.record_reads(rows.len() as u64);
+    Ok(SelectOutput {
+        columns: plan.output_names.clone(),
+        rows,
+    })
+}
+
+/// Apply UPDATE assignments to located rows.
+///
+/// Assignment expressions are evaluated against the *old* row (SQL
+/// semantics), so `SET a = a + 1, b = a` uses the original `a` for both.
+pub fn run_update(
+    table: &mut Table,
+    access: &AccessPath,
+    filter: Option<&BoundExpr>,
+    assignments: &[(usize, BoundExpr)],
+) -> Result<Vec<RowId>> {
+    let rids = locate(table, access, filter)?;
+    let mut out = Vec::with_capacity(rids.len());
+    for rid in rids {
+        let old = table.peek(rid)?;
+        let mut new = old.clone();
+        for (col, e) in assignments {
+            new.set(*col, eval(e, &old)?);
+        }
+        let new_rid = table.update(rid, new)?;
+        out.push(new_rid);
+    }
+    Ok(out)
+}
+
+/// Delete located rows, returning their RowIds.
+pub fn run_delete(
+    table: &mut Table,
+    access: &AccessPath,
+    filter: Option<&BoundExpr>,
+) -> Result<Vec<RowId>> {
+    let rids = locate(table, access, filter)?;
+    for rid in &rids {
+        table.delete(*rid)?;
+    }
+    Ok(rids)
+}
+
+/// Evaluate an INSERT value expression, which must be constant (no column
+/// references).
+pub fn const_eval(expr: &Expr) -> Result<Value> {
+    let bound = to_const_bound(expr)?;
+    let empty = Row::new(Vec::new());
+    eval(&bound, &empty)
+}
+
+fn to_const_bound(expr: &Expr) -> Result<BoundExpr> {
+    Ok(match expr {
+        Expr::Literal(v) => BoundExpr::Literal(v.clone()),
+        Expr::Column(name) => {
+            return Err(QueryError::Semantic(format!(
+                "column reference `{name}` not allowed in VALUES"
+            )))
+        }
+        Expr::Unary { op, expr } => BoundExpr::Unary {
+            op: match op {
+                UnaryOp::Not => UnaryOp::Not,
+                UnaryOp::Neg => UnaryOp::Neg,
+            },
+            expr: Box::new(to_const_bound(expr)?),
+        },
+        Expr::Binary { op, left, right } => BoundExpr::Binary {
+            op: *op,
+            left: Box::new(to_const_bound(left)?),
+            right: Box::new(to_const_bound(right)?),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse};
+    use crate::planner::{plan_locate, plan_select};
+    use delayguard_storage::{Column, DataType, Schema};
+
+    fn movies() -> Table {
+        let schema = Schema::new(vec![
+            Column::not_null("id", DataType::Int),
+            Column::not_null("title", DataType::Text),
+            Column::new("gross", DataType::Float),
+        ])
+        .unwrap();
+        let mut t = Table::new("movies", schema);
+        t.create_index("pk", &["id"], true).unwrap();
+        for i in 0..20i64 {
+            t.insert(Row::new(vec![
+                Value::Int(i),
+                Value::Text(format!("movie-{i}")),
+                Value::Float((i * 10) as f64),
+            ]))
+            .unwrap();
+        }
+        t
+    }
+
+    fn select(t: &mut Table, sql: &str) -> SelectOutput {
+        let stmt = parse(sql).unwrap();
+        match stmt {
+            crate::ast::Statement::Select {
+                projection,
+                filter,
+                order_by,
+                limit,
+                ..
+            } => {
+                let plan = plan_select(
+                    t,
+                    &projection,
+                    filter.as_ref(),
+                    order_by.as_ref(),
+                    limit,
+                )
+                .unwrap();
+                run_select(t, &plan).unwrap()
+            }
+            other => panic!("not a select: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn point_lookup_via_index() {
+        let mut t = movies();
+        let out = select(&mut t, "SELECT title FROM movies WHERE id = 7");
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out.rows[0].1.get(0),
+            Some(&Value::Text("movie-7".into()))
+        );
+    }
+
+    #[test]
+    fn range_scan_with_residual_filter() {
+        let mut t = movies();
+        let out = select(
+            &mut t,
+            "SELECT id FROM movies WHERE id >= 5 AND id < 10 AND gross > 60.0",
+        );
+        let ids: Vec<i64> = out
+            .rows
+            .iter()
+            .map(|(_, r)| r.get(0).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(ids, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let mut t = movies();
+        let out = select(
+            &mut t,
+            "SELECT id FROM movies ORDER BY id DESC LIMIT 3",
+        );
+        let ids: Vec<i64> = out
+            .rows
+            .iter()
+            .map(|(_, r)| r.get(0).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(ids, vec![19, 18, 17]);
+    }
+
+    #[test]
+    fn select_star_projects_all() {
+        let mut t = movies();
+        let out = select(&mut t, "SELECT * FROM movies WHERE id = 0");
+        assert_eq!(out.columns, vec!["id", "title", "gross"]);
+        assert_eq!(out.rows[0].1.arity(), 3);
+    }
+
+    #[test]
+    fn reads_recorded() {
+        let mut t = movies();
+        let before = t.stats().reads;
+        select(&mut t, "SELECT * FROM movies WHERE id < 5");
+        assert_eq!(t.stats().reads, before + 5);
+    }
+
+    #[test]
+    fn update_uses_old_row_values() {
+        let mut t = movies();
+        let filter = parse_expr("id = 3").unwrap();
+        let (access, bound) = plan_locate(&t, Some(&filter)).unwrap();
+        let schema = t.schema().clone();
+        let gross_col = schema.index_of("gross").unwrap();
+        // SET gross = gross + 1, then id stays keyed correctly.
+        let assign_expr =
+            crate::expr::bind(&parse_expr("gross + 1.0").unwrap(), &schema).unwrap();
+        let rids = run_update(
+            &mut t,
+            &access,
+            bound.as_ref(),
+            &[(gross_col, assign_expr)],
+        )
+        .unwrap();
+        assert_eq!(rids.len(), 1);
+        assert_eq!(
+            t.peek(rids[0]).unwrap().get(gross_col),
+            Some(&Value::Float(31.0))
+        );
+    }
+
+    #[test]
+    fn delete_removes_rows() {
+        let mut t = movies();
+        let filter = parse_expr("id >= 15").unwrap();
+        let (access, bound) = plan_locate(&t, Some(&filter)).unwrap();
+        let rids = run_delete(&mut t, &access, bound.as_ref()).unwrap();
+        assert_eq!(rids.len(), 5);
+        assert_eq!(t.len(), 15);
+    }
+
+    #[test]
+    fn const_eval_folds_and_rejects_columns() {
+        assert_eq!(
+            const_eval(&parse_expr("1 + 2 * 3").unwrap()).unwrap(),
+            Value::Int(7)
+        );
+        assert_eq!(
+            const_eval(&parse_expr("-1.5").unwrap()).unwrap(),
+            Value::Float(-1.5)
+        );
+        assert!(const_eval(&parse_expr("id + 1").unwrap()).is_err());
+    }
+}

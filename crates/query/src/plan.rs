@@ -1,0 +1,60 @@
+//! Physical plans for SELECT (and the row-location phase of UPDATE/DELETE).
+
+use crate::expr::BoundExpr;
+use delayguard_storage::IndexKey;
+use std::ops::Bound;
+
+/// How matching rows are located.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Scan every live row.
+    FullScan,
+    /// Exact-match lookup on an index over `columns`.
+    IndexEq { columns: Vec<usize>, key: IndexKey },
+    /// Range scan on a single-column index.
+    IndexRange {
+        columns: Vec<usize>,
+        lo: Bound<IndexKey>,
+        hi: Bound<IndexKey>,
+    },
+}
+
+impl AccessPath {
+    /// Whether this path uses an index.
+    pub fn is_indexed(&self) -> bool {
+        !matches!(self, AccessPath::FullScan)
+    }
+}
+
+/// A fully-bound SELECT plan.
+///
+/// The residual `filter` is the *entire* WHERE clause; it is always
+/// re-evaluated on candidate rows even when an index narrowed them, so an
+/// imprecise access path can never produce wrong results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectPlan {
+    pub access: AccessPath,
+    pub filter: Option<BoundExpr>,
+    /// Output column positions (in schema order for `SELECT *`).
+    pub projection: Vec<usize>,
+    /// Names matching `projection`, for result presentation.
+    pub output_names: Vec<String>,
+    /// Sort key position and direction.
+    pub order_by: Option<(usize, bool)>,
+    pub limit: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexed_classification() {
+        assert!(!AccessPath::FullScan.is_indexed());
+        assert!(AccessPath::IndexEq {
+            columns: vec![0],
+            key: vec![]
+        }
+        .is_indexed());
+    }
+}

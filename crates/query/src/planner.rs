@@ -1,0 +1,377 @@
+//! A rule-based planner: picks an index access path from the WHERE clause.
+//!
+//! Strategy: split the WHERE clause into top-level conjuncts. If some
+//! conjunct is `col = literal` and an index exists whose key is exactly
+//! `[col]` (or all columns of a composite index are equality-constrained),
+//! use an [`AccessPath::IndexEq`]. Otherwise, if range conjuncts
+//! (`<`, `<=`, `>`, `>=`) constrain a single-column index, use an
+//! [`AccessPath::IndexRange`]. Otherwise fall back to a full scan. The full
+//! WHERE clause is always kept as a residual filter.
+
+use crate::ast::{BinOp, Expr, OrderBy, Projection};
+use crate::error::{QueryError, Result};
+use crate::expr::{bind, BoundExpr};
+use crate::plan::{AccessPath, SelectPlan};
+use delayguard_storage::{IndexDef, Schema, Table, Value};
+use std::ops::Bound;
+
+/// Build a plan for a SELECT's pieces against a table.
+pub fn plan_select(
+    table: &Table,
+    projection: &Projection,
+    filter: Option<&Expr>,
+    order_by: Option<&OrderBy>,
+    limit: Option<u64>,
+) -> Result<SelectPlan> {
+    let schema = table.schema();
+    let (projection_idx, output_names) = resolve_projection(schema, projection)?;
+    let bound_filter = filter.map(|f| bind(f, schema)).transpose()?;
+    let access = filter
+        .map(|f| choose_access(schema, &table.index_defs(), f))
+        .transpose()?
+        .flatten()
+        .unwrap_or(AccessPath::FullScan);
+    let order = order_by
+        .map(|ob| Ok::<_, QueryError>((schema.index_of(&ob.column)?, ob.ascending)))
+        .transpose()?;
+    Ok(SelectPlan {
+        access,
+        filter: bound_filter,
+        projection: projection_idx,
+        output_names,
+        order_by: order,
+        limit,
+    })
+}
+
+fn resolve_projection(
+    schema: &Schema,
+    projection: &Projection,
+) -> Result<(Vec<usize>, Vec<String>)> {
+    match projection {
+        Projection::All => Ok((
+            (0..schema.arity()).collect(),
+            schema.columns().iter().map(|c| c.name.clone()).collect(),
+        )),
+        Projection::Columns(names) => {
+            let mut idx = Vec::with_capacity(names.len());
+            for n in names {
+                idx.push(schema.index_of(n)?);
+            }
+            Ok((idx, names.clone()))
+        }
+    }
+}
+
+/// A `col op literal` conjunct usable for index selection.
+#[derive(Debug)]
+struct Constraint {
+    column: usize,
+    op: BinOp,
+    value: Value,
+}
+
+/// Split `expr` into top-level AND conjuncts.
+fn conjuncts(expr: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    let mut stack = vec![expr];
+    while let Some(e) = stack.pop() {
+        match e {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
+                stack.push(left);
+                stack.push(right);
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Extract a sargable constraint from a conjunct, normalizing
+/// `literal op col` into `col op' literal`.
+fn constraint_of(schema: &Schema, e: &Expr) -> Option<Constraint> {
+    let Expr::Binary { op, left, right } = e else {
+        return None;
+    };
+    if !op.is_comparison() || *op == BinOp::NotEq {
+        return None;
+    }
+    let (column, value, op) = match (&**left, &**right) {
+        (Expr::Column(c), Expr::Literal(v)) => (c, v, *op),
+        (Expr::Literal(v), Expr::Column(c)) => (c, v, flip(*op)),
+        _ => return None,
+    };
+    if value.is_null() {
+        return None; // NULL comparisons never match; leave to the filter.
+    }
+    let idx = schema.index_of(column).ok()?;
+    Some(Constraint {
+        column: idx,
+        op,
+        value: value.clone(),
+    })
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other,
+    }
+}
+
+/// Choose the best access path for `filter`, if any index applies.
+fn choose_access(
+    schema: &Schema,
+    indexes: &[IndexDef],
+    filter: &Expr,
+) -> Result<Option<AccessPath>> {
+    let cons: Vec<Constraint> = conjuncts(filter)
+        .into_iter()
+        .filter_map(|e| constraint_of(schema, e))
+        .collect();
+    if cons.is_empty() {
+        return Ok(None);
+    }
+    // 1. Prefer full-equality composite or single-column index lookups.
+    'index: for def in indexes {
+        let mut key = Vec::with_capacity(def.columns.len());
+        for &col in &def.columns {
+            match cons
+                .iter()
+                .find(|c| c.column == col && c.op == BinOp::Eq)
+            {
+                Some(c) => key.push(c.value.clone()),
+                None => continue 'index,
+            }
+        }
+        return Ok(Some(AccessPath::IndexEq {
+            columns: def.columns.clone(),
+            key,
+        }));
+    }
+    // 2. Range scan on a single-column index.
+    for def in indexes.iter().filter(|d| d.columns.len() == 1) {
+        let col = def.columns[0];
+        let mut lo: Bound<Value> = Bound::Unbounded;
+        let mut hi: Bound<Value> = Bound::Unbounded;
+        let mut any = false;
+        for c in cons.iter().filter(|c| c.column == col) {
+            any = true;
+            match c.op {
+                BinOp::Gt => lo = tighter_lo(lo, Bound::Excluded(c.value.clone())),
+                BinOp::GtEq => lo = tighter_lo(lo, Bound::Included(c.value.clone())),
+                BinOp::Lt => hi = tighter_hi(hi, Bound::Excluded(c.value.clone())),
+                BinOp::LtEq => hi = tighter_hi(hi, Bound::Included(c.value.clone())),
+                BinOp::Eq => {
+                    lo = tighter_lo(lo, Bound::Included(c.value.clone()));
+                    hi = tighter_hi(hi, Bound::Included(c.value.clone()));
+                }
+                _ => {}
+            }
+        }
+        if any && !(matches!(lo, Bound::Unbounded) && matches!(hi, Bound::Unbounded)) {
+            return Ok(Some(AccessPath::IndexRange {
+                columns: def.columns.clone(),
+                lo: map_bound(lo),
+                hi: map_bound(hi),
+            }));
+        }
+    }
+    Ok(None)
+}
+
+fn map_bound(b: Bound<Value>) -> Bound<Vec<Value>> {
+    match b {
+        Bound::Included(v) => Bound::Included(vec![v]),
+        Bound::Excluded(v) => Bound::Excluded(vec![v]),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+fn tighter_lo(a: Bound<Value>, b: Bound<Value>) -> Bound<Value> {
+    match (&a, &b) {
+        (Bound::Unbounded, _) => b,
+        (_, Bound::Unbounded) => a,
+        (Bound::Included(x) | Bound::Excluded(x), Bound::Included(y) | Bound::Excluded(y)) => {
+            if y > x {
+                b
+            } else if x > y {
+                a
+            } else {
+                // Equal endpoints: Excluded is tighter.
+                if matches!(a, Bound::Excluded(_)) {
+                    a
+                } else {
+                    b
+                }
+            }
+        }
+    }
+}
+
+fn tighter_hi(a: Bound<Value>, b: Bound<Value>) -> Bound<Value> {
+    match (&a, &b) {
+        (Bound::Unbounded, _) => b,
+        (_, Bound::Unbounded) => a,
+        (Bound::Included(x) | Bound::Excluded(x), Bound::Included(y) | Bound::Excluded(y)) => {
+            if y < x {
+                b
+            } else if x < y || matches!(a, Bound::Excluded(_)) {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+/// Plan the row-location phase shared by UPDATE and DELETE.
+pub fn plan_locate(table: &Table, filter: Option<&Expr>) -> Result<(AccessPath, Option<BoundExpr>)> {
+    let schema = table.schema();
+    let bound = filter.map(|f| bind(f, schema)).transpose()?;
+    let access = filter
+        .map(|f| choose_access(schema, &table.index_defs(), f))
+        .transpose()?
+        .flatten()
+        .unwrap_or(AccessPath::FullScan);
+    Ok((access, bound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use delayguard_storage::{Column, DataType};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Column::not_null("id", DataType::Int),
+            Column::not_null("title", DataType::Text),
+            Column::new("gross", DataType::Float),
+        ])
+        .unwrap();
+        let mut t = Table::new("movies", schema);
+        t.create_index("pk", &["id"], true).unwrap();
+        t.create_index("by_title_gross", &["title", "gross"], false)
+            .unwrap();
+        t
+    }
+
+    fn access_for(t: &Table, filter: &str) -> AccessPath {
+        let f = parse_expr(filter).unwrap();
+        choose_access(t.schema(), &t.index_defs(), &f)
+            .unwrap()
+            .unwrap_or(AccessPath::FullScan)
+    }
+
+    #[test]
+    fn picks_eq_lookup() {
+        let t = table();
+        let a = access_for(&t, "id = 5");
+        assert_eq!(
+            a,
+            AccessPath::IndexEq {
+                columns: vec![0],
+                key: vec![Value::Int(5)]
+            }
+        );
+    }
+
+    #[test]
+    fn picks_eq_through_conjunction_and_flipped_literal() {
+        let t = table();
+        let a = access_for(&t, "gross > 10 AND 5 = id");
+        assert!(matches!(a, AccessPath::IndexEq { .. }));
+    }
+
+    #[test]
+    fn picks_composite_when_fully_constrained() {
+        let t = table();
+        let a = access_for(&t, "title = 'x' AND gross = 1.0");
+        assert_eq!(
+            a,
+            AccessPath::IndexEq {
+                columns: vec![1, 2],
+                key: vec![Value::Text("x".into()), Value::Float(1.0)]
+            }
+        );
+    }
+
+    #[test]
+    fn picks_range_scan() {
+        let t = table();
+        let a = access_for(&t, "id > 3 AND id <= 9");
+        match a {
+            AccessPath::IndexRange { columns, lo, hi } => {
+                assert_eq!(columns, vec![0]);
+                assert_eq!(lo, Bound::Excluded(vec![Value::Int(3)]));
+                assert_eq!(hi, Bound::Included(vec![Value::Int(9)]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tightens_duplicate_bounds() {
+        let t = table();
+        let a = access_for(&t, "id > 3 AND id > 7 AND id >= 7");
+        match a {
+            AccessPath::IndexRange { lo, .. } => {
+                assert_eq!(lo, Bound::Excluded(vec![Value::Int(7)]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn falls_back_to_scan() {
+        let t = table();
+        assert_eq!(access_for(&t, "gross = 1.0"), AccessPath::FullScan);
+        assert_eq!(access_for(&t, "id != 5"), AccessPath::FullScan);
+        assert_eq!(access_for(&t, "id = 1 OR id = 2"), AccessPath::FullScan);
+        assert_eq!(access_for(&t, "id = NULL"), AccessPath::FullScan);
+    }
+
+    #[test]
+    fn plan_select_resolves_projection() {
+        let t = table();
+        let plan = plan_select(&t, &Projection::All, None, None, Some(3)).unwrap();
+        assert_eq!(plan.projection, vec![0, 1, 2]);
+        assert_eq!(plan.output_names, vec!["id", "title", "gross"]);
+        assert_eq!(plan.limit, Some(3));
+        let plan = plan_select(
+            &t,
+            &Projection::Columns(vec!["gross".into(), "id".into()]),
+            None,
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(plan.projection, vec![2, 0]);
+    }
+
+    #[test]
+    fn plan_select_rejects_unknown_columns() {
+        let t = table();
+        assert!(plan_select(
+            &t,
+            &Projection::Columns(vec!["nope".into()]),
+            None,
+            None,
+            None
+        )
+        .is_err());
+        let ob = OrderBy {
+            column: "nope".into(),
+            ascending: true,
+        };
+        assert!(plan_select(&t, &Projection::All, None, Some(&ob), None).is_err());
+    }
+}

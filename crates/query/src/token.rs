@@ -1,0 +1,160 @@
+//! Tokens produced by the lexer.
+
+use std::fmt;
+
+/// SQL keywords recognized by the dialect (case-insensitive in source).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    Insert,
+    Into,
+    Values,
+    Update,
+    Set,
+    Delete,
+    Create,
+    Drop,
+    Table,
+    Index,
+    Unique,
+    On,
+    Not,
+    Null,
+    And,
+    Or,
+    True,
+    False,
+    Order,
+    By,
+    Asc,
+    Desc,
+    Limit,
+}
+
+impl Keyword {
+    /// Parse a keyword from an identifier-shaped word.
+    pub fn parse(word: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match word.to_ascii_uppercase().as_str() {
+            "SELECT" => Select,
+            "FROM" => From,
+            "WHERE" => Where,
+            "INSERT" => Insert,
+            "INTO" => Into,
+            "VALUES" => Values,
+            "UPDATE" => Update,
+            "SET" => Set,
+            "DELETE" => Delete,
+            "CREATE" => Create,
+            "DROP" => Drop,
+            "TABLE" => Table,
+            "INDEX" => Index,
+            "UNIQUE" => Unique,
+            "ON" => On,
+            "NOT" => Not,
+            "NULL" => Null,
+            "AND" => And,
+            "OR" => Or,
+            "TRUE" => True,
+            "FALSE" => False,
+            "ORDER" => Order,
+            "BY" => By,
+            "ASC" => Asc,
+            "DESC" => Desc,
+            "LIMIT" => Limit,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexical token with its source offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the token start in the input.
+    pub offset: usize,
+}
+
+/// Token payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Keyword(Keyword),
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    // punctuation / operators
+    Comma,
+    LParen,
+    RParen,
+    Star,
+    Semicolon,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k:?}"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Float(v) => write!(f, "float {v}"),
+            TokenKind::Str(s) => write!(f, "string '{s}'"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::Star => f.write_str("`*`"),
+            TokenKind::Semicolon => f.write_str("`;`"),
+            TokenKind::Eq => f.write_str("`=`"),
+            TokenKind::NotEq => f.write_str("`!=`"),
+            TokenKind::Lt => f.write_str("`<`"),
+            TokenKind::LtEq => f.write_str("`<=`"),
+            TokenKind::Gt => f.write_str("`>`"),
+            TokenKind::GtEq => f.write_str("`>=`"),
+            TokenKind::Plus => f.write_str("`+`"),
+            TokenKind::Minus => f.write_str("`-`"),
+            TokenKind::Slash => f.write_str("`/`"),
+            TokenKind::Percent => f.write_str("`%`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(Keyword::parse("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::parse("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::parse("selec"), None);
+    }
+
+    #[test]
+    fn display_does_not_panic() {
+        for k in [
+            TokenKind::Comma,
+            TokenKind::Eof,
+            TokenKind::Ident("x".into()),
+            TokenKind::Int(3),
+            TokenKind::Float(1.5),
+            TokenKind::Str("s".into()),
+            TokenKind::Keyword(Keyword::From),
+        ] {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

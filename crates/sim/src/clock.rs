@@ -1,0 +1,110 @@
+//! Virtual time.
+//!
+//! All delays in the evaluation are *accounted*, never slept: the paper's
+//! adversary totals run to weeks. A [`VirtualClock`] is a monotone f64 of
+//! seconds that workloads and the gatekeeper share.
+
+/// A monotone virtual clock (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VirtualClock {
+    now: f64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock { now: 0.0 }
+    }
+
+    /// A clock starting at `t`.
+    pub fn at(t: f64) -> VirtualClock {
+        assert!(t.is_finite());
+        VirtualClock { now: t }
+    }
+
+    /// Current time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advance by `dt` seconds.
+    ///
+    /// # Panics
+    /// If `dt` is negative or not finite.
+    pub fn advance(&mut self, dt: f64) {
+        assert!(dt >= 0.0 && dt.is_finite(), "time must move forward");
+        self.now += dt;
+    }
+
+    /// Jump to an absolute time not before the current one.
+    pub fn advance_to(&mut self, t: f64) {
+        assert!(t >= self.now, "clock cannot go backwards");
+        self.now = t;
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        VirtualClock::new()
+    }
+}
+
+/// Convenient time-unit conversions for reporting.
+pub mod units {
+    /// Seconds per hour.
+    pub const HOUR: f64 = 3600.0;
+    /// Seconds per day.
+    pub const DAY: f64 = 24.0 * HOUR;
+    /// Seconds per week.
+    pub const WEEK: f64 = 7.0 * DAY;
+
+    /// Seconds → hours.
+    pub fn to_hours(secs: f64) -> f64 {
+        secs / HOUR
+    }
+
+    /// Seconds → weeks.
+    pub fn to_weeks(secs: f64) -> f64 {
+        secs / WEEK
+    }
+
+    /// Seconds → milliseconds.
+    pub fn to_millis(secs: f64) -> f64 {
+        secs * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances() {
+        let mut c = VirtualClock::new();
+        c.advance(1.5);
+        c.advance(0.0);
+        assert_eq!(c.now(), 1.5);
+        c.advance_to(10.0);
+        assert_eq!(c.now(), 10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn backwards_rejected() {
+        let mut c = VirtualClock::at(5.0);
+        c.advance_to(4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_dt_rejected() {
+        VirtualClock::new().advance(-1.0);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(units::to_hours(7200.0), 2.0);
+        assert_eq!(units::to_weeks(units::WEEK * 3.0), 3.0);
+        assert_eq!(units::to_millis(0.25), 250.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # delayguard-sim
+//!
+//! Virtual-clock simulation of the paper's evaluation (§4):
+//!
+//! * [`clock`] / [`events`] — virtual time and a discrete-event queue.
+//! * [`metrics`] — online mean/stdev (Welford) and exact quantiles; the
+//!   paper reports *medians* for users and totals for adversaries.
+//! * [`replay`] — replay a workload trace through the learn→rank→delay
+//!   pipeline (Tables 1–4).
+//! * [`extraction`] — full-database extraction under either policy,
+//!   producing delay totals and retrieval schedules (Figures 4–5).
+//! * [`staleness`] — expected / simulated stale fractions of an extracted
+//!   copy (Figure 6).
+//! * [`overhead`] — the §4.4 mechanism-cost methodology (Table 5).
+//! * [`report`] — plain-text table rendering for the harness.
+
+pub mod clock;
+pub mod events;
+pub mod extraction;
+pub mod metrics;
+pub mod mixed;
+pub mod overhead;
+pub mod replay;
+pub mod report;
+pub mod staleness;
+
+pub use clock::{units, VirtualClock};
+pub use events::EventQueue;
+pub use extraction::{
+    extract_access_based, extract_update_based, uniform_user_median_delay, ExtractionReport,
+};
+pub use metrics::{median_of, OnlineStats, Quantiles};
+pub use mixed::{run_mixed, MixedConfig, MixedReport};
+pub use overhead::{measure_overhead, OverheadConfig, OverheadReport};
+pub use replay::{replay, replay_keys, DecayMode, ReplayConfig, ReplayResult};
+pub use report::{fmt_dollars, fmt_pct, fmt_secs, TableBuilder};
+pub use staleness::ExtractionSchedule;

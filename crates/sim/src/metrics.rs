@@ -1,0 +1,199 @@
+//! Latency metrics: online mean/stdev and quantiles.
+//!
+//! The paper argues (§2.1) that for skewed distributions "a quantile
+//! metric such as the median is more representative and fair" than the
+//! mean; this module provides both so tables can report medians while the
+//! overhead experiment (Table 5) reports mean ± stdev.
+
+/// Welford online mean / variance accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> OnlineStats {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (n-1 denominator; 0 for < 2 samples).
+    pub fn stdev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+}
+
+/// Exact quantiles over a sample set (consumes and sorts a copy).
+#[derive(Debug, Clone)]
+pub struct Quantiles {
+    sorted: Vec<f64>,
+}
+
+impl Quantiles {
+    /// Build from samples. NaNs are rejected.
+    ///
+    /// # Panics
+    /// If any sample is NaN.
+    pub fn of(mut samples: Vec<f64>) -> Quantiles {
+        assert!(samples.iter().all(|x| !x.is_nan()), "NaN sample");
+        samples.sort_by(|a, b| a.total_cmp(b));
+        Quantiles { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by the nearest-rank method;
+    /// 0 for an empty set.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        self.sorted[idx]
+    }
+
+    /// The median (`q = 0.5`): the paper's headline user metric.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+/// Compute the median of a sample vector in place (linear time).
+pub fn median_of(mut samples: Vec<f64>) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mid = (samples.len() - 1) / 2;
+    let (_, m, _) = samples.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+    *m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_match_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample stdev with n-1: sqrt(32/7).
+        assert!((s.stdev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zeroish() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stdev(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let q = Quantiles::of(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(q.median(), 3.0);
+        assert_eq!(q.quantile(0.0), 1.0);
+        assert_eq!(q.quantile(1.0), 5.0);
+        assert_eq!(q.quantile(0.2), 1.0);
+        assert_eq!(q.quantile(0.21), 2.0);
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn median_of_even_and_odd() {
+        assert_eq!(median_of(vec![3.0, 1.0, 2.0]), 2.0);
+        // Even count: lower middle by our convention.
+        assert_eq!(median_of(vec![4.0, 1.0, 3.0, 2.0]), 2.0);
+        assert_eq!(median_of(vec![]), 0.0);
+        assert_eq!(median_of(vec![7.0]), 7.0);
+    }
+
+    #[test]
+    fn median_of_matches_quantiles() {
+        let xs: Vec<f64> = (0..1001).map(|i| ((i * 7919) % 1001) as f64).collect();
+        assert_eq!(median_of(xs.clone()), Quantiles::of(xs).median());
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_rejected() {
+        Quantiles::of(vec![1.0, f64::NAN]);
+    }
+}

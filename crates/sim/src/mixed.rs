@@ -1,0 +1,223 @@
+//! Event-accurate mixed workload simulation (paper §4.3).
+//!
+//! The §4.3 experiment "simultaneously posed queries and posted updates"
+//! against a 100,000-tuple relation. [`crate::extraction`] computes the
+//! same quantities analytically from rates; this module runs the actual
+//! discrete-event race on the [`crate::events::EventQueue`]: Poisson
+//! queries from legitimate users, Poisson updates with skewed rates, and
+//! an adversary whose next fetch is scheduled after the current tuple's
+//! delay elapses. Staleness is then *observed* (a fetched value was
+//! overwritten before the extraction finished), not estimated.
+
+use crate::events::EventQueue;
+use delayguard_core::UpdateDelayPolicy;
+use delayguard_workload::{Rng, UpdateRates};
+
+/// Events racing in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A legitimate user's query (uniform over items).
+    UserQuery,
+    /// An update to some item (chosen by rate-weighted sampling).
+    Update,
+    /// The adversary's delayed fetch of item at this position of its scan
+    /// completes.
+    AdversaryFetch { position: usize },
+}
+
+/// Configuration of a mixed run.
+#[derive(Debug, Clone, Copy)]
+pub struct MixedConfig {
+    /// Aggregate legitimate query rate (queries/sec), uniform over items.
+    pub user_query_rate: f64,
+    /// Update-rate delay policy.
+    pub policy: UpdateDelayPolicy,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Results of one mixed run.
+#[derive(Debug, Clone)]
+pub struct MixedReport {
+    /// Per-user-query delays charged during the run.
+    pub user_delays: Vec<f64>,
+    /// When the adversary finished (seconds).
+    pub extraction_end: f64,
+    /// Observed fraction of the adversary's copy overwritten before the
+    /// end of extraction.
+    pub observed_stale_fraction: f64,
+    /// Total updates applied during the run.
+    pub updates_applied: u64,
+}
+
+impl MixedReport {
+    /// Median legitimate-user delay.
+    pub fn median_user_delay_secs(&self) -> f64 {
+        crate::metrics::median_of(self.user_delays.clone())
+    }
+}
+
+/// Run queries, updates, and a full sequential extraction concurrently
+/// under a virtual clock until the extraction completes.
+pub fn run_mixed(rates: &UpdateRates, config: &MixedConfig) -> MixedReport {
+    let n = rates.len();
+    let n_u64 = n as u64;
+    let mut rng = Rng::new(config.seed);
+    let update_sampler = delayguard_workload::AliasTable::new(rates.rates());
+    let total_update_rate = rates.total_rate();
+
+    // Version counters: bumped on update; the adversary records the
+    // version it saw. An item is stale if its version moved afterwards.
+    let mut version = vec![0u64; n];
+    let mut seen_version: Vec<Option<u64>> = vec![None; n];
+
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    // Prime the recurring processes.
+    queue.push(rng.exponential(config.user_query_rate), Event::UserQuery);
+    queue.push(rng.exponential(total_update_rate), Event::Update);
+    // The adversary starts immediately; its first fetch completes after
+    // the first tuple's delay.
+    let first_delay = config.policy.delay_from_rate(n_u64, rates.rate(0));
+    queue.push(first_delay, Event::AdversaryFetch { position: 0 });
+
+    let mut user_delays = Vec::new();
+    let mut updates_applied = 0u64;
+    let mut extraction_end = 0.0;
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::UserQuery => {
+                let item = rng.below(n_u64);
+                user_delays.push(config.policy.delay_from_rate(n_u64, rates.rate(item)));
+                queue.push(
+                    now + rng.exponential(config.user_query_rate),
+                    Event::UserQuery,
+                );
+            }
+            Event::Update => {
+                let item = update_sampler.sample(&mut rng);
+                version[item] += 1;
+                updates_applied += 1;
+                queue.push(now + rng.exponential(total_update_rate), Event::Update);
+            }
+            Event::AdversaryFetch { position } => {
+                // The fetch of item `position` completes now.
+                seen_version[position] = Some(version[position]);
+                let next = position + 1;
+                if next < n {
+                    let d = config
+                        .policy
+                        .delay_from_rate(n_u64, rates.rate(next as u64));
+                    queue.push(now + d, Event::AdversaryFetch { position: next });
+                } else {
+                    extraction_end = now;
+                    break; // extraction complete: stop the world
+                }
+            }
+        }
+    }
+
+    let stale = seen_version
+        .iter()
+        .enumerate()
+        .filter(|&(item, seen)| match seen {
+            Some(v) => version[item] > *v,
+            None => false,
+        })
+        .count();
+    MixedReport {
+        user_delays,
+        extraction_end,
+        observed_stale_fraction: stale as f64 / n as f64,
+        updates_applied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extraction::extract_update_based;
+    use delayguard_workload::ExtractionOrder;
+
+    fn setup(alpha: f64) -> (UpdateRates, MixedConfig) {
+        let n = 5_000u64;
+        let rates = UpdateRates::zipf(n, alpha, n as f64, 3);
+        let config = MixedConfig {
+            user_query_rate: 50.0,
+            policy: UpdateDelayPolicy::new(2.0).with_cap(10.0),
+            seed: 11,
+        };
+        (rates, config)
+    }
+
+    #[test]
+    fn extraction_end_matches_analytic_total() {
+        let (rates, config) = setup(1.0);
+        let report = run_mixed(&rates, &config);
+        let analytic =
+            extract_update_based(&rates, &config.policy, ExtractionOrder::Sequential)
+                .total_delay_secs;
+        let rel = (report.extraction_end - analytic).abs() / analytic;
+        assert!(rel < 1e-9, "event sim {} vs sum {}", report.extraction_end, analytic);
+    }
+
+    #[test]
+    fn observed_staleness_tracks_expected() {
+        let (rates, config) = setup(1.0);
+        let report = run_mixed(&rates, &config);
+        let schedule = extract_update_based(
+            &rates,
+            &config.policy,
+            ExtractionOrder::Sequential,
+        )
+        .schedule;
+        let expected = schedule.expected_stale_fraction(&rates);
+        assert!(
+            (report.observed_stale_fraction - expected).abs() < 0.05,
+            "observed {} vs expected {}",
+            report.observed_stale_fraction,
+            expected
+        );
+        assert!(report.updates_applied > 0);
+    }
+
+    #[test]
+    fn user_queries_interleave_and_stay_fast() {
+        let (rates, config) = setup(2.0);
+        let report = run_mixed(&rates, &config);
+        assert!(
+            !report.user_delays.is_empty(),
+            "users got queries in during extraction"
+        );
+        // Uniform users mostly hit low-delay (frequently updated) items
+        // less often than high-delay ones... their *median* is the median
+        // per-item delay, far below the adversary's mean per-item cost.
+        let med = report.median_user_delay_secs();
+        let adversary_mean = report.extraction_end / rates.len() as f64;
+        assert!(med <= adversary_mean, "median {med} vs mean {adversary_mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (rates, config) = setup(1.5);
+        let a = run_mixed(&rates, &config);
+        let b = run_mixed(&rates, &config);
+        assert_eq!(a.extraction_end, b.extraction_end);
+        assert_eq!(a.observed_stale_fraction, b.observed_stale_fraction);
+        assert_eq!(a.updates_applied, b.updates_applied);
+    }
+
+    #[test]
+    fn high_skew_reduces_observed_staleness() {
+        let (low_rates, config) = setup(0.25);
+        let (high_rates, _) = setup(2.5);
+        let low = run_mixed(&low_rates, &config);
+        let high = run_mixed(&high_rates, &config);
+        assert!(
+            low.observed_stale_fraction > high.observed_stale_fraction,
+            "low {} vs high {}",
+            low.observed_stale_fraction,
+            high.observed_stale_fraction
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Implementation-overhead measurement (paper §4.4, Table 5).
+//!
+//! The paper poses 100 random single-tuple selection queries and compares
+//! the average cost without count maintenance / delay computation against
+//! the cost with them. This module reproduces that methodology against the
+//! embedded engine: the *baseline* runs plain SQL through
+//! [`delayguard_query::Engine`]; the *guarded* run goes through
+//! [`delayguard_core::GuardedDatabase`], which additionally maintains
+//! per-tuple counts, updates order statistics, and computes the Eq. 1
+//! delay (the delay itself is accounted, not slept — Table 5 measures
+//! mechanism cost, not the imposed wait).
+
+use crate::metrics::OnlineStats;
+use delayguard_core::{GuardConfig, GuardedDatabase};
+use delayguard_query::Engine;
+use delayguard_workload::Rng;
+use std::time::Instant;
+
+/// Configuration of an overhead run.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadConfig {
+    /// Rows in the table.
+    pub rows: u64,
+    /// Number of measured selection queries.
+    pub queries: u64,
+    /// Warm-up queries before measurement starts.
+    pub warmup: u64,
+    /// RNG seed for query targets.
+    pub seed: u64,
+}
+
+impl Default for OverheadConfig {
+    fn default() -> Self {
+        OverheadConfig {
+            rows: 10_000,
+            // The paper poses 100 random selections; its base query cost
+            // was ~55 ms on a 2004 commercial DBMS. Ours is microseconds,
+            // so we take more samples for a stable mean.
+            queries: 5_000,
+            warmup: 500,
+            seed: 0x0CEA11,
+        }
+    }
+}
+
+/// Result: per-query latency statistics for both configurations.
+#[derive(Debug, Clone)]
+pub struct OverheadReport {
+    /// Plain engine cost (Table 5 "Base query cost").
+    pub base: OnlineStats,
+    /// Guarded cost (Table 5 "Total cost").
+    pub guarded: OnlineStats,
+}
+
+impl OverheadReport {
+    /// Mean added cost per query, seconds.
+    pub fn overhead_secs(&self) -> f64 {
+        self.guarded.mean() - self.base.mean()
+    }
+
+    /// Overhead as a fraction of the base cost.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.base.mean() <= 0.0 {
+            0.0
+        } else {
+            self.overhead_secs() / self.base.mean()
+        }
+    }
+}
+
+fn build_engine(rows: u64) -> Engine {
+    let engine = Engine::new();
+    engine
+        .execute("CREATE TABLE records (id INT NOT NULL, payload TEXT NOT NULL)")
+        .expect("create table");
+    engine
+        .execute("CREATE UNIQUE INDEX records_pk ON records (id)")
+        .expect("create index");
+    // Batch inserts for setup speed.
+    let mut batch = String::new();
+    for id in 0..rows {
+        if batch.is_empty() {
+            batch.push_str("INSERT INTO records VALUES ");
+        } else {
+            batch.push(',');
+        }
+        batch.push_str(&format!("({id}, 'payload-{id}')"));
+        if batch.len() > 60_000 || id == rows - 1 {
+            engine.execute(&batch).expect("insert batch");
+            batch.clear();
+        }
+    }
+    engine
+}
+
+/// Run the Table 5 methodology.
+///
+/// Base and guarded queries are *interleaved* over the same id sequence:
+/// with microsecond-scale query costs, two sequential measurement phases
+/// would let cache/frequency drift swamp the guard's overhead.
+pub fn measure_overhead(config: &OverheadConfig) -> OverheadReport {
+    let engine = build_engine(config.rows);
+    let guarded_db =
+        GuardedDatabase::with_engine(build_engine(config.rows), GuardConfig::paper_default());
+    let mut rng = Rng::new(config.seed);
+    let mut base = OnlineStats::new();
+    let mut guarded = OnlineStats::new();
+    for i in 0..config.warmup + config.queries {
+        let id = rng.below(config.rows);
+        let sql = format!("SELECT * FROM records WHERE id = {id}");
+
+        let start = Instant::now();
+        let out = engine.query(&sql).expect("query");
+        let dt_base = start.elapsed().as_secs_f64();
+        assert_eq!(out.len(), 1, "each selection returns exactly one tuple");
+
+        let start = Instant::now();
+        let resp = guarded_db
+            .execute_at(&sql, i as f64)
+            .expect("guarded query");
+        let dt_guarded = start.elapsed().as_secs_f64();
+        assert_eq!(resp.tuples_charged, 1);
+
+        if i >= config.warmup {
+            base.push(dt_base);
+            guarded.push(dt_guarded);
+        }
+    }
+    OverheadReport { base, guarded }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_measurable_and_modest() {
+        let report = measure_overhead(&OverheadConfig {
+            rows: 2_000,
+            queries: 200,
+            warmup: 50,
+            seed: 1,
+        });
+        assert_eq!(report.base.count(), 200);
+        assert_eq!(report.guarded.count(), 200);
+        assert!(report.base.mean() > 0.0);
+        // The guard costs something but not an order of magnitude: the
+        // paper reports ~20%; we allow a broad band because debug builds
+        // and CI noise vary. The key claim is "overheads are small".
+        let frac = report.overhead_fraction();
+        assert!(frac < 5.0, "overhead fraction {frac} out of band");
+    }
+}

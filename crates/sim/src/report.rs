@@ -1,0 +1,139 @@
+//! Plain-text table rendering for the experiments harness.
+
+/// A simple aligned-column table builder.
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableBuilder {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> TableBuilder {
+        TableBuilder {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Render to a string with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let sep_len = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
+        out.push_str(&"=".repeat(self.title.len().max(sep_len.min(100))));
+        out.push('\n');
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(sep_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds adaptively (µs/ms below 1 s, then s/h/weeks).
+pub fn fmt_secs(secs: f64) -> String {
+    if secs.abs() < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else if secs < 120.0 {
+        format!("{secs:.2} s")
+    } else if secs < 48.0 * 3600.0 {
+        format!("{:.2} h", secs / 3600.0)
+    } else {
+        format!("{:.2} weeks", secs / (7.0 * 24.0 * 3600.0))
+    }
+}
+
+/// Format a ratio as a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format dollars with thousands separators.
+pub fn fmt_dollars(x: f64) -> String {
+    let v = x.round() as i64;
+    let s = v.abs().to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    if v < 0 {
+        format!("-${out}")
+    } else {
+        format!("${out}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TableBuilder::new("Demo", &["a", "long_header"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["100".into(), "2000000".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("long_header"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header row and data rows have equal width.
+        assert_eq!(lines[2].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_arity_checked() {
+        TableBuilder::new("x", &["a", "b"]).row(&["1".into()]);
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(0.0000154), "15.40 us");
+        assert_eq!(fmt_secs(0.0154), "15.40 ms");
+        assert_eq!(fmt_secs(3.5), "3.50 s");
+        assert_eq!(fmt_secs(7200.0), "2.00 h");
+        assert!(fmt_secs(2e6).contains("weeks"));
+    }
+
+    #[test]
+    fn fmt_pct_and_dollars() {
+        assert_eq!(fmt_pct(0.897), "89.7%");
+        assert_eq!(fmt_dollars(403_706_375.0), "$403,706,375");
+        assert_eq!(fmt_dollars(-1234.0), "-$1,234");
+        assert_eq!(fmt_dollars(12.0), "$12");
+    }
+}

@@ -1,0 +1,180 @@
+//! Staleness accounting for the update-rate scheme (paper §3, §4.3).
+//!
+//! An extracted item is *stale* "if its value changes at least once during
+//! the execution of the adversary's query" — i.e. if at least one update
+//! to it lands between its retrieval and the end of extraction. With
+//! Poisson updates at rate `r`, that happens with probability
+//! `1 − exp(−r · (T_end − t_retrieved))`.
+
+use delayguard_workload::{Rng, UpdateRates};
+
+/// The retrieval schedule of one extraction run: item `i` was retrieved at
+/// `times[i]` seconds, and extraction finished at `end`.
+#[derive(Debug, Clone)]
+pub struct ExtractionSchedule {
+    /// Retrieval time per item (indexed by item id).
+    pub times: Vec<f64>,
+    /// Completion time of the whole extraction.
+    pub end: f64,
+}
+
+impl ExtractionSchedule {
+    /// Expected fraction of the extracted copy that is stale at `end`,
+    /// under Poisson updates with the given per-item rates.
+    pub fn expected_stale_fraction(&self, rates: &UpdateRates) -> f64 {
+        assert_eq!(self.times.len(), rates.len());
+        if self.times.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .times
+            .iter()
+            .enumerate()
+            .map(|(item, &t)| rates.stale_probability(item as u64, self.end - t))
+            .sum();
+        sum / self.times.len() as f64
+    }
+
+    /// Monte-Carlo staleness: sample, per item, the first update after its
+    /// retrieval (exponential with its rate) and check whether it lands
+    /// before `end`. Deterministic given `seed`.
+    pub fn simulated_stale_fraction(&self, rates: &UpdateRates, seed: u64) -> f64 {
+        assert_eq!(self.times.len(), rates.len());
+        if self.times.is_empty() {
+            return 0.0;
+        }
+        let mut rng = Rng::new(seed);
+        let stale = self
+            .times
+            .iter()
+            .enumerate()
+            .filter(|&(item, &t)| {
+                let rate = rates.rate(item as u64);
+                if rate <= 0.0 {
+                    return false;
+                }
+                let next_update = t + rng.exponential(rate);
+                next_update <= self.end
+            })
+            .count();
+        stale as f64 / self.times.len() as f64
+    }
+
+    /// The paper's deterministic criterion (Eq. 10): item `i` is stale iff
+    /// `d_total ≥ 1/r_i`, where `d_total` is the *whole* extraction time.
+    /// This is what Eq. 11/12 are derived from; it slightly overstates
+    /// staleness for items retrieved late in the run (their true exposure
+    /// is `end − t_i`), which the exposure-based measures below refine.
+    pub fn paper_stale_fraction(&self, rates: &UpdateRates) -> f64 {
+        assert_eq!(self.times.len(), rates.len());
+        if self.times.is_empty() {
+            return 0.0;
+        }
+        let stale = (0..rates.len() as u64)
+            .filter(|&item| {
+                let r = rates.rate(item);
+                r > 0.0 && self.end >= 1.0 / r
+            })
+            .count();
+        stale as f64 / self.times.len() as f64
+    }
+
+    /// Number of items whose update *period* (1/rate) fits inside their
+    /// actual exposure window `end − t_i`, as a fraction — the
+    /// per-item-exposure refinement of Eq. 10.
+    pub fn deterministic_stale_fraction(&self, rates: &UpdateRates) -> f64 {
+        assert_eq!(self.times.len(), rates.len());
+        if self.times.is_empty() {
+            return 0.0;
+        }
+        let stale = self
+            .times
+            .iter()
+            .enumerate()
+            .filter(|&(item, &t)| {
+                let r = rates.rate(item as u64);
+                r > 0.0 && (self.end - t) >= 1.0 / r
+            })
+            .count();
+        stale as f64 / self.times.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule_all_at_zero(n: usize, end: f64) -> ExtractionSchedule {
+        ExtractionSchedule {
+            times: vec![0.0; n],
+            end,
+        }
+    }
+
+    #[test]
+    fn no_time_no_staleness() {
+        let rates = UpdateRates::uniform(100, 10.0);
+        let s = schedule_all_at_zero(100, 0.0);
+        assert_eq!(s.expected_stale_fraction(&rates), 0.0);
+        assert_eq!(s.deterministic_stale_fraction(&rates), 0.0);
+    }
+
+    #[test]
+    fn long_exposure_means_everything_stale() {
+        let rates = UpdateRates::uniform(100, 10.0); // 0.1 upd/s each
+        let s = schedule_all_at_zero(100, 1e6);
+        assert!(s.expected_stale_fraction(&rates) > 0.999);
+        assert_eq!(s.deterministic_stale_fraction(&rates), 1.0);
+        assert!(s.simulated_stale_fraction(&rates, 1) > 0.99);
+    }
+
+    #[test]
+    fn expected_matches_formula() {
+        // One item, rate 1/s, exposed 1s: P = 1 - e^-1.
+        let rates = UpdateRates::uniform(1, 1.0);
+        let s = schedule_all_at_zero(1, 1.0);
+        let p = s.expected_stale_fraction(&rates);
+        assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn later_retrieval_less_stale() {
+        let rates = UpdateRates::uniform(2, 2.0); // 1 upd/s each
+        let s = ExtractionSchedule {
+            times: vec![0.0, 9.0],
+            end: 10.0,
+        };
+        let p_early = rates.stale_probability(0, 10.0);
+        let p_late = rates.stale_probability(1, 1.0);
+        assert!(p_early > p_late);
+        let expected = (p_early + p_late) / 2.0;
+        assert!((s.expected_stale_fraction(&rates) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_close_to_expectation() {
+        let rates = UpdateRates::zipf(2_000, 1.0, 20.0, 7);
+        let s = schedule_all_at_zero(2_000, 50.0);
+        let expected = s.expected_stale_fraction(&rates);
+        let simulated = s.simulated_stale_fraction(&rates, 99);
+        assert!(
+            (expected - simulated).abs() < 0.05,
+            "expected {expected}, simulated {simulated}"
+        );
+    }
+
+    #[test]
+    fn skew_reduces_stale_fraction_at_fixed_budget() {
+        // Paper Fig. 6: with updates concentrated on few items (high α),
+        // a smaller fraction of the database goes stale.
+        let n = 5_000u64;
+        let end = 1_000.0;
+        let low = UpdateRates::zipf(n, 0.25, 10.0, 3);
+        let high = UpdateRates::zipf(n, 2.5, 10.0, 3);
+        let s = schedule_all_at_zero(n as usize, end);
+        assert!(
+            s.expected_stale_fraction(&low) > s.expected_stale_fraction(&high),
+            "low skew should go staler"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Lightweight operation counters per table.
+
+/// Counters of operations applied to a table since creation (or snapshot
+/// load). Used by the overhead experiments and by the update-rate delay
+/// policy to observe update traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Rows inserted.
+    pub inserts: u64,
+    /// Rows updated in place (including relocations).
+    pub updates: u64,
+    /// Rows deleted.
+    pub deletes: u64,
+    /// Point reads served (get by RowId).
+    pub reads: u64,
+}
+
+impl TableStats {
+    /// Total write operations.
+    pub fn writes(&self) -> u64 {
+        self.inserts + self.updates + self.deletes
+    }
+
+    /// Total operations of any kind.
+    pub fn total(&self) -> u64 {
+        self.writes() + self.reads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = TableStats {
+            inserts: 2,
+            updates: 3,
+            deletes: 1,
+            reads: 10,
+        };
+        assert_eq!(s.writes(), 6);
+        assert_eq!(s.total(), 16);
+        assert_eq!(TableStats::default().total(), 0);
+    }
+}

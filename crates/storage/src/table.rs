@@ -1,0 +1,422 @@
+//! Tables: schema + heap + indexes, kept mutually consistent.
+
+use crate::codec::{decode_row, row_bytes};
+use crate::error::{Result, StorageError};
+use crate::heap::HeapFile;
+use crate::index::{Index, IndexDef, IndexKey};
+use crate::row::{Row, RowId};
+use crate::schema::Schema;
+use crate::stats::TableStats;
+use std::ops::Bound;
+
+/// A table: rows stored in a heap file, plus any number of named indexes.
+///
+/// All mutating operations keep every index consistent with the heap, and
+/// validate rows against the schema before touching storage.
+pub struct Table {
+    name: String,
+    schema: Schema,
+    heap: HeapFile,
+    indexes: Vec<Index>,
+    stats: TableStats,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Table {
+        Table {
+            name: name.into(),
+            schema,
+            heap: HeapFile::new(),
+            indexes: Vec::new(),
+            stats: TableStats::default(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    /// Record `n` point reads served outside [`Table::get`] (e.g. by a
+    /// query executor that fetched rows via `peek`).
+    pub fn record_reads(&mut self, n: u64) {
+        self.stats.reads += n;
+    }
+
+    /// The underlying heap (for snapshotting).
+    pub fn heap(&self) -> &HeapFile {
+        &self.heap
+    }
+
+    /// Index definitions (for snapshotting and planning).
+    pub fn index_defs(&self) -> Vec<IndexDef> {
+        self.indexes.iter().map(|i| i.def().clone()).collect()
+    }
+
+    /// Create an index over the named columns, backfilling existing rows.
+    pub fn create_index(&mut self, name: &str, columns: &[&str], unique: bool) -> Result<()> {
+        if self.indexes.iter().any(|i| i.def().name == name) {
+            return Err(StorageError::IndexExists(name.to_owned()));
+        }
+        let positions: Result<Vec<usize>> =
+            columns.iter().map(|c| self.schema.index_of(c)).collect();
+        let def = IndexDef {
+            name: name.to_owned(),
+            columns: positions?,
+            unique,
+        };
+        let mut index = Index::new(def);
+        for (rid, rec) in self.heap.iter() {
+            let row = decode_row(rec)?;
+            index.insert(index.key_of(&row), rid)?;
+        }
+        self.indexes.push(index);
+        Ok(())
+    }
+
+    /// Drop the named index.
+    pub fn drop_index(&mut self, name: &str) -> Result<()> {
+        let pos = self
+            .indexes
+            .iter()
+            .position(|i| i.def().name == name)
+            .ok_or_else(|| StorageError::IndexNotFound(name.to_owned()))?;
+        self.indexes.remove(pos);
+        Ok(())
+    }
+
+    /// Find an index whose leading key columns are exactly `columns`.
+    pub fn index_on(&self, columns: &[usize]) -> Option<&Index> {
+        self.indexes.iter().find(|i| i.def().columns == columns)
+    }
+
+    /// Find an index by name.
+    pub fn index_named(&self, name: &str) -> Option<&Index> {
+        self.indexes.iter().find(|i| i.def().name == name)
+    }
+
+    /// Insert a row, updating all indexes. Rolls back on unique violations.
+    pub fn insert(&mut self, row: Row) -> Result<RowId> {
+        self.schema.validate(&row)?;
+        // Check unique constraints before touching storage so failures
+        // leave no trace.
+        for index in &self.indexes {
+            if index.def().unique {
+                let key = index.key_of(&row);
+                if !index.lookup(&key).is_empty() {
+                    return Err(StorageError::UniqueViolation {
+                        index: index.def().name.clone(),
+                    });
+                }
+            }
+        }
+        let rid = self.heap.insert(&row_bytes(&row))?;
+        for index in &mut self.indexes {
+            let key = index.key_of(&row);
+            index
+                .insert(key, rid)
+                .expect("uniqueness was pre-checked; insert cannot fail");
+        }
+        self.stats.inserts += 1;
+        Ok(rid)
+    }
+
+    /// Fetch a row by RowId.
+    pub fn get(&mut self, rid: RowId) -> Result<Row> {
+        let rec = self
+            .heap
+            .get(rid)
+            .ok_or(StorageError::RowNotFound(rid.raw()))?;
+        let row = decode_row(rec)?;
+        self.stats.reads += 1;
+        Ok(row)
+    }
+
+    /// Fetch without bumping read stats (internal uses, planners, tests).
+    pub fn peek(&self, rid: RowId) -> Result<Row> {
+        let rec = self
+            .heap
+            .get(rid)
+            .ok_or(StorageError::RowNotFound(rid.raw()))?;
+        decode_row(rec)
+    }
+
+    /// Replace the row at `rid` with `new_row`, keeping indexes consistent.
+    /// Returns the (possibly relocated) RowId.
+    pub fn update(&mut self, rid: RowId, new_row: Row) -> Result<RowId> {
+        self.schema.validate(&new_row)?;
+        let old_row = self.peek(rid)?;
+        // Unique pre-check: the new key may collide with some *other* row.
+        for index in &self.indexes {
+            if index.def().unique {
+                let new_key = index.key_of(&new_row);
+                let existing = index.lookup(&new_key);
+                if existing.iter().any(|&r| r != rid) {
+                    return Err(StorageError::UniqueViolation {
+                        index: index.def().name.clone(),
+                    });
+                }
+            }
+        }
+        let new_rid = self.heap.update(rid, &row_bytes(&new_row))?;
+        for index in &mut self.indexes {
+            let old_key = index.key_of(&old_row);
+            let new_key = index.key_of(&new_row);
+            if old_key != new_key || rid != new_rid {
+                index.remove(&old_key, rid);
+                index
+                    .insert(new_key, new_rid)
+                    .expect("uniqueness was pre-checked; insert cannot fail");
+            }
+        }
+        self.stats.updates += 1;
+        Ok(new_rid)
+    }
+
+    /// Delete the row at `rid`. Returns the deleted row.
+    pub fn delete(&mut self, rid: RowId) -> Result<Row> {
+        let row = self.peek(rid)?;
+        self.heap.delete(rid);
+        for index in &mut self.indexes {
+            let key = index.key_of(&row);
+            index.remove(&key, rid);
+        }
+        self.stats.deletes += 1;
+        Ok(row)
+    }
+
+    /// Full scan over `(RowId, Row)` in RowId order. Decodes lazily.
+    pub fn scan(&self) -> impl Iterator<Item = Result<(RowId, Row)>> + '_ {
+        self.heap
+            .iter()
+            .map(|(rid, rec)| decode_row(rec).map(|row| (rid, row)))
+    }
+
+    /// RowIds matching an exact key on an index over `columns`.
+    pub fn index_lookup(&self, columns: &[usize], key: &IndexKey) -> Option<Vec<RowId>> {
+        self.index_on(columns).map(|i| i.lookup(key).to_vec())
+    }
+
+    /// RowIds within a key range on an index over `columns`.
+    pub fn index_range(
+        &self,
+        columns: &[usize],
+        lo: Bound<&IndexKey>,
+        hi: Bound<&IndexKey>,
+    ) -> Option<Vec<RowId>> {
+        self.index_on(columns).map(|i| i.range(lo, hi).collect())
+    }
+
+    /// Rebuild from snapshot parts (heap pages already loaded).
+    pub(crate) fn from_parts(
+        name: String,
+        schema: Schema,
+        heap: HeapFile,
+        index_defs: Vec<IndexDef>,
+        stats: TableStats,
+    ) -> Result<Table> {
+        let mut table = Table {
+            name,
+            schema,
+            heap,
+            indexes: Vec::new(),
+            stats,
+        };
+        for def in index_defs {
+            let mut index = Index::new(def);
+            for (rid, rec) in table.heap.iter() {
+                let row = decode_row(rec)?;
+                index.insert(index.key_of(&row), rid)?;
+            }
+            table.indexes.push(index);
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::{DataType, Value};
+
+    fn movies() -> Table {
+        let schema = Schema::new(vec![
+            Column::not_null("id", DataType::Int),
+            Column::not_null("title", DataType::Text),
+            Column::new("gross", DataType::Float),
+        ])
+        .unwrap();
+        let mut t = Table::new("movies", schema);
+        t.create_index("movies_pk", &["id"], true).unwrap();
+        t.create_index("movies_title", &["title"], false).unwrap();
+        t
+    }
+
+    fn movie(id: i64, title: &str, gross: f64) -> Row {
+        Row::new(vec![
+            Value::Int(id),
+            Value::Text(title.into()),
+            Value::Float(gross),
+        ])
+    }
+
+    #[test]
+    fn insert_and_point_read() {
+        let mut t = movies();
+        let rid = t.insert(movie(1, "Spider-Man", 403.7e6)).unwrap();
+        let row = t.get(rid).unwrap();
+        assert_eq!(row.get(1), Some(&Value::Text("Spider-Man".into())));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.stats().inserts, 1);
+        assert_eq!(t.stats().reads, 1);
+    }
+
+    #[test]
+    fn unique_index_enforced_without_side_effects() {
+        let mut t = movies();
+        t.insert(movie(1, "A", 1.0)).unwrap();
+        let err = t.insert(movie(1, "B", 2.0)).unwrap_err();
+        assert!(matches!(err, StorageError::UniqueViolation { .. }));
+        assert_eq!(t.len(), 1, "failed insert must not leave a row");
+        // Secondary index must not contain the phantom title either.
+        let pos = t.schema().index_of("title").unwrap();
+        let hits = t
+            .index_lookup(&[pos], &vec![Value::Text("B".into())])
+            .unwrap();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn update_moves_index_entries() {
+        let mut t = movies();
+        let rid = t.insert(movie(1, "Old", 1.0)).unwrap();
+        t.insert(movie(2, "Other", 2.0)).unwrap();
+        let new_rid = t.update(rid, movie(1, "New", 3.0)).unwrap();
+        let title_col = t.schema().index_of("title").unwrap();
+        assert!(t
+            .index_lookup(&[title_col], &vec![Value::Text("Old".into())])
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            t.index_lookup(&[title_col], &vec![Value::Text("New".into())])
+                .unwrap(),
+            vec![new_rid]
+        );
+    }
+
+    #[test]
+    fn update_unique_collision_rejected() {
+        let mut t = movies();
+        let _a = t.insert(movie(1, "A", 1.0)).unwrap();
+        let b = t.insert(movie(2, "B", 2.0)).unwrap();
+        let err = t.update(b, movie(1, "B2", 2.0)).unwrap_err();
+        assert!(matches!(err, StorageError::UniqueViolation { .. }));
+        // b unchanged
+        assert_eq!(t.peek(b).unwrap().get(0), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn update_to_same_key_is_allowed() {
+        let mut t = movies();
+        let rid = t.insert(movie(1, "A", 1.0)).unwrap();
+        let rid2 = t.update(rid, movie(1, "A", 9.0)).unwrap();
+        assert_eq!(rid, rid2);
+        assert_eq!(t.peek(rid2).unwrap().get(2), Some(&Value::Float(9.0)));
+    }
+
+    #[test]
+    fn delete_cleans_indexes() {
+        let mut t = movies();
+        let rid = t.insert(movie(1, "Gone", 1.0)).unwrap();
+        let row = t.delete(rid).unwrap();
+        assert_eq!(row.get(1), Some(&Value::Text("Gone".into())));
+        assert_eq!(t.len(), 0);
+        let id_col = t.schema().index_of("id").unwrap();
+        assert!(t
+            .index_lookup(&[id_col], &vec![Value::Int(1)])
+            .unwrap()
+            .is_empty());
+        assert!(t.get(rid).is_err());
+    }
+
+    #[test]
+    fn scan_returns_all_live_rows() {
+        let mut t = movies();
+        for i in 0..10 {
+            t.insert(movie(i, &format!("m{i}"), i as f64)).unwrap();
+        }
+        let rows: Vec<Row> = t.scan().map(|r| r.unwrap().1).collect();
+        assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn create_index_backfills() {
+        let mut t = movies();
+        for i in 0..5 {
+            t.insert(movie(i, "same", i as f64)).unwrap();
+        }
+        t.create_index("by_gross", &["gross"], false).unwrap();
+        let g = t.schema().index_of("gross").unwrap();
+        let hits = t
+            .index_lookup(&[g], &vec![Value::Float(3.0)])
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let mut t = movies();
+        assert!(matches!(
+            t.create_index("movies_pk", &["gross"], false),
+            Err(StorageError::IndexExists(_))
+        ));
+    }
+
+    #[test]
+    fn drop_index_works() {
+        let mut t = movies();
+        t.drop_index("movies_title").unwrap();
+        assert!(t.index_named("movies_title").is_none());
+        assert!(matches!(
+            t.drop_index("movies_title"),
+            Err(StorageError::IndexNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn index_range_scan() {
+        let mut t = movies();
+        for i in 0..10 {
+            t.insert(movie(i, &format!("m{i}"), i as f64)).unwrap();
+        }
+        let id_col = t.schema().index_of("id").unwrap();
+        let lo = vec![Value::Int(3)];
+        let hi = vec![Value::Int(6)];
+        let rids = t
+            .index_range(&[id_col], Bound::Included(&lo), Bound::Excluded(&hi))
+            .unwrap();
+        assert_eq!(rids.len(), 3);
+    }
+}

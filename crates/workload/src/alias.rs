@@ -1,0 +1,148 @@
+//! Walker–Vose alias method: `O(1)` sampling from arbitrary discrete
+//! distributions.
+//!
+//! Used where weights are not rank-shaped — e.g. sampling films in
+//! proportion to their weekly box-office sales.
+
+use crate::rng::Rng;
+
+/// An alias table over `n` outcomes.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (not necessarily normalized).
+    ///
+    /// # Panics
+    /// If `weights` is empty, contains a negative/non-finite value, or sums
+    /// to zero.
+    pub fn new(weights: &[f64]) -> AliasTable {
+        assert!(!weights.is_empty(), "need at least one outcome");
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        assert!(total > 0.0, "weights must not all be zero");
+        let scale = n as f64 / total;
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut small = Vec::new();
+        let mut large = Vec::new();
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true: construction requires ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Sample an outcome index.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let i = rng.below(self.len() as u64) as usize;
+        if rng.next_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_weights_statistically() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights);
+        let mut rng = Rng::new(17);
+        let trials = 400_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..trials {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for i in 0..4 {
+            let obs = counts[i] as f64 / trials as f64;
+            let exp = weights[i] / total;
+            assert!((obs - exp).abs() / exp < 0.03, "outcome {i}: {obs} vs {exp}");
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[7.0]);
+        let mut rng = Rng::new(1);
+        for _ in 0..10 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]);
+        let mut rng = Rng::new(3);
+        for _ in 0..10_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 1 || s == 3, "sampled zero-weight outcome {s}");
+        }
+    }
+
+    #[test]
+    fn highly_skewed_weights() {
+        let t = AliasTable::new(&[1e-9, 1.0]);
+        let mut rng = Rng::new(4);
+        let hits = (0..100_000).filter(|_| t.sample(&mut rng) == 0).count();
+        assert!(hits < 10, "rare outcome sampled {hits} times");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rejected() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_zero_rejected() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_rejected() {
+        AliasTable::new(&[1.0, -0.5]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Synthetic Calgary-style web trace (paper §4.1).
+//!
+//! The paper replays the University of Calgary web-server trace of Arlitt &
+//! Williamson: **12,179 objects**, **725,091 requests**, a *static*
+//! popularity distribution that "loosely follows an exponential popularity
+//! distribution with α ≈ 1.5". The original trace is not redistributable,
+//! so this module synthesizes a trace with the published parameters: a
+//! Zipf(α) popularity over a shuffled object universe (so object ids carry
+//! no rank information), with uniform request spacing.
+//!
+//! The defense only observes (a) which object each request touches and
+//! (b) arrival order — both of which this generator reproduces — so the
+//! learned-count → rank → delay pipeline is exercised identically to the
+//! real trace.
+
+use crate::rng::Rng;
+use crate::trace::{Request, Trace};
+use crate::zipf::Zipf;
+
+/// Parameters of a Calgary-like synthetic trace.
+#[derive(Debug, Clone, Copy)]
+pub struct CalgaryConfig {
+    /// Number of distinct objects (paper: 12,179).
+    pub objects: u64,
+    /// Number of requests to generate (paper: 725,091).
+    pub requests: u64,
+    /// Zipf parameter of the static popularity distribution (paper: ≈1.5).
+    pub alpha: f64,
+    /// Seconds between consecutive requests. The paper's replay spans a
+    /// year of requests; only relative order matters for count learning.
+    pub inter_arrival_secs: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CalgaryConfig {
+    fn default() -> Self {
+        CalgaryConfig {
+            objects: 12_179,
+            requests: 725_091,
+            alpha: 1.5,
+            // One year / 725k requests ≈ 43.5 s between requests.
+            inter_arrival_secs: 43.5,
+            seed: 0xCA16A47,
+        }
+    }
+}
+
+impl CalgaryConfig {
+    /// The paper's trace dimensions, exactly.
+    pub fn paper() -> CalgaryConfig {
+        CalgaryConfig::default()
+    }
+
+    /// Scale the object universe (for Table 1's 100k/500k/1M synthetic
+    /// databases) while keeping the request-to-object ratio of the
+    /// original trace.
+    pub fn scaled_to(objects: u64) -> CalgaryConfig {
+        let base = CalgaryConfig::default();
+        let ratio = base.requests as f64 / base.objects as f64;
+        CalgaryConfig {
+            objects,
+            requests: (objects as f64 * ratio).round() as u64,
+            ..base
+        }
+    }
+
+    /// Generate the trace, materialized in memory.
+    pub fn generate(&self) -> Trace {
+        let keys: Vec<u64> = self.key_stream().collect();
+        let requests = keys
+            .into_iter()
+            .enumerate()
+            .map(|(i, key)| Request {
+                time: i as f64 * self.inter_arrival_secs,
+                key,
+            })
+            .collect();
+        Trace::new(requests, self.objects)
+    }
+
+    /// Generate the request *keys* lazily, without materializing the trace
+    /// — the Table 1 sweep replays up to ~60M requests, which would not
+    /// fit in memory as a `Vec<Request>`.
+    pub fn key_stream(&self) -> CalgaryKeys {
+        assert!(self.objects > 0 && self.requests > 0);
+        let mut rng = Rng::new(self.seed);
+        let zipf = Zipf::new(self.objects, self.alpha);
+        // Shuffle rank -> object id so ids don't leak popularity.
+        let rank_to_key = rng.permutation(self.objects as usize);
+        CalgaryKeys {
+            rng,
+            zipf,
+            rank_to_key,
+            remaining: self.requests,
+        }
+    }
+}
+
+/// Lazy iterator over the keys of a synthetic Calgary trace.
+pub struct CalgaryKeys {
+    rng: Rng,
+    zipf: Zipf,
+    rank_to_key: Vec<u64>,
+    remaining: u64,
+}
+
+impl Iterator for CalgaryKeys {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let rank = self.zipf.sample(&mut self.rng);
+        Some(self.rank_to_key[(rank - 1) as usize])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CalgaryConfig {
+        CalgaryConfig {
+            objects: 500,
+            requests: 50_000,
+            alpha: 1.5,
+            inter_arrival_secs: 1.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn paper_dimensions() {
+        let c = CalgaryConfig::paper();
+        assert_eq!(c.objects, 12_179);
+        assert_eq!(c.requests, 725_091);
+        assert!((c.alpha - 1.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn generates_requested_size() {
+        let t = small().generate();
+        assert_eq!(t.len(), 50_000);
+        assert_eq!(t.objects, 500);
+    }
+
+    #[test]
+    fn trace_is_skewed_like_zipf() {
+        let t = small().generate();
+        let table = t.rank_table();
+        // Top object should dwarf the tail; with alpha=1.5 and 500 objects
+        // the most popular gets ~38% of requests.
+        let top = table[0].1 as f64 / t.len() as f64;
+        assert!(top > 0.25, "top frequency {top}");
+        // Frequencies decline roughly like r^-1.5 — check an order of
+        // magnitude over one decade of rank.
+        let f1 = table[0].1 as f64;
+        let f10 = table[9].1 as f64;
+        let ratio = f1 / f10;
+        assert!(
+            (10f64.powf(1.2)..10f64.powf(1.8)).contains(&ratio),
+            "rank-1/rank-10 ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn object_ids_do_not_leak_rank() {
+        let t = small().generate();
+        let table = t.rank_table();
+        // If ids leaked rank, the most popular key would be 0.
+        let top_keys: Vec<u64> = table.iter().take(5).map(|e| e.0).collect();
+        assert_ne!(top_keys, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small().generate();
+        let b = small().generate();
+        assert_eq!(a.requests[..100], b.requests[..100]);
+    }
+
+    #[test]
+    fn scaled_config_keeps_ratio() {
+        let c = CalgaryConfig::scaled_to(100_000);
+        assert_eq!(c.objects, 100_000);
+        let base_ratio = 725_091.0 / 12_179.0;
+        let ratio = c.requests as f64 / c.objects as f64;
+        assert!((ratio - base_ratio).abs() < 0.1);
+    }
+
+    #[test]
+    fn times_monotone() {
+        let t = small().generate();
+        assert!(t.requests.windows(2).all(|w| w[0].time < w[1].time));
+    }
+}

@@ -1,0 +1,215 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every experiment in this repository must be reproducible from a seed, so
+//! we use a small, well-understood generator implemented locally:
+//! `xoshiro256**` seeded through SplitMix64 (the construction recommended
+//! by the xoshiro authors). This avoids depending on external RNG crates
+//! whose output streams change across versions.
+
+/// SplitMix64 step; used for seeding and as a standalone mixer.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256** generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seed deterministically from a single value.
+    pub fn new(seed: u64) -> Rng {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. Uses rejection to avoid modulo bias.
+    ///
+    /// # Panics
+    /// If `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Lemire-style widening multiply with rejection.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponentially distributed sample with the given rate (mean `1/rate`).
+    ///
+    /// # Panics
+    /// If `rate <= 0`.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "rate must be positive");
+        // Inverse CDF; guard the log away from 0.
+        let u = 1.0 - self.next_f64(); // (0, 1]
+        -u.ln() / rate
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// A random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<u64> {
+        let mut v: Vec<u64> = (0..n as u64).collect();
+        self.shuffle(&mut v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(Rng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(1);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut r = Rng::new(7);
+        let n = 10u64;
+        let mut counts = [0u64; 10];
+        let trials = 100_000;
+        for _ in 0..trials {
+            counts[r.below(n) as usize] += 1;
+        }
+        let expected = trials as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "bucket {i} off by {dev}");
+        }
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut r = Rng::new(3);
+        for _ in 0..1000 {
+            let x = r.range(5, 8);
+            assert!((5..8).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = Rng::new(11);
+        let rate = 4.0;
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(rate)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::new(5);
+        let mut v: Vec<u64> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u64>>());
+        assert_ne!(v, (0..100).collect::<Vec<u64>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn permutation_deterministic() {
+        let mut a = Rng::new(9);
+        let mut b = Rng::new(9);
+        assert_eq!(a.permutation(50), b.permutation(50));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(2);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn below_zero_panics() {
+        Rng::new(0).below(0);
+    }
+}

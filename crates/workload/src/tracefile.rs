@@ -1,0 +1,206 @@
+//! Trace import/export in a simple CSV format.
+//!
+//! Synthetic traces stand in for the paper's Calgary and Variety data, but
+//! operators evaluating the defense on *their own* access logs need a way
+//! in. The format is one request per line, `time_secs,key`, with an
+//! optional `# objects=N` header (otherwise the universe is inferred as
+//! `max(key)+1`). Lines starting with `#` are comments.
+
+use crate::trace::{Request, Trace};
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{self, BufRead, BufReader, Read};
+use std::path::Path;
+
+/// Errors from trace parsing.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based number and content.
+    Malformed { line: usize, content: String },
+    /// Requests are not in non-decreasing time order.
+    OutOfOrder { line: usize },
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "io error: {e}"),
+            TraceFileError::Malformed { line, content } => {
+                write!(f, "malformed trace line {line}: `{content}`")
+            }
+            TraceFileError::OutOfOrder { line } => {
+                write!(f, "trace not time-ordered at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+impl From<io::Error> for TraceFileError {
+    fn from(e: io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+/// Serialize a trace to the CSV format.
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 16 + 32);
+    let _ = writeln!(out, "# objects={}", trace.objects);
+    for r in &trace.requests {
+        let _ = writeln!(out, "{},{}", r.time, r.key);
+    }
+    out
+}
+
+/// Parse a trace from any reader.
+pub fn from_reader(reader: impl Read) -> Result<Trace, TraceFileError> {
+    let reader = BufReader::new(reader);
+    let mut requests = Vec::new();
+    let mut declared_objects: Option<u64> = None;
+    let mut max_key = 0u64;
+    let mut last_time = f64::NEG_INFINITY;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            if let Some(value) = rest.trim().strip_prefix("objects=") {
+                declared_objects = value.trim().parse().ok();
+            }
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let (Some(t), Some(k), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(TraceFileError::Malformed {
+                line: lineno,
+                content: line.clone(),
+            });
+        };
+        let time: f64 = t.trim().parse().map_err(|_| TraceFileError::Malformed {
+            line: lineno,
+            content: line.clone(),
+        })?;
+        let key: u64 = k.trim().parse().map_err(|_| TraceFileError::Malformed {
+            line: lineno,
+            content: line.clone(),
+        })?;
+        if !time.is_finite() || time < last_time {
+            return Err(TraceFileError::OutOfOrder { line: lineno });
+        }
+        last_time = time;
+        max_key = max_key.max(key);
+        requests.push(Request { time, key });
+    }
+    // The universe must cover every observed key; a declared header can
+    // only widen it.
+    let observed = if requests.is_empty() { 0 } else { max_key + 1 };
+    let objects = declared_objects.unwrap_or(0).max(observed);
+    Ok(Trace::new(requests, objects))
+}
+
+/// Load a trace from a file.
+pub fn load(path: &Path) -> Result<Trace, TraceFileError> {
+    from_reader(fs::File::open(path)?)
+}
+
+/// Save a trace to a file.
+pub fn save(trace: &Trace, path: &Path) -> Result<(), TraceFileError> {
+    fs::write(path, to_csv(trace))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Trace {
+        Trace::new(
+            vec![
+                Request { time: 0.0, key: 3 },
+                Request { time: 1.5, key: 0 },
+                Request { time: 1.5, key: 3 },
+            ],
+            10,
+        )
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = demo();
+        let csv = to_csv(&t);
+        let back = from_reader(csv.as_bytes()).unwrap();
+        assert_eq!(back.objects, 10);
+        assert_eq!(back.requests, t.requests);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("dg-trace-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        save(&demo(), &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn infers_universe_without_header() {
+        let t = from_reader("0,5\n1,2\n".as_bytes()).unwrap();
+        assert_eq!(t.objects, 6);
+    }
+
+    #[test]
+    fn header_expands_universe_but_keys_win() {
+        // Declared universe smaller than observed keys: keys win.
+        let t = from_reader("# objects=2\n0,5\n".as_bytes()).unwrap();
+        assert_eq!(t.objects, 6);
+        // Declared universe larger: declaration wins.
+        let t = from_reader("# objects=100\n0,5\n".as_bytes()).unwrap();
+        assert_eq!(t.objects, 100);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let t = from_reader("# hello\n\n0,1\n# mid\n2,2\n".as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(matches!(
+            from_reader("0,1,2\n".as_bytes()),
+            Err(TraceFileError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            from_reader("zero,1\n".as_bytes()),
+            Err(TraceFileError::Malformed { .. })
+        ));
+        assert!(matches!(
+            from_reader("0\n".as_bytes()),
+            Err(TraceFileError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        assert!(matches!(
+            from_reader("5,1\n1,2\n".as_bytes()),
+            Err(TraceFileError::OutOfOrder { line: 2 })
+        ));
+        assert!(from_reader("NaN,1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_trace() {
+        let t = from_reader("".as_bytes()).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.objects, 0);
+    }
+}

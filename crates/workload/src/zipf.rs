@@ -1,0 +1,197 @@
+//! Zipf (power-law) distributions: the paper's workload model (§2.1).
+//!
+//! In a Zipf distribution with parameter `α`, the `i`-th most popular of
+//! `N` objects is requested with probability proportional to `i^-α`.
+//! Sampling uses a precomputed CDF with binary search (`O(log N)` per
+//! sample, exact); the CDF build is `O(N)` and done once per experiment.
+
+use crate::rng::Rng;
+
+/// Generalized harmonic number `H(n, s) = Σ_{i=1..n} i^-s`.
+pub fn generalized_harmonic(n: u64, s: f64) -> f64 {
+    let mut sum = 0.0;
+    // Sum smallest terms first to reduce floating-point error.
+    for i in (1..=n).rev() {
+        sum += (i as f64).powf(-s);
+    }
+    sum
+}
+
+/// Sum of `i^s` for `i = 1..=n` (the adversary delay sums of Eq. 2/6 use
+/// positive exponents).
+pub fn power_sum(n: u64, s: f64) -> f64 {
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += (i as f64).powf(s);
+    }
+    sum
+}
+
+/// A Zipf distribution over ranks `1..=n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+    /// cdf[i] = P(rank <= i+1); cdf[n-1] == 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution.
+    ///
+    /// # Panics
+    /// If `n == 0` or `alpha` is negative / non-finite.
+    pub fn new(n: u64, alpha: f64) -> Zipf {
+        assert!(n > 0, "need at least one object");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be >= 0");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += (i as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating point leaving the last entry below 1.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { n, alpha, cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The Zipf parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Probability of rank `i` (1-based).
+    pub fn probability(&self, rank: u64) -> f64 {
+        assert!((1..=self.n).contains(&rank));
+        let i = (rank - 1) as usize;
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Sample a rank in `1..=n` (1 = most popular).
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        let u = rng.next_f64();
+        // partition_point returns the count of entries < u, i.e. the index
+        // of the first cdf entry >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx as u64 + 1).min(self.n)
+    }
+
+    /// The rank of the median *request* (not the median object): the
+    /// smallest `i` with `CDF(i) >= 0.5`. This is `i_med` in paper Eq. 3.
+    pub fn median_rank(&self) -> u64 {
+        (self.cdf.partition_point(|&c| c < 0.5) as u64 + 1).min(self.n)
+    }
+
+    /// Expected relative frequency of the most popular item (`f_max`).
+    pub fn fmax(&self) -> f64 {
+        self.probability(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for alpha in [0.0, 0.5, 1.0, 1.5, 2.5] {
+            let z = Zipf::new(1000, alpha);
+            let total: f64 = (1..=1000).map(|i| z.probability(i)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "alpha {alpha}: {total}");
+        }
+    }
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let z = Zipf::new(100, 0.0);
+        for i in 1..=100 {
+            assert!((z.probability(i) - 0.01).abs() < 1e-12);
+        }
+        assert_eq!(z.median_rank(), 50);
+    }
+
+    #[test]
+    fn skew_orders_probabilities() {
+        let z = Zipf::new(100, 1.2);
+        for i in 1..100 {
+            assert!(z.probability(i) > z.probability(i + 1));
+        }
+        assert!(z.fmax() > 0.1);
+    }
+
+    #[test]
+    fn sample_frequencies_match_probabilities() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = Rng::new(99);
+        let trials = 200_000;
+        let mut counts = vec![0u64; 51];
+        for _ in 0..trials {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for rank in [1u64, 2, 5, 10] {
+            let observed = counts[rank as usize] as f64 / trials as f64;
+            let expected = z.probability(rank);
+            assert!(
+                (observed - expected).abs() / expected < 0.05,
+                "rank {rank}: obs {observed} vs exp {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn median_rank_tracks_theory() {
+        // For alpha > 1 the median request rank is O(log N): tiny.
+        let z = Zipf::new(100_000, 1.5);
+        assert!(z.median_rank() < 20, "got {}", z.median_rank());
+        // For alpha < 1 it is Θ(N): a constant fraction of N.
+        let z = Zipf::new(100_000, 0.5);
+        assert!(z.median_rank() > 10_000, "got {}", z.median_rank());
+    }
+
+    #[test]
+    fn harmonic_sums() {
+        assert!((generalized_harmonic(1, 1.0) - 1.0).abs() < 1e-12);
+        assert!((generalized_harmonic(3, 1.0) - (1.0 + 0.5 + 1.0 / 3.0)).abs() < 1e-12);
+        // H(n, 2) converges to pi^2/6.
+        let h = generalized_harmonic(1_000_000, 2.0);
+        assert!((h - std::f64::consts::PI.powi(2) / 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn power_sums() {
+        assert_eq!(power_sum(3, 1.0), 6.0);
+        assert_eq!(power_sum(3, 2.0), 14.0);
+        assert_eq!(power_sum(1, 5.0), 1.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let z = Zipf::new(1000, 1.5);
+        let mut a = Rng::new(5);
+        let mut b = Rng::new(5);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_objects_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: put a delay guard in front of an embedded database.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Shows the core loop of the paper: the engine learns per-tuple
+//! popularity from the query stream and charges each returned tuple a
+//! delay inversely related to it — popular lookups become free, obscure
+//! ones stay expensive, and a full-table crawl is charged a fortune.
+
+use delayguard::core::{GuardConfig, GuardedDatabase};
+
+fn main() {
+    let db = GuardedDatabase::new(GuardConfig::paper_default());
+
+    // Schema + data: a tiny movie directory.
+    db.execute_at(
+        "CREATE TABLE movies (id INT NOT NULL, title TEXT NOT NULL, gross FLOAT)",
+        0.0,
+    )
+    .unwrap();
+    db.execute_at("CREATE UNIQUE INDEX movies_pk ON movies (id)", 0.0)
+        .unwrap();
+    db.execute_at(
+        "INSERT INTO movies VALUES \
+         (1, 'Spider-Man', 403.7), \
+         (2, 'The Two Towers', 339.8), \
+         (3, 'Attack of the Clones', 302.2), \
+         (4, 'Signs', 228.0), \
+         (5, 'Austin Powers in Goldmember', 213.1)",
+        0.0,
+    )
+    .unwrap();
+
+    // Before anything is learned, every lookup pays the 10-second cap
+    // (start-up transient, §2.3 of the paper).
+    let first = db.execute_at("SELECT title FROM movies WHERE id = 1", 1.0).unwrap();
+    println!("cold lookup of id=1          -> delay {:6.3} s", first.delay_secs);
+
+    // Popularity accrues: the crowd hammers Spider-Man.
+    for t in 0..500 {
+        db.execute_at("SELECT title FROM movies WHERE id = 1", 2.0 + t as f64)
+            .unwrap();
+    }
+
+    let hot = db.execute_at("SELECT title FROM movies WHERE id = 1", 600.0).unwrap();
+    let cold = db.execute_at("SELECT title FROM movies WHERE id = 5", 600.0).unwrap();
+    println!("popular lookup of id=1       -> delay {:6.3} s", hot.delay_secs);
+    println!("unpopular lookup of id=5     -> delay {:6.3} s", cold.delay_secs);
+
+    // An extraction attempt returns every tuple and is charged the
+    // aggregate of per-tuple delays (§2.1).
+    let crawl = db.execute_at("SELECT * FROM movies", 601.0).unwrap();
+    println!(
+        "full crawl ({} tuples)        -> delay {:6.3} s",
+        crawl.tuples_charged, crawl.delay_secs
+    );
+
+    assert!(hot.delay_secs < cold.delay_secs);
+    assert!(crawl.delay_secs > cold.delay_secs);
+    println!("\nthe popular path is fast; wholesale copying is not.");
+}

@@ -1,0 +1,225 @@
+//! Property-based tests over the core data structures and invariants.
+
+use delayguard::popularity::{DecaySchedule, FrequencyTracker};
+use delayguard::query::parse;
+use delayguard::storage::codec::{decode_row, row_bytes};
+use delayguard::storage::page::{Page, MAX_RECORD};
+use delayguard::storage::{Row, Value};
+use delayguard::workload::{Rng, Zipf};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        ".{0,40}".prop_map(Value::Text),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
+    ]
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    proptest::collection::vec(arb_value(), 0..8).prop_map(Row::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ---- codec -------------------------------------------------------
+
+    #[test]
+    fn codec_round_trips_any_row(row in arb_row()) {
+        let bytes = row_bytes(&row);
+        let back = decode_row(&bytes).unwrap();
+        // NaN-safe comparison via the total order on Value.
+        prop_assert_eq!(row.arity(), back.arity());
+        for (a, b) in row.values().iter().zip(back.values()) {
+            prop_assert!(a.cmp(b) == std::cmp::Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn codec_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Must return Ok or Err, never panic.
+        let _ = decode_row(&bytes);
+    }
+
+    // ---- value ordering ------------------------------------------------
+
+    #[test]
+    fn value_order_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+        use std::cmp::Ordering;
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => prop_assert_eq!(b.cmp(&a), Ordering::Equal),
+        }
+    }
+
+    #[test]
+    fn value_order_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+    }
+
+    // ---- slotted page ---------------------------------------------------
+
+    #[test]
+    fn page_model_check(ops in proptest::collection::vec(
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..300)), 0..60)
+    ) {
+        // Random insert/delete sequence cross-checked against a model map.
+        let mut page = Page::new();
+        let mut model: std::collections::HashMap<u16, Vec<u8>> =
+            std::collections::HashMap::new();
+        for (op, data) in ops {
+            if op % 3 != 0 || model.is_empty() {
+                if let Some(slot) = page.insert(&data) {
+                    model.insert(slot, data);
+                }
+            } else {
+                let &slot = model.keys().next().unwrap();
+                prop_assert!(page.delete(slot));
+                model.remove(&slot);
+            }
+            // Every model entry must be readable.
+            for (slot, want) in &model {
+                prop_assert_eq!(page.get(*slot), Some(want.as_slice()));
+            }
+            prop_assert_eq!(page.live_count(), model.len());
+        }
+        // Snapshot round trip preserves everything.
+        let restored = Page::from_bytes(page.as_bytes()).unwrap();
+        for (slot, want) in &model {
+            prop_assert_eq!(restored.get(*slot), Some(want.as_slice()));
+        }
+    }
+
+    #[test]
+    fn page_never_accepts_oversized(data in proptest::collection::vec(any::<u8>(), MAX_RECORD+1..MAX_RECORD+64)) {
+        let mut page = Page::new();
+        prop_assert!(page.insert(&data).is_none());
+    }
+
+    // ---- decayed counters ----------------------------------------------
+
+    #[test]
+    fn tracker_total_equals_sum_of_counts(
+        keys in proptest::collection::vec(0u64..50, 1..500),
+        rate_milli in 1000u32..1100,
+    ) {
+        let rate = rate_milli as f64 / 1000.0;
+        let mut t = FrequencyTracker::new(DecaySchedule::new(rate));
+        for &k in &keys {
+            t.record(k);
+        }
+        let sum: f64 = t.iter().map(|(_, c)| c).sum();
+        prop_assert!((sum - t.total()).abs() <= t.total() * 1e-9 + 1e-12);
+        prop_assert_eq!(t.events(), keys.len() as u64);
+    }
+
+    #[test]
+    fn tracker_rank_consistent_with_exact(
+        keys in proptest::collection::vec(0u64..30, 1..400),
+    ) {
+        let mut t = FrequencyTracker::no_decay();
+        for &k in &keys {
+            t.record(k);
+        }
+        for key in 0..30u64 {
+            if t.contains(key) {
+                let a = t.rank(key) as i64;
+                let e = t.exact_rank(key) as i64;
+                // Integer counts: same count -> same bucket, so the only
+                // divergence is distinct counts sharing a log bucket.
+                prop_assert!((a - e).abs() <= 4, "key {}: {} vs {}", key, a, e);
+            }
+        }
+    }
+
+    #[test]
+    fn fmax_is_max_frequency(keys in proptest::collection::vec(0u64..20, 1..300)) {
+        let mut t = FrequencyTracker::no_decay();
+        for &k in &keys {
+            t.record(k);
+        }
+        let best = t.iter().map(|(k, _)| t.frequency(k)).fold(0.0, f64::max);
+        prop_assert!((t.fmax() - best).abs() < 1e-12);
+        prop_assert!(t.fmax() <= 1.0 + 1e-12);
+    }
+
+    // ---- zipf -----------------------------------------------------------
+
+    #[test]
+    fn zipf_cdf_well_formed(n in 1u64..2_000, alpha_pct in 0u32..300) {
+        let alpha = alpha_pct as f64 / 100.0;
+        let z = Zipf::new(n, alpha);
+        let total: f64 = (1..=n).map(|i| z.probability(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        let mut rng = Rng::new(7);
+        for _ in 0..50 {
+            let s = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&s));
+        }
+    }
+
+    // ---- SQL parser ------------------------------------------------------
+
+    #[test]
+    fn parser_never_panics(input in ".{0,80}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn parser_accepts_generated_selects(
+        table in "[a-z][a-z0-9_]{0,10}",
+        col in "[a-z][a-z_]{0,10}",
+        v in any::<i32>(),
+        limit in 0u64..1000,
+    ) {
+        let sql = format!("SELECT {col} FROM {table} WHERE {col} = {v} LIMIT {limit}");
+        let stmt = parse(&sql).unwrap();
+        match stmt {
+            delayguard::query::ast::Statement::Select { table: t, limit: l, .. } => {
+                prop_assert_eq!(t, table);
+                prop_assert_eq!(l, Some(limit));
+            }
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    // ---- delay policy invariants -----------------------------------------
+
+    #[test]
+    fn delay_never_exceeds_cap_nor_negative(
+        keys in proptest::collection::vec(0u64..100, 1..200),
+        cap_milli in 0u64..20_000,
+        probe in 0u64..200,
+    ) {
+        use delayguard::core::AccessDelayPolicy;
+        let cap = cap_milli as f64 / 1000.0;
+        let mut t = FrequencyTracker::no_decay();
+        for &k in &keys {
+            t.record(k);
+        }
+        let policy = AccessDelayPolicy::new(1.5, 1.0).with_cap(cap);
+        let d = policy.delay(&t, 100, probe);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= cap + 1e-12);
+    }
+
+    #[test]
+    fn charging_models_bounded_by_each_other(
+        delays in proptest::collection::vec(0.0f64..10.0, 0..50),
+    ) {
+        use delayguard::core::ChargingModel;
+        let sum = ChargingModel::PerTupleSum.combine(delays.iter().copied());
+        let max = ChargingModel::PerQueryMax.combine(delays.iter().copied());
+        prop_assert!(max <= sum + 1e-12);
+        if let Some(&first) = delays.first() {
+            prop_assert!(max >= first - 1e-12 || max >= 0.0);
+        }
+    }
+}
