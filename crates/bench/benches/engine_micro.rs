@@ -81,11 +81,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let id = rng.below(ROWS);
             black_box(
-                e.execute(&format!(
-                    "UPDATE m SET gross = gross + 1.0 WHERE id = {id}"
-                ))
-                .unwrap()
-                .row_count(),
+                e.execute(&format!("UPDATE m SET gross = gross + 1.0 WHERE id = {id}"))
+                    .unwrap()
+                    .row_count(),
             )
         })
     });

@@ -20,33 +20,21 @@ fn bench(c: &mut Criterion) {
             |b, &a| b.iter(|| black_box(UpdateRates::zipf(n, a, n as f64, 1).rmax())),
         );
         let rates = UpdateRates::zipf(n, alpha, n as f64, 1);
-        group.bench_with_input(
-            BenchmarkId::new("extraction", alpha),
-            &alpha,
-            |b, _| {
-                b.iter(|| {
-                    black_box(
-                        extract_update_based(&rates, &policy, ExtractionOrder::Sequential)
-                            .total_delay_secs,
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("extraction", alpha), &alpha, |b, _| {
+            b.iter(|| {
+                black_box(
+                    extract_update_based(&rates, &policy, ExtractionOrder::Sequential)
+                        .total_delay_secs,
+                )
+            })
+        });
         let report = extract_update_based(&rates, &policy, ExtractionOrder::Sequential);
-        group.bench_with_input(
-            BenchmarkId::new("staleness", alpha),
-            &alpha,
-            |b, _| {
-                b.iter(|| {
-                    black_box(report.schedule.expected_stale_fraction(&rates))
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("user_median", alpha),
-            &alpha,
-            |b, _| b.iter(|| black_box(uniform_user_median_delay(&rates, &policy))),
-        );
+        group.bench_with_input(BenchmarkId::new("staleness", alpha), &alpha, |b, _| {
+            b.iter(|| black_box(report.schedule.expected_stale_fraction(&rates)))
+        });
+        group.bench_with_input(BenchmarkId::new("user_median", alpha), &alpha, |b, _| {
+            b.iter(|| black_box(uniform_user_median_delay(&rates, &policy)))
+        });
     }
     group.finish();
 }

@@ -23,16 +23,12 @@ fn bench(c: &mut Criterion) {
             decay: DecayMode::PerRequest(1.0),
             pretrack_all: true,
         };
-        group.bench_with_input(
-            BenchmarkId::new("replay", objects),
-            &objects,
-            |b, &_n| {
-                b.iter(|| {
-                    let result = replay_keys(cfg.key_stream(), objects, &replay_cfg, 16);
-                    black_box(result.adversary_total_secs)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("replay", objects), &objects, |b, &_n| {
+            b.iter(|| {
+                let result = replay_keys(cfg.key_stream(), objects, &replay_cfg, 16);
+                black_box(result.adversary_total_secs)
+            })
+        });
     }
     group.finish();
 }

@@ -38,7 +38,10 @@ fn main() {
         } else {
             &[100_000, 500_000, 1_000_000]
         };
-        eprintln!("[table1] replaying scaled traces (largest: {} objects)...", sizes.last().unwrap());
+        eprintln!(
+            "[table1] replaying scaled traces (largest: {} objects)...",
+            sizes.last().unwrap()
+        );
         let (_, rendered) = experiments::table1(sizes);
         println!("{rendered}");
     }

@@ -7,9 +7,8 @@ use delayguard_core::analysis;
 use delayguard_core::{AccessDelayPolicy, UpdateDelayPolicy};
 use delayguard_popularity::{top_k, FrequencyTracker};
 use delayguard_sim::{
-    extract_update_based, fmt_dollars, fmt_pct, fmt_secs, measure_overhead, replay,
-    replay_keys, uniform_user_median_delay, DecayMode, OverheadConfig, ReplayConfig,
-    TableBuilder,
+    extract_update_based, fmt_dollars, fmt_pct, fmt_secs, measure_overhead, replay, replay_keys,
+    uniform_user_median_delay, DecayMode, OverheadConfig, ReplayConfig, TableBuilder,
 };
 use delayguard_workload::{
     BoxOfficeConfig, CalgaryConfig, ExtractionOrder, Trace, UpdateRates, WEEK_SECS,
@@ -328,12 +327,7 @@ pub fn fig456(config: &UpdateSkewConfig, alphas: &[f64]) -> (Vec<UpdateSkewRow>,
         ],
     );
     for &alpha in alphas {
-        let rates = UpdateRates::zipf(
-            config.objects,
-            alpha,
-            config.total_update_rate,
-            config.seed,
-        );
+        let rates = UpdateRates::zipf(config.objects, alpha, config.total_update_rate, config.seed);
         let report = extract_update_based(&rates, &policy, ExtractionOrder::Sequential);
         let row = UpdateSkewRow {
             alpha,

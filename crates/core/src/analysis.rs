@@ -203,7 +203,10 @@ mod tests {
             let exact = stale_fraction_exact(1_000_000, alpha, c);
             let approx = smax_asymptotic(alpha, c);
             let rel = (exact - approx).abs() / approx;
-            assert!(rel < 0.05, "alpha {alpha}: exact {exact} vs approx {approx}");
+            assert!(
+                rel < 0.05,
+                "alpha {alpha}: exact {exact} vs approx {approx}"
+            );
         }
     }
 

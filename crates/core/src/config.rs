@@ -113,9 +113,7 @@ mod tests {
     #[test]
     fn bad_policy_rejected() {
         let mut c = GuardConfig::paper_default();
-        c.policy = GuardPolicy::AccessRate(
-            crate::access::AccessDelayPolicy::new(-1.0, 1.0),
-        );
+        c.policy = GuardPolicy::AccessRate(crate::access::AccessDelayPolicy::new(-1.0, 1.0));
         assert!(c.validate().is_err());
     }
 }

@@ -59,6 +59,8 @@ mod tests {
         assert!(e.to_string().contains("query error"));
         let e = GuardError::Refused("too fast".into());
         assert!(e.to_string().contains("refused"));
-        assert!(GuardError::Config("bad".into()).to_string().contains("config"));
+        assert!(GuardError::Config("bad".into())
+            .to_string()
+            .contains("config"));
     }
 }

@@ -16,7 +16,7 @@ pub mod registration;
 pub mod token_bucket;
 
 pub use identity::{Ipv4, Subnet, UserId};
-pub use registration::{RegistrationOutcome, RegistrationPolicy, Registrar};
+pub use registration::{Registrar, RegistrationOutcome, RegistrationPolicy};
 pub use token_bucket::TokenBucket;
 
 use std::collections::HashMap;
@@ -106,10 +106,7 @@ impl Gatekeeper {
             self.users.insert(
                 user,
                 UserState {
-                    bucket: TokenBucket::new(
-                        self.config.per_user_rate,
-                        self.config.per_user_burst,
-                    ),
+                    bucket: TokenBucket::new(self.config.per_user_rate, self.config.per_user_burst),
                     queries: 0,
                 },
             );
@@ -127,7 +124,10 @@ impl Gatekeeper {
         // Check both budgets before charging either, so a refusal leaves
         // no residue.
         let user_ok = {
-            let state = self.users.get_mut(&user).expect("registered user has state");
+            let state = self
+                .users
+                .get_mut(&user)
+                .expect("registered user has state");
             state.bucket.available(now) >= 1.0 - 1e-9
         };
         if !user_ok {
@@ -140,7 +140,10 @@ impl Gatekeeper {
             return Admission::Refused(RefusalReason::SubnetRateExceeded);
         }
         subnet_bucket.try_take(now);
-        let state = self.users.get_mut(&user).expect("registered user has state");
+        let state = self
+            .users
+            .get_mut(&user)
+            .expect("registered user has state");
         state.bucket.try_take(now);
         state.queries += 1;
         Admission::Granted

@@ -7,18 +7,23 @@
 //! pre-register tuples at zero popularity (start-up transient, §2.3).
 //!
 //! The computed delay is *returned*, not slept, so simulations can account
-//! years of adversary delay instantly; [`GuardedDatabase::execute_blocking`]
-//! actually sleeps for deployments.
+//! years of adversary delay instantly. Deployments enforce it through
+//! [`GuardedDatabase::execute_with_deadline`], which converts the policy's
+//! per-tuple delays into wall-clock [`Instant`] deadlines the caller (a
+//! server event loop, a timer wheel, ...) schedules however it likes;
+//! [`GuardedDatabase::execute_blocking`] is the trivial enforcement —
+//! sleep until the query deadline — kept for library callers.
 
 use crate::config::GuardConfig;
 use crate::error::Result;
+use crate::policy::ChargingModel;
 use delayguard_popularity::{DecaySchedule, FrequencyTracker};
-use delayguard_query::{parse, Engine, StatementOutput};
 use delayguard_query::ast::Statement;
+use delayguard_query::{parse, Engine, StatementOutput};
 use delayguard_storage::RowId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Per-table guard state.
 struct TableGuard {
@@ -55,6 +60,72 @@ pub struct GuardedResponse {
     pub delay_secs: f64,
     /// How many tuples contributed to the delay.
     pub tuples_charged: usize,
+}
+
+/// Outcome of a guarded statement with wall-clock enforcement deadlines.
+///
+/// Returned by [`GuardedDatabase::execute_with_deadline`]: instead of
+/// sleeping, the guard hands the caller the [`Instant`]s before which each
+/// tuple (and the statement as a whole) must not be released. A server
+/// schedules these on a timer wheel; a simple caller sleeps until
+/// [`DeadlineResponse::deadline`].
+#[derive(Debug, Clone)]
+pub struct DeadlineResponse {
+    /// The engine's output (rows, affected RowIds, ...).
+    pub output: StatementOutput,
+    /// Raw per-tuple policy delays in row order, in seconds.
+    pub tuple_delays: Vec<f64>,
+    /// Per-tuple release offsets from `issued_at`, in seconds, under the
+    /// configured charging model: `PerTupleSum` streams tuples at prefix
+    /// sums (the query completes after the sum), `PerQueryMax` releases
+    /// each tuple at its own delay (the query completes at the max).
+    pub tuple_offsets: Vec<f64>,
+    /// Total delay charged to the statement, in seconds (the largest
+    /// tuple offset).
+    pub delay_secs: f64,
+    /// When the statement was executed; all offsets are relative to this.
+    pub issued_at: Instant,
+}
+
+impl DeadlineResponse {
+    /// The wall-clock instant at which the whole statement may complete.
+    pub fn deadline(&self) -> Instant {
+        self.issued_at + Duration::from_secs_f64(self.delay_secs)
+    }
+
+    /// Per-tuple wall-clock release instants, in row order.
+    pub fn tuple_deadlines(&self) -> impl Iterator<Item = Instant> + '_ {
+        self.tuple_offsets
+            .iter()
+            .map(move |&off| self.issued_at + Duration::from_secs_f64(off))
+    }
+
+    /// Collapse to the summary form used by simulations and library code.
+    pub fn into_response(self) -> GuardedResponse {
+        GuardedResponse {
+            output: self.output,
+            delay_secs: self.delay_secs,
+            tuples_charged: self.tuple_delays.len(),
+        }
+    }
+}
+
+/// Release offsets for each tuple under a charging model (see
+/// [`DeadlineResponse::tuple_offsets`]).
+fn release_offsets(charging: ChargingModel, delays: &[f64]) -> Vec<f64> {
+    match charging {
+        ChargingModel::PerTupleSum => {
+            let mut acc = 0.0;
+            delays
+                .iter()
+                .map(|d| {
+                    acc += d;
+                    acc
+                })
+                .collect()
+        }
+        ChargingModel::PerQueryMax => delays.to_vec(),
+    }
 }
 
 /// A database whose front door is defended by delay.
@@ -99,27 +170,39 @@ impl GuardedDatabase {
 
     /// Execute a pre-parsed statement at a virtual time.
     pub fn execute_stmt_at(&self, stmt: &Statement, now_secs: f64) -> Result<GuardedResponse> {
+        let (output, tuple_delays) = self.execute_stmt_detailed(stmt, now_secs)?;
+        let delay_secs = self.config.charging.combine(tuple_delays.iter().copied());
+        Ok(GuardedResponse {
+            output,
+            delay_secs,
+            tuples_charged: tuple_delays.len(),
+        })
+    }
+
+    /// Execute, recording accesses and computing the per-tuple delays the
+    /// policy charges, without sleeping or combining.
+    fn execute_stmt_detailed(
+        &self,
+        stmt: &Statement,
+        now_secs: f64,
+    ) -> Result<(StatementOutput, Vec<f64>)> {
         let output = self.engine.execute_stmt(stmt)?;
         let table = statement_table(stmt);
-        let (delay_secs, tuples_charged) = match (&output, table) {
+        let tuple_delays = match (&output, table) {
             (StatementOutput::Rows(rows), Some(table)) => {
                 self.charge_select(table, rows.row_ids(), now_secs)?
             }
             (StatementOutput::Updated { rids }, Some(table)) => {
                 self.note_updates(table, rids, now_secs);
-                (0.0, 0)
+                Vec::new()
             }
             (StatementOutput::Inserted { rids }, Some(table)) => {
                 self.note_inserts(table, rids, now_secs);
-                (0.0, 0)
+                Vec::new()
             }
-            _ => (0.0, 0),
+            _ => Vec::new(),
         };
-        Ok(GuardedResponse {
-            output,
-            delay_secs,
-            tuples_charged,
-        })
+        Ok((output, tuple_delays))
     }
 
     /// Execute using wall-clock time since the guard was created.
@@ -127,23 +210,50 @@ impl GuardedDatabase {
         self.execute_at(sql, self.started.elapsed().as_secs_f64())
     }
 
-    /// Execute and actually sleep for the computed delay (deployment mode).
-    pub fn execute_blocking(&self, sql: &str) -> Result<GuardedResponse> {
-        let resp = self.execute(sql)?;
-        if resp.delay_secs > 0.0 {
-            std::thread::sleep(std::time::Duration::from_secs_f64(resp.delay_secs));
-        }
-        Ok(resp)
+    /// Execute at wall-clock time and return enforcement deadlines instead
+    /// of sleeping: the single shared path for servers (which schedule the
+    /// deadlines on a timer wheel) and for [`Self::execute_blocking`].
+    pub fn execute_with_deadline(&self, sql: &str) -> Result<DeadlineResponse> {
+        let stmt = parse(sql)?;
+        self.execute_stmt_with_deadline(&stmt)
     }
 
-    /// Compute (and charge) the delay for a set of returned tuples, then
+    /// [`Self::execute_with_deadline`] over a pre-parsed statement.
+    pub fn execute_stmt_with_deadline(&self, stmt: &Statement) -> Result<DeadlineResponse> {
+        let issued_at = Instant::now();
+        let now_secs = self.started.elapsed().as_secs_f64();
+        let (output, tuple_delays) = self.execute_stmt_detailed(stmt, now_secs)?;
+        let tuple_offsets = release_offsets(self.config.charging, &tuple_delays);
+        let delay_secs = self.config.charging.combine(tuple_delays.iter().copied());
+        Ok(DeadlineResponse {
+            output,
+            tuple_delays,
+            tuple_offsets,
+            delay_secs,
+            issued_at,
+        })
+    }
+
+    /// Execute and actually sleep until the deadline (library deployment
+    /// mode): a thin wrapper over [`Self::execute_with_deadline`].
+    pub fn execute_blocking(&self, sql: &str) -> Result<GuardedResponse> {
+        let resp = self.execute_with_deadline(sql)?;
+        let deadline = resp.deadline();
+        let now = Instant::now();
+        if deadline > now {
+            std::thread::sleep(deadline - now);
+        }
+        Ok(resp.into_response())
+    }
+
+    /// Compute the per-tuple delays for a set of returned tuples, then
     /// record their accesses.
     fn charge_select(
         &self,
         table: &str,
         rids: impl Iterator<Item = RowId>,
         now: f64,
-    ) -> Result<(f64, usize)> {
+    ) -> Result<Vec<f64>> {
         let n = self.table_len(table)?;
         let mut guards = self.guards.lock();
         let guard = guards
@@ -155,18 +265,14 @@ impl GuardedDatabase {
         for rid in rids {
             let key = rid.raw();
             // Delay reflects popularity *before* this access.
-            let d = self.config.policy.tuple_delay(
-                &guard.access,
-                &guard.updates,
-                n,
-                key,
-                window,
-            );
+            let d = self
+                .config
+                .policy
+                .tuple_delay(&guard.access, &guard.updates, n, key, window);
             delays.push(d);
             guard.access.record(key);
         }
-        let total = self.config.charging.combine(delays.iter().copied());
-        Ok((total, delays.len()))
+        Ok(delays)
     }
 
     fn note_updates(&self, table: &str, rids: &[RowId], now: f64) {
@@ -329,11 +435,8 @@ mod tests {
         ));
         // Update tuple 1 frequently over 100 seconds.
         for t in 0..100 {
-            db.execute_at(
-                "UPDATE items SET body = 'fresh' WHERE id = 1",
-                t as f64,
-            )
-            .unwrap();
+            db.execute_at("UPDATE items SET body = 'fresh' WHERE id = 1", t as f64)
+                .unwrap();
         }
         let hot = db
             .execute_at("SELECT * FROM items WHERE id = 1", 100.0)
@@ -359,9 +462,11 @@ mod tests {
     fn popularity_rank_reflects_traffic() {
         let db = setup(access_policy());
         for _ in 0..50 {
-            db.execute_at("SELECT * FROM items WHERE id = 9", 1.0).unwrap();
+            db.execute_at("SELECT * FROM items WHERE id = 9", 1.0)
+                .unwrap();
         }
-        db.execute_at("SELECT * FROM items WHERE id = 8", 2.0).unwrap();
+        db.execute_at("SELECT * FROM items WHERE id = 8", 2.0)
+            .unwrap();
         // Find rid of tuple 9 via a query.
         let out = db
             .execute_at("SELECT * FROM items WHERE id = 9", 3.0)
@@ -380,8 +485,67 @@ mod tests {
             .execute_at("DELETE FROM items WHERE id = 99", 1.0)
             .unwrap();
         assert_eq!(r.delay_secs, 0.0);
-        let r = db.execute_at("INSERT INTO items VALUES (500, 'x')", 1.0).unwrap();
+        let r = db
+            .execute_at("INSERT INTO items VALUES (500, 'x')", 1.0)
+            .unwrap();
         assert_eq!(r.delay_secs, 0.0);
+    }
+
+    #[test]
+    fn deadline_api_exposes_per_tuple_schedule() {
+        let db = setup(access_policy());
+        let r = db
+            .execute_with_deadline("SELECT * FROM items WHERE id < 3")
+            .unwrap();
+        assert_eq!(
+            r.tuple_delays,
+            vec![10.0, 10.0, 10.0],
+            "3 cold tuples at cap"
+        );
+        // PerTupleSum streams at prefix sums; the query deadline is the sum.
+        assert_eq!(r.tuple_offsets, vec![10.0, 20.0, 30.0]);
+        assert_eq!(r.delay_secs, 30.0);
+        let deadlines: Vec<_> = r.tuple_deadlines().collect();
+        assert_eq!(deadlines.len(), 3);
+        assert!(deadlines.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*deadlines.last().unwrap(), r.deadline());
+        let summary = r.into_response();
+        assert_eq!(summary.tuples_charged, 3);
+        assert_eq!(summary.delay_secs, 30.0);
+    }
+
+    #[test]
+    fn deadline_offsets_under_max_charging() {
+        let config = GuardConfig {
+            policy: access_policy(),
+            charging: ChargingModel::PerQueryMax,
+            access_decay_rate: 1.0,
+            update_decay_rate: 1.0,
+        };
+        let db = GuardedDatabase::new(config);
+        db.execute_at("CREATE TABLE t (id INT)", 0.0).unwrap();
+        for i in 0..4 {
+            db.execute_at(&format!("INSERT INTO t VALUES ({i})"), 0.0)
+                .unwrap();
+        }
+        let r = db.execute_with_deadline("SELECT * FROM t").unwrap();
+        // Every tuple releases at its own delay; completion at the max.
+        assert_eq!(r.tuple_offsets, r.tuple_delays);
+        assert_eq!(r.delay_secs, 10.0);
+    }
+
+    #[test]
+    fn blocking_wrapper_matches_deadline_path() {
+        // Zero-delay policy: the wrapper must not sleep and must agree
+        // with the non-blocking result shape.
+        let db = setup(GuardPolicy::None);
+        let start = Instant::now();
+        let r = db
+            .execute_blocking("SELECT * FROM items WHERE id = 1")
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert_eq!(r.delay_secs, 0.0);
+        assert_eq!(r.tuples_charged, 1);
     }
 
     #[test]

@@ -44,6 +44,6 @@ pub use access::AccessDelayPolicy;
 pub use config::GuardConfig;
 pub use error::{GuardError, Result};
 pub use gatekeeper::{Gatekeeper, GatekeeperConfig};
-pub use guarded::{GuardedDatabase, GuardedResponse};
+pub use guarded::{DeadlineResponse, GuardedDatabase, GuardedResponse};
 pub use policy::{ChargingModel, GuardPolicy};
 pub use update::UpdateDelayPolicy;

@@ -38,9 +38,10 @@ impl GuardPolicy {
             GuardPolicy::None => 0.0,
             GuardPolicy::AccessRate(p) => p.delay(access, n, key),
             GuardPolicy::UpdateRate(p) => p.delay(updates, n, key, window_secs),
-            GuardPolicy::Hybrid(a, u) => a
-                .delay(access, n, key)
-                .max(u.delay(updates, n, key, window_secs)),
+            GuardPolicy::Hybrid(a, u) => {
+                a.delay(access, n, key)
+                    .max(u.delay(updates, n, key, window_secs))
+            }
         }
     }
 

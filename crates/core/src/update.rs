@@ -73,13 +73,7 @@ impl UpdateDelayPolicy {
 
     /// Delay using *learned* update statistics: rate is estimated as the
     /// tuple's decayed update count over the observation window.
-    pub fn delay(
-        &self,
-        updates: &FrequencyTracker,
-        n: u64,
-        key: u64,
-        window_secs: f64,
-    ) -> f64 {
+    pub fn delay(&self, updates: &FrequencyTracker, n: u64, key: u64, window_secs: f64) -> f64 {
         if window_secs <= 0.0 {
             return self.cap_secs;
         }

@@ -1,0 +1,145 @@
+//! Concurrency tests for the gatekeeper: the §2.4 policies must hold
+//! under arbitrary thread interleavings, not just in single-threaded
+//! unit tests. The gatekeeper itself is `&mut`-based; these tests drive
+//! it the way the server does — behind a mutex, hammered from many
+//! threads — and check the *admitted* schedule, which must satisfy the
+//! policy no matter how lock acquisition interleaves.
+
+use delayguard_core::gatekeeper::{
+    Admission, Gatekeeper, GatekeeperConfig, Ipv4, RegistrationOutcome, RegistrationPolicy,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// One identity per `t` seconds, globally: with 8 threads racing to
+/// register (each reading the shared clock *before* taking the lock, so
+/// the `now` values they present interleave and even regress), the
+/// admitted registration times must still be at least `t` apart.
+#[test]
+fn registration_interval_holds_under_interleaving() {
+    const THREADS: usize = 8;
+    const ATTEMPTS: usize = 400;
+    const INTERVAL: f64 = 5.0;
+
+    let keeper = Arc::new(Mutex::new(Gatekeeper::new(GatekeeperConfig {
+        registration: RegistrationPolicy::interval(INTERVAL),
+        ..GatekeeperConfig::default()
+    })));
+    // Virtual clock in milliseconds; threads advance it racily.
+    let clock_ms = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|thread| {
+            let keeper = Arc::clone(&keeper);
+            let clock_ms = Arc::clone(&clock_ms);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut admitted = Vec::new();
+                for attempt in 0..ATTEMPTS {
+                    // Read time, *then* lock: by the time the lock is
+                    // held the clock may have moved or another thread
+                    // may have registered with a later timestamp.
+                    let now = clock_ms.fetch_add(7, Ordering::SeqCst) as f64 / 1000.0;
+                    let ip = Ipv4([10, thread as u8, (attempt >> 8) as u8, attempt as u8]);
+                    let outcome = keeper.lock().unwrap().register(ip, now);
+                    if let RegistrationOutcome::Admitted { user, .. } = outcome {
+                        admitted.push((now, user));
+                    }
+                }
+                admitted
+            })
+        })
+        .collect();
+
+    let mut admitted: Vec<(f64, _)> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    admitted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+    assert!(
+        !admitted.is_empty(),
+        "some registrations must succeed (first is always admitted)"
+    );
+    // The policy invariant: admitted timestamps pairwise >= INTERVAL apart.
+    for pair in admitted.windows(2) {
+        let gap = pair[1].0 - pair[0].0;
+        assert!(
+            gap >= INTERVAL - 1e-9,
+            "two identities {:.3}s apart despite a {INTERVAL}s interval",
+            gap
+        );
+    }
+    // Sanity bound: total elapsed virtual time caps how many can fit.
+    let elapsed = (THREADS * ATTEMPTS * 7) as f64 / 1000.0;
+    let max_admissible = (elapsed / INTERVAL).floor() as usize + 1;
+    assert!(
+        admitted.len() <= max_admissible,
+        "{} admitted, at most {max_admissible} fit in {elapsed}s",
+        admitted.len()
+    );
+    // Identities are unique and all recorded by the registrar.
+    let keeper = keeper.lock().unwrap();
+    let mut users: Vec<_> = admitted.iter().map(|&(_, u)| u).collect();
+    users.sort();
+    users.dedup();
+    assert_eq!(users.len(), admitted.len(), "duplicate identity issued");
+    assert_eq!(keeper.registrar().count(), admitted.len());
+}
+
+/// Token buckets under contention: with virtual time frozen, 8 threads
+/// racing `admit` for one identity can win at most `burst` grants —
+/// the race must never mint extra tokens.
+#[test]
+fn user_burst_not_exceeded_under_contention() {
+    const THREADS: usize = 8;
+    const ATTEMPTS: usize = 100;
+    const BURST: f64 = 10.0;
+
+    let mut keeper = Gatekeeper::new(GatekeeperConfig {
+        per_user_rate: 1.0,
+        per_user_burst: BURST,
+        per_subnet_rate: 1000.0,
+        per_subnet_burst: 1000.0,
+        registration: RegistrationPolicy::interval(0.0),
+        storefront_query_threshold: 0,
+    });
+    let user = match keeper.register(Ipv4([10, 0, 0, 1]), 0.0) {
+        RegistrationOutcome::Admitted { user, .. } => user,
+        other => panic!("{other:?}"),
+    };
+    let keeper = Arc::new(Mutex::new(keeper));
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    // Everyone queries at the same frozen instant: only the burst can win.
+    let now = 100.0;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let keeper = Arc::clone(&keeper);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut granted = 0usize;
+                for _ in 0..ATTEMPTS {
+                    if keeper.lock().unwrap().admit(user, now) == Admission::Granted {
+                        granted += 1;
+                    }
+                }
+                granted
+            })
+        })
+        .collect();
+
+    let granted: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(
+        granted, BURST as usize,
+        "exactly the burst may pass at one instant"
+    );
+    assert_eq!(
+        keeper.lock().unwrap().query_count(user),
+        BURST as u64,
+        "accounting must match grants"
+    );
+}

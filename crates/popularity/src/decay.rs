@@ -210,7 +210,10 @@ mod tests {
         let f = s.take_rescale_factor();
         raw /= f;
         let after = s.normalize(raw);
-        assert!((before - after).abs() / before < 1e-9, "rescale preserves normalized value");
+        assert!(
+            (before - after).abs() / before < 1e-9,
+            "rescale preserves normalized value"
+        );
         assert_eq!(s.rescales(), 1);
         assert_eq!(s.weight(), 1.0);
     }

@@ -331,9 +331,7 @@ mod tests {
 
     #[test]
     fn rescale_preserves_normalized_state() {
-        let mut t = FrequencyTracker::new(
-            DecaySchedule::new(1.5).with_rescale_threshold(1e6),
-        );
+        let mut t = FrequencyTracker::new(DecaySchedule::new(1.5).with_rescale_threshold(1e6));
         for i in 0..100 {
             t.record(i % 7);
         }

@@ -189,7 +189,11 @@ mod tests {
         }
         c.flush();
         let store = c.store();
-        assert!(store.rows_written() <= 200, "wrote {}", store.rows_written());
+        assert!(
+            store.rows_written() <= 200,
+            "wrote {}",
+            store.rows_written()
+        );
         let total: f64 = (0..100).map(|k| store.read(k)).sum();
         assert_eq!(total, 10_000.0);
     }

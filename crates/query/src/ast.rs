@@ -20,10 +20,7 @@ pub enum Statement {
     /// `DROP TABLE name`
     DropTable { name: String },
     /// `INSERT INTO table VALUES (...), (...)`
-    Insert {
-        table: String,
-        rows: Vec<Vec<Expr>>,
-    },
+    Insert { table: String, rows: Vec<Vec<Expr>> },
     /// `SELECT ... FROM table [WHERE ...] [ORDER BY col [ASC|DESC]] [LIMIT n]`
     Select {
         table: String,
@@ -39,10 +36,7 @@ pub enum Statement {
         filter: Option<Expr>,
     },
     /// `DELETE FROM table [WHERE ...]`
-    Delete {
-        table: String,
-        filter: Option<Expr>,
-    },
+    Delete { table: String, filter: Option<Expr> },
 }
 
 /// Column definition in `CREATE TABLE`.

@@ -1,6 +1,6 @@
 //! The query engine: parse → plan → execute against a shared catalog.
 
-use crate::ast::{Statement};
+use crate::ast::Statement;
 use crate::error::{QueryError, Result};
 use crate::exec::{const_eval, run_delete, run_select, run_update, SelectOutput};
 use crate::parser::parse;

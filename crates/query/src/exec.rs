@@ -197,7 +197,7 @@ fn to_const_bound(expr: &Expr) -> Result<BoundExpr> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::{parse_expr, parse};
+    use crate::parser::{parse, parse_expr};
     use crate::planner::{plan_locate, plan_select};
     use delayguard_storage::{Column, DataType, Schema};
 
@@ -231,14 +231,8 @@ mod tests {
                 limit,
                 ..
             } => {
-                let plan = plan_select(
-                    t,
-                    &projection,
-                    filter.as_ref(),
-                    order_by.as_ref(),
-                    limit,
-                )
-                .unwrap();
+                let plan =
+                    plan_select(t, &projection, filter.as_ref(), order_by.as_ref(), limit).unwrap();
                 run_select(t, &plan).unwrap()
             }
             other => panic!("not a select: {other:?}"),
@@ -250,10 +244,7 @@ mod tests {
         let mut t = movies();
         let out = select(&mut t, "SELECT title FROM movies WHERE id = 7");
         assert_eq!(out.len(), 1);
-        assert_eq!(
-            out.rows[0].1.get(0),
-            Some(&Value::Text("movie-7".into()))
-        );
+        assert_eq!(out.rows[0].1.get(0), Some(&Value::Text("movie-7".into())));
     }
 
     #[test]
@@ -274,10 +265,7 @@ mod tests {
     #[test]
     fn order_by_and_limit() {
         let mut t = movies();
-        let out = select(
-            &mut t,
-            "SELECT id FROM movies ORDER BY id DESC LIMIT 3",
-        );
+        let out = select(&mut t, "SELECT id FROM movies ORDER BY id DESC LIMIT 3");
         let ids: Vec<i64> = out
             .rows
             .iter()
@@ -310,15 +298,9 @@ mod tests {
         let schema = t.schema().clone();
         let gross_col = schema.index_of("gross").unwrap();
         // SET gross = gross + 1, then id stays keyed correctly.
-        let assign_expr =
-            crate::expr::bind(&parse_expr("gross + 1.0").unwrap(), &schema).unwrap();
-        let rids = run_update(
-            &mut t,
-            &access,
-            bound.as_ref(),
-            &[(gross_col, assign_expr)],
-        )
-        .unwrap();
+        let assign_expr = crate::expr::bind(&parse_expr("gross + 1.0").unwrap(), &schema).unwrap();
+        let rids =
+            run_update(&mut t, &access, bound.as_ref(), &[(gross_col, assign_expr)]).unwrap();
         assert_eq!(rids.len(), 1);
         assert_eq!(
             t.peek(rids[0]).unwrap().get(gross_col),

@@ -49,10 +49,7 @@ pub fn bind(expr: &Expr, schema: &Schema) -> Result<BoundExpr> {
 pub fn eval(expr: &BoundExpr, row: &Row) -> Result<Value> {
     match expr {
         BoundExpr::Literal(v) => Ok(v.clone()),
-        BoundExpr::Column(idx) => Ok(row
-            .get(*idx)
-            .cloned()
-            .unwrap_or(Value::Null)),
+        BoundExpr::Column(idx) => Ok(row.get(*idx).cloned().unwrap_or(Value::Null)),
         BoundExpr::Unary { op, expr } => {
             let v = eval(expr, row)?;
             match op {
@@ -66,19 +63,21 @@ pub fn eval(expr: &BoundExpr, row: &Row) -> Result<Value> {
                         )))
                     }
                 }),
-                UnaryOp::Neg => Ok(match v {
-                    Value::Null => Value::Null,
-                    Value::Int(i) => Value::Int(i.checked_neg().ok_or_else(|| {
-                        QueryError::Semantic("integer negation overflow".into())
-                    })?),
-                    Value::Float(x) => Value::Float(-x),
-                    other => {
-                        return Err(QueryError::Semantic(format!(
-                            "unary minus expects a number, got {}",
-                            other.type_name()
-                        )))
-                    }
-                }),
+                UnaryOp::Neg => {
+                    Ok(match v {
+                        Value::Null => Value::Null,
+                        Value::Int(i) => Value::Int(i.checked_neg().ok_or_else(|| {
+                            QueryError::Semantic("integer negation overflow".into())
+                        })?),
+                        Value::Float(x) => Value::Float(-x),
+                        other => {
+                            return Err(QueryError::Semantic(format!(
+                                "unary minus expects a number, got {}",
+                                other.type_name()
+                            )))
+                        }
+                    })
+                }
             }
         }
         BoundExpr::Binary { op, left, right } => {

@@ -22,48 +22,81 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 }
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    offset: start,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: start,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Slash, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    offset: start,
+                });
                 i += 1;
             }
             '%' => {
-                tokens.push(Token { kind: TokenKind::Percent, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Percent,
+                    offset: start,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             '!' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::NotEq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(QueryError::Lex {
@@ -74,22 +107,37 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::LtEq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::LtEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    tokens.push(Token { kind: TokenKind::NotEq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::GtEq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::GtEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
@@ -120,7 +168,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                         i += ch.len_utf8();
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut end = i;
@@ -160,7 +211,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                         message: format!("bad integer literal `{text}`: {e}"),
                     })?)
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 i = end;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -178,7 +232,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     Some(k) => TokenKind::Keyword(k),
                     None => TokenKind::Ident(word.to_owned()),
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 i = end;
             }
             other => {
@@ -228,9 +285,7 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             kinds("= != <> < <= > >= + - * / %"),
-            vec![
-                Eq, NotEq, NotEq, Lt, LtEq, Gt, GtEq, Plus, Minus, Star, Slash, Percent, Eof
-            ]
+            vec![Eq, NotEq, NotEq, Lt, LtEq, Gt, GtEq, Plus, Minus, Star, Slash, Percent, Eof]
         );
     }
 

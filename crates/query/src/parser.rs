@@ -575,7 +575,11 @@ mod tests {
         // a = 1 OR b = 2 AND c = 3  ==>  a=1 OR (b=2 AND c=3)
         let e = parse_expr("a = 1 OR b = 2 AND c = 3").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Or, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Or,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Expr::Binary { op: BinOp::And, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -587,7 +591,11 @@ mod tests {
         // 1 + 2 * 3 ==> 1 + (2*3)
         let e = parse_expr("1 + 2 * 3").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Add, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -603,9 +611,21 @@ mod tests {
     #[test]
     fn unary_not_and_neg() {
         let e = parse_expr("NOT a = 1").unwrap();
-        assert!(matches!(e, Expr::Unary { op: UnaryOp::Not, .. }));
+        assert!(matches!(
+            e,
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
         let e = parse_expr("-3").unwrap();
-        assert!(matches!(e, Expr::Unary { op: UnaryOp::Neg, .. }));
+        assert!(matches!(
+            e,
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -143,10 +143,7 @@ fn choose_access(
     'index: for def in indexes {
         let mut key = Vec::with_capacity(def.columns.len());
         for &col in &def.columns {
-            match cons
-                .iter()
-                .find(|c| c.column == col && c.op == BinOp::Eq)
-            {
+            match cons.iter().find(|c| c.column == col && c.op == BinOp::Eq) {
                 Some(c) => key.push(c.value.clone()),
                 None => continue 'index,
             }
@@ -233,7 +230,10 @@ fn tighter_hi(a: Bound<Value>, b: Bound<Value>) -> Bound<Value> {
 }
 
 /// Plan the row-location phase shared by UPDATE and DELETE.
-pub fn plan_locate(table: &Table, filter: Option<&Expr>) -> Result<(AccessPath, Option<BoundExpr>)> {
+pub fn plan_locate(
+    table: &Table,
+    filter: Option<&Expr>,
+) -> Result<(AccessPath, Option<BoundExpr>)> {
     let schema = table.schema();
     let bound = filter.map(|f| bind(f, schema)).transpose()?;
     let access = filter

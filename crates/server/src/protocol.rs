@@ -1,0 +1,508 @@
+//! The wire protocol: length-delimited frames over TCP.
+//!
+//! Every frame is `len: u32 LE | opcode: u8 | payload`, where `len`
+//! counts the opcode byte plus payload. Three request verbs (`REGISTER`,
+//! `QUERY`, `STATS`) and six response frames; `SELECT` results stream as
+//! `ROWS_BEGIN`, then one `ROW` per tuple *as its delay deadline
+//! expires*, then `DONE`. Responses carry the originating `query_id` so
+//! a client may pipeline queries on one connection.
+//!
+//! Row payloads reuse the storage engine's row codec
+//! ([`delayguard_storage::codec`]), so the server adds no second
+//! serialization format.
+
+use delayguard_storage::codec::{decode_row, row_bytes};
+use delayguard_storage::Row;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Largest accepted frame body (opcode + payload).
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Why the server refused a request (wire codes are stable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefuseReason {
+    /// The user id is not registered.
+    Unregistered = 1,
+    /// The identity exceeded its own token bucket.
+    UserRate = 2,
+    /// The identity's /24 subnet exceeded its aggregate bucket.
+    SubnetRate = 3,
+    /// Registration throttled (one identity per `t` seconds, §2.4).
+    RegistrationTooSoon = 4,
+    /// The server is at capacity; retry after the embedded hint.
+    Overloaded = 5,
+    /// The server is draining for shutdown.
+    ShuttingDown = 6,
+}
+
+impl RefuseReason {
+    fn from_code(code: u8) -> Option<RefuseReason> {
+        Some(match code {
+            1 => RefuseReason::Unregistered,
+            2 => RefuseReason::UserRate,
+            3 => RefuseReason::SubnetRate,
+            4 => RefuseReason::RegistrationTooSoon,
+            5 => RefuseReason::Overloaded,
+            6 => RefuseReason::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// One protocol frame, request or response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Request an identity. `claimed_ip` is honored only when the server
+    /// is configured to trust it (proxy / test deployments); `[0;4]`
+    /// means "use the connection's peer address".
+    Register { claimed_ip: [u8; 4] },
+    /// Execute SQL as `user`; responses echo `query_id`.
+    Query {
+        query_id: u32,
+        user: u64,
+        sql: String,
+    },
+    /// Request a metrics snapshot.
+    Stats,
+    /// Registration succeeded.
+    Registered { user: u64, fee: f64 },
+    /// A request was refused. `retry_after_secs` is the server's hint for
+    /// when a retry could succeed (`RETRY_AFTER` semantics).
+    Refused {
+        query_id: u32,
+        reason: RefuseReason,
+        retry_after_secs: f64,
+    },
+    /// A `SELECT` started streaming: column names and total row count.
+    RowsBegin {
+        query_id: u32,
+        columns: Vec<String>,
+        rows: u32,
+    },
+    /// One tuple, released at its delay deadline.
+    Row { query_id: u32, seq: u32, row: Row },
+    /// The statement completed; `delay_secs` is the total charged.
+    Done {
+        query_id: u32,
+        delay_secs: f64,
+        tuples: u32,
+    },
+    /// Metrics snapshot rendering.
+    StatsReply { rendered: String },
+    /// The statement failed.
+    Error { query_id: u32, message: String },
+}
+
+mod opcode {
+    pub const REGISTER: u8 = 0x01;
+    pub const QUERY: u8 = 0x02;
+    pub const STATS: u8 = 0x03;
+    pub const REGISTERED: u8 = 0x10;
+    pub const REFUSED: u8 = 0x11;
+    pub const ROWS_BEGIN: u8 = 0x12;
+    pub const ROW: u8 = 0x13;
+    pub const DONE: u8 = 0x14;
+    pub const STATS_REPLY: u8 = 0x15;
+    pub const ERROR: u8 = 0x16;
+}
+
+/// Protocol-level failures (distinct from transport `io::Error`).
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The transport failed.
+    Io(io::Error),
+    /// A frame was malformed.
+    Malformed(String),
+    /// A frame exceeded [`MAX_FRAME`].
+    Oversized(usize),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "io error: {e}"),
+            ProtocolError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            ProtocolError::Oversized(n) => write!(f, "frame of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> ProtocolError {
+        ProtocolError::Io(e)
+    }
+}
+
+// ---- payload primitives -------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        if self.buf.len() - self.pos < n {
+            return Err(ProtocolError::Malformed(format!(
+                "truncated payload: wanted {n} bytes at {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtocolError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtocolError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, ProtocolError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ProtocolError::Malformed("invalid utf-8 string".into()))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    fn finish(self) -> Result<(), ProtocolError> {
+        if self.pos != self.buf.len() {
+            return Err(ProtocolError::Malformed(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Frame {
+    /// Encode into `opcode | payload` (without the length prefix).
+    fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            Frame::Register { claimed_ip } => {
+                out.push(opcode::REGISTER);
+                out.extend_from_slice(claimed_ip);
+            }
+            Frame::Query {
+                query_id,
+                user,
+                sql,
+            } => {
+                out.push(opcode::QUERY);
+                put_u32(&mut out, *query_id);
+                put_u64(&mut out, *user);
+                put_str(&mut out, sql);
+            }
+            Frame::Stats => out.push(opcode::STATS),
+            Frame::Registered { user, fee } => {
+                out.push(opcode::REGISTERED);
+                put_u64(&mut out, *user);
+                put_f64(&mut out, *fee);
+            }
+            Frame::Refused {
+                query_id,
+                reason,
+                retry_after_secs,
+            } => {
+                out.push(opcode::REFUSED);
+                put_u32(&mut out, *query_id);
+                out.push(*reason as u8);
+                put_f64(&mut out, *retry_after_secs);
+            }
+            Frame::RowsBegin {
+                query_id,
+                columns,
+                rows,
+            } => {
+                out.push(opcode::ROWS_BEGIN);
+                put_u32(&mut out, *query_id);
+                out.extend_from_slice(&(columns.len() as u16).to_le_bytes());
+                for c in columns {
+                    put_str(&mut out, c);
+                }
+                put_u32(&mut out, *rows);
+            }
+            Frame::Row { query_id, seq, row } => {
+                out.push(opcode::ROW);
+                put_u32(&mut out, *query_id);
+                put_u32(&mut out, *seq);
+                out.extend_from_slice(&row_bytes(row));
+            }
+            Frame::Done {
+                query_id,
+                delay_secs,
+                tuples,
+            } => {
+                out.push(opcode::DONE);
+                put_u32(&mut out, *query_id);
+                put_f64(&mut out, *delay_secs);
+                put_u32(&mut out, *tuples);
+            }
+            Frame::StatsReply { rendered } => {
+                out.push(opcode::STATS_REPLY);
+                put_str(&mut out, rendered);
+            }
+            Frame::Error { query_id, message } => {
+                out.push(opcode::ERROR);
+                put_u32(&mut out, *query_id);
+                put_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decode from an `opcode | payload` body.
+    fn decode_body(body: &[u8]) -> Result<Frame, ProtocolError> {
+        let mut c = Cursor::new(body);
+        let op = c.u8()?;
+        let frame = match op {
+            opcode::REGISTER => Frame::Register {
+                claimed_ip: c.take(4)?.try_into().unwrap(),
+            },
+            opcode::QUERY => Frame::Query {
+                query_id: c.u32()?,
+                user: c.u64()?,
+                sql: c.string()?,
+            },
+            opcode::STATS => Frame::Stats,
+            opcode::REGISTERED => Frame::Registered {
+                user: c.u64()?,
+                fee: c.f64()?,
+            },
+            opcode::REFUSED => {
+                let query_id = c.u32()?;
+                let code = c.u8()?;
+                let reason = RefuseReason::from_code(code).ok_or_else(|| {
+                    ProtocolError::Malformed(format!("unknown refuse reason {code}"))
+                })?;
+                Frame::Refused {
+                    query_id,
+                    reason,
+                    retry_after_secs: c.f64()?,
+                }
+            }
+            opcode::ROWS_BEGIN => {
+                let query_id = c.u32()?;
+                let ncols = c.u16()? as usize;
+                let mut columns = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    columns.push(c.string()?);
+                }
+                Frame::RowsBegin {
+                    query_id,
+                    columns,
+                    rows: c.u32()?,
+                }
+            }
+            opcode::ROW => {
+                let query_id = c.u32()?;
+                let seq = c.u32()?;
+                let row = decode_row(c.rest())
+                    .map_err(|e| ProtocolError::Malformed(format!("bad row: {e}")))?;
+                Frame::Row { query_id, seq, row }
+            }
+            opcode::DONE => Frame::Done {
+                query_id: c.u32()?,
+                delay_secs: c.f64()?,
+                tuples: c.u32()?,
+            },
+            opcode::STATS_REPLY => Frame::StatsReply {
+                rendered: c.string()?,
+            },
+            opcode::ERROR => Frame::Error {
+                query_id: c.u32()?,
+                message: c.string()?,
+            },
+            other => {
+                return Err(ProtocolError::Malformed(format!(
+                    "unknown opcode {other:#x}"
+                )))
+            }
+        };
+        c.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Write one frame to `w` (length prefix + body), without flushing.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), ProtocolError> {
+    let body = frame.encode_body();
+    if body.len() > MAX_FRAME {
+        return Err(ProtocolError::Oversized(body.len()));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)?;
+    Ok(())
+}
+
+/// Read one frame from `r`. Returns `Ok(None)` on clean EOF at a frame
+/// boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, ProtocolError> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 {
+        return Err(ProtocolError::Malformed("empty frame".into()));
+    }
+    if len > MAX_FRAME {
+        return Err(ProtocolError::Oversized(len));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Frame::decode_body(&body).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delayguard_storage::Value;
+
+    fn round_trip(frame: Frame) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        let mut slice = buf.as_slice();
+        let back = read_frame(&mut slice).unwrap().unwrap();
+        assert_eq!(frame, back);
+        assert!(read_frame(&mut slice).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn all_frames_round_trip() {
+        round_trip(Frame::Register {
+            claimed_ip: [10, 0, 0, 7],
+        });
+        round_trip(Frame::Query {
+            query_id: 3,
+            user: 42,
+            sql: "SELECT * FROM t WHERE id = 1".into(),
+        });
+        round_trip(Frame::Stats);
+        round_trip(Frame::Registered { user: 7, fee: 2.5 });
+        round_trip(Frame::Refused {
+            query_id: 9,
+            reason: RefuseReason::SubnetRate,
+            retry_after_secs: 1.25,
+        });
+        round_trip(Frame::RowsBegin {
+            query_id: 1,
+            columns: vec!["id".into(), "body".into()],
+            rows: 100,
+        });
+        round_trip(Frame::Row {
+            query_id: 1,
+            seq: 5,
+            row: Row::new(vec![Value::Int(9), Value::Text("x".into()), Value::Null]),
+        });
+        round_trip(Frame::Done {
+            query_id: 1,
+            delay_secs: 10.0,
+            tuples: 100,
+        });
+        round_trip(Frame::StatsReply {
+            rendered: "a  1\nb  2\n".into(),
+        });
+        round_trip(Frame::Error {
+            query_id: 2,
+            message: "no such table".into(),
+        });
+    }
+
+    #[test]
+    fn stream_of_frames_parses_in_order() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Stats).unwrap();
+        write_frame(&mut buf, &Frame::Registered { user: 1, fee: 0.0 }).unwrap();
+        let mut slice = buf.as_slice();
+        assert_eq!(read_frame(&mut slice).unwrap(), Some(Frame::Stats));
+        assert!(matches!(
+            read_frame(&mut slice).unwrap(),
+            Some(Frame::Registered { user: 1, .. })
+        ));
+        assert_eq!(read_frame(&mut slice).unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        // Unknown opcode.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(0x7f);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ProtocolError::Malformed(_))
+        ));
+        // Oversized length.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ProtocolError::Oversized(_))
+        ));
+        // Trailing bytes after a valid payload.
+        let mut body = vec![opcode::STATS, 0xff];
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        buf.append(&mut body);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ProtocolError::Malformed(_))
+        ));
+        // Truncated body mid-frame is an error, not clean EOF.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.push(opcode::STATS);
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+}

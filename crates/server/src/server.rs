@@ -1,0 +1,691 @@
+//! The network front door: TCP accept loop, per-connection sessions,
+//! gatekeeper admission, delay-scheduled streaming, and graceful drain.
+//!
+//! Concurrency model (no async runtime; the container's toolchain is all
+//! we use):
+//!
+//! * one accept thread; connections beyond `max_sessions` are shed with
+//!   an explicit `REFUSED(Overloaded)` carrying a retry hint,
+//! * two threads per admitted session — a reader running admission and
+//!   the query engine, and a writer draining that connection's bounded
+//!   [`SendQueue`],
+//! * one [`DelayScheduler`] thread enforcing every tuple deadline in the
+//!   process on a single timer wheel.
+//!
+//! Backpressure: each `SELECT` must reserve queue slots for its entire
+//! result set *at admission time*; if the connection's outstanding rows
+//! would exceed `send_queue_rows`, the query is refused with
+//! `Overloaded` instead of letting scheduler jobs block on a slow
+//! client. Scheduler jobs therefore never wait: they push into
+//! pre-reserved slots and drop frames only for dead connections.
+//!
+//! Graceful shutdown ([`ServerHandle::shutdown`]): mark the server
+//! draining (new queries, registrations, and connections are refused
+//! with `ShuttingDown`), wait for in-flight handlers to finish
+//! scheduling, drain the wheel so every already-charged tuple is
+//! delivered at its deadline, flush and close the send queues, then
+//! join all threads.
+
+use crate::metrics::ServerMetrics;
+use crate::protocol::{write_frame, Frame, ProtocolError, RefuseReason};
+use crate::scheduler::DelayScheduler;
+use delayguard_core::gatekeeper::{
+    Admission, Gatekeeper, GatekeeperConfig, Ipv4, RefusalReason, RegistrationOutcome, UserId,
+};
+use delayguard_core::GuardedDatabase;
+use delayguard_query::engine::StatementOutput;
+use delayguard_sim::Registry;
+use parking_lot::Mutex as PMutex;
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{IpAddr, Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Gatekeeper (registration + rate limiting) policy.
+    pub gatekeeper: GatekeeperConfig,
+    /// Maximum concurrent sessions; further connections are shed.
+    pub max_sessions: usize,
+    /// Per-connection cap on rows admitted but not yet written. A query
+    /// whose result set does not fit the remaining budget is refused.
+    pub send_queue_rows: usize,
+    /// Timer-wheel granularity. Delays round up to the next tick.
+    pub tick: Duration,
+    /// Honor the `claimed_ip` field of `REGISTER` frames. Off by default
+    /// (the peer address is authoritative); enable behind a trusted
+    /// proxy, or in tests that need many subnets over loopback.
+    pub trust_client_ip: bool,
+    /// Retry hint attached to `Overloaded` / `ShuttingDown` refusals.
+    pub retry_after_secs: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            gatekeeper: GatekeeperConfig::default(),
+            max_sessions: 64,
+            send_queue_rows: 4096,
+            tick: Duration::from_millis(1),
+            trust_client_ip: false,
+            retry_after_secs: 1.0,
+        }
+    }
+}
+
+// ---- bounded per-connection send queue ----------------------------------
+
+struct QueueInner {
+    frames: VecDeque<Frame>,
+    /// Rows admitted (reserved or queued) but not yet written to the
+    /// socket. Charged by `try_reserve_rows`, released as the writer
+    /// pops each row frame.
+    outstanding_rows: usize,
+    closed: bool,
+}
+
+/// A bounded queue of frames between a session's producer side (reader
+/// thread + scheduler jobs) and its writer thread.
+struct SendQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    /// Signalled when the queue empties (shutdown flush).
+    empty: Condvar,
+}
+
+impl SendQueue {
+    fn new() -> SendQueue {
+        SendQueue {
+            inner: Mutex::new(QueueInner {
+                frames: VecDeque::new(),
+                outstanding_rows: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            empty: Condvar::new(),
+        }
+    }
+
+    /// Reserve capacity for `n` rows against `cap`. All-or-nothing, so a
+    /// query either streams completely or is refused up front.
+    fn try_reserve_rows(&self, n: usize, cap: usize) -> bool {
+        let mut q = self.inner.lock().unwrap();
+        if q.closed || q.outstanding_rows + n > cap {
+            return false;
+        }
+        q.outstanding_rows += n;
+        true
+    }
+
+    /// Queue a previously reserved row frame. Never blocks.
+    fn push_row(&self, frame: Frame) {
+        let mut q = self.inner.lock().unwrap();
+        if q.closed {
+            q.outstanding_rows = q.outstanding_rows.saturating_sub(1);
+            return;
+        }
+        q.frames.push_back(frame);
+        drop(q);
+        self.ready.notify_one();
+    }
+
+    /// Queue a control frame (registration, refusal, begin/done, stats).
+    /// Control frames bypass the row cap; they are small and bounded by
+    /// the client's own request rate.
+    fn push_control(&self, frame: Frame) {
+        let mut q = self.inner.lock().unwrap();
+        if q.closed {
+            return;
+        }
+        q.frames.push_back(frame);
+        drop(q);
+        self.ready.notify_one();
+    }
+
+    /// Writer side: wait for the next frame; `None` once closed and empty.
+    fn pop_blocking(&self) -> Option<(Frame, bool)> {
+        let mut q = self.inner.lock().unwrap();
+        loop {
+            if let Some(frame) = q.frames.pop_front() {
+                if matches!(frame, Frame::Row { .. }) {
+                    q.outstanding_rows = q.outstanding_rows.saturating_sub(1);
+                }
+                let more = !q.frames.is_empty();
+                if !more {
+                    self.empty.notify_all();
+                }
+                return Some((frame, more));
+            }
+            if q.closed {
+                self.empty.notify_all();
+                return None;
+            }
+            q = self.ready.wait(q).unwrap();
+        }
+    }
+
+    /// Stop accepting frames; the writer drains what is queued and exits.
+    fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+        self.empty.notify_all();
+    }
+
+    /// Wait until every queued frame has been handed to the writer.
+    fn wait_drained(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.inner.lock().unwrap();
+        while !q.frames.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self.empty.wait_timeout(q, deadline - now).unwrap();
+            q = guard;
+        }
+        true
+    }
+}
+
+/// Shared per-connection state: the queue plus a stream handle the
+/// shutdown path can use to unblock the reader.
+struct Conn {
+    queue: SendQueue,
+    stream: TcpStream,
+    done: AtomicBool,
+    /// Set once the writer has flushed its last frame; shutdown waits for
+    /// this before severing the stream, so no queued frame is cut off.
+    writer_done: AtomicBool,
+}
+
+// ---- the server itself --------------------------------------------------
+
+struct Shared {
+    config: ServerConfig,
+    db: Arc<GuardedDatabase>,
+    gatekeeper: PMutex<Gatekeeper>,
+    scheduler: Arc<DelayScheduler>,
+    metrics: ServerMetrics,
+    registry: Registry,
+    /// Clock for gatekeeper decisions (seconds since server start).
+    epoch: Instant,
+    /// Set first during shutdown: refuse all new work.
+    draining: AtomicBool,
+    /// Stops the accept loop.
+    stop_accept: AtomicBool,
+    /// Live sessions (the admission "semaphore").
+    sessions: AtomicUsize,
+    /// Query handlers between the draining check and their last
+    /// `schedule` call; shutdown waits for this to reach zero before
+    /// draining the wheel, so no delay is scheduled after the drain.
+    inflight_queries: AtomicUsize,
+    conns: PMutex<Vec<Arc<Conn>>>,
+}
+
+impl Shared {
+    fn now_secs(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`shutdown`](ServerHandle::shutdown).
+pub struct Server;
+
+/// Handle to a running [`Server`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    session_threads: Arc<PMutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving `db`, publishing metrics into `registry`.
+    pub fn start(
+        addr: &str,
+        config: ServerConfig,
+        db: Arc<GuardedDatabase>,
+        registry: Registry,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let metrics = ServerMetrics::new(&registry);
+        let scheduler = DelayScheduler::start(config.tick, metrics.clone());
+        let shared = Arc::new(Shared {
+            gatekeeper: PMutex::new(Gatekeeper::new(config.gatekeeper)),
+            config,
+            db,
+            scheduler,
+            metrics,
+            registry,
+            epoch: Instant::now(),
+            draining: AtomicBool::new(false),
+            stop_accept: AtomicBool::new(false),
+            sessions: AtomicUsize::new(0),
+            inflight_queries: AtomicUsize::new(0),
+            conns: PMutex::new(Vec::new()),
+        });
+        let session_threads = Arc::new(PMutex::new(Vec::new()));
+        let accept_shared = Arc::clone(&shared);
+        let accept_threads = Arc::clone(&session_threads);
+        let accept_thread = std::thread::Builder::new()
+            .name("delayguard-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared, accept_threads))?;
+        Ok(ServerHandle {
+            addr: local,
+            shared,
+            accept_thread: Some(accept_thread),
+            session_threads,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The metrics registry the server publishes into.
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
+    }
+
+    /// Gracefully shut down: refuse new work, deliver every in-flight
+    /// delayed tuple at its deadline, then stop all threads.
+    pub fn shutdown(mut self) {
+        let shared = &self.shared;
+        // 1. Refuse new queries/registrations/connections.
+        shared.draining.store(true, Ordering::SeqCst);
+        // 2. Let handlers that already passed the draining check finish
+        //    scheduling their result sets.
+        while shared.inflight_queries.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // 3. Deliver everything on the wheel at its deadline.
+        shared.scheduler.drain();
+        // 4. Flush and close every send queue, then unblock readers.
+        let conns: Vec<Arc<Conn>> = shared.conns.lock().drain(..).collect();
+        for conn in &conns {
+            if conn.done.load(Ordering::SeqCst) {
+                continue;
+            }
+            conn.queue.wait_drained(Duration::from_secs(10));
+            conn.queue.close();
+        }
+        for conn in &conns {
+            // Wait for the writer's final flush before severing the
+            // stream, so clients receive every drained frame.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while !conn.writer_done.load(Ordering::SeqCst) && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        // 5. Stop accepting and join everything.
+        shared.stop_accept.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let threads: Vec<JoinHandle<()>> = self.session_threads.lock().drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    session_threads: Arc<PMutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.stop_accept.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                handle_accept(stream, peer, &shared, &session_threads);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Send a one-off refusal on a connection we are not admitting.
+fn refuse_and_drop(stream: TcpStream, reason: RefuseReason, retry_after_secs: f64) {
+    let mut w = BufWriter::new(stream);
+    let _ = write_frame(
+        &mut w,
+        &Frame::Refused {
+            query_id: 0,
+            reason,
+            retry_after_secs,
+        },
+    );
+    let _ = w.flush();
+}
+
+fn handle_accept(
+    stream: TcpStream,
+    peer: SocketAddr,
+    shared: &Arc<Shared>,
+    session_threads: &Arc<PMutex<Vec<JoinHandle<()>>>>,
+) {
+    let retry = shared.config.retry_after_secs;
+    if shared.draining.load(Ordering::SeqCst) {
+        refuse_and_drop(stream, RefuseReason::ShuttingDown, retry);
+        return;
+    }
+    // Admission "semaphore": claim a session slot or shed the connection.
+    let prev = shared.sessions.fetch_add(1, Ordering::SeqCst);
+    if prev >= shared.config.max_sessions {
+        shared.sessions.fetch_sub(1, Ordering::SeqCst);
+        shared.metrics.connections_shed.inc();
+        refuse_and_drop(stream, RefuseReason::Overloaded, retry);
+        return;
+    }
+    shared.metrics.connections_accepted.inc();
+    shared.metrics.sessions.add(1);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_nonblocking(false);
+
+    let conn = Arc::new(Conn {
+        queue: SendQueue::new(),
+        stream: stream.try_clone().expect("clone session stream"),
+        done: AtomicBool::new(false),
+        writer_done: AtomicBool::new(false),
+    });
+    {
+        let mut conns = shared.conns.lock();
+        conns.retain(|c| !c.done.load(Ordering::SeqCst));
+        conns.push(Arc::clone(&conn));
+    }
+
+    let writer_conn = Arc::clone(&conn);
+    let writer_stream = stream.try_clone().expect("clone session stream");
+    let writer = std::thread::Builder::new()
+        .name("delayguard-writer".into())
+        .spawn(move || writer_loop(writer_stream, writer_conn))
+        .expect("spawn writer thread");
+
+    let reader_shared = Arc::clone(shared);
+    let reader_conn = Arc::clone(&conn);
+    let reader = std::thread::Builder::new()
+        .name("delayguard-session".into())
+        .spawn(move || {
+            session_loop(stream, peer, &reader_shared, &reader_conn);
+            // Reader done: stop the writer once queued frames are out, then
+            // sever the socket so the peer sees EOF. Without the shutdown the
+            // clone held in `shared.conns` keeps the OS socket open and a
+            // client whose session the server terminated (protocol error,
+            // unexpected frame) would block forever waiting for a close.
+            reader_conn.queue.close();
+            let flush_deadline = Instant::now() + Duration::from_secs(10);
+            while !reader_conn.writer_done.load(Ordering::SeqCst) && Instant::now() < flush_deadline
+            {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let _ = reader_conn.stream.shutdown(Shutdown::Both);
+            reader_conn.done.store(true, Ordering::SeqCst);
+            reader_shared.sessions.fetch_sub(1, Ordering::SeqCst);
+            reader_shared.metrics.sessions.add(-1);
+        })
+        .expect("spawn session thread");
+    let mut threads = session_threads.lock();
+    threads.push(writer);
+    threads.push(reader);
+}
+
+fn writer_loop(stream: TcpStream, conn: Arc<Conn>) {
+    let mut w = BufWriter::new(stream);
+    while let Some((frame, more)) = conn.queue.pop_blocking() {
+        if write_frame(&mut w, &frame).is_err() {
+            conn.queue.close();
+            break;
+        }
+        // Flush at queue boundaries so clients see frames promptly while
+        // bursts still coalesce into large writes.
+        if !more && w.flush().is_err() {
+            conn.queue.close();
+            break;
+        }
+    }
+    let _ = w.flush();
+    conn.writer_done.store(true, Ordering::SeqCst);
+}
+
+fn peer_octets(peer: SocketAddr) -> [u8; 4] {
+    match peer.ip() {
+        IpAddr::V4(v4) => v4.octets(),
+        IpAddr::V6(v6) => v6.to_ipv4().map(|v4| v4.octets()).unwrap_or([0, 0, 0, 0]),
+    }
+}
+
+fn wire_reason(reason: RefusalReason) -> RefuseReason {
+    match reason {
+        RefusalReason::Unregistered => RefuseReason::Unregistered,
+        RefusalReason::UserRateExceeded => RefuseReason::UserRate,
+        RefusalReason::SubnetRateExceeded => RefuseReason::SubnetRate,
+    }
+}
+
+fn session_loop(stream: TcpStream, peer: SocketAddr, shared: &Arc<Shared>, conn: &Arc<Conn>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let frame = match crate::protocol::read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean EOF
+            Err(ProtocolError::Io(_)) => return,
+            Err(e) => {
+                conn.queue.push_control(Frame::Error {
+                    query_id: 0,
+                    message: format!("protocol error: {e}"),
+                });
+                return;
+            }
+        };
+        match frame {
+            Frame::Register { claimed_ip } => handle_register(claimed_ip, peer, shared, conn),
+            Frame::Query {
+                query_id,
+                user,
+                sql,
+            } => handle_query(query_id, user, &sql, shared, conn),
+            Frame::Stats => {
+                conn.queue.push_control(Frame::StatsReply {
+                    rendered: shared.registry.render(),
+                });
+            }
+            other => {
+                conn.queue.push_control(Frame::Error {
+                    query_id: 0,
+                    message: format!("unexpected frame from client: {other:?}"),
+                });
+                return;
+            }
+        }
+    }
+}
+
+fn handle_register(claimed_ip: [u8; 4], peer: SocketAddr, shared: &Arc<Shared>, conn: &Arc<Conn>) {
+    let retry = shared.config.retry_after_secs;
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.metrics.refused_shutdown.inc();
+        conn.queue.push_control(Frame::Refused {
+            query_id: 0,
+            reason: RefuseReason::ShuttingDown,
+            retry_after_secs: retry,
+        });
+        return;
+    }
+    let ip = if shared.config.trust_client_ip && claimed_ip != [0, 0, 0, 0] {
+        claimed_ip
+    } else {
+        peer_octets(peer)
+    };
+    let now = shared.now_secs();
+    let outcome = shared.gatekeeper.lock().register(Ipv4(ip), now);
+    match outcome {
+        RegistrationOutcome::Admitted { user, fee_charged } => {
+            shared.metrics.users_registered.inc();
+            conn.queue.push_control(Frame::Registered {
+                user: user.0,
+                fee: fee_charged,
+            });
+        }
+        RegistrationOutcome::TooSoon { retry_at } => {
+            shared.metrics.registrations_refused.inc();
+            conn.queue.push_control(Frame::Refused {
+                query_id: 0,
+                reason: RefuseReason::RegistrationTooSoon,
+                retry_after_secs: (retry_at - now).max(0.0),
+            });
+        }
+    }
+}
+
+fn handle_query(query_id: u32, user: u64, sql: &str, shared: &Arc<Shared>, conn: &Arc<Conn>) {
+    let retry = shared.config.retry_after_secs;
+    // Entered before the draining check; shutdown waits for this count to
+    // reach zero before draining the wheel, so every delay we schedule
+    // below is delivered.
+    shared.inflight_queries.fetch_add(1, Ordering::SeqCst);
+    let _guard = InflightGuard(shared);
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.metrics.refused_shutdown.inc();
+        conn.queue.push_control(Frame::Refused {
+            query_id,
+            reason: RefuseReason::ShuttingDown,
+            retry_after_secs: retry,
+        });
+        return;
+    }
+    let admission = shared
+        .gatekeeper
+        .lock()
+        .admit(UserId(user), shared.now_secs());
+    if let Admission::Refused(reason) = admission {
+        let counter = match reason {
+            RefusalReason::Unregistered => &shared.metrics.refused_unregistered,
+            RefusalReason::UserRateExceeded => &shared.metrics.refused_user_rate,
+            RefusalReason::SubnetRateExceeded => &shared.metrics.refused_subnet_rate,
+        };
+        counter.inc();
+        conn.queue.push_control(Frame::Refused {
+            query_id,
+            reason: wire_reason(reason),
+            retry_after_secs: retry,
+        });
+        return;
+    }
+    let response = match shared.db.execute_with_deadline(sql) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.metrics.query_errors.inc();
+            conn.queue.push_control(Frame::Error {
+                query_id,
+                message: e.to_string(),
+            });
+            return;
+        }
+    };
+    shared.metrics.queries_admitted.inc();
+    shared
+        .metrics
+        .delay_micros_charged
+        .add_secs(response.delay_secs);
+    let delay_secs = response.delay_secs;
+    let done_at = response.deadline();
+    match response.output {
+        StatementOutput::Rows(select) => {
+            let n = select.rows.len();
+            if !conn
+                .queue
+                .try_reserve_rows(n, shared.config.send_queue_rows)
+            {
+                // The delay was charged but the connection cannot absorb
+                // the result set; shed rather than block the scheduler.
+                shared.metrics.refused_backpressure.inc();
+                conn.queue.push_control(Frame::Refused {
+                    query_id,
+                    reason: RefuseReason::Overloaded,
+                    retry_after_secs: retry,
+                });
+                return;
+            }
+            conn.queue.push_control(Frame::RowsBegin {
+                query_id,
+                columns: select.columns.clone(),
+                rows: n as u32,
+            });
+            shared.metrics.rows_streamed.add(n as u64);
+            let issued_at = response.issued_at;
+            for (seq, ((_rid, row), offset)) in select
+                .rows
+                .into_iter()
+                .zip(response.tuple_offsets.iter())
+                .enumerate()
+            {
+                let frame = Frame::Row {
+                    query_id,
+                    seq: seq as u32,
+                    row,
+                };
+                let job_conn = Arc::clone(conn);
+                shared.scheduler.schedule(
+                    issued_at + Duration::from_secs_f64(offset.max(0.0)),
+                    Box::new(move || job_conn.queue.push_row(frame)),
+                );
+            }
+            // DONE rides the wheel too, scheduled after the rows at the
+            // same final deadline so stable ordering emits it last.
+            let done_conn = Arc::clone(conn);
+            shared.scheduler.schedule(
+                done_at,
+                Box::new(move || {
+                    done_conn.queue.push_control(Frame::Done {
+                        query_id,
+                        delay_secs,
+                        tuples: n as u32,
+                    })
+                }),
+            );
+        }
+        other => {
+            let tuples = match &other {
+                StatementOutput::Inserted { rids } => rids.len() as u32,
+                StatementOutput::Updated { rids } => rids.len() as u32,
+                StatementOutput::Deleted { rids } => rids.len() as u32,
+                _ => 0,
+            };
+            let done_conn = Arc::clone(conn);
+            shared.scheduler.schedule(
+                done_at,
+                Box::new(move || {
+                    done_conn.queue.push_control(Frame::Done {
+                        query_id,
+                        delay_secs,
+                        tuples,
+                    })
+                }),
+            );
+        }
+    }
+}
+
+/// Decrements `inflight_queries` on every exit path of `handle_query`.
+struct InflightGuard<'a>(&'a Arc<Shared>);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight_queries.fetch_sub(1, Ordering::SeqCst);
+    }
+}

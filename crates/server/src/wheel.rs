@@ -1,0 +1,296 @@
+//! A hierarchical timer wheel: thousands of pending delays at O(1)
+//! amortized cost per tick, with no task or thread per delay.
+//!
+//! The wheel is pure and tick-indexed: time is a `u64` tick counter and
+//! the caller decides what a tick means in wall-clock terms (the
+//! [`scheduler`](crate::scheduler) drives one wheel from a single thread).
+//! Four levels of 64 slots cover a horizon of `64^4` ≈ 16.7 M ticks
+//! (≈ 4.6 hours at a 1 ms tick); rarer, farther deadlines sit in an
+//! overflow list that is reconsidered when the top level turns over.
+//!
+//! Guarantees, relied on by the delivery path and checked by the property
+//! test in `tests/wheel_prop.rs`:
+//!
+//! * an entry never fires **early** (before `advance` has reached its
+//!   deadline tick), and
+//! * one `advance` call yields entries in **non-decreasing deadline
+//!   order**, with insertion order preserved among equal deadlines (so a
+//!   query's `DONE` frame, scheduled after its rows at the same deadline,
+//!   fires after them).
+
+/// Slots per level.
+const SLOTS: usize = 64;
+/// Number of hierarchical levels.
+const LEVELS: usize = 4;
+/// Ticks covered by one slot of each level: 64^0, 64^1, 64^2, 64^3.
+const fn level_span(level: usize) -> u64 {
+    (SLOTS as u64).pow(level as u32)
+}
+/// Ticks covered by the whole wheel.
+const HORIZON: u64 = (SLOTS as u64).pow(LEVELS as u32);
+
+#[derive(Debug)]
+struct Entry<T> {
+    deadline: u64,
+    /// Monotone insertion sequence, used to keep equal-deadline entries
+    /// in insertion order across cascades.
+    seq: u64,
+    item: T,
+}
+
+/// A hierarchical timer wheel over an abstract `u64` tick clock.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    /// `levels[k][slot]` holds entries expiring within that slot's span.
+    levels: Vec<Vec<Vec<Entry<T>>>>,
+    /// Entries beyond the wheel horizon.
+    overflow: Vec<Entry<T>>,
+    /// Entries whose deadline had already passed at insertion; they fire
+    /// on the next `advance`.
+    due: Vec<Entry<T>>,
+    /// Live entry count per level, for fast-forwarding over empty spans.
+    level_counts: [usize; LEVELS],
+    now: u64,
+    next_seq: u64,
+    pending: usize,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// An empty wheel positioned at tick 0.
+    pub fn new() -> TimerWheel<T> {
+        TimerWheel {
+            levels: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            overflow: Vec::new(),
+            due: Vec::new(),
+            level_counts: [0; LEVELS],
+            now: 0,
+            next_seq: 0,
+            pending: 0,
+        }
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of scheduled entries that have not fired yet.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Schedule `item` to fire once `advance` reaches `deadline`.
+    /// Deadlines at or before the current tick fire on the next `advance`.
+    pub fn insert(&mut self, deadline: u64, item: T) {
+        let entry = Entry {
+            deadline,
+            seq: self.next_seq,
+            item,
+        };
+        self.next_seq += 1;
+        self.pending += 1;
+        self.place(entry);
+    }
+
+    /// File an entry into the right level/slot for the current tick.
+    fn place(&mut self, entry: Entry<T>) {
+        let delta = entry.deadline.saturating_sub(self.now);
+        if entry.deadline <= self.now {
+            self.due.push(entry);
+            return;
+        }
+        if delta >= HORIZON {
+            self.overflow.push(entry);
+            return;
+        }
+        // Smallest level whose span covers the remaining delta.
+        for level in 0..LEVELS {
+            if delta < level_span(level + 1) {
+                let slot = (entry.deadline / level_span(level)) as usize % SLOTS;
+                self.levels[level][slot].push(entry);
+                self.level_counts[level] += 1;
+                return;
+            }
+        }
+        unreachable!("delta {delta} below horizon must fit a level");
+    }
+
+    /// The tick `advance` may jump to without missing a fire or cascade:
+    /// with the finest `k` levels empty, nothing happens until the next
+    /// slot boundary of the coarsest span that still has entries.
+    fn fast_forward_target(&self, to: u64) -> u64 {
+        let mut level = 0;
+        while level < LEVELS && self.level_counts[level] == 0 {
+            level += 1;
+        }
+        if level == 0 {
+            return self.now; // level 0 occupied: tick one at a time
+        }
+        if level == LEVELS && self.overflow.is_empty() {
+            return to; // completely empty
+        }
+        let span = if level == LEVELS {
+            HORIZON
+        } else {
+            level_span(level)
+        };
+        let next_boundary = (self.now / span + 1) * span;
+        // Stop one tick short so the boundary tick runs its cascade.
+        to.min(next_boundary.saturating_sub(1))
+    }
+
+    /// Advance the wheel to tick `to`, returning every entry whose
+    /// deadline has been reached as `(deadline, item)` pairs in
+    /// non-decreasing deadline order.
+    pub fn advance(&mut self, to: u64) -> Vec<(u64, T)> {
+        let mut fired: Vec<Entry<T>> = std::mem::take(&mut self.due);
+
+        while self.now < to {
+            let skip_to = self.fast_forward_target(to);
+            if skip_to > self.now {
+                self.now = skip_to;
+                if self.now >= to {
+                    break;
+                }
+            }
+            self.now += 1;
+            // Cascade each level whose slot boundary we just crossed:
+            // entries move down to finer-grained levels (or fire).
+            for level in 1..LEVELS {
+                if self.now.is_multiple_of(level_span(level)) {
+                    let slot = (self.now / level_span(level)) as usize % SLOTS;
+                    let entries = std::mem::take(&mut self.levels[level][slot]);
+                    self.level_counts[level] -= entries.len();
+                    for e in entries {
+                        if e.deadline <= self.now {
+                            fired.push(e);
+                        } else {
+                            self.place(e);
+                        }
+                    }
+                } else {
+                    break;
+                }
+            }
+            // Top level turned over: overflow entries may now fit.
+            if self.now.is_multiple_of(HORIZON) && !self.overflow.is_empty() {
+                let entries = std::mem::take(&mut self.overflow);
+                for e in entries {
+                    self.place(e);
+                }
+            }
+            // Fire this tick's level-0 slot.
+            let slot = self.now as usize % SLOTS;
+            self.level_counts[0] -= self.levels[0][slot].len();
+            fired.append(&mut self.levels[0][slot]);
+        }
+
+        self.pending -= fired.len();
+        // Per-tick batches are already time-ordered; a stable sort fixes
+        // interleavings introduced by cascading while preserving insertion
+        // order among equal deadlines.
+        fired.sort_by_key(|e| (e.deadline, e.seq));
+        fired.into_iter().map(|e| (e.deadline, e.item)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_at_exact_tick_not_before() {
+        let mut w = TimerWheel::new();
+        w.insert(10, "a");
+        assert!(w.advance(9).is_empty());
+        assert_eq!(w.pending(), 1);
+        assert_eq!(w.advance(10), vec![(10, "a")]);
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_next_advance() {
+        let mut w = TimerWheel::new();
+        w.advance(100);
+        w.insert(50, "late");
+        w.insert(100, "now");
+        let fired = w.advance(100);
+        assert_eq!(fired, vec![(50, "late"), (100, "now")]);
+    }
+
+    #[test]
+    fn batch_is_deadline_ordered() {
+        let mut w = TimerWheel::new();
+        for &d in &[500u64, 3, 70, 4096, 70, 12] {
+            w.insert(d, d);
+        }
+        let fired = w.advance(10_000);
+        let deadlines: Vec<u64> = fired.iter().map(|&(d, _)| d).collect();
+        assert_eq!(deadlines, vec![3, 12, 70, 70, 500, 4096]);
+    }
+
+    #[test]
+    fn equal_deadlines_keep_insertion_order() {
+        let mut w = TimerWheel::new();
+        w.insert(5000, "row0");
+        w.insert(5000, "row1");
+        w.insert(5000, "done");
+        let fired = w.advance(6000);
+        let items: Vec<&str> = fired.into_iter().map(|(_, i)| i).collect();
+        assert_eq!(items, vec!["row0", "row1", "done"]);
+    }
+
+    #[test]
+    fn cascades_across_levels() {
+        let mut w = TimerWheel::new();
+        // One entry per level plus overflow.
+        let deadlines = [
+            7u64,
+            SLOTS as u64 + 1,
+            level_span(2) + 5,
+            level_span(3) + 9,
+            HORIZON + 17,
+        ];
+        for &d in &deadlines {
+            w.insert(d, d);
+        }
+        assert_eq!(w.pending(), 5);
+        for &d in &deadlines {
+            assert!(w.advance(d - 1).iter().all(|&(fd, _)| fd < d));
+            let fired = w.advance(d);
+            assert_eq!(fired, vec![(d, d)], "deadline {d}");
+        }
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn ten_thousand_entries_one_wheel() {
+        let mut w = TimerWheel::new();
+        for i in 0..10_000u64 {
+            w.insert(1 + (i * 37) % 5000, i);
+        }
+        assert_eq!(w.pending(), 10_000);
+        let mut seen = 0;
+        let mut last = 0;
+        let mut t = 0;
+        while t < 5000 {
+            t += 13;
+            for (d, _) in w.advance(t) {
+                assert!(d >= last, "deadline order violated");
+                assert!(d <= t, "fired early: {d} at tick {t}");
+                last = d;
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 10_000);
+        assert_eq!(w.pending(), 0);
+    }
+}

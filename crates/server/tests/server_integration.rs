@@ -1,0 +1,359 @@
+//! End-to-end tests against a live server on an ephemeral port:
+//! concurrent clients observing the delay policy on the wire, explicit
+//! refusals for unregistered / rate-exhausted identities, graceful
+//! shutdown delivering in-flight delayed tuples, and 10 000 concurrent
+//! delays on a single scheduler thread.
+
+use delayguard_core::access::AccessDelayPolicy;
+use delayguard_core::config::GuardConfig;
+use delayguard_core::gatekeeper::{GatekeeperConfig, RegistrationPolicy};
+use delayguard_core::policy::{ChargingModel, GuardPolicy};
+use delayguard_core::GuardedDatabase;
+use delayguard_server::client::{Client, QueryOutcome, RegisterOutcome};
+use delayguard_server::protocol::RefuseReason;
+use delayguard_server::server::{Server, ServerConfig, ServerHandle};
+use delayguard_sim::{MetricValue, Registry};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A guarded database with `rows` directory entries and a delay cap of
+/// `cap_secs` per tuple under `charging`.
+fn seeded_db(rows: usize, cap_secs: f64, charging: ChargingModel) -> Arc<GuardedDatabase> {
+    let config = GuardConfig::paper_default()
+        .with_policy(GuardPolicy::AccessRate(
+            AccessDelayPolicy::new(1.5, 1.0).with_cap(cap_secs),
+        ))
+        .with_charging(charging);
+    let db = GuardedDatabase::new(config);
+    db.execute_at(
+        "CREATE TABLE directory (id INT NOT NULL, entry TEXT NOT NULL)",
+        0.0,
+    )
+    .unwrap();
+    db.execute_at("CREATE UNIQUE INDEX directory_pk ON directory (id)", 0.0)
+        .unwrap();
+    for id in 0..rows {
+        db.execute_at(
+            &format!("INSERT INTO directory VALUES ({id}, 'entry-{id}')"),
+            0.0,
+        )
+        .unwrap();
+    }
+    Arc::new(db)
+}
+
+/// A permissive gatekeeper: tests that exercise rate limits override it.
+fn open_gatekeeper() -> GatekeeperConfig {
+    GatekeeperConfig {
+        per_user_rate: 1000.0,
+        per_user_burst: 1000.0,
+        per_subnet_rate: 1000.0,
+        per_subnet_burst: 1000.0,
+        registration: RegistrationPolicy::interval(0.0),
+        storefront_query_threshold: 0,
+    }
+}
+
+fn start(config: ServerConfig, db: Arc<GuardedDatabase>) -> ServerHandle {
+    Server::start("127.0.0.1:0", config, db, Registry::new()).expect("server starts")
+}
+
+fn register(client: &mut Client) -> u64 {
+    match client.register().expect("register exchange") {
+        RegisterOutcome::Registered { user, .. } => user,
+        other => panic!("registration refused: {other:?}"),
+    }
+}
+
+#[test]
+fn popular_tuple_streams_faster_than_unpopular() {
+    let cap = 0.4;
+    let db = seeded_db(50, cap, ChargingModel::PerQueryMax);
+    // Make tuple 1 overwhelmingly popular before the server opens: the
+    // tracker learns fmax ≈ 1, so rank-1 delay collapses toward zero
+    // while never-accessed tuples stay at the cap.
+    for t in 0..200 {
+        db.execute_at("SELECT entry FROM directory WHERE id = 1", t as f64)
+            .unwrap();
+    }
+    let handle = start(
+        ServerConfig {
+            gatekeeper: open_gatekeeper(),
+            ..ServerConfig::default()
+        },
+        db,
+    );
+    let addr = handle.addr();
+
+    // Two clients race: one for the popular tuple, one for an unpopular
+    // one. Delay is enforced per tuple on the wire, so the popular query
+    // must come back faster by roughly the policy cap.
+    let popular = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        let user = register(&mut c);
+        c.query(user, "SELECT entry FROM directory WHERE id = 1")
+            .unwrap()
+    });
+    let unpopular = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        let user = register(&mut c);
+        c.query(user, "SELECT entry FROM directory WHERE id = 37")
+            .unwrap()
+    });
+    let popular = popular.join().unwrap();
+    let unpopular = unpopular.join().unwrap();
+
+    let (pop_delay, pop_elapsed) = match &popular {
+        QueryOutcome::Rows {
+            rows,
+            delay_secs,
+            elapsed,
+            ..
+        } => {
+            assert_eq!(rows.len(), 1);
+            (*delay_secs, *elapsed)
+        }
+        other => panic!("popular query: {other:?}"),
+    };
+    let (unpop_delay, unpop_elapsed) = match &unpopular {
+        QueryOutcome::Rows {
+            rows,
+            delay_secs,
+            elapsed,
+            ..
+        } => {
+            assert_eq!(rows.len(), 1);
+            (*delay_secs, *elapsed)
+        }
+        other => panic!("unpopular query: {other:?}"),
+    };
+
+    // The policy margin: unpopular sits at the cap, popular near zero.
+    assert!(
+        unpop_delay >= cap - 1e-9,
+        "unpopular tuple should be charged the cap, got {unpop_delay}"
+    );
+    assert!(
+        pop_delay < cap / 4.0,
+        "popular tuple should be charged far below the cap, got {pop_delay}"
+    );
+    // Enforcement is real wall time, never early.
+    assert!(
+        unpop_elapsed >= Duration::from_secs_f64(unpop_delay),
+        "unpopular released early: {unpop_elapsed:?} < {unpop_delay}s"
+    );
+    assert!(
+        unpop_elapsed >= pop_elapsed + Duration::from_secs_f64(cap / 2.0),
+        "popular ({pop_elapsed:?}) should beat unpopular ({unpop_elapsed:?}) by the policy margin"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn unregistered_and_exhausted_clients_refused_explicitly() {
+    let db = seeded_db(10, 0.0, ChargingModel::PerQueryMax);
+    let handle = start(
+        ServerConfig {
+            gatekeeper: GatekeeperConfig {
+                per_user_rate: 0.001, // effectively no refill within the test
+                per_user_burst: 2.0,
+                per_subnet_rate: 1000.0,
+                per_subnet_burst: 1000.0,
+                registration: RegistrationPolicy::interval(0.0),
+                storefront_query_threshold: 0,
+            },
+            ..ServerConfig::default()
+        },
+        db,
+    );
+    let addr = handle.addr();
+
+    // Never registered: refused with the explicit reason.
+    let mut stranger = Client::connect(addr).unwrap();
+    let outcome = stranger
+        .query(999_999, "SELECT * FROM directory WHERE id = 1")
+        .unwrap();
+    assert_eq!(outcome.refusal(), Some(RefuseReason::Unregistered));
+
+    // Registered but burst-exhausted: two queries pass, the third is
+    // refused with a retry hint.
+    let mut member = Client::connect(addr).unwrap();
+    let user = register(&mut member);
+    for _ in 0..2 {
+        let ok = member
+            .query(user, "SELECT * FROM directory WHERE id = 1")
+            .unwrap();
+        assert!(matches!(ok, QueryOutcome::Rows { .. }), "{ok:?}");
+    }
+    match member
+        .query(user, "SELECT * FROM directory WHERE id = 1")
+        .unwrap()
+    {
+        QueryOutcome::Refused {
+            reason: RefuseReason::UserRate,
+            retry_after_secs,
+        } => assert!(retry_after_secs > 0.0),
+        other => panic!("expected user-rate refusal, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_delivers_inflight_delayed_tuples() {
+    // Cold table: every tuple of the first query is charged the full cap.
+    let cap = 0.6;
+    let db = seeded_db(10, cap, ChargingModel::PerQueryMax);
+    let handle = start(
+        ServerConfig {
+            gatekeeper: open_gatekeeper(),
+            ..ServerConfig::default()
+        },
+        db,
+    );
+    let addr = handle.addr();
+
+    let client = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        let user = register(&mut c);
+        c.query(user, "SELECT * FROM directory").unwrap()
+    });
+    // Let the query reach the wheel, then shut down while all ten tuples
+    // are still pending delivery.
+    std::thread::sleep(Duration::from_millis(150));
+    handle.shutdown();
+
+    match client.join().unwrap() {
+        QueryOutcome::Rows {
+            rows,
+            delay_secs,
+            elapsed,
+            ..
+        } => {
+            assert_eq!(rows.len(), 10, "drain must deliver every in-flight tuple");
+            assert!(delay_secs >= cap - 1e-9);
+            assert!(
+                elapsed >= Duration::from_secs_f64(cap),
+                "shutdown must not release tuples early ({elapsed:?})"
+            );
+        }
+        other => panic!("expected full result set after drain, got {other:?}"),
+    }
+}
+
+#[test]
+fn draining_server_refuses_new_queries() {
+    let cap = 0.8;
+    let db = seeded_db(8, cap, ChargingModel::PerQueryMax);
+    let handle = start(
+        ServerConfig {
+            gatekeeper: open_gatekeeper(),
+            ..ServerConfig::default()
+        },
+        db,
+    );
+    let addr = handle.addr();
+
+    // Park one slow query on the wheel so shutdown has something to drain.
+    let mut first = Client::connect(addr).unwrap();
+    let user = register(&mut first);
+    let inflight =
+        std::thread::spawn(move || first.query(user, "SELECT * FROM directory").unwrap());
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Second client connects *before* the drain starts, then queries
+    // after: the request must be refused as shutting down, not hang.
+    let mut second = Client::connect(addr).unwrap();
+    let second_user = register(&mut second);
+    let shutdown = std::thread::spawn(move || handle.shutdown());
+    std::thread::sleep(Duration::from_millis(100));
+    match second.query(second_user, "SELECT * FROM directory") {
+        Ok(QueryOutcome::Refused {
+            reason: RefuseReason::ShuttingDown,
+            ..
+        }) => {}
+        // The drain may already have severed the connection.
+        Err(_) => {}
+        Ok(other) => panic!("expected shutting-down refusal, got {other:?}"),
+    }
+    assert!(matches!(
+        inflight.join().unwrap(),
+        QueryOutcome::Rows { rows, .. } if rows.len() == 8
+    ));
+    shutdown.join().unwrap();
+}
+
+#[test]
+fn ten_thousand_delays_share_one_scheduler_thread() {
+    // 10 000 cold tuples, each charged the cap, all pending on the wheel
+    // at once under PerQueryMax charging.
+    let cap = 0.5;
+    let db = seeded_db(10_000, cap, ChargingModel::PerQueryMax);
+    let handle = start(
+        ServerConfig {
+            gatekeeper: open_gatekeeper(),
+            send_queue_rows: 20_000,
+            ..ServerConfig::default()
+        },
+        db,
+    );
+    let addr = handle.addr();
+
+    let mut c = Client::connect(addr).unwrap();
+    let user = register(&mut c);
+    match c.query(user, "SELECT * FROM directory").unwrap() {
+        QueryOutcome::Rows { rows, elapsed, .. } => {
+            assert_eq!(rows.len(), 10_000);
+            assert!(elapsed >= Duration::from_secs_f64(cap));
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // The acceptance criterion, read off the metrics registry: the wheel
+    // held all 10 000 delays at once, on exactly one scheduler thread —
+    // no task or thread per delay.
+    let registry = handle.registry();
+    match registry.value("scheduler_pending") {
+        Some(MetricValue::Gauge { high_water, .. }) => {
+            assert!(high_water >= 10_000, "pending high water {high_water}")
+        }
+        other => panic!("scheduler_pending missing: {other:?}"),
+    }
+    match registry.value("scheduler_threads") {
+        Some(MetricValue::Gauge { high_water, .. }) => {
+            assert_eq!(high_water, 1, "scheduler must not spawn per-delay tasks")
+        }
+        other => panic!("scheduler_threads missing: {other:?}"),
+    }
+    match registry.value("server_rows_streamed") {
+        Some(MetricValue::Counter(n)) => assert_eq!(n, 10_000),
+        other => panic!("server_rows_streamed missing: {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn stats_verb_reports_counters() {
+    let db = seeded_db(5, 0.0, ChargingModel::PerQueryMax);
+    let handle = start(
+        ServerConfig {
+            gatekeeper: open_gatekeeper(),
+            ..ServerConfig::default()
+        },
+        db,
+    );
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let user = register(&mut c);
+    c.query(user, "SELECT * FROM directory WHERE id = 1")
+        .unwrap();
+    let stats = c.stats().unwrap();
+    for metric in [
+        "server_connections_accepted",
+        "server_users_registered",
+        "server_queries_admitted",
+        "server_rows_streamed",
+        "scheduler_threads",
+    ] {
+        assert!(stats.contains(metric), "missing {metric} in:\n{stats}");
+    }
+    handle.shutdown();
+}

@@ -82,7 +82,9 @@ pub fn extract_update_based(
 /// per-item delays.
 pub fn uniform_user_median_delay(rates: &UpdateRates, policy: &UpdateDelayPolicy) -> f64 {
     let n = rates.len() as u64;
-    let delays: Vec<f64> = (0..n).map(|i| policy.delay_from_rate(n, rates.rate(i))).collect();
+    let delays: Vec<f64> = (0..n)
+        .map(|i| policy.delay_from_rate(n, rates.rate(i)))
+        .collect();
     crate::metrics::median_of(delays)
 }
 

@@ -12,6 +12,8 @@
 //! * [`staleness`] — expected / simulated stale fractions of an extracted
 //!   copy (Figure 6).
 //! * [`overhead`] — the §4.4 mechanism-cost methodology (Table 5).
+//! * [`registry`] — lock-free counters/gauges shared with
+//!   `delayguard-server`'s `STATS` endpoint.
 //! * [`report`] — plain-text table rendering for the harness.
 
 pub mod clock;
@@ -20,6 +22,7 @@ pub mod extraction;
 pub mod metrics;
 pub mod mixed;
 pub mod overhead;
+pub mod registry;
 pub mod replay;
 pub mod report;
 pub mod staleness;
@@ -32,6 +35,7 @@ pub use extraction::{
 pub use metrics::{median_of, OnlineStats, Quantiles};
 pub use mixed::{run_mixed, MixedConfig, MixedReport};
 pub use overhead::{measure_overhead, OverheadConfig, OverheadReport};
+pub use registry::{Counter, Gauge, MetricValue, Registry};
 pub use replay::{replay, replay_keys, DecayMode, ReplayConfig, ReplayResult};
 pub use report::{fmt_dollars, fmt_pct, fmt_secs, TableBuilder};
 pub use staleness::ExtractionSchedule;

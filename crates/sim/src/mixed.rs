@@ -154,23 +154,23 @@ mod tests {
     fn extraction_end_matches_analytic_total() {
         let (rates, config) = setup(1.0);
         let report = run_mixed(&rates, &config);
-        let analytic =
-            extract_update_based(&rates, &config.policy, ExtractionOrder::Sequential)
-                .total_delay_secs;
+        let analytic = extract_update_based(&rates, &config.policy, ExtractionOrder::Sequential)
+            .total_delay_secs;
         let rel = (report.extraction_end - analytic).abs() / analytic;
-        assert!(rel < 1e-9, "event sim {} vs sum {}", report.extraction_end, analytic);
+        assert!(
+            rel < 1e-9,
+            "event sim {} vs sum {}",
+            report.extraction_end,
+            analytic
+        );
     }
 
     #[test]
     fn observed_staleness_tracks_expected() {
         let (rates, config) = setup(1.0);
         let report = run_mixed(&rates, &config);
-        let schedule = extract_update_based(
-            &rates,
-            &config.policy,
-            ExtractionOrder::Sequential,
-        )
-        .schedule;
+        let schedule =
+            extract_update_based(&rates, &config.policy, ExtractionOrder::Sequential).schedule;
         let expected = schedule.expected_stale_fraction(&rates);
         assert!(
             (report.observed_stale_fraction - expected).abs() < 0.05,
@@ -194,7 +194,10 @@ mod tests {
         // per-item delay, far below the adversary's mean per-item cost.
         let med = report.median_user_delay_secs();
         let adversary_mean = report.extraction_end / rates.len() as f64;
-        assert!(med <= adversary_mean, "median {med} vs mean {adversary_mean}");
+        assert!(
+            med <= adversary_mean,
+            "median {med} vs mean {adversary_mean}"
+        );
     }
 
     #[test]

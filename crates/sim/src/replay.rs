@@ -79,6 +79,20 @@ impl ReplayResult {
         s
     }
 
+    /// Publish headline numbers into a metrics [`Registry`](crate::Registry)
+    /// (the same registry type the server's `STATS` verb reports from).
+    pub fn record_to(&self, registry: &crate::Registry) {
+        registry
+            .counter("replay_requests")
+            .add(self.delays.len() as u64);
+        registry
+            .counter("replay_user_delay_micros")
+            .add_secs(self.delays.iter().sum::<f64>());
+        registry
+            .counter("replay_adversary_delay_micros")
+            .add_secs(self.adversary_total_secs);
+    }
+
     /// Adversary total as a fraction of the maximum possible
     /// (the paper reports "nearly 90% of the maximum possible delay" for
     /// Calgary and "100%" for the box-office data).
@@ -205,7 +219,11 @@ mod tests {
         // The median request hits a highly popular object: tiny delay.
         assert!(median < 0.05, "median {median}");
         // The adversary pays close to N * cap.
-        assert!(result.fraction_of_max() > 0.8, "{}", result.fraction_of_max());
+        assert!(
+            result.fraction_of_max() > 0.8,
+            "{}",
+            result.fraction_of_max()
+        );
         // Orders of magnitude between them.
         let per_object_adversary = result.adversary_total_secs / trace.objects as f64;
         assert!(per_object_adversary / median.max(1e-9) > 1e2);
@@ -267,7 +285,10 @@ mod tests {
             },
         );
         assert!(result.tracker.schedule().ticks() > 0, "boundaries ticked");
-        assert!(result.tracker.schedule().ticks() < 20, "only boundaries tick");
+        assert!(
+            result.tracker.schedule().ticks() < 20,
+            "only boundaries tick"
+        );
         assert!(result.median_user_delay_secs() < 1.0);
     }
 

@@ -48,7 +48,10 @@ impl fmt::Display for StorageError {
             StorageError::IndexExists(name) => write!(f, "index `{name}` already exists"),
             StorageError::IndexNotFound(name) => write!(f, "index `{name}` not found"),
             StorageError::ArityMismatch { expected, actual } => {
-                write!(f, "row arity mismatch: schema has {expected} columns, row has {actual}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} columns, row has {actual}"
+                )
             }
             StorageError::TypeMismatch {
                 column,
@@ -66,7 +69,10 @@ impl fmt::Display for StorageError {
             }
             StorageError::RowNotFound(rid) => write!(f, "row id {rid:#x} not found"),
             StorageError::RowTooLarge { size, max } => {
-                write!(f, "row of {size} bytes exceeds page capacity of {max} bytes")
+                write!(
+                    f,
+                    "row of {size} bytes exceeds page capacity of {max} bytes"
+                )
             }
             StorageError::CorruptPage(msg) => write!(f, "corrupt page: {msg}"),
             StorageError::CorruptSnapshot(msg) => write!(f, "corrupt snapshot: {msg}"),

@@ -256,10 +256,7 @@ mod tests {
         let mut h = HeapFile::new();
         let rid = h.insert(b"keep").unwrap();
         let raw: Vec<Vec<u8>> = h.pages().iter().map(|p| p.as_bytes().to_vec()).collect();
-        let pages: Vec<Page> = raw
-            .iter()
-            .map(|r| Page::from_bytes(r).unwrap())
-            .collect();
+        let pages: Vec<Page> = raw.iter().map(|r| Page::from_bytes(r).unwrap()).collect();
         let h2 = HeapFile::from_pages(pages);
         assert_eq!(h2.len(), 1);
         assert_eq!(h2.get(rid), Some(&b"keep"[..]));

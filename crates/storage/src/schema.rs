@@ -166,7 +166,10 @@ mod tests {
         let row = Row::new(vec![Value::Int(1)]);
         assert!(matches!(
             s.validate(&row),
-            Err(StorageError::ArityMismatch { expected: 3, actual: 1 })
+            Err(StorageError::ArityMismatch {
+                expected: 3,
+                actual: 1
+            })
         ));
     }
 

@@ -379,9 +379,7 @@ mod tests {
         }
         t.create_index("by_gross", &["gross"], false).unwrap();
         let g = t.schema().index_of("gross").unwrap();
-        let hits = t
-            .index_lookup(&[g], &vec![Value::Float(3.0)])
-            .unwrap();
+        let hits = t.index_lookup(&[g], &vec![Value::Float(3.0)]).unwrap();
         assert_eq!(hits.len(), 1);
     }
 

@@ -42,11 +42,7 @@ pub enum WalRecord {
     /// A row was inserted into `table`.
     Insert { table: String, row: Row },
     /// The row at `rid` in `table` was replaced by `row`.
-    Update {
-        table: String,
-        rid: RowId,
-        row: Row,
-    },
+    Update { table: String, rid: RowId, row: Row },
     /// The row at `rid` in `table` was deleted.
     Delete { table: String, rid: RowId },
     /// A snapshot checkpoint: records before this one are superseded.
@@ -123,10 +119,7 @@ pub struct Wal {
 impl Wal {
     /// Open (creating or appending to) the log at `path`.
     pub fn open(path: &Path) -> Result<Wal> {
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)?;
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(Wal {
             file: BufWriter::new(file),
             appended: 0,
@@ -160,14 +153,9 @@ pub fn read_log(path: &Path) -> Result<Vec<WalRecord>> {
     let mut records = Vec::new();
     let mut pos = 0usize;
     while pos + 8 <= raw.len() {
-        let len = u32::from_le_bytes([raw[pos], raw[pos + 1], raw[pos + 2], raw[pos + 3]])
-            as usize;
-        let stored_crc = u32::from_le_bytes([
-            raw[pos + 4],
-            raw[pos + 5],
-            raw[pos + 6],
-            raw[pos + 7],
-        ]);
+        let len = u32::from_le_bytes([raw[pos], raw[pos + 1], raw[pos + 2], raw[pos + 3]]) as usize;
+        let stored_crc =
+            u32::from_le_bytes([raw[pos + 4], raw[pos + 5], raw[pos + 6], raw[pos + 7]]);
         let start = pos + 8;
         let end = match start.checked_add(len) {
             Some(e) if e <= raw.len() => e,

@@ -97,7 +97,10 @@ mod tests {
         for i in 0..4 {
             let obs = counts[i] as f64 / trials as f64;
             let exp = weights[i] / total;
-            assert!((obs - exp).abs() / exp < 0.03, "outcome {i}: {obs} vs {exp}");
+            assert!(
+                (obs - exp).abs() / exp < 0.03,
+                "outcome {i}: {obs} vs {exp}"
+            );
         }
     }
 

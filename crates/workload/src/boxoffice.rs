@@ -261,11 +261,7 @@ mod tests {
         let t = s.trace();
         assert!(t.requests.windows(2).all(|w| w[0].time <= w[1].time));
         // First request of week 1 comes after all of week 0.
-        let w0_max = t
-            .requests
-            .iter()
-            .filter(|r| r.time < WEEK_SECS)
-            .count();
+        let w0_max = t.requests.iter().filter(|r| r.time < WEEK_SECS).count();
         assert!(w0_max > 0);
     }
 

@@ -35,7 +35,10 @@ fn main() {
     }
 
     println!("\nweekly-boundary decay sweep (Table 4):");
-    println!("{:>10} | {:>18} | {:>16}", "decay", "median user delay", "adversary delay");
+    println!(
+        "{:>10} | {:>18} | {:>16}",
+        "decay", "median user delay", "adversary delay"
+    );
     for rate in [1.0, 1.1, 1.5, 2.0, 5.0] {
         let config = ReplayConfig {
             policy: AccessDelayPolicy::new(1.5, 1.0)
@@ -59,5 +62,7 @@ fn main() {
         "\nmax possible adversary delay: {}",
         fmt_secs(season.films() as f64 * 10.0)
     );
-    println!("stronger decay forgets last month's hits faster, pushing an extractor toward the maximum.");
+    println!(
+        "stronger decay forgets last month's hits faster, pushing an extractor toward the maximum."
+    );
 }

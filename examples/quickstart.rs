@@ -35,8 +35,13 @@ fn main() {
 
     // Before anything is learned, every lookup pays the 10-second cap
     // (start-up transient, §2.3 of the paper).
-    let first = db.execute_at("SELECT title FROM movies WHERE id = 1", 1.0).unwrap();
-    println!("cold lookup of id=1          -> delay {:6.3} s", first.delay_secs);
+    let first = db
+        .execute_at("SELECT title FROM movies WHERE id = 1", 1.0)
+        .unwrap();
+    println!(
+        "cold lookup of id=1          -> delay {:6.3} s",
+        first.delay_secs
+    );
 
     // Popularity accrues: the crowd hammers Spider-Man.
     for t in 0..500 {
@@ -44,10 +49,20 @@ fn main() {
             .unwrap();
     }
 
-    let hot = db.execute_at("SELECT title FROM movies WHERE id = 1", 600.0).unwrap();
-    let cold = db.execute_at("SELECT title FROM movies WHERE id = 5", 600.0).unwrap();
-    println!("popular lookup of id=1       -> delay {:6.3} s", hot.delay_secs);
-    println!("unpopular lookup of id=5     -> delay {:6.3} s", cold.delay_secs);
+    let hot = db
+        .execute_at("SELECT title FROM movies WHERE id = 1", 600.0)
+        .unwrap();
+    let cold = db
+        .execute_at("SELECT title FROM movies WHERE id = 5", 600.0)
+        .unwrap();
+    println!(
+        "popular lookup of id=1       -> delay {:6.3} s",
+        hot.delay_secs
+    );
+    println!(
+        "unpopular lookup of id=5     -> delay {:6.3} s",
+        cold.delay_secs
+    );
 
     // An extraction attempt returns every tuple and is charged the
     // aggregate of per-tuple delays (§2.1).

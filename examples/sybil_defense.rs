@@ -20,7 +20,10 @@ fn main() {
     // Suppose the delay policy charges a lone extractor 30 days.
     let total_delay = 30.0 * 24.0 * 3600.0;
 
-    println!("single-identity extraction cost: {:.1} days\n", total_delay / 86_400.0);
+    println!(
+        "single-identity extraction cost: {:.1} days\n",
+        total_delay / 86_400.0
+    );
     println!("parallel attack economics (registration interval t, optimal fleet k):");
     for t_register in [1.0, 60.0, 3600.0] {
         let (k, wall) = sybil_optimum(total_delay, t_register);

@@ -47,8 +47,7 @@ fn main() {
             fmt_secs(result.adversary_total_secs),
             delayguard::sim::fmt_pct(result.fraction_of_max()),
         );
-        let ratio = result.adversary_total_secs
-            / result.median_user_delay_secs().max(1e-9);
+        let ratio = result.adversary_total_secs / result.median_user_delay_secs().max(1e-9);
         println!("  adversary / median-user      : {ratio:.2e}\n");
     }
 

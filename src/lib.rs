@@ -19,11 +19,15 @@
 //!   [`core::GuardedDatabase`] facade.
 //! * [`workload`] — deterministic Zipf/trace/adversary generators (§4).
 //! * [`sim`] — virtual-clock replay, extraction experiments, staleness and
-//!   latency metrics (§4.1–4.4).
+//!   latency metrics (§4.1–4.4), shared metrics registry.
+//! * [`server`] — the network front door: framed TCP protocol, gatekeeper
+//!   admission, timer-wheel delay enforcement, load shedding, graceful
+//!   drain.
 
 pub use delayguard_core as core;
 pub use delayguard_popularity as popularity;
 pub use delayguard_query as query;
+pub use delayguard_server as server;
 pub use delayguard_sim as sim;
 pub use delayguard_storage as storage;
 pub use delayguard_workload as workload;

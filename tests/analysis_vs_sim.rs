@@ -145,5 +145,8 @@ fn sybil_economics_consistent_with_plan_partitioning() {
     let registration_wall = plan.identities as f64 * t_register;
     let simulated = extraction_wall + registration_wall;
     let rel = (simulated - wall_opt).abs() / wall_opt;
-    assert!(rel < 0.05, "simulated {simulated} vs closed form {wall_opt}");
+    assert!(
+        rel < 0.05,
+        "simulated {simulated} vs closed form {wall_opt}"
+    );
 }

@@ -92,10 +92,7 @@ fn multi_tuple_queries_charged_as_aggregate_of_singles() {
         .execute_at("SELECT * FROM directory WHERE id = 2", 500.0)
         .unwrap();
     let pair = db
-        .execute_at(
-            "SELECT * FROM directory WHERE id = 1 OR id = 2",
-            500.0,
-        )
+        .execute_at("SELECT * FROM directory WHERE id = 1 OR id = 2", 500.0)
         .unwrap();
     assert_eq!(pair.tuples_charged, 2);
     // Sum model: the pair costs about the two singles combined. (Counts

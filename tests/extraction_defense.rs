@@ -3,8 +3,7 @@
 //! adversaries.
 
 use delayguard::core::{
-    AccessDelayPolicy, ChargingModel, GuardConfig, GuardPolicy, GuardedDatabase,
-    UpdateDelayPolicy,
+    AccessDelayPolicy, ChargingModel, GuardConfig, GuardPolicy, GuardedDatabase, UpdateDelayPolicy,
 };
 use delayguard::popularity::FrequencyTracker;
 use delayguard::sim::{extract_access_based, extract_update_based};
@@ -114,13 +113,20 @@ fn hybrid_policy_covers_both_skew_axes() {
     }
     // Key 0: heavy reads. Key 1: heavy updates.
     for t in 0..300 {
-        db.execute_at("SELECT * FROM t WHERE id = 0", t as f64).unwrap();
+        db.execute_at("SELECT * FROM t WHERE id = 0", t as f64)
+            .unwrap();
         db.execute_at("UPDATE t SET v = 'u' WHERE id = 1", t as f64)
             .unwrap();
     }
-    let read_hot = db.execute_at("SELECT * FROM t WHERE id = 0", 400.0).unwrap();
-    let update_hot = db.execute_at("SELECT * FROM t WHERE id = 1", 400.0).unwrap();
-    let cold = db.execute_at("SELECT * FROM t WHERE id = 30", 400.0).unwrap();
+    let read_hot = db
+        .execute_at("SELECT * FROM t WHERE id = 0", 400.0)
+        .unwrap();
+    let update_hot = db
+        .execute_at("SELECT * FROM t WHERE id = 1", 400.0)
+        .unwrap();
+    let cold = db
+        .execute_at("SELECT * FROM t WHERE id = 30", 400.0)
+        .unwrap();
     // Key 0 is access-popular but update-cold: the hybrid still charges
     // the update cap (freshness defense dominates).
     assert_eq!(read_hot.delay_secs, 10.0);

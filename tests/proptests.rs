@@ -1,4 +1,10 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! These were originally written against `proptest`; the build container
+//! has no network access to crates.io (see `vendor/README.md`), so they
+//! now use a small deterministic generator harness over the workspace's
+//! own `delayguard::workload::Rng`. Every test runs a fixed number of
+//! random cases from a fixed seed, so failures reproduce exactly.
 
 use delayguard::popularity::{DecaySchedule, FrequencyTracker};
 use delayguard::query::parse;
@@ -6,127 +12,173 @@ use delayguard::storage::codec::{decode_row, row_bytes};
 use delayguard::storage::page::{Page, MAX_RECORD};
 use delayguard::storage::{Row, Value};
 use delayguard::workload::{Rng, Zipf};
-use proptest::prelude::*;
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        any::<f64>().prop_map(Value::Float),
-        ".{0,40}".prop_map(Value::Text),
-        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
-    ]
+const CASES: u64 = 128;
+
+/// Run `body` for `CASES` seeded random cases.
+fn cases(test_seed: u64, mut body: impl FnMut(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = Rng::new(test_seed ^ (case.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        body(&mut rng);
+    }
 }
 
-fn arb_row() -> impl Strategy<Value = Row> {
-    proptest::collection::vec(arb_value(), 0..8).prop_map(Row::new)
+fn arb_bytes(rng: &mut Rng, max_len: u64) -> Vec<u8> {
+    let len = rng.below(max_len + 1) as usize;
+    (0..len).map(|_| rng.below(256) as u8).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn arb_text(rng: &mut Rng, max_len: u64) -> String {
+    let len = rng.below(max_len + 1);
+    (0..len)
+        .map(|_| {
+            // Mix ASCII with a few multi-byte code points.
+            match rng.below(8) {
+                0 => 'é',
+                1 => '界',
+                2 => '\u{1F600}',
+                _ => (rng.range(0x20, 0x7e) as u8) as char,
+            }
+        })
+        .collect()
+}
 
-    // ---- codec -------------------------------------------------------
+fn arb_value(rng: &mut Rng) -> Value {
+    match rng.below(7) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.chance(0.5)),
+        2 => Value::Int(rng.next_u64() as i64),
+        3 => Value::Float(f64::from_bits(rng.next_u64())),
+        4 => Value::Float(rng.f64_range(-1e9, 1e9)),
+        5 => Value::Text(arb_text(rng, 40)),
+        _ => Value::Bytes(arb_bytes(rng, 63)),
+    }
+}
 
-    #[test]
-    fn codec_round_trips_any_row(row in arb_row()) {
+fn arb_row(rng: &mut Rng) -> Row {
+    let arity = rng.below(8) as usize;
+    Row::new((0..arity).map(|_| arb_value(rng)).collect())
+}
+
+// ---- codec -------------------------------------------------------------
+
+#[test]
+fn codec_round_trips_any_row() {
+    cases(0xC0DEC, |rng| {
+        let row = arb_row(rng);
         let bytes = row_bytes(&row);
         let back = decode_row(&bytes).unwrap();
         // NaN-safe comparison via the total order on Value.
-        prop_assert_eq!(row.arity(), back.arity());
+        assert_eq!(row.arity(), back.arity());
         for (a, b) in row.values().iter().zip(back.values()) {
-            prop_assert!(a.cmp(b) == std::cmp::Ordering::Equal);
+            assert!(a.cmp(b) == std::cmp::Ordering::Equal, "{a:?} vs {b:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn codec_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn codec_never_panics_on_garbage() {
+    cases(0xBAD5EED, |rng| {
+        let bytes = arb_bytes(rng, 255);
         // Must return Ok or Err, never panic.
         let _ = decode_row(&bytes);
-    }
+    });
+}
 
-    // ---- value ordering ------------------------------------------------
+// ---- value ordering -----------------------------------------------------
 
-    #[test]
-    fn value_order_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
-        use std::cmp::Ordering;
+#[test]
+fn value_order_is_total_and_antisymmetric() {
+    use std::cmp::Ordering;
+    cases(0x0BDE12, |rng| {
+        let a = arb_value(rng);
+        let b = arb_value(rng);
         match a.cmp(&b) {
-            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
-            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
-            Ordering::Equal => prop_assert_eq!(b.cmp(&a), Ordering::Equal),
+            Ordering::Less => assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => assert_eq!(b.cmp(&a), Ordering::Equal),
         }
-    }
+    });
+}
 
-    #[test]
-    fn value_order_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
-        let mut v = [a, b, c];
+#[test]
+fn value_order_transitive() {
+    cases(0x7A25, |rng| {
+        let mut v = [arb_value(rng), arb_value(rng), arb_value(rng)];
         v.sort();
-        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
-    }
+        assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+    });
+}
 
-    // ---- slotted page ---------------------------------------------------
+// ---- slotted page -------------------------------------------------------
 
-    #[test]
-    fn page_model_check(ops in proptest::collection::vec(
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..300)), 0..60)
-    ) {
+#[test]
+fn page_model_check() {
+    cases(0x9A6E, |rng| {
         // Random insert/delete sequence cross-checked against a model map.
         let mut page = Page::new();
-        let mut model: std::collections::HashMap<u16, Vec<u8>> =
-            std::collections::HashMap::new();
-        for (op, data) in ops {
-            if op % 3 != 0 || model.is_empty() {
+        let mut model: std::collections::HashMap<u16, Vec<u8>> = std::collections::HashMap::new();
+        let ops = rng.below(60);
+        for _ in 0..ops {
+            let op = rng.below(256) as u8;
+            let data = arb_bytes(rng, 299);
+            if !op.is_multiple_of(3) || model.is_empty() {
                 if let Some(slot) = page.insert(&data) {
                     model.insert(slot, data);
                 }
             } else {
                 let &slot = model.keys().next().unwrap();
-                prop_assert!(page.delete(slot));
+                assert!(page.delete(slot));
                 model.remove(&slot);
             }
             // Every model entry must be readable.
             for (slot, want) in &model {
-                prop_assert_eq!(page.get(*slot), Some(want.as_slice()));
+                assert_eq!(page.get(*slot), Some(want.as_slice()));
             }
-            prop_assert_eq!(page.live_count(), model.len());
+            assert_eq!(page.live_count(), model.len());
         }
         // Snapshot round trip preserves everything.
         let restored = Page::from_bytes(page.as_bytes()).unwrap();
         for (slot, want) in &model {
-            prop_assert_eq!(restored.get(*slot), Some(want.as_slice()));
+            assert_eq!(restored.get(*slot), Some(want.as_slice()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn page_never_accepts_oversized(data in proptest::collection::vec(any::<u8>(), MAX_RECORD+1..MAX_RECORD+64)) {
+#[test]
+fn page_never_accepts_oversized() {
+    cases(0x516, |rng| {
+        let len = MAX_RECORD + 1 + rng.below(63) as usize;
+        let data = vec![0xABu8; len];
         let mut page = Page::new();
-        prop_assert!(page.insert(&data).is_none());
-    }
+        assert!(page.insert(&data).is_none());
+    });
+}
 
-    // ---- decayed counters ----------------------------------------------
+// ---- decayed counters ---------------------------------------------------
 
-    #[test]
-    fn tracker_total_equals_sum_of_counts(
-        keys in proptest::collection::vec(0u64..50, 1..500),
-        rate_milli in 1000u32..1100,
-    ) {
-        let rate = rate_milli as f64 / 1000.0;
+#[test]
+fn tracker_total_equals_sum_of_counts() {
+    cases(0x707A1, |rng| {
+        let rate = rng.range(1000, 1100) as f64 / 1000.0;
+        let n = rng.range(1, 500);
         let mut t = FrequencyTracker::new(DecaySchedule::new(rate));
-        for &k in &keys {
-            t.record(k);
+        for _ in 0..n {
+            t.record(rng.below(50));
         }
         let sum: f64 = t.iter().map(|(_, c)| c).sum();
-        prop_assert!((sum - t.total()).abs() <= t.total() * 1e-9 + 1e-12);
-        prop_assert_eq!(t.events(), keys.len() as u64);
-    }
+        assert!((sum - t.total()).abs() <= t.total() * 1e-9 + 1e-12);
+        assert_eq!(t.events(), n);
+    });
+}
 
-    #[test]
-    fn tracker_rank_consistent_with_exact(
-        keys in proptest::collection::vec(0u64..30, 1..400),
-    ) {
+#[test]
+fn tracker_rank_consistent_with_exact() {
+    cases(0x2A2C, |rng| {
+        let n = rng.range(1, 400);
         let mut t = FrequencyTracker::no_decay();
-        for &k in &keys {
-            t.record(k);
+        for _ in 0..n {
+            t.record(rng.below(30));
         }
         for key in 0..30u64 {
             if t.contains(key) {
@@ -134,92 +186,119 @@ proptest! {
                 let e = t.exact_rank(key) as i64;
                 // Integer counts: same count -> same bucket, so the only
                 // divergence is distinct counts sharing a log bucket.
-                prop_assert!((a - e).abs() <= 4, "key {}: {} vs {}", key, a, e);
+                assert!((a - e).abs() <= 4, "key {key}: {a} vs {e}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn fmax_is_max_frequency(keys in proptest::collection::vec(0u64..20, 1..300)) {
+#[test]
+fn fmax_is_max_frequency() {
+    cases(0xF4A0, |rng| {
+        let n = rng.range(1, 300);
         let mut t = FrequencyTracker::no_decay();
-        for &k in &keys {
-            t.record(k);
+        for _ in 0..n {
+            t.record(rng.below(20));
         }
         let best = t.iter().map(|(k, _)| t.frequency(k)).fold(0.0, f64::max);
-        prop_assert!((t.fmax() - best).abs() < 1e-12);
-        prop_assert!(t.fmax() <= 1.0 + 1e-12);
-    }
+        assert!((t.fmax() - best).abs() < 1e-12);
+        assert!(t.fmax() <= 1.0 + 1e-12);
+    });
+}
 
-    // ---- zipf -----------------------------------------------------------
+// ---- zipf ---------------------------------------------------------------
 
-    #[test]
-    fn zipf_cdf_well_formed(n in 1u64..2_000, alpha_pct in 0u32..300) {
-        let alpha = alpha_pct as f64 / 100.0;
+#[test]
+fn zipf_cdf_well_formed() {
+    cases(0x21FF, |rng| {
+        let n = rng.range(1, 2_000);
+        let alpha = rng.below(300) as f64 / 100.0;
         let z = Zipf::new(n, alpha);
         let total: f64 = (1..=n).map(|i| z.probability(i)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-6);
-        let mut rng = Rng::new(7);
+        assert!((total - 1.0).abs() < 1e-6, "n={n} alpha={alpha}: {total}");
+        let mut sample_rng = Rng::new(7);
         for _ in 0..50 {
-            let s = z.sample(&mut rng);
-            prop_assert!((1..=n).contains(&s));
+            let s = z.sample(&mut sample_rng);
+            assert!((1..=n).contains(&s));
         }
-    }
+    });
+}
 
-    // ---- SQL parser ------------------------------------------------------
+// ---- SQL parser ---------------------------------------------------------
 
-    #[test]
-    fn parser_never_panics(input in ".{0,80}") {
+#[test]
+fn parser_never_panics() {
+    cases(0x50151, |rng| {
+        let input = arb_text(rng, 80);
         let _ = parse(&input);
-    }
+    });
+}
 
-    #[test]
-    fn parser_accepts_generated_selects(
-        table in "[a-z][a-z0-9_]{0,10}",
-        col in "[a-z][a-z_]{0,10}",
-        v in any::<i32>(),
-        limit in 0u64..1000,
-    ) {
+#[test]
+fn parser_accepts_generated_selects() {
+    fn ident(rng: &mut Rng, max_extra: u64) -> String {
+        let mut s = String::new();
+        s.push((rng.range(b'a' as u64, b'z' as u64) as u8) as char);
+        for _ in 0..rng.below(max_extra + 1) {
+            let c = match rng.below(3) {
+                0 => (rng.range(b'0' as u64, b'9' as u64) as u8) as char,
+                1 => '_',
+                _ => (rng.range(b'a' as u64, b'z' as u64) as u8) as char,
+            };
+            s.push(c);
+        }
+        s
+    }
+    cases(0x5E1EC7, |rng| {
+        let table = ident(rng, 10);
+        let col = ident(rng, 10);
+        let v = rng.next_u64() as i32;
+        let limit = rng.below(1000);
         let sql = format!("SELECT {col} FROM {table} WHERE {col} = {v} LIMIT {limit}");
         let stmt = parse(&sql).unwrap();
         match stmt {
-            delayguard::query::ast::Statement::Select { table: t, limit: l, .. } => {
-                prop_assert_eq!(t, table);
-                prop_assert_eq!(l, Some(limit));
+            delayguard::query::ast::Statement::Select {
+                table: t, limit: l, ..
+            } => {
+                assert_eq!(t, table);
+                assert_eq!(l, Some(limit));
             }
-            other => prop_assert!(false, "unexpected {:?}", other),
+            other => panic!("unexpected {other:?}"),
         }
-    }
+    });
+}
 
-    // ---- delay policy invariants -----------------------------------------
+// ---- delay policy invariants --------------------------------------------
 
-    #[test]
-    fn delay_never_exceeds_cap_nor_negative(
-        keys in proptest::collection::vec(0u64..100, 1..200),
-        cap_milli in 0u64..20_000,
-        probe in 0u64..200,
-    ) {
-        use delayguard::core::AccessDelayPolicy;
-        let cap = cap_milli as f64 / 1000.0;
+#[test]
+fn delay_never_exceeds_cap_nor_negative() {
+    use delayguard::core::AccessDelayPolicy;
+    cases(0xCA9, |rng| {
+        let cap = rng.below(20_000) as f64 / 1000.0;
+        let n = rng.range(1, 200);
+        let probe = rng.below(200);
         let mut t = FrequencyTracker::no_decay();
-        for &k in &keys {
-            t.record(k);
+        for _ in 0..n {
+            t.record(rng.below(100));
         }
         let policy = AccessDelayPolicy::new(1.5, 1.0).with_cap(cap);
         let d = policy.delay(&t, 100, probe);
-        prop_assert!(d >= 0.0);
-        prop_assert!(d <= cap + 1e-12);
-    }
+        assert!(d >= 0.0);
+        assert!(d <= cap + 1e-12);
+    });
+}
 
-    #[test]
-    fn charging_models_bounded_by_each_other(
-        delays in proptest::collection::vec(0.0f64..10.0, 0..50),
-    ) {
-        use delayguard::core::ChargingModel;
+#[test]
+fn charging_models_bounded_by_each_other() {
+    use delayguard::core::ChargingModel;
+    cases(0xC4A26E, |rng| {
+        let n = rng.below(50) as usize;
+        let delays: Vec<f64> = (0..n).map(|_| rng.f64_range(0.0, 10.0)).collect();
         let sum = ChargingModel::PerTupleSum.combine(delays.iter().copied());
         let max = ChargingModel::PerQueryMax.combine(delays.iter().copied());
-        prop_assert!(max <= sum + 1e-12);
+        assert!(max <= sum + 1e-12);
         if let Some(&first) = delays.first() {
-            prop_assert!(max >= first - 1e-12 || max >= 0.0);
+            assert!(max >= first - 1e-12 || max >= 0.0);
         }
-    }
+    });
 }

@@ -1,0 +1,130 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Only the `BytesMut` surface the workspace uses is provided: a growable,
+//! mutable byte buffer that derefs to `[u8]`. Backed by a plain `Vec<u8>`;
+//! the real crate's zero-copy splitting machinery is not needed here.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A mutable, growable byte buffer (minimal `bytes::BytesMut` stand-in).
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// An empty buffer with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// A buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> BytesMut {
+        BytesMut {
+            inner: vec![0u8; len],
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Append bytes to the end of the buffer.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.inner.extend_from_slice(extend);
+    }
+
+    /// Consume the buffer, returning the underlying vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> BytesMut {
+        BytesMut {
+            inner: src.to_vec(),
+        }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(inner: Vec<u8>) -> BytesMut {
+        BytesMut { inner }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut(len={})", self.inner.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_and_indexing() {
+        let mut b = BytesMut::zeroed(16);
+        assert_eq!(b.len(), 16);
+        assert!(b.iter().all(|&x| x == 0));
+        b[3] = 7;
+        assert_eq!(b[3], 7);
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let b = BytesMut::from(&[1u8, 2, 3][..]);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b.into_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn extend() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"ab");
+        b.extend_from_slice(b"cd");
+        assert_eq!(&b[..], b"abcd");
+    }
+}
