@@ -1,0 +1,209 @@
+//! Concurrent-throughput sweep runner: measures guarded-query qps at
+//! 1/2/4/8 threads under the old global-mutex design and the lock-free
+//! snapshot path, and writes `BENCH_throughput.json` at the repo root.
+//!
+//! ```text
+//! cargo run -p delayguard-bench --release --bin throughput
+//! cargo run -p delayguard-bench --release --bin throughput -- --smoke
+//! ```
+//!
+//! `--smoke` runs a tiny shape for CI: it checks the harness end to end
+//! without asserting the speedup (contended scaling on shared CI runners
+//! is noise; the acceptance number comes from the full run).
+
+use delayguard_bench::throughput::{
+    locked_single_mutex_config, run_with_stats_storm, seeded_db, snapshot_sharded_config, sweep,
+    ThroughputConfig, ThroughputSample,
+};
+use std::path::PathBuf;
+
+const THREADS: &[usize] = &[1, 2, 4, 8];
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let shape = if smoke {
+        ThroughputConfig::smoke()
+    } else {
+        ThroughputConfig::default()
+    };
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    eprintln!(
+        "concurrent throughput sweep: {} rows, {} rows/query, {} queries/thread, \
+         {hardware_threads} hardware threads{}",
+        shape.rows,
+        shape.rows_per_query,
+        shape.queries_per_thread,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    eprintln!("-- locked_single_mutex (pre-snapshot baseline) --");
+    let locked = sweep(locked_single_mutex_config(), &shape, THREADS);
+    print_samples(&locked);
+    eprintln!("-- snapshot_sharded (lock-free read path) --");
+    let snapshot = sweep(snapshot_sharded_config(), &shape, THREADS);
+    print_samples(&snapshot);
+
+    let speedup_at_8 = speedup(&locked, &snapshot, 8);
+    eprintln!("speedup at 8 threads: {speedup_at_8:.2}x");
+
+    // Satellite experiment: 4 query workers racing a stats storm. The
+    // baseline's inspection path takes the writers' exclusive lock (the
+    // old `popularity_rank` behavior); the snapshot path's reads never
+    // touch it.
+    eprintln!("-- stats storm interference (4 workers + 1 stats thread) --");
+    let storm_locked = {
+        let db = seeded_db(locked_single_mutex_config(), &shape);
+        run_with_stats_storm(&db, 4, &shape, true)
+    };
+    eprintln!("  locked_single_mutex: {:>10.0} qps", storm_locked.qps);
+    let storm_snapshot = {
+        let db = seeded_db(snapshot_sharded_config(), &shape);
+        run_with_stats_storm(&db, 4, &shape, false)
+    };
+    eprintln!("  snapshot_sharded:    {:>10.0} qps", storm_snapshot.qps);
+
+    let path = output_path();
+    std::fs::write(
+        &path,
+        render_json(
+            &shape,
+            &locked,
+            &snapshot,
+            &storm_locked,
+            &storm_snapshot,
+            hardware_threads,
+            smoke,
+        ),
+    )
+    .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+
+    // The >= 3x acceptance gate measures parallel scaling, which needs
+    // real hardware parallelism: on a machine that cannot run 8 workers
+    // concurrently the sweep degenerates to time-slicing one core and
+    // both paths are bounded by the same total CPU. Record the numbers
+    // either way, enforce only where the measurement is meaningful.
+    if !smoke && hardware_threads >= 8 && speedup_at_8 < 3.0 {
+        eprintln!("FAIL: snapshot path is {speedup_at_8:.2}x at 8 threads, need >= 3x");
+        std::process::exit(1);
+    }
+    if hardware_threads < 8 {
+        eprintln!(
+            "note: {hardware_threads} hardware thread(s); the 8-thread speedup gate needs >= 8 \
+             and was recorded but not enforced"
+        );
+    }
+}
+
+fn print_samples(samples: &[ThroughputSample]) {
+    for s in samples {
+        eprintln!(
+            "  {:>2} threads: {:>10.0} qps ({:>12.0} tuples/s, {:.3}s)",
+            s.threads, s.qps, s.tuples_per_sec, s.elapsed_secs
+        );
+    }
+}
+
+fn speedup(locked: &[ThroughputSample], snapshot: &[ThroughputSample], threads: usize) -> f64 {
+    let base = locked
+        .iter()
+        .find(|s| s.threads == threads)
+        .expect("baseline sample");
+    let new = snapshot
+        .iter()
+        .find(|s| s.threads == threads)
+        .expect("snapshot sample");
+    new.qps / base.qps
+}
+
+/// `BENCH_throughput.json` at the repository root (two levels above this
+/// crate's manifest).
+fn output_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_throughput.json")
+}
+
+fn render_json(
+    shape: &ThroughputConfig,
+    locked: &[ThroughputSample],
+    snapshot: &[ThroughputSample],
+    storm_locked: &ThroughputSample,
+    storm_snapshot: &ThroughputSample,
+    hardware_threads: usize,
+    smoke: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"concurrent_throughput\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"hardware_threads\": {hardware_threads},\n"));
+    out.push_str("  \"workload\": {\n");
+    out.push_str(&format!("    \"rows\": {},\n", shape.rows));
+    out.push_str(&format!(
+        "    \"rows_per_query\": {},\n",
+        shape.rows_per_query
+    ));
+    out.push_str(&format!(
+        "    \"queries_per_thread\": {},\n",
+        shape.queries_per_thread
+    ));
+    out.push_str(&format!(
+        "    \"warmup_queries\": {}\n",
+        shape.warmup_queries
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"results\": {\n");
+    out.push_str(&format!(
+        "    \"locked_single_mutex\": {},\n",
+        samples_json(locked)
+    ));
+    out.push_str(&format!(
+        "    \"snapshot_sharded\": {}\n",
+        samples_json(snapshot)
+    ));
+    out.push_str("  },\n");
+    for threads in [2usize, 4, 8] {
+        out.push_str(&format!(
+            "  \"speedup_at_{}_threads\": {:.4},\n",
+            threads,
+            speedup(locked, snapshot, threads)
+        ));
+    }
+    out.push_str("  \"stats_storm\": {\n");
+    out.push_str(&format!(
+        "    \"locked_single_mutex_qps\": {:.2},\n",
+        storm_locked.qps
+    ));
+    out.push_str(&format!(
+        "    \"snapshot_sharded_qps\": {:.2},\n",
+        storm_snapshot.qps
+    ));
+    out.push_str(&format!(
+        "    \"ratio\": {:.4}\n",
+        storm_snapshot.qps / storm_locked.qps
+    ));
+    out.push_str("  },\n");
+    out.push_str(
+        "  \"acceptance\": \"snapshot_sharded qps >= 3x locked_single_mutex at 8 threads \
+         (enforced when hardware_threads >= 8; parallel scaling cannot be observed on fewer)\"\n",
+    );
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+fn samples_json(samples: &[ThroughputSample]) -> String {
+    let entries: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "      {{\"threads\": {}, \"queries\": {}, \"elapsed_secs\": {:.6}, \"qps\": {:.2}, \"tuples_per_sec\": {:.2}}}",
+                s.threads, s.queries, s.elapsed_secs, s.qps, s.tuples_per_sec
+            )
+        })
+        .collect();
+    format!("[\n{}\n    ]", entries.join(",\n"))
+}

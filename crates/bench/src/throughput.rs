@@ -1,0 +1,296 @@
+//! Multithreaded guarded-query throughput: the experiment behind
+//! `benches/concurrent_throughput.rs` and the `throughput` binary.
+//!
+//! Measures end-to-end guarded `SELECT` throughput (execute + price +
+//! record, via `execute_stmt_with_deadline`) at increasing thread counts
+//! under the two read paths:
+//!
+//! * **`locked_single_mutex`** — [`ReadPath::Locked`] with `shards = 1`:
+//!   an honest reproduction of the pre-snapshot design, where every
+//!   query serialized on one global guard mutex.
+//! * **`snapshot_sharded`** — [`ReadPath::Snapshot`] (the default):
+//!   pricing from the immutable snapshot, recording through the
+//!   lock-free queue.
+//!
+//! Queries are multi-row range scans so per-tuple charging (the work the
+//! old design did under the lock) dominates, exactly the contention the
+//! snapshot path removes.
+
+use delayguard_core::{AccessDelayPolicy, GuardConfig, GuardPolicy, GuardedDatabase, ReadPath};
+use delayguard_query::ast::Statement;
+use delayguard_query::parse;
+use delayguard_workload::Rng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Instant;
+
+/// Workload shape shared by every measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputConfig {
+    /// Table size.
+    pub rows: u64,
+    /// Rows returned per query (range width).
+    pub rows_per_query: u64,
+    /// Queries each worker thread issues during the measured phase.
+    pub queries_per_thread: u64,
+    /// Warm-up traffic (per table, sequential) before measuring, so the
+    /// guard prices learned popularity rather than the all-at-cap
+    /// start-up transient.
+    pub warmup_queries: u64,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> ThroughputConfig {
+        ThroughputConfig {
+            rows: 8192,
+            rows_per_query: 32,
+            queries_per_thread: 2_000,
+            warmup_queries: 2_000,
+        }
+    }
+}
+
+impl ThroughputConfig {
+    /// A fast variant for CI smoke runs.
+    pub fn smoke() -> ThroughputConfig {
+        ThroughputConfig {
+            rows: 1024,
+            rows_per_query: 16,
+            queries_per_thread: 200,
+            warmup_queries: 200,
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputSample {
+    /// Worker threads issuing queries concurrently.
+    pub threads: usize,
+    /// Total queries completed across all threads.
+    pub queries: u64,
+    /// Wall-clock time for the measured phase, in seconds.
+    pub elapsed_secs: f64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Tuples priced and recorded per second.
+    pub tuples_per_sec: f64,
+}
+
+/// The guard configuration for the pre-snapshot baseline: one global
+/// mutex, exact pricing.
+pub fn locked_single_mutex_config() -> GuardConfig {
+    bench_policy()
+        .with_read_path(ReadPath::Locked)
+        .with_shards(1)
+}
+
+/// The guard configuration under test: the default lock-free snapshot
+/// path.
+pub fn snapshot_sharded_config() -> GuardConfig {
+    bench_policy().with_read_path(ReadPath::Snapshot)
+}
+
+fn bench_policy() -> GuardConfig {
+    // The paper's canonical policy with a finite cap; no decay so the
+    // warm-up's learned distribution is stable across the run.
+    GuardConfig::paper_default().with_policy(GuardPolicy::AccessRate(
+        AccessDelayPolicy::new(1.5, 1.0).with_cap(10.0),
+    ))
+}
+
+/// Build and seed a guarded database for the workload: `rows` tuples,
+/// indexed id column, plus sequential warm-up traffic (through the exact
+/// virtual-time path) and an initial snapshot refresh.
+pub fn seeded_db(config: GuardConfig, shape: &ThroughputConfig) -> Arc<GuardedDatabase> {
+    let db = GuardedDatabase::new(config);
+    db.execute_at("CREATE TABLE t (id INT NOT NULL, body TEXT)", 0.0)
+        .unwrap();
+    db.execute_at("CREATE UNIQUE INDEX t_pk ON t (id)", 0.0)
+        .unwrap();
+    // Multi-row inserts keep seeding cheap.
+    let mut i = 0;
+    while i < shape.rows {
+        let end = (i + 256).min(shape.rows);
+        let values: Vec<String> = (i..end).map(|k| format!("({k}, 'row-{k}')")).collect();
+        db.execute_at(&format!("INSERT INTO t VALUES {}", values.join(", ")), 0.0)
+            .unwrap();
+        i = end;
+    }
+    // Warm-up traffic so the measured phase prices a learned (non-cap)
+    // distribution.
+    let mut rng = Rng::new(0x5eed);
+    for q in 0..shape.warmup_queries {
+        let start = rng.below(shape.rows.saturating_sub(shape.rows_per_query).max(1));
+        db.execute_at(
+            &format!(
+                "SELECT * FROM t WHERE id >= {start} AND id < {}",
+                start + shape.rows_per_query
+            ),
+            1.0 + q as f64,
+        )
+        .unwrap();
+    }
+    db.refresh();
+    Arc::new(db)
+}
+
+/// Pre-parse each worker's query mix (64 distinct range scans, cycled),
+/// so the measured phase is execute + price + record, not SQL parsing.
+fn worker_statements(tid: u64, shape: &ThroughputConfig) -> Vec<Statement> {
+    let mut rng = Rng::new(0xbadc0de + tid);
+    (0..64)
+        .map(|_| {
+            let start = rng.below(shape.rows.saturating_sub(shape.rows_per_query).max(1));
+            parse(&format!(
+                "SELECT * FROM t WHERE id >= {start} AND id < {}",
+                start + shape.rows_per_query
+            ))
+            .unwrap()
+        })
+        .collect()
+}
+
+/// Run the measured phase: `threads` workers each issuing
+/// `queries_per_thread` pre-parsed range scans through
+/// `execute_stmt_with_deadline`.
+pub fn run(
+    db: &Arc<GuardedDatabase>,
+    threads: usize,
+    shape: &ThroughputConfig,
+) -> ThroughputSample {
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let failed = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..threads)
+        .map(|tid| {
+            let db = Arc::clone(db);
+            let barrier = Arc::clone(&barrier);
+            let failed = Arc::clone(&failed);
+            let stmts = worker_statements(tid as u64, shape);
+            let queries = shape.queries_per_thread;
+            thread::spawn(move || {
+                barrier.wait();
+                for q in 0..queries {
+                    let stmt = &stmts[(q % stmts.len() as u64) as usize];
+                    if db.execute_stmt_with_deadline(stmt).is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let elapsed_secs = started.elapsed().as_secs_f64().max(1e-9);
+    assert!(!failed.load(Ordering::Relaxed), "worker query failed");
+    let queries = threads as u64 * shape.queries_per_thread;
+    ThroughputSample {
+        threads,
+        queries,
+        elapsed_secs,
+        qps: queries as f64 / elapsed_secs,
+        tuples_per_sec: (queries * shape.rows_per_query) as f64 / elapsed_secs,
+    }
+}
+
+/// Sweep thread counts for one configuration over a freshly seeded
+/// database per point (so no run inherits another's learned state).
+pub fn sweep(
+    config: GuardConfig,
+    shape: &ThroughputConfig,
+    thread_counts: &[usize],
+) -> Vec<ThroughputSample> {
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            let db = seeded_db(config, shape);
+            run(&db, threads, shape)
+        })
+        .collect()
+}
+
+/// The satellite experiment behind "STATS traffic can't stall queries":
+/// measure worker qps while one storm thread continuously inspects
+/// per-tuple delays. With `exact_stats` the storm uses
+/// `GuardedDatabase::tuple_delay`, which (like the pre-snapshot
+/// `popularity_rank`) takes the same exclusive lock as query writers;
+/// otherwise it uses the lock-free `snapshot_tuple_delay` read.
+pub fn run_with_stats_storm(
+    db: &Arc<GuardedDatabase>,
+    threads: usize,
+    shape: &ThroughputConfig,
+    exact_stats: bool,
+) -> ThroughputSample {
+    let rids: Vec<_> = {
+        let stmt = parse("SELECT * FROM t WHERE id >= 0").unwrap();
+        match db.engine().execute_stmt(&stmt).unwrap() {
+            delayguard_query::StatementOutput::Rows(rows) => rows.row_ids().collect(),
+            other => panic!("unexpected output {other:?}"),
+        }
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let storm = {
+        let db = Arc::clone(db);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                for &rid in &rids {
+                    if exact_stats {
+                        db.tuple_delay("t", rid, db.now_secs()).unwrap();
+                    } else {
+                        db.snapshot_tuple_delay("t", rid, db.now_secs()).unwrap();
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+            }
+        })
+    };
+    let sample = run(db, threads, shape);
+    stop.store(true, Ordering::Relaxed);
+    storm.join().unwrap();
+    sample
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_both_paths() {
+        let shape = ThroughputConfig {
+            rows: 256,
+            rows_per_query: 8,
+            queries_per_thread: 50,
+            warmup_queries: 50,
+        };
+        for config in [locked_single_mutex_config(), snapshot_sharded_config()] {
+            let db = seeded_db(config, &shape);
+            let sample = run(&db, 2, &shape);
+            assert_eq!(sample.queries, 100);
+            assert!(sample.qps > 0.0);
+        }
+    }
+
+    #[test]
+    fn samples_account_every_tuple() {
+        let shape = ThroughputConfig {
+            rows: 128,
+            rows_per_query: 4,
+            queries_per_thread: 25,
+            warmup_queries: 10,
+        };
+        let db = seeded_db(snapshot_sharded_config(), &shape);
+        let sample = run(&db, 4, &shape);
+        db.refresh();
+        // warmup + measured tuples all recorded, none lost.
+        let expected = (shape.warmup_queries + sample.queries) * shape.rows_per_query;
+        assert_eq!(db.access_events("t"), expected);
+    }
+}

@@ -3,6 +3,7 @@
 use crate::access::AccessDelayPolicy;
 use crate::error::{GuardError, Result};
 use crate::policy::{ChargingModel, GuardPolicy};
+use crate::snapshot::{ReadPath, SnapshotPolicy};
 
 /// Configuration of a [`crate::GuardedDatabase`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -16,18 +17,31 @@ pub struct GuardConfig {
     pub access_decay_rate: f64,
     /// Decay rate for update counts.
     pub update_decay_rate: f64,
+    /// How the wall-clock (`execute_with_deadline`) path prices and
+    /// records accesses. The virtual-time simulation path (`execute_at`)
+    /// always uses the exact locked path.
+    pub read_path: ReadPath,
+    /// Bounded-staleness knobs for the snapshot read path.
+    pub snapshot: SnapshotPolicy,
+    /// Number of shards the per-table guard state (and the record queue)
+    /// is split across. Rounded up to a power of two; `1` reproduces the
+    /// original global-mutex guard.
+    pub shards: usize,
 }
 
 impl GuardConfig {
     /// The paper's canonical configuration: access-rate delays with
     /// `α = 1.5`, `β = 1.0`, a 10-second cap, per-tuple-sum charging and
-    /// no decay.
+    /// no decay; snapshot read path with default staleness bounds.
     pub fn paper_default() -> GuardConfig {
         GuardConfig {
             policy: GuardPolicy::AccessRate(AccessDelayPolicy::new(1.5, 1.0)),
             charging: ChargingModel::PerTupleSum,
             access_decay_rate: 1.0,
             update_decay_rate: 1.0,
+            read_path: ReadPath::Snapshot,
+            snapshot: SnapshotPolicy::default(),
+            shards: 16,
         }
     }
 
@@ -46,6 +60,24 @@ impl GuardConfig {
     /// Replace the charging model.
     pub fn with_charging(mut self, charging: ChargingModel) -> GuardConfig {
         self.charging = charging;
+        self
+    }
+
+    /// Replace the wall-clock read path.
+    pub fn with_read_path(mut self, read_path: ReadPath) -> GuardConfig {
+        self.read_path = read_path;
+        self
+    }
+
+    /// Replace the snapshot staleness bounds.
+    pub fn with_snapshot_policy(mut self, snapshot: SnapshotPolicy) -> GuardConfig {
+        self.snapshot = snapshot;
+        self
+    }
+
+    /// Replace the guard shard count.
+    pub fn with_shards(mut self, shards: usize) -> GuardConfig {
+        self.shards = shards;
         self
     }
 
@@ -69,6 +101,20 @@ impl GuardConfig {
                     "access policy parameters must be non-negative".into(),
                 ));
             }
+        }
+        if self.shards == 0 {
+            return Err(GuardError::Config("shard count must be at least 1".into()));
+        }
+        if self.snapshot.max_pending_events == 0 {
+            return Err(GuardError::Config(
+                "snapshot max_pending_events must be at least 1".into(),
+            ));
+        }
+        if self.snapshot.max_age_secs <= 0.0 || !self.snapshot.max_age_secs.is_finite() {
+            return Err(GuardError::Config(format!(
+                "snapshot max_age_secs must be positive and finite, got {}",
+                self.snapshot.max_age_secs
+            )));
         }
         Ok(())
     }
@@ -115,5 +161,25 @@ mod tests {
         let mut c = GuardConfig::paper_default();
         c.policy = GuardPolicy::AccessRate(crate::access::AccessDelayPolicy::new(-1.0, 1.0));
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn bad_concurrency_knobs_rejected() {
+        let mut c = GuardConfig::paper_default();
+        c.shards = 0;
+        assert!(c.validate().is_err());
+        let mut c = GuardConfig::paper_default();
+        c.snapshot.max_pending_events = 0;
+        assert!(c.validate().is_err());
+        let mut c = GuardConfig::paper_default();
+        c.snapshot.max_age_secs = 0.0;
+        assert!(c.validate().is_err());
+        let c = GuardConfig::paper_default()
+            .with_read_path(ReadPath::Locked)
+            .with_shards(1)
+            .with_snapshot_policy(SnapshotPolicy::new(64, 0.01));
+        assert!(c.validate().is_ok());
+        assert_eq!(c.read_path, ReadPath::Locked);
+        assert_eq!(c.snapshot.max_pending_events, 64);
     }
 }

@@ -13,16 +13,52 @@
 //! server event loop, a timer wheel, ...) schedules however it likes;
 //! [`GuardedDatabase::execute_blocking`] is the trivial enforcement —
 //! sleep until the query deadline — kept for library callers.
+//!
+//! # Concurrency model
+//!
+//! Guard state is split into a **read-mostly snapshot path** and a
+//! **write-behind count path** so concurrent queries never contend on a
+//! global lock:
+//!
+//! * The authoritative per-table [`TableGuard`]s live in hash-sharded
+//!   mutexes ([`GuardConfig::shards`]); only the refresher and the exact
+//!   virtual-time path touch them.
+//! * The wall-clock path ([`ReadPath::Snapshot`], the default for
+//!   `execute_with_deadline`) prices every tuple from an immutable
+//!   [`PolicySnapshot`] behind an atomic-swap cell and records accesses
+//!   into a lock-free [`ShardedEventQueue`] — zero locked work beyond the
+//!   snapshot load.
+//! * A refresher — the server's background thread, or any query thread
+//!   that trips the [`SnapshotPolicy`] staleness bounds (then via a
+//!   non-blocking `try_lock`, so queries never wait) — drains the queue
+//!   into the trackers *in global sequence order* (preserving the decay
+//!   inflated-increment arithmetic exactly) and publishes a new snapshot.
+//!
+//! The virtual-time simulation path (`execute_at`) keeps exact
+//! sequential semantics: it applies pending events and then works under
+//! the table's shard lock, so every existing experiment reproduces
+//! bit-for-bit. After at most one refresh epoch the snapshot path's
+//! master state — and therefore its delays — converges to exactly what
+//! the sequential path would have produced for the same event sequence
+//! (asserted in `tests/snapshot_concurrency.rs`).
 
 use crate::config::GuardConfig;
 use crate::error::Result;
 use crate::policy::ChargingModel;
-use delayguard_popularity::{DecaySchedule, FrequencyTracker};
+use crate::snapshot::{
+    empty_table_snapshot, PolicySnapshot, ReadPath, SnapshotStats, TableSnapshot,
+};
+use arc_swap::ArcSwap;
+use delayguard_popularity::{DecaySchedule, FrequencyTracker, ShardedEventQueue};
 use delayguard_query::ast::Statement;
 use delayguard_query::{parse, Engine, StatementOutput};
 use delayguard_storage::RowId;
 use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-table guard state.
@@ -32,6 +68,9 @@ struct TableGuard {
     /// Virtual time when this table first came under observation; the
     /// update-rate window is measured from here.
     epoch: Option<f64>,
+    /// Mutated since the last snapshot rebuild (cleared by the rebuild,
+    /// which re-clones dirty tables only).
+    dirty: bool,
 }
 
 impl TableGuard {
@@ -40,6 +79,7 @@ impl TableGuard {
             access: FrequencyTracker::new(DecaySchedule::new(config.access_decay_rate)),
             updates: FrequencyTracker::new(DecaySchedule::new(config.update_decay_rate)),
             epoch: None,
+            dirty: false,
         }
     }
 
@@ -47,6 +87,34 @@ impl TableGuard {
         match self.epoch {
             Some(e) => (now - e).max(1e-9),
             None => 1e-9,
+        }
+    }
+}
+
+/// One recorded guard mutation, queued by the snapshot path and applied
+/// by the refresher. A whole statement's keys ride in one event so the
+/// queue sees one push per query, not one per row.
+struct AccessEvent {
+    table: Arc<str>,
+    now_secs: f64,
+    kind: EventKind,
+}
+
+enum EventKind {
+    /// Rows returned by a SELECT: record accesses.
+    Select(Vec<u64>),
+    /// Rows touched by an UPDATE: record update events.
+    Update(Vec<u64>),
+    /// Rows inserted: pre-register at zero popularity (§2.3).
+    Insert(Vec<u64>),
+}
+
+impl EventKind {
+    fn len(&self) -> usize {
+        match self {
+            EventKind::Select(keys) | EventKind::Update(keys) | EventKind::Insert(keys) => {
+                keys.len()
+            }
         }
     }
 }
@@ -132,7 +200,20 @@ fn release_offsets(charging: ChargingModel, delays: &[f64]) -> Vec<f64> {
 pub struct GuardedDatabase {
     engine: Engine,
     config: GuardConfig,
-    guards: Mutex<HashMap<String, TableGuard>>,
+    /// Authoritative per-table guard state, hash-sharded by table name.
+    shards: Box<[Mutex<HashMap<String, TableGuard>>]>,
+    /// Lock-free record queue filled by the snapshot path.
+    queue: ShardedEventQueue<AccessEvent>,
+    /// The immutable read view, atomically replaced by the refresher.
+    snapshot: ArcSwap<PolicySnapshot>,
+    /// Serializes drain/apply/rebuild. Query threads only ever `try_lock`
+    /// it, so the hot path never blocks here.
+    refresh_lock: Mutex<()>,
+    /// Bumped on every master-tracker mutation; snapshots record the value
+    /// they reflect so staleness from the exact path is detectable.
+    mutations: AtomicU64,
+    rebuilds: AtomicU64,
+    events_applied: AtomicU64,
     started: Instant,
 }
 
@@ -144,10 +225,21 @@ impl GuardedDatabase {
 
     /// Guard an existing engine (e.g. with pre-loaded data).
     pub fn with_engine(engine: Engine, config: GuardConfig) -> GuardedDatabase {
+        let shard_count = config.shards.max(1).next_power_of_two();
+        let shards = (0..shard_count)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         GuardedDatabase {
             engine,
+            queue: ShardedEventQueue::new(shard_count),
+            snapshot: ArcSwap::from_pointee(PolicySnapshot::empty()),
+            refresh_lock: Mutex::new(()),
+            mutations: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
+            events_applied: AtomicU64::new(0),
             config,
-            guards: Mutex::new(HashMap::new()),
+            shards,
             started: Instant::now(),
         }
     }
@@ -162,15 +254,48 @@ impl GuardedDatabase {
         &self.config
     }
 
+    /// Seconds since the guard was created (the wall clock every
+    /// deadline-path operation uses).
+    pub fn now_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    fn shard(&self, table: &str) -> &Mutex<HashMap<String, TableGuard>> {
+        let mut h = DefaultHasher::new();
+        table.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (self.shards.len() - 1)]
+    }
+
+    // ---- execution entry points -----------------------------------------
+
     /// Execute at an explicit virtual time (simulation entry point).
+    /// Always uses the exact locked path, so simulations are sequential
+    /// and deterministic regardless of [`GuardConfig::read_path`].
     pub fn execute_at(&self, sql: &str, now_secs: f64) -> Result<GuardedResponse> {
         let stmt = parse(sql)?;
         self.execute_stmt_at(&stmt, now_secs)
     }
 
-    /// Execute a pre-parsed statement at a virtual time.
+    /// Execute a pre-parsed statement at a virtual time (exact path).
     pub fn execute_stmt_at(&self, stmt: &Statement, now_secs: f64) -> Result<GuardedResponse> {
-        let (output, tuple_delays) = self.execute_stmt_detailed(stmt, now_secs)?;
+        let (output, tuple_delays) =
+            self.execute_stmt_detailed(stmt, now_secs, ReadPath::Locked)?;
+        let delay_secs = self.config.charging.combine(tuple_delays.iter().copied());
+        Ok(GuardedResponse {
+            output,
+            delay_secs,
+            tuples_charged: tuple_delays.len(),
+        })
+    }
+
+    /// Execute at an explicit virtual time over the snapshot read path
+    /// (benches and staleness tests; servers use
+    /// [`Self::execute_with_deadline`]).
+    pub fn execute_snapshot_at(&self, sql: &str, now_secs: f64) -> Result<GuardedResponse> {
+        let stmt = parse(sql)?;
+        let (output, tuple_delays) =
+            self.execute_stmt_detailed(&stmt, now_secs, ReadPath::Snapshot)?;
+        self.maybe_refresh();
         let delay_secs = self.config.charging.combine(tuple_delays.iter().copied());
         Ok(GuardedResponse {
             output,
@@ -185,19 +310,23 @@ impl GuardedDatabase {
         &self,
         stmt: &Statement,
         now_secs: f64,
+        path: ReadPath,
     ) -> Result<(StatementOutput, Vec<f64>)> {
         let output = self.engine.execute_stmt(stmt)?;
         let table = statement_table(stmt);
         let tuple_delays = match (&output, table) {
-            (StatementOutput::Rows(rows), Some(table)) => {
-                self.charge_select(table, rows.row_ids(), now_secs)?
-            }
+            (StatementOutput::Rows(rows), Some(table)) => match path {
+                ReadPath::Locked => self.charge_select_locked(table, rows.row_ids(), now_secs)?,
+                ReadPath::Snapshot => {
+                    self.charge_select_snapshot(table, rows.row_ids(), now_secs)?
+                }
+            },
             (StatementOutput::Updated { rids }, Some(table)) => {
-                self.note_updates(table, rids, now_secs);
+                self.note_rows(table, rids, now_secs, path, RowNote::Update);
                 Vec::new()
             }
             (StatementOutput::Inserted { rids }, Some(table)) => {
-                self.note_inserts(table, rids, now_secs);
+                self.note_rows(table, rids, now_secs, path, RowNote::Insert);
                 Vec::new()
             }
             _ => Vec::new(),
@@ -205,14 +334,17 @@ impl GuardedDatabase {
         Ok((output, tuple_delays))
     }
 
-    /// Execute using wall-clock time since the guard was created.
+    /// Execute using wall-clock time since the guard was created (exact
+    /// locked path, like every virtual-time entry point).
     pub fn execute(&self, sql: &str) -> Result<GuardedResponse> {
-        self.execute_at(sql, self.started.elapsed().as_secs_f64())
+        self.execute_at(sql, self.now_secs())
     }
 
     /// Execute at wall-clock time and return enforcement deadlines instead
     /// of sleeping: the single shared path for servers (which schedule the
     /// deadlines on a timer wheel) and for [`Self::execute_blocking`].
+    /// Routed through [`GuardConfig::read_path`] — by default the
+    /// lock-free snapshot path.
     pub fn execute_with_deadline(&self, sql: &str) -> Result<DeadlineResponse> {
         let stmt = parse(sql)?;
         self.execute_stmt_with_deadline(&stmt)
@@ -221,8 +353,12 @@ impl GuardedDatabase {
     /// [`Self::execute_with_deadline`] over a pre-parsed statement.
     pub fn execute_stmt_with_deadline(&self, stmt: &Statement) -> Result<DeadlineResponse> {
         let issued_at = Instant::now();
-        let now_secs = self.started.elapsed().as_secs_f64();
-        let (output, tuple_delays) = self.execute_stmt_detailed(stmt, now_secs)?;
+        let now_secs = self.now_secs();
+        let path = self.config.read_path;
+        let (output, tuple_delays) = self.execute_stmt_detailed(stmt, now_secs, path)?;
+        if path == ReadPath::Snapshot {
+            self.maybe_refresh();
+        }
         let tuple_offsets = release_offsets(self.config.charging, &tuple_delays);
         let delay_secs = self.config.charging.combine(tuple_delays.iter().copied());
         Ok(DeadlineResponse {
@@ -246,16 +382,22 @@ impl GuardedDatabase {
         Ok(resp.into_response())
     }
 
+    // ---- exact (locked) path --------------------------------------------
+
     /// Compute the per-tuple delays for a set of returned tuples, then
-    /// record their accesses.
-    fn charge_select(
+    /// record their accesses — exact sequential semantics under the
+    /// table's shard lock.
+    fn charge_select_locked(
         &self,
         table: &str,
         rids: impl Iterator<Item = RowId>,
         now: f64,
     ) -> Result<Vec<f64>> {
         let n = self.table_len(table)?;
-        let mut guards = self.guards.lock();
+        // Events queued by snapshot-path traffic precede this statement;
+        // fold them in first so the trackers are exact.
+        self.apply_pending();
+        let mut guards = self.shard(table).lock();
         let guard = guards
             .entry(table.to_owned())
             .or_insert_with(|| TableGuard::new(&self.config));
@@ -272,37 +414,242 @@ impl GuardedDatabase {
             delays.push(d);
             guard.access.record(key);
         }
+        if !delays.is_empty() {
+            guard.dirty = true;
+            self.mutations
+                .fetch_add(delays.len() as u64, Ordering::Release);
+        }
         Ok(delays)
     }
 
-    fn note_updates(&self, table: &str, rids: &[RowId], now: f64) {
-        let mut guards = self.guards.lock();
-        let guard = guards
-            .entry(table.to_owned())
-            .or_insert_with(|| TableGuard::new(&self.config));
-        guard.epoch.get_or_insert(now);
-        for rid in rids {
-            guard.updates.record(rid.raw());
+    /// Record updates/inserts on either path.
+    fn note_rows(&self, table: &str, rids: &[RowId], now: f64, path: ReadPath, note: RowNote) {
+        if rids.is_empty() {
+            return;
+        }
+        match path {
+            ReadPath::Locked => {
+                self.apply_pending();
+                let mut guards = self.shard(table).lock();
+                let guard = guards
+                    .entry(table.to_owned())
+                    .or_insert_with(|| TableGuard::new(&self.config));
+                guard.epoch.get_or_insert(now);
+                for rid in rids {
+                    match note {
+                        RowNote::Update => guard.updates.record(rid.raw()),
+                        RowNote::Insert => guard.access.ensure_tracked(rid.raw()),
+                    }
+                }
+                guard.dirty = true;
+                self.mutations
+                    .fetch_add(rids.len() as u64, Ordering::Release);
+            }
+            ReadPath::Snapshot => {
+                let keys: Vec<u64> = rids.iter().map(|r| r.raw()).collect();
+                self.queue.push(AccessEvent {
+                    table: Arc::from(table),
+                    now_secs: now,
+                    kind: match note {
+                        RowNote::Update => EventKind::Update(keys),
+                        RowNote::Insert => EventKind::Insert(keys),
+                    },
+                });
+            }
         }
     }
 
-    fn note_inserts(&self, table: &str, rids: &[RowId], now: f64) {
-        let mut guards = self.guards.lock();
-        let guard = guards
-            .entry(table.to_owned())
-            .or_insert_with(|| TableGuard::new(&self.config));
-        guard.epoch.get_or_insert(now);
+    // ---- snapshot (lock-free) path --------------------------------------
+
+    /// Price a result set from the immutable snapshot and queue the
+    /// access record — no locks taken.
+    fn charge_select_snapshot(
+        &self,
+        table: &str,
+        rids: impl Iterator<Item = RowId>,
+        now: f64,
+    ) -> Result<Vec<f64>> {
+        let n = self.table_len(table)?;
+        let snap = self.snapshot.load_full();
+        let stats: Arc<TableSnapshot> = match snap.table(table) {
+            Some(t) => Arc::clone(t),
+            None => empty_table_snapshot(),
+        };
+        let window = stats.window(now);
+        let mut delays = Vec::new();
+        let mut keys = Vec::new();
         for rid in rids {
-            guard.access.ensure_tracked(rid.raw());
+            let key = rid.raw();
+            let d = self
+                .config
+                .policy
+                .tuple_delay(&stats.access, &stats.updates, n, key, window);
+            delays.push(d);
+            keys.push(key);
+        }
+        if !keys.is_empty() {
+            self.queue.push(AccessEvent {
+                table: Arc::from(table),
+                now_secs: now,
+                kind: EventKind::Select(keys),
+            });
+        }
+        Ok(delays)
+    }
+
+    // ---- refresh machinery ----------------------------------------------
+
+    /// Whether the snapshot is stale under the configured bounds.
+    fn is_stale(&self) -> bool {
+        let pending = self.queue.pending();
+        if pending == 0 {
+            return false;
+        }
+        if pending >= self.config.snapshot.max_pending_events {
+            return true;
+        }
+        let snap = self.snapshot.load_full();
+        self.now_secs() - snap.built_at_secs >= self.config.snapshot.max_age_secs
+    }
+
+    /// Opportunistic refresh: rebuild only if stale, and only if no other
+    /// thread is already refreshing (never blocks).
+    fn maybe_refresh(&self) {
+        if self.is_stale() {
+            if let Some(_guard) = self.refresh_lock.try_lock() {
+                self.refresh_inner();
+            }
+        }
+    }
+
+    /// Drain the record queue into the authoritative trackers and publish
+    /// a fresh [`PolicySnapshot`]. Blocking (but the only contenders are
+    /// other refreshers); query threads trip refreshes via the
+    /// non-blocking staleness check instead.
+    pub fn refresh(&self) {
+        let _guard = self.refresh_lock.lock();
+        self.refresh_inner();
+    }
+
+    /// Apply queued events without rebuilding the snapshot (the exact
+    /// path's pre-step). Cheap no-op when nothing is pending.
+    fn apply_pending(&self) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let _guard = self.refresh_lock.lock();
+        self.apply_batch(self.queue.drain());
+    }
+
+    /// Apply a drained batch, in global sequence order, to the master
+    /// trackers. Caller must hold `refresh_lock`.
+    fn apply_batch(&self, batch: Vec<(u64, AccessEvent)>) {
+        let mut applied = 0u64;
+        for (_seq, ev) in batch {
+            applied += ev.kind.len() as u64;
+            let mut guards = self.shard(&ev.table).lock();
+            let guard = guards
+                .entry(ev.table.as_ref().to_owned())
+                .or_insert_with(|| TableGuard::new(&self.config));
+            guard.epoch.get_or_insert(ev.now_secs);
+            match &ev.kind {
+                EventKind::Select(keys) => {
+                    for &k in keys {
+                        guard.access.record(k);
+                    }
+                }
+                EventKind::Update(keys) => {
+                    for &k in keys {
+                        guard.updates.record(k);
+                    }
+                }
+                EventKind::Insert(keys) => {
+                    for &k in keys {
+                        guard.access.ensure_tracked(k);
+                    }
+                }
+            }
+            guard.dirty = true;
+        }
+        if applied > 0 {
+            self.events_applied.fetch_add(applied, Ordering::Relaxed);
+            self.mutations.fetch_add(applied, Ordering::Release);
+        }
+    }
+
+    /// Drain + apply + rebuild. Caller must hold `refresh_lock`.
+    fn refresh_inner(&self) {
+        self.apply_batch(self.queue.drain());
+        let seen = self.mutations.load(Ordering::Acquire);
+        let old = self.snapshot.load_full();
+        let mut tables = old.tables.clone();
+        for shard in self.shards.iter() {
+            let mut guards = shard.lock();
+            for (name, guard) in guards.iter_mut() {
+                if guard.dirty || !tables.contains_key(name) {
+                    tables.insert(
+                        name.clone(),
+                        Arc::new(TableSnapshot {
+                            access: guard.access.clone(),
+                            updates: guard.updates.clone(),
+                            epoch: guard.epoch,
+                        }),
+                    );
+                    guard.dirty = false;
+                }
+            }
+        }
+        self.snapshot.store(Arc::new(PolicySnapshot {
+            tables,
+            version: old.version + 1,
+            built_at_secs: self.now_secs(),
+            mutations_seen: seen,
+        }));
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bring the snapshot up to date if any recorded or direct mutation
+    /// is not yet reflected, without ever blocking on a concurrent
+    /// refresher.
+    fn sync_snapshot(&self) {
+        let behind = !self.queue.is_empty()
+            || self.snapshot.load_full().mutations_seen != self.mutations.load(Ordering::Acquire);
+        if behind {
+            if let Some(_guard) = self.refresh_lock.try_lock() {
+                self.refresh_inner();
+            }
+        }
+    }
+
+    // ---- inspection (served from the snapshot) --------------------------
+
+    /// The current policy snapshot (an immutable, consistent view; callers
+    /// may hold it as long as they like).
+    pub fn snapshot(&self) -> Arc<PolicySnapshot> {
+        self.snapshot.load_full()
+    }
+
+    /// Observability counters for the snapshot machinery.
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        let snap = self.snapshot.load_full();
+        let now = self.now_secs();
+        SnapshotStats {
+            version: snap.version,
+            built_at_secs: snap.built_at_secs,
+            age_secs: (now - snap.built_at_secs).max(0.0),
+            pending_events: self.queue.pending(),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            events_applied: self.events_applied.load(Ordering::Relaxed),
         }
     }
 
     /// The delay one tuple would currently be charged (without executing a
     /// query) — used by extraction accounting and by operators inspecting
-    /// the policy.
+    /// the policy. Exact: folds in any pending events first.
     pub fn tuple_delay(&self, table: &str, rid: RowId, now: f64) -> Result<f64> {
         let n = self.table_len(table)?;
-        let mut guards = self.guards.lock();
+        self.apply_pending();
+        let mut guards = self.shard(table).lock();
         let guard = guards
             .entry(table.to_owned())
             .or_insert_with(|| TableGuard::new(&self.config));
@@ -313,17 +660,51 @@ impl GuardedDatabase {
             .tuple_delay(&guard.access, &guard.updates, n, rid.raw(), window))
     }
 
-    /// Popularity rank of a tuple (1 = most popular), if the table has been
-    /// observed.
-    pub fn popularity_rank(&self, table: &str, rid: RowId) -> Option<usize> {
-        let guards = self.guards.lock();
-        guards.get(table).map(|g| g.access.rank(rid.raw()))
+    /// The delay one tuple would be charged *by the snapshot path right
+    /// now*, read purely from the current snapshot (no refresh, no
+    /// locks): what a concurrent query thread would actually charge.
+    pub fn snapshot_tuple_delay(&self, table: &str, rid: RowId, now: f64) -> Result<f64> {
+        let n = self.table_len(table)?;
+        let snap = self.snapshot.load_full();
+        let stats = match snap.table(table) {
+            Some(t) => Arc::clone(t),
+            None => empty_table_snapshot(),
+        };
+        let window = stats.window(now);
+        Ok(self
+            .config
+            .policy
+            .tuple_delay(&stats.access, &stats.updates, n, rid.raw(), window))
     }
 
-    /// Number of accesses recorded against a table.
+    /// Popularity rank of a tuple (1 = most popular), if the table has
+    /// been observed. Served from the snapshot — concurrent stats traffic
+    /// never takes the locks queries' writers use (a stale-but-bounded
+    /// answer is refreshed opportunistically, never by blocking).
+    pub fn popularity_rank(&self, table: &str, rid: RowId) -> Option<usize> {
+        self.sync_snapshot();
+        self.snapshot
+            .load_full()
+            .table(table)
+            .map(|t| t.access.rank(rid.raw()))
+    }
+
+    /// Number of accesses recorded against a table (snapshot-served, like
+    /// [`Self::popularity_rank`]).
     pub fn access_events(&self, table: &str) -> u64 {
-        let guards = self.guards.lock();
-        guards.get(table).map(|g| g.access.events()).unwrap_or(0)
+        self.sync_snapshot();
+        self.snapshot
+            .load_full()
+            .table(table)
+            .map(|t| t.access.events())
+            .unwrap_or(0)
+    }
+
+    /// Sorted names of every table the guard has observed traffic on
+    /// (snapshot-served).
+    pub fn tables(&self) -> Vec<String> {
+        self.sync_snapshot();
+        self.snapshot.load_full().table_names()
     }
 
     fn table_len(&self, table: &str) -> Result<u64> {
@@ -331,6 +712,13 @@ impl GuardedDatabase {
         let len = t.read().len() as u64;
         Ok(len)
     }
+}
+
+/// What a non-SELECT statement records.
+#[derive(Clone, Copy)]
+enum RowNote {
+    Update,
+    Insert,
 }
 
 /// The table a statement touches, if any.
@@ -350,6 +738,7 @@ mod tests {
     use super::*;
     use crate::access::AccessDelayPolicy;
     use crate::policy::{ChargingModel, GuardPolicy};
+    use crate::snapshot::SnapshotPolicy;
     use crate::update::UpdateDelayPolicy;
 
     fn setup(policy: GuardPolicy) -> GuardedDatabase {
@@ -358,6 +747,7 @@ mod tests {
             charging: ChargingModel::PerTupleSum,
             access_decay_rate: 1.0,
             update_decay_rate: 1.0,
+            ..GuardConfig::paper_default()
         };
         let db = GuardedDatabase::new(config);
         db.execute_at("CREATE TABLE items (id INT NOT NULL, body TEXT)", 0.0)
@@ -417,6 +807,7 @@ mod tests {
             charging: ChargingModel::PerQueryMax,
             access_decay_rate: 1.0,
             update_decay_rate: 1.0,
+            ..GuardConfig::paper_default()
         };
         let db = GuardedDatabase::new(config);
         db.execute_at("CREATE TABLE t (id INT)", 0.0).unwrap();
@@ -521,6 +912,7 @@ mod tests {
             charging: ChargingModel::PerQueryMax,
             access_decay_rate: 1.0,
             update_decay_rate: 1.0,
+            ..GuardConfig::paper_default()
         };
         let db = GuardedDatabase::new(config);
         db.execute_at("CREATE TABLE t (id INT)", 0.0).unwrap();
@@ -553,5 +945,108 @@ mod tests {
         let db = setup(access_policy());
         assert!(db.execute_at("SELECT * FROM missing", 0.0).is_err());
         assert!(db.execute_at("NOT SQL AT ALL", 0.0).is_err());
+    }
+
+    #[test]
+    fn snapshot_path_records_after_refresh() {
+        let db = setup(access_policy());
+        // Snapshot path: priced from the (empty) boot snapshot, recorded
+        // into the queue.
+        let r = db
+            .execute_snapshot_at("SELECT * FROM items WHERE id = 5", 1.0)
+            .unwrap();
+        assert_eq!(r.delay_secs, 10.0, "cold snapshot prices at the cap");
+        let before = db.snapshot_stats();
+        db.refresh();
+        let after = db.snapshot_stats();
+        assert!(after.version > before.version);
+        assert_eq!(after.pending_events, 0);
+        assert_eq!(db.access_events("items"), 1);
+        assert!(db.tables().contains(&"items".to_owned()));
+    }
+
+    #[test]
+    fn snapshot_prices_from_last_epoch_until_refresh() {
+        let config = GuardConfig {
+            policy: access_policy(),
+            // Bounds so loose the test controls every refresh itself.
+            snapshot: SnapshotPolicy::new(usize::MAX, 1e9),
+            ..GuardConfig::paper_default()
+        };
+        let db = GuardedDatabase::new(config);
+        db.execute_at("CREATE TABLE t (id INT NOT NULL)", 0.0)
+            .unwrap();
+        db.execute_at("CREATE UNIQUE INDEX t_pk ON t (id)", 0.0)
+            .unwrap();
+        for i in 0..50 {
+            db.execute_at(&format!("INSERT INTO t VALUES ({i})"), 0.0)
+                .unwrap();
+        }
+        // Learn popularity for tuple 1 through the snapshot path.
+        for t in 0..100 {
+            db.execute_snapshot_at("SELECT * FROM t WHERE id = 1", 1.0 + t as f64)
+                .unwrap();
+        }
+        // Still priced at the cap: the snapshot has not been rebuilt.
+        let stale = db
+            .execute_snapshot_at("SELECT * FROM t WHERE id = 1", 200.0)
+            .unwrap();
+        assert_eq!(stale.delay_secs, 10.0);
+        db.refresh();
+        // One refresh epoch later the learned popularity is visible.
+        let fresh = db
+            .execute_snapshot_at("SELECT * FROM t WHERE id = 1", 201.0)
+            .unwrap();
+        assert!(fresh.delay_secs < 0.1, "got {}", fresh.delay_secs);
+    }
+
+    #[test]
+    fn pending_threshold_triggers_inline_refresh() {
+        let config = GuardConfig {
+            policy: access_policy(),
+            snapshot: SnapshotPolicy::new(10, 1e9),
+            ..GuardConfig::paper_default()
+        };
+        let db = GuardedDatabase::new(config);
+        db.execute_at("CREATE TABLE t (id INT NOT NULL)", 0.0)
+            .unwrap();
+        db.execute_at("CREATE UNIQUE INDEX t_pk ON t (id)", 0.0)
+            .unwrap();
+        for i in 0..20 {
+            db.execute_at(&format!("INSERT INTO t VALUES ({i})"), 0.0)
+                .unwrap();
+        }
+        for t in 0..50 {
+            db.execute_snapshot_at("SELECT * FROM t WHERE id = 1", 1.0 + t as f64)
+                .unwrap();
+        }
+        let stats = db.snapshot_stats();
+        assert!(
+            stats.rebuilds >= 4,
+            "50 single-row queries over a 10-event bound: got {} rebuilds",
+            stats.rebuilds
+        );
+        assert!(stats.pending_events < 10);
+    }
+
+    #[test]
+    fn mixed_paths_stay_consistent() {
+        // Sequential traffic, then snapshot traffic, then a sequential
+        // query again: the locked path must fold queued events in before
+        // computing, so totals line up.
+        let db = setup(access_policy());
+        for _ in 0..5 {
+            db.execute_at("SELECT * FROM items WHERE id = 2", 1.0)
+                .unwrap();
+        }
+        for _ in 0..5 {
+            db.execute_snapshot_at("SELECT * FROM items WHERE id = 2", 2.0)
+                .unwrap();
+        }
+        // The locked path applies the 5 queued events before recording
+        // its own, so the master tracker now holds 11.
+        db.execute_at("SELECT * FROM items WHERE id = 2", 3.0)
+            .unwrap();
+        assert_eq!(db.access_events("items"), 11);
     }
 }

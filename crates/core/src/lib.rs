@@ -19,6 +19,8 @@
 //! * [`guarded`] — [`GuardedDatabase`]: the engine wrapper that learns
 //!   popularity, charges delays per returned tuple, and (optionally)
 //!   sleeps.
+//! * [`snapshot`] — the immutable [`snapshot::PolicySnapshot`] read view
+//!   and bounded-staleness knobs behind the guard's lock-free query path.
 //!
 //! ```
 //! use delayguard_core::{GuardConfig, GuardedDatabase};
@@ -38,6 +40,7 @@ pub mod error;
 pub mod gatekeeper;
 pub mod guarded;
 pub mod policy;
+pub mod snapshot;
 pub mod update;
 
 pub use access::AccessDelayPolicy;
@@ -46,4 +49,5 @@ pub use error::{GuardError, Result};
 pub use gatekeeper::{Gatekeeper, GatekeeperConfig};
 pub use guarded::{DeadlineResponse, GuardedDatabase, GuardedResponse};
 pub use policy::{ChargingModel, GuardPolicy};
+pub use snapshot::{PolicySnapshot, ReadPath, SnapshotPolicy, SnapshotStats, TableSnapshot};
 pub use update::UpdateDelayPolicy;

@@ -12,6 +12,10 @@
 //! * [`sketch`] — a count–min sketch as a memory-bounded count synopsis.
 //! * [`writebehind`] — the write-behind count cache of §4.4 that keeps
 //!   read queries from becoming read-modify-write storms.
+//! * [`shardqueue`] — the concurrent front end of the write-behind idea:
+//!   a lock-free sharded event queue that query threads push into and a
+//!   background refresher drains, in global sequence order, into the
+//!   authoritative trackers.
 //!
 //! ```
 //! use delayguard_popularity::{DecaySchedule, FrequencyTracker};
@@ -27,6 +31,7 @@ pub mod adaptive;
 pub mod decay;
 pub mod fenwick;
 pub mod rank;
+pub mod shardqueue;
 pub mod sketch;
 pub mod topk;
 pub mod tracker;
@@ -36,6 +41,7 @@ pub use adaptive::AdaptiveTracker;
 pub use decay::{DecaySchedule, MultiDecay};
 pub use fenwick::Fenwick;
 pub use rank::RankIndex;
+pub use shardqueue::ShardedEventQueue;
 pub use sketch::CountMinSketch;
 pub use topk::top_k;
 pub use tracker::FrequencyTracker;

@@ -70,6 +70,19 @@ impl FrequencyTracker {
         }
     }
 
+    /// Record `units` worth of events *without* advancing decay time: the
+    /// weighted form of [`FrequencyTracker::record_static`]. This is the
+    /// natural sink for write-behind deltas ([`crate::writebehind`]):
+    /// a flushed batch of coalesced counts lands at the current weight,
+    /// and decay advances only through explicit boundaries or live
+    /// `record` calls.
+    pub fn record_static_weighted(&mut self, key: u64, units: f64) {
+        self.apply(key, self.schedule.weight() * units);
+        if self.schedule.needs_rescale() {
+            self.rescale();
+        }
+    }
+
     /// Record an event worth `units` fresh accesses (e.g. a weekly sales
     /// figure recorded in one shot).
     pub fn record_weighted(&mut self, key: u64, units: f64) {

@@ -8,6 +8,7 @@
 //! delta buffer and are flushed to a [`CountStore`] when the buffer fills
 //! (or on demand), amortizing the expensive store writes over many reads.
 
+use crate::tracker::FrequencyTracker;
 use std::collections::HashMap;
 
 /// A durable (or at least authoritative) destination for count deltas.
@@ -65,6 +66,28 @@ impl CountStore for MemoryStore {
 
     fn len(&self) -> usize {
         self.counts.len()
+    }
+}
+
+/// A [`FrequencyTracker`] is itself a valid write-behind sink: flushed
+/// deltas land as weighted events at the tracker's *current* decay weight
+/// (all events in one flush batch are contemporaries), so ranks, `f_max`,
+/// and rescale bookkeeping stay live while individual reads stay cheap.
+/// This is the concurrent evolution of §4.4: queries buffer, the flush
+/// feeds the authority.
+impl CountStore for FrequencyTracker {
+    fn apply(&mut self, deltas: &[(u64, f64)]) {
+        for &(key, delta) in deltas {
+            self.record_static_weighted(key, delta);
+        }
+    }
+
+    fn read(&self, key: u64) -> f64 {
+        self.count(key)
+    }
+
+    fn len(&self) -> usize {
+        self.tracked()
     }
 }
 
@@ -217,5 +240,39 @@ mod tests {
     #[should_panic]
     fn zero_capacity_rejected() {
         WriteBehindCache::new(MemoryStore::new(), 0);
+    }
+
+    #[test]
+    fn tracker_as_store_learns_ranks_from_flushes() {
+        let tracker = FrequencyTracker::no_decay();
+        let mut c = WriteBehindCache::new(tracker, 16);
+        for _ in 0..50 {
+            c.increment(1, 1.0);
+        }
+        for _ in 0..10 {
+            c.increment(2, 1.0);
+        }
+        assert_eq!(c.read(1), 50.0, "buffered deltas visible through read");
+        let tracker = c.into_store();
+        assert_eq!(tracker.count(1), 50.0);
+        assert_eq!(tracker.count(2), 10.0);
+        assert_eq!(tracker.rank(1), 1);
+        assert_eq!(tracker.rank(2), 2);
+    }
+
+    #[test]
+    fn tracker_store_respects_decay_weight_at_flush_time() {
+        // Deltas flushed after decay boundaries are worth full fresh
+        // accesses at flush time — older flushes fade relative to them.
+        let tracker = FrequencyTracker::new(crate::DecaySchedule::new(2.0));
+        let mut c = WriteBehindCache::new(tracker, 4);
+        c.increment(1, 1.0);
+        c.flush();
+        let mut tracker = c.into_store();
+        tracker.tick_boundary();
+        tracker.record_static_weighted(2, 1.0);
+        assert!(tracker.count(2) > tracker.count(1));
+        assert_eq!(tracker.count(2), 1.0);
+        assert_eq!(tracker.count(1), 0.5);
     }
 }

@@ -34,7 +34,7 @@ use delayguard_core::gatekeeper::{
 };
 use delayguard_core::GuardedDatabase;
 use delayguard_query::engine::StatementOutput;
-use delayguard_sim::Registry;
+use delayguard_sim::{GuardStatsPublisher, Registry};
 use parking_lot::Mutex as PMutex;
 use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -62,6 +62,12 @@ pub struct ServerConfig {
     pub trust_client_ip: bool,
     /// Retry hint attached to `Overloaded` / `ShuttingDown` refusals.
     pub retry_after_secs: f64,
+    /// How often the background refresher drains the guard's record queue
+    /// and publishes a fresh policy snapshot. This is the server's half
+    /// of the bounded-staleness contract: query threads also trip
+    /// refreshes via `GuardConfig::snapshot`, but the dedicated thread
+    /// keeps snapshot age bounded even when query threads are saturated.
+    pub snapshot_refresh_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +79,7 @@ impl Default for ServerConfig {
             tick: Duration::from_millis(1),
             trust_client_ip: false,
             retry_after_secs: 1.0,
+            snapshot_refresh_interval: Duration::from_millis(20),
         }
     }
 }
@@ -217,6 +224,8 @@ struct Shared {
     draining: AtomicBool,
     /// Stops the accept loop.
     stop_accept: AtomicBool,
+    /// Stops the snapshot refresher thread.
+    stop_refresher: AtomicBool,
     /// Live sessions (the admission "semaphore").
     sessions: AtomicUsize,
     /// Query handlers between the draining check and their last
@@ -241,6 +250,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
+    refresher_thread: Option<JoinHandle<()>>,
     session_threads: Arc<PMutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -268,10 +278,19 @@ impl Server {
             epoch: Instant::now(),
             draining: AtomicBool::new(false),
             stop_accept: AtomicBool::new(false),
+            stop_refresher: AtomicBool::new(false),
             sessions: AtomicUsize::new(0),
             inflight_queries: AtomicUsize::new(0),
             conns: PMutex::new(Vec::new()),
         });
+        // Publish an initial snapshot synchronously so the first query
+        // prices against everything learned before the server started
+        // (pre-seeded popularity, warm-up traffic through `execute_at`).
+        shared.db.refresh();
+        let refresher_shared = Arc::clone(&shared);
+        let refresher_thread = std::thread::Builder::new()
+            .name("delayguard-refresher".into())
+            .spawn(move || refresher_loop(refresher_shared))?;
         let session_threads = Arc::new(PMutex::new(Vec::new()));
         let accept_shared = Arc::clone(&shared);
         let accept_threads = Arc::clone(&session_threads);
@@ -282,8 +301,21 @@ impl Server {
             addr: local,
             shared,
             accept_thread: Some(accept_thread),
+            refresher_thread: Some(refresher_thread),
             session_threads,
         })
+    }
+}
+
+/// Background snapshot refresher: every `snapshot_refresh_interval`,
+/// drain the guard's record queue into the master trackers, publish a
+/// fresh policy snapshot, and export the machinery's health gauges.
+fn refresher_loop(shared: Arc<Shared>) {
+    let publisher = GuardStatsPublisher::new(&shared.registry);
+    while !shared.stop_refresher.load(Ordering::SeqCst) {
+        std::thread::sleep(shared.config.snapshot_refresh_interval);
+        shared.db.refresh();
+        publisher.publish(&shared.db);
     }
 }
 
@@ -311,6 +343,14 @@ impl ServerHandle {
         }
         // 3. Deliver everything on the wheel at its deadline.
         shared.scheduler.drain();
+        // 3b. Stop the refresher and fold the final queued accesses into
+        //     the master trackers: no recorded access is ever lost to
+        //     shutdown.
+        shared.stop_refresher.store(true, Ordering::SeqCst);
+        if let Some(t) = self.refresher_thread.take() {
+            let _ = t.join();
+        }
+        shared.db.refresh();
         // 4. Flush and close every send queue, then unblock readers.
         let conns: Vec<Arc<Conn>> = shared.conns.lock().drain(..).collect();
         for conn in &conns {

@@ -14,11 +14,14 @@
 //! * [`overhead`] — the §4.4 mechanism-cost methodology (Table 5).
 //! * [`registry`] — lock-free counters/gauges shared with
 //!   `delayguard-server`'s `STATS` endpoint.
+//! * [`guardstats`] — publishes the guard's snapshot-machinery health
+//!   (snapshot age, pending events, rebuilds) into a [`Registry`].
 //! * [`report`] — plain-text table rendering for the harness.
 
 pub mod clock;
 pub mod events;
 pub mod extraction;
+pub mod guardstats;
 pub mod metrics;
 pub mod mixed;
 pub mod overhead;
@@ -32,6 +35,7 @@ pub use events::EventQueue;
 pub use extraction::{
     extract_access_based, extract_update_based, uniform_user_median_delay, ExtractionReport,
 };
+pub use guardstats::GuardStatsPublisher;
 pub use metrics::{median_of, OnlineStats, Quantiles};
 pub use mixed::{run_mixed, MixedConfig, MixedReport};
 pub use overhead::{measure_overhead, OverheadConfig, OverheadReport};

@@ -101,6 +101,7 @@ fn hybrid_policy_covers_both_skew_axes() {
         charging: ChargingModel::PerTupleSum,
         access_decay_rate: 1.0,
         update_decay_rate: 1.0,
+        ..GuardConfig::paper_default()
     };
     let db = GuardedDatabase::new(config);
     db.execute_at("CREATE TABLE t (id INT NOT NULL, v TEXT)", 0.0)

@@ -1,0 +1,131 @@
+//! Offline stand-in for the `arc-swap` crate.
+//!
+//! This build environment has no network access to crates.io, so the
+//! workspace vendors the tiny slice of `arc-swap`'s API it actually uses:
+//! an atomically replaceable `Arc<T>` cell supporting concurrent snapshot
+//! loads (`load_full`) and whole-value replacement (`store` / `swap`).
+//!
+//! The real crate's `load` is wait-free via debt tracking; this shim backs
+//! the cell with a `std::sync::RwLock<Arc<T>>` instead. Readers take a
+//! *shared* lock only long enough to clone the `Arc` (two atomic ops), so
+//! loads never contend with each other and are blocked by a writer only
+//! for the duration of a pointer swap. For the workspace's usage — a
+//! snapshot rebuilt a few dozen times per second and loaded millions of
+//! times — this is indistinguishable from the real thing, and the API is
+//! drop-in compatible should the real dependency ever be restored.
+
+use std::sync::{Arc, RwLock};
+
+/// An atomically swappable `Arc<T>`: readers obtain consistent snapshots,
+/// a writer replaces the whole value in one step.
+#[derive(Debug)]
+pub struct ArcSwap<T> {
+    inner: RwLock<Arc<T>>,
+}
+
+impl<T> ArcSwap<T> {
+    /// A cell holding `value`.
+    pub fn new(value: Arc<T>) -> ArcSwap<T> {
+        ArcSwap {
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// A cell holding `Arc::new(value)` (the real crate's constructor for
+    /// plain values).
+    pub fn from_pointee(value: T) -> ArcSwap<T> {
+        ArcSwap::new(Arc::new(value))
+    }
+
+    /// Snapshot the current value. Cheap (an `Arc` clone under a shared
+    /// lock) and safe to call from any number of threads concurrently.
+    pub fn load_full(&self) -> Arc<T> {
+        match self.inner.read() {
+            Ok(g) => Arc::clone(&g),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
+    /// Replace the current value.
+    pub fn store(&self, new: Arc<T>) {
+        self.swap(new);
+    }
+
+    /// Replace the current value, returning the previous one.
+    pub fn swap(&self, new: Arc<T>) -> Arc<T> {
+        let mut g = match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        std::mem::replace(&mut *g, new)
+    }
+
+    /// Consume the cell, returning the held `Arc`.
+    pub fn into_inner(self) -> Arc<T> {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for ArcSwap<T> {
+    fn default() -> Self {
+        ArcSwap::from_pointee(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn load_store_swap() {
+        let cell = ArcSwap::from_pointee(1);
+        assert_eq!(*cell.load_full(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load_full(), 2);
+        let old = cell.swap(Arc::new(3));
+        assert_eq!(*old, 2);
+        assert_eq!(*cell.into_inner(), 3);
+    }
+
+    #[test]
+    fn snapshots_survive_replacement() {
+        let cell = ArcSwap::from_pointee(vec![1, 2, 3]);
+        let snap = cell.load_full();
+        cell.store(Arc::new(vec![9]));
+        // The old snapshot is still intact and fully readable.
+        assert_eq!(*snap, vec![1, 2, 3]);
+        assert_eq!(*cell.load_full(), vec![9]);
+    }
+
+    #[test]
+    fn concurrent_loads_and_stores() {
+        let cell = Arc::new(ArcSwap::from_pointee(0u64));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let v = *cell.load_full();
+                        assert!(v >= last, "snapshots must be monotone");
+                        last = v;
+                    }
+                })
+            })
+            .collect();
+        for i in 1..=1000 {
+            cell.store(Arc::new(i));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(*cell.load_full(), 1000);
+    }
+}
