@@ -12,5 +12,7 @@
 //! cargo run -p delayguard-bench --release --bin experiments -- --quick
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod throughput;

@@ -33,6 +33,8 @@
 //! assert_eq!(r.delay_secs, 10.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod access;
 pub mod analysis;
 pub mod config;

@@ -17,6 +17,13 @@
 //!   background refresher drains, in global sequence order, into the
 //!   authoritative trackers.
 //!
+//! Concurrency correctness here is tool-checked, not review-checked: the
+//! lock-free [`shardqueue`] imports its atomics through the [`sync`]
+//! facade, and `tests/model.rs` (built with `--features model` plus
+//! `RUSTFLAGS="--cfg delayguard_model"`) drives the same code through the
+//! vendored `loom_lite` model checker, exhaustively exploring thread
+//! interleavings up to a preemption bound.
+//!
 //! ```
 //! use delayguard_popularity::{DecaySchedule, FrequencyTracker};
 //!
@@ -27,12 +34,19 @@
 //! assert!(t.fmax() > 0.99);
 //! ```
 
+// No unsafe outside the audited lock-free queue, and inside it every
+// unsafe operation must be written out explicitly.
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod adaptive;
 pub mod decay;
 pub mod fenwick;
 pub mod rank;
+#[allow(unsafe_code)]
 pub mod shardqueue;
 pub mod sketch;
+pub mod sync;
 pub mod topk;
 pub mod tracker;
 pub mod writebehind;

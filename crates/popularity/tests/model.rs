@@ -1,0 +1,195 @@
+//! Deterministic model-checking of the lock-free sharded event queue.
+//!
+//! Built only with the `model` feature **and** `--cfg delayguard_model`
+//! (e.g. `RUSTFLAGS="--cfg delayguard_model" cargo test -p
+//! delayguard-popularity --features model --test model`): the crate's
+//! [`delayguard_popularity::sync`] facade then resolves to
+//! `loom_lite::sync`, and every test body below runs once per explored
+//! thread interleaving — the assertions hold on *every* schedule up to
+//! the preemption bound, or the harness panics with a replayable seed.
+#![cfg(all(feature = "model", delayguard_model))]
+
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::Arc;
+
+use delayguard_popularity::ShardedEventQueue;
+use loom_lite::{model, thread};
+
+/// (a) Pushes racing a drain never lose or duplicate an event: two
+/// producer threads race the main thread's drains; every pushed item is
+/// drained exactly once, with a unique sequence stamp.
+#[test]
+fn racing_push_drain_loses_nothing_duplicates_nothing() {
+    model::run(|| {
+        let q = Arc::new(ShardedEventQueue::new(2));
+        let q1 = Arc::clone(&q);
+        let q2 = Arc::clone(&q);
+        let t1 = thread::spawn(move || {
+            q1.push(10u64);
+        });
+        let t2 = thread::spawn(move || {
+            q2.push(20u64);
+        });
+        // Drain while the producers are still running…
+        let mut got = q.drain();
+        t1.join().unwrap();
+        t2.join().unwrap();
+        // …then sweep up whatever landed after the racing drain.
+        got.extend(q.drain());
+        let mut seqs: Vec<u64> = got.iter().map(|&(s, _)| s).collect();
+        let mut items: Vec<u64> = got.iter().map(|&(_, x)| x).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 2, "duplicate or missing sequence stamp");
+        items.sort_unstable();
+        assert_eq!(items, vec![10, 20], "event lost or duplicated");
+        assert!(q.is_empty());
+    });
+}
+
+/// (c) The write-behind drain feeds the tracker in sequence-stamp order,
+/// and for a single producer that order is exactly the push order — the
+/// property that keeps the decay arithmetic's inflated-increment scheme
+/// bit-exact. Checked across every interleaving of a mid-stream drain.
+#[test]
+fn single_producer_drain_order_is_push_order() {
+    model::run(|| {
+        let q = Arc::new(ShardedEventQueue::new(2));
+        let qp = Arc::clone(&q);
+        let producer = thread::spawn(move || {
+            qp.push(1u64);
+            qp.push(2u64);
+            qp.push(3u64);
+        });
+        // A drain racing the pushes: whatever lands in this batch and the
+        // final batch, concatenation must preserve push order.
+        let mut got = q.drain();
+        producer.join().unwrap();
+        got.extend(q.drain());
+        let items: Vec<u64> = got.iter().map(|&(_, x)| x).collect();
+        assert_eq!(items, vec![1, 2, 3], "drain order must match push order");
+        // And the sequence stamps are strictly increasing across batches.
+        for w in got.windows(2) {
+            assert!(w[0].0 < w[1].0, "sequence stamps out of order");
+        }
+    });
+}
+
+/// Dropping the queue with events still pending frees every payload
+/// exactly once, under every interleaving of a racing producer.
+#[test]
+fn drop_with_pending_frees_exactly_once() {
+    struct Bump(Arc<StdAtomicUsize>);
+    impl Drop for Bump {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, StdOrdering::SeqCst);
+        }
+    }
+    model::run(|| {
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let q = Arc::new(ShardedEventQueue::new(2));
+        let qp = Arc::clone(&q);
+        let dp = Arc::clone(&drops);
+        let producer = thread::spawn(move || {
+            qp.push(Bump(Arc::clone(&dp)));
+            qp.push(Bump(dp));
+        });
+        q.push(Bump(Arc::clone(&drops)));
+        producer.join().unwrap();
+        drop(q);
+        assert_eq!(
+            drops.load(StdOrdering::SeqCst),
+            3,
+            "every pending payload freed exactly once"
+        );
+    });
+}
+
+/// Under the model, thread striping is the deterministic model-thread
+/// index, so with two producer threads and two shards both shards carry
+/// traffic and the merge still reconstructs the global sequence order.
+#[test]
+fn striping_covers_shards_and_merge_restores_order() {
+    model::run(|| {
+        let q = Arc::new(ShardedEventQueue::new(2));
+        let q1 = Arc::clone(&q);
+        let q2 = Arc::clone(&q);
+        // Model tids 1 and 2 → stripes 1 and 2 → shards 1 and 0.
+        let t1 = thread::spawn(move || q1.push(100u64));
+        let t2 = thread::spawn(move || q2.push(200u64));
+        let s1 = t1.join().unwrap();
+        let s2 = t2.join().unwrap();
+        let got = q.drain();
+        assert_eq!(got.len(), 2);
+        // Merge must be in sequence order no matter which shard held what.
+        let seqs: Vec<u64> = got.iter().map(|&(s, _)| s).collect();
+        assert_eq!(seqs, {
+            let mut v = vec![s1, s2];
+            v.sort_unstable();
+            v
+        });
+    });
+}
+
+/// Negative control — the harness actually catches the bug class it
+/// exists for. This "queue" publishes with a plain load+store instead of
+/// the CAS retry loop (exactly the bug dropping `compare_exchange` from
+/// `push` would introduce); two racing producers then overwrite each
+/// other's head pointer on some interleaving and an event vanishes. The
+/// model checker must find that schedule.
+#[test]
+#[should_panic(expected = "event lost")]
+fn seeded_bug_dropped_cas_loop_is_caught() {
+    use loom_lite::sync::{AtomicPtr, Ordering};
+
+    struct BrokenStack {
+        head: AtomicPtr<BrokenNode>,
+    }
+    struct BrokenNode {
+        next: *mut BrokenNode,
+        item: u64,
+    }
+    // SAFETY-free: nodes are leaked on the lost-update schedules (that is
+    // the point); the test only counts what survived.
+    impl BrokenStack {
+        fn push(&self, item: u64) {
+            let head = self.head.load(Ordering::Acquire);
+            let node = Box::into_raw(Box::new(BrokenNode { next: head, item }));
+            // BUG under test: unconditional store instead of a CAS loop —
+            // a concurrent push that landed between the load above and
+            // this store is silently overwritten.
+            self.head.store(node, Ordering::Release);
+        }
+        fn drain(&self) -> Vec<u64> {
+            let mut head = self.head.swap(std::ptr::null_mut(), Ordering::Acquire);
+            let mut out = Vec::new();
+            while !head.is_null() {
+                // SAFETY: the swap severed the chain; on schedules where
+                // no update was lost each node is reachable exactly once.
+                let node = unsafe { Box::from_raw(head) };
+                head = node.next;
+                out.push(node.item);
+            }
+            out
+        }
+    }
+    // SAFETY: raw head pointer is only dereferenced by the severing
+    // drain; this negative fixture intentionally tolerates leaks.
+    unsafe impl Send for BrokenStack {}
+    // SAFETY: as above.
+    unsafe impl Sync for BrokenStack {}
+
+    model::run(|| {
+        let s = Arc::new(BrokenStack {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+        });
+        let s1 = Arc::clone(&s);
+        let s2 = Arc::clone(&s);
+        let t1 = thread::spawn(move || s1.push(1));
+        let t2 = thread::spawn(move || s2.push(2));
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let got = s.drain();
+        assert_eq!(got.len(), 2, "event lost");
+    });
+}

@@ -27,6 +27,8 @@
 //! assert_eq!(out.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod engine;
 pub mod error;

@@ -21,6 +21,8 @@
 //! already-charged tuple before closing ([`server`]). A blocking
 //! [`client`] rounds out the crate for tests and demos.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod metrics;
 pub mod protocol;

@@ -18,6 +18,8 @@
 //!   (snapshot age, pending events, rebuilds) into a [`Registry`].
 //! * [`report`] — plain-text table rendering for the harness.
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod events;
 pub mod extraction;

@@ -32,6 +32,8 @@
 //! assert_eq!(t.get(rid).unwrap().get(1), Some(&Value::from("Spider-Man")));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod codec;
 pub mod error;

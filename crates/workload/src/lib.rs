@@ -15,6 +15,8 @@
 //! * [`adversary`] — extraction orders, Sybil parallelism, storefront
 //!   observers (§2.4).
 
+#![forbid(unsafe_code)]
+
 pub mod adversary;
 pub mod alias;
 pub mod boxoffice;

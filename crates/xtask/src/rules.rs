@@ -1,0 +1,472 @@
+//! The repo-invariant lint rules. Each rule works on the scanner's
+//! code/comment views of a file, so string literals and commented-out
+//! code never trigger findings.
+//!
+//! * **R1 `unsafe` needs `// SAFETY:`** — every `unsafe` token (block,
+//!   fn, impl) must carry a `SAFETY:` comment on the same line or in the
+//!   contiguous comment block immediately above. Applies to every file.
+//! * **R2 no wall-clock in pure logic** — `Instant::now()` /
+//!   `SystemTime::now()` are banned in the delay-policy and snapshot
+//!   layers (`crates/core/src/policy.rs`, `crates/core/src/snapshot.rs`,
+//!   all of `crates/popularity`): those layers take time as a parameter
+//!   so they stay deterministic and model-checkable.
+//! * **R3 no `unwrap`/`expect` on server paths** — the long-running
+//!   server loops (`server.rs`, `scheduler.rs`, `wheel.rs`) must not
+//!   panic on recoverable conditions; vetted exceptions live in
+//!   `crates/xtask/lint-allow.txt`. Unit-test modules are exempt.
+//! * **R4 no `Relaxed` pointer publishes** — a store/swap (or the
+//!   success ordering of a compare-exchange) on an `AtomicPtr`-typed
+//!   value must not be `Ordering::Relaxed`: readers on the other side
+//!   would not be guaranteed to see the pointee's initialization. The
+//!   rule tracks identifiers declared as `AtomicPtr` in the same file
+//!   (field and `let` declarations), plus any store whose operand is
+//!   visibly a raw pointer (`Box::into_raw`, `null_mut`, `as *mut`).
+
+use std::collections::HashSet;
+use std::path::Path;
+
+use crate::scan::{scan, test_mod_lines, Scanned};
+
+pub struct Finding {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based.
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.message)
+    }
+}
+
+/// Vetted `unwrap`/`expect` sites: `path: trimmed-source-line` entries.
+pub struct Allowlist {
+    entries: HashSet<(String, String)>,
+}
+
+impl Allowlist {
+    pub fn parse(text: &str) -> Allowlist {
+        let mut entries = HashSet::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some((path, code)) = line.split_once(':') {
+                entries.insert((path.trim().to_string(), code.trim().to_string()));
+            }
+        }
+        Allowlist { entries }
+    }
+
+    pub fn empty() -> Allowlist {
+        Allowlist {
+            entries: HashSet::new(),
+        }
+    }
+
+    fn permits(&self, file: &str, source_line: &str) -> bool {
+        self.entries
+            .contains(&(file.to_string(), source_line.trim().to_string()))
+    }
+}
+
+/// Run every rule over one file. `rel` is the repo-relative path with
+/// forward slashes.
+pub fn lint_file(rel: &str, src: &str, allow: &Allowlist) -> Vec<Finding> {
+    let scanned = scan(src);
+    let source_lines: Vec<&str> = src.lines().collect();
+    let mut findings = Vec::new();
+    rule_unsafe_needs_safety(rel, &scanned, &mut findings);
+    rule_no_wall_clock(rel, &scanned, &mut findings);
+    rule_no_unwrap_on_server_paths(rel, &scanned, &source_lines, allow, &mut findings);
+    rule_no_relaxed_pointer_publish(rel, &scanned, &mut findings);
+    findings
+}
+
+/// Word-boundary occurrences of `needle` in `haystack`.
+fn has_token(haystack: &str, needle: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + needle.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn rule_unsafe_needs_safety(rel: &str, s: &Scanned, findings: &mut Vec<Finding>) {
+    for (i, code) in s.code.iter().enumerate() {
+        if !has_token(code, "unsafe") {
+            continue;
+        }
+        // Same-line comment, or the contiguous pure-comment block
+        // directly above (long SAFETY comments span many lines).
+        let mut justified = s.comments[i].contains("SAFETY:");
+        let mut j = i;
+        while !justified && j > 0 {
+            j -= 1;
+            let above_is_pure_comment =
+                s.code[j].trim().is_empty() && !s.comments[j].trim().is_empty();
+            if !above_is_pure_comment {
+                break;
+            }
+            justified = s.comments[j].contains("SAFETY:");
+        }
+        if !justified {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: i + 1,
+                message: "`unsafe` without an adjacent `// SAFETY:` comment \
+                          (document the invariant that makes this sound)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Files where wall-clock reads are banned.
+fn wall_clock_banned(rel: &str) -> bool {
+    rel == "crates/core/src/policy.rs"
+        || rel == "crates/core/src/snapshot.rs"
+        || rel.starts_with("crates/popularity/")
+}
+
+fn rule_no_wall_clock(rel: &str, s: &Scanned, findings: &mut Vec<Finding>) {
+    if !wall_clock_banned(rel) {
+        return;
+    }
+    for (i, code) in s.code.iter().enumerate() {
+        for call in ["Instant::now", "SystemTime::now"] {
+            if code.contains(call) {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: i + 1,
+                    message: format!(
+                        "`{call}()` in a deterministic layer — take the \
+                         timestamp as a parameter instead"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Server-loop files where panicking calls are banned.
+fn panic_free_path(rel: &str) -> bool {
+    matches!(
+        rel,
+        "crates/server/src/server.rs"
+            | "crates/server/src/scheduler.rs"
+            | "crates/server/src/wheel.rs"
+    )
+}
+
+fn rule_no_unwrap_on_server_paths(
+    rel: &str,
+    s: &Scanned,
+    source_lines: &[&str],
+    allow: &Allowlist,
+    findings: &mut Vec<Finding>,
+) {
+    if !panic_free_path(rel) {
+        return;
+    }
+    let in_test = test_mod_lines(&s.code);
+    for (i, code) in s.code.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        if !code.contains(".unwrap()") && !code.contains(".expect(") {
+            continue;
+        }
+        let source = source_lines.get(i).copied().unwrap_or("");
+        if allow.permits(rel, source) {
+            continue;
+        }
+        findings.push(Finding {
+            file: rel.to_string(),
+            line: i + 1,
+            message: "`unwrap`/`expect` on a server path — handle the error \
+                      or add a vetted entry to crates/xtask/lint-allow.txt"
+                .to_string(),
+        });
+    }
+}
+
+/// Identifiers declared as `AtomicPtr` in this file: `name: AtomicPtr<…>`
+/// fields/params and `let name = AtomicPtr::new(…)` bindings.
+fn atomic_ptr_idents(s: &Scanned) -> HashSet<String> {
+    let mut names = HashSet::new();
+    for code in &s.code {
+        let mut start = 0;
+        while let Some(pos) = code[start..].find("AtomicPtr") {
+            let at = start + pos;
+            let before = code[..at].trim_end();
+            // `name: AtomicPtr<…>` fields or `let name = AtomicPtr::new(…)`.
+            let lead = before
+                .strip_suffix(':')
+                .or_else(|| before.strip_suffix('='));
+            if let Some(lead) = lead {
+                if let Some(name) = lead
+                    .trim_end()
+                    .rsplit(|c: char| !c.is_alphanumeric() && c != '_')
+                    .next()
+                {
+                    if !name.is_empty() {
+                        names.insert(name.to_string());
+                    }
+                }
+            }
+            start = at + "AtomicPtr".len();
+        }
+    }
+    names
+}
+
+/// Split the text of a call's arguments (starting just past the opening
+/// parenthesis) on top-level commas, stopping at the matching close.
+fn call_args(text: &str) -> Vec<String> {
+    let mut args = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for c in text.chars() {
+        match c {
+            '(' | '[' | '{' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' | ']' | '}' => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                args.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        args.push(current);
+    }
+    args
+}
+
+fn rule_no_relaxed_pointer_publish(rel: &str, s: &Scanned, findings: &mut Vec<Finding>) {
+    let ptr_idents = atomic_ptr_idents(s);
+    for (i, code) in s.code.iter().enumerate() {
+        for (method, success_arg_from_end) in
+            [(".store(", 1), (".swap(", 1), (".compare_exchange", 2)]
+        {
+            let Some(pos) = code.find(method) else {
+                continue;
+            };
+            // Whose method is it? Raw-pointer operands make any receiver
+            // suspect; otherwise require a known AtomicPtr identifier.
+            let receiver = code[..pos]
+                .rsplit(|c: char| !c.is_alphanumeric() && c != '_')
+                .next()
+                .unwrap_or("");
+            // The call may wrap; give the argument splitter this line and
+            // the next few.
+            let open = code[pos..]
+                .find('(')
+                .map(|o| pos + o + 1)
+                .unwrap_or(code.len());
+            let mut text = code[open..].to_string();
+            for extra in s.code.iter().skip(i + 1).take(4) {
+                text.push(' ');
+                text.push_str(extra);
+            }
+            let args = call_args(&text);
+            let publishes_ptr = ptr_idents.contains(receiver)
+                || args.iter().any(|a| {
+                    a.contains("Box::into_raw") || a.contains("null_mut") || a.contains("as *mut")
+                });
+            if !publishes_ptr || args.len() < success_arg_from_end {
+                continue;
+            }
+            // For store/swap the ordering is the last argument; for
+            // compare_exchange it is the *success* ordering (second from
+            // last) — a Relaxed *failure* ordering is fine.
+            let ordering = &args[args.len() - success_arg_from_end];
+            if ordering.contains("Relaxed") {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: i + 1,
+                    message: "`Ordering::Relaxed` on a pointer-publishing \
+                              store — readers may see uninitialized pointee; \
+                              use `Release` (or stronger)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Convenience for `main` and tests: lint one on-disk file.
+pub fn lint_path(root: &Path, abs: &Path, allow: &Allowlist) -> Vec<Finding> {
+    let rel = abs
+        .strip_prefix(root)
+        .unwrap_or(abs)
+        .to_string_lossy()
+        .replace('\\', "/");
+    match std::fs::read_to_string(abs) {
+        Ok(src) => lint_file(&rel, &src, allow),
+        Err(e) => vec![Finding {
+            file: rel,
+            line: 0,
+            message: format!("unreadable: {e}"),
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(rel: &str, src: &str) -> Vec<Finding> {
+        lint_file(rel, src, &Allowlist::empty())
+    }
+
+    #[test]
+    fn unsafe_without_safety_fires() {
+        let f = lint(
+            "crates/x/src/lib.rs",
+            "fn f(p: *mut u8) { unsafe { *p = 0 }; }\n",
+        );
+        assert_eq!(
+            f.len(),
+            1,
+            "{:?}",
+            f.iter().map(|x| x.to_string()).collect::<Vec<_>>()
+        );
+        assert!(f[0].message.contains("SAFETY"));
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn unsafe_with_adjacent_safety_passes() {
+        let src = "// SAFETY: p is valid for writes, caller contract.\n\
+                   fn f(p: *mut u8) { unsafe { *p = 0 } }\n";
+        assert!(lint("a.rs", src).is_empty());
+        // A long comment block still counts — SAFETY: may be several
+        // lines above as long as the comment is contiguous.
+        let long = "// SAFETY: this pointer came from Box::into_raw and\n\
+                    // ownership is transferred here, so dereferencing\n\
+                    // is sound for the lifetime of the call.\n\
+                    fn f(p: *mut u8) { unsafe { *p = 0 } }\n";
+        assert!(lint("a.rs", long).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_is_ignored() {
+        let src = "let s = \"unsafe { }\"; // unsafe is discussed here\n";
+        assert!(lint("a.rs", src).is_empty());
+        // `unsafe_code` (the lint name) is not the `unsafe` token.
+        assert!(lint("a.rs", "#![deny(unsafe_code)]\n").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_banned_in_popularity_and_policy() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(lint("crates/popularity/src/decay.rs", src).len(), 1);
+        assert_eq!(lint("crates/core/src/policy.rs", src).len(), 1);
+        assert_eq!(lint("crates/core/src/snapshot.rs", src).len(), 1);
+        // …but fine elsewhere.
+        assert!(lint("crates/server/src/client.rs", src).is_empty());
+        let sys = "fn f() { let t = SystemTime::now(); }\n";
+        assert_eq!(lint("crates/popularity/src/lib.rs", sys).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_on_server_path_fires_and_allowlist_clears_it() {
+        let src = "fn f() { x.lock().unwrap(); }\n";
+        let f = lint("crates/server/src/server.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+        let allow =
+            Allowlist::parse("crates/server/src/server.rs: fn f() { x.lock().unwrap(); }\n");
+        assert!(lint_file("crates/server/src/server.rs", src, &allow).is_empty());
+        // Not a watched file → no finding.
+        assert!(lint("crates/server/src/client.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_exempt() {
+        let src = "fn f() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { x.unwrap(); }\n\
+                   }\n";
+        assert!(lint("crates/server/src/scheduler.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_pointer_store_fires() {
+        let src = "struct S { head: AtomicPtr<u8> }\n\
+                   fn f(s: &S, p: *mut u8) { s.head.store(p, Ordering::Relaxed); }\n";
+        let f = lint("a.rs", src);
+        assert_eq!(
+            f.len(),
+            1,
+            "{:?}",
+            f.iter().map(|x| x.to_string()).collect::<Vec<_>>()
+        );
+        assert_eq!(f[0].line, 2);
+        // Release is fine.
+        let ok = "struct S { head: AtomicPtr<u8> }\n\
+                  fn f(s: &S, p: *mut u8) { s.head.store(p, Ordering::Release); }\n";
+        assert!(lint("a.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn relaxed_failure_ordering_on_cas_is_fine() {
+        let src = "struct S { head: AtomicPtr<u8> }\n\
+                   fn f(s: &S, n: *mut u8, c: *mut u8) {\n\
+                       s.head.compare_exchange(c, n, Ordering::Release, Ordering::Relaxed);\n\
+                   }\n";
+        assert!(
+            lint("a.rs", src).is_empty(),
+            "Relaxed failure ordering is idiomatic"
+        );
+        let bad = "struct S { head: AtomicPtr<u8> }\n\
+                   fn f(s: &S, n: *mut u8, c: *mut u8) {\n\
+                       s.head.compare_exchange(c, n, Ordering::Relaxed, Ordering::Relaxed);\n\
+                   }\n";
+        assert_eq!(
+            lint("a.rs", bad).len(),
+            1,
+            "Relaxed success ordering must fire"
+        );
+    }
+
+    #[test]
+    fn relaxed_raw_pointer_store_without_decl_fires() {
+        let src = "fn f(a: &SomeAtomic) { a.store(Box::into_raw(b), Ordering::Relaxed); }\n";
+        assert_eq!(lint("a.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn relaxed_integer_store_is_fine() {
+        let src = "struct S { n: AtomicU64 }\n\
+                   fn f(s: &S) { s.n.store(1, Ordering::Relaxed); }\n";
+        assert!(lint("a.rs", src).is_empty());
+    }
+}

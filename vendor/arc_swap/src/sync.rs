@@ -1,0 +1,60 @@
+//! Synchronization facade for the snapshot cell (see
+//! `delayguard_popularity::sync` for the pattern): atomics resolve to
+//! `std::sync::atomic` normally and to the vendored `loom_lite` model
+//! checker under the `model` feature + `--cfg delayguard_model`, and the
+//! allocation-tracking hooks compile to nothing outside the model.
+
+#[cfg(all(feature = "model", delayguard_model))]
+pub(crate) use loom_lite::sync::{AtomicPtr, AtomicUsize, Ordering};
+
+#[cfg(not(all(feature = "model", delayguard_model)))]
+pub(crate) use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+/// One step of a bounded busy-wait. Under the model this is a cooperative
+/// yield (deprioritizing the spinner so the schedule space stays finite);
+/// natively it spins briefly, then starts ceding the core so a reader
+/// preempted mid-pin can finish and unblock the writer.
+#[cfg(all(feature = "model", delayguard_model))]
+pub(crate) fn backoff(_spins: &mut u32) {
+    loom_lite::thread::yield_now();
+}
+
+#[cfg(not(all(feature = "model", delayguard_model)))]
+pub(crate) fn backoff(spins: &mut u32) {
+    if *spins < 64 {
+        *spins += 1;
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// A model-only schedule point for the reader's danger window — the gap
+/// between loading the raw snapshot pointer and bumping its strong count,
+/// where an OS preemption would let a graceless writer free the value out
+/// from under the reader. The model cedes the baton only *before* each
+/// instrumented operation, so without this marker that gap is atomic and
+/// the bug class invisible. Compiles to nothing natively.
+#[cfg(all(feature = "model", delayguard_model))]
+pub(crate) use loom_lite::preemption_point;
+
+#[cfg(not(all(feature = "model", delayguard_model)))]
+#[inline(always)]
+pub(crate) fn preemption_point() {}
+
+/// Model-only exactly-once-free instrumentation: the cell registers every
+/// pointer it publishes, asserts liveness before lending one out, and
+/// retires it at the instant no reader may touch it again. The model
+/// checker turns violations (use-after-free, double-free, leak) into
+/// failing schedules with replayable seeds.
+#[cfg(all(feature = "model", delayguard_model))]
+pub(crate) use loom_lite::alloc::{assert_live, register, retire};
+
+#[cfg(not(all(feature = "model", delayguard_model)))]
+pub(crate) fn register<T>(_p: *const T) {}
+
+#[cfg(not(all(feature = "model", delayguard_model)))]
+pub(crate) fn assert_live<T>(_p: *const T) {}
+
+#[cfg(not(all(feature = "model", delayguard_model)))]
+pub(crate) fn retire<T>(_p: *const T) {}

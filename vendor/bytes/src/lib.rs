@@ -4,6 +4,8 @@
 //! mutable byte buffer that derefs to `[u8]`. Backed by a plain `Vec<u8>`;
 //! the real crate's zero-copy splitting machinery is not needed here.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 

@@ -9,6 +9,8 @@
 //! median per-iteration time — enough to compare orders of magnitude and
 //! to keep `cargo check --benches` honest.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::hint;
 use std::time::{Duration, Instant};

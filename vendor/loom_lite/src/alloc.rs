@@ -1,0 +1,67 @@
+//! Tracked-allocation registry: exactly-once-free checking for code that
+//! manages raw pointers (e.g. an `Arc::into_raw`-based snapshot cell).
+//!
+//! Instrumented code calls [`register`] when it publishes an allocation,
+//! [`assert_live`] before relying on one, and [`retire`] at the moment no
+//! other thread may touch it again (just before the actual free). The
+//! model then catches, per explored schedule:
+//!
+//! * **use-after-free** — `assert_live` on a retired address panics;
+//! * **double-free** — a second `retire` of the same address panics;
+//! * **leaks** — addresses still registered when the execution ends fail
+//!   the schedule (checked by `model::check`).
+//!
+//! Outside a model run every function is a no-op, so instrumentation can
+//! live permanently in `#[cfg(delayguard_model)]` code paths without
+//! affecting production builds.
+
+use crate::sched;
+
+fn with_registry<R>(
+    f: impl FnOnce(&mut std::collections::HashMap<usize, usize>) -> R,
+) -> Option<R> {
+    let (exec, _) = sched::current()?;
+    let mut map = exec
+        .allocations
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    Some(f(&mut map))
+}
+
+/// Record `p` as a live tracked allocation. Counted: registering the same
+/// address twice requires retiring it twice.
+pub fn register<T>(p: *const T) {
+    let addr = p as usize;
+    with_registry(|map| {
+        *map.entry(addr).or_insert(0) += 1;
+    });
+}
+
+/// Panic (failing the schedule) if `p` is not currently live.
+pub fn assert_live<T>(p: *const T) {
+    let addr = p as usize;
+    with_registry(|map| {
+        assert!(
+            map.get(&addr).copied().unwrap_or(0) > 0,
+            "loom_lite: use of retired allocation {addr:#x} (use-after-free)"
+        );
+    });
+}
+
+/// Mark `p` as no longer reachable by other threads; the next
+/// `assert_live` of it fails, as does retiring it again (double-free).
+pub fn retire<T>(p: *const T) {
+    let addr = p as usize;
+    with_registry(|map| match map.get_mut(&addr) {
+        Some(n) if *n > 1 => *n -= 1,
+        Some(_) => {
+            map.remove(&addr);
+        }
+        None => panic!("loom_lite: retire of allocation {addr:#x} that is not live (double-free?)"),
+    });
+}
+
+/// Number of live tracked allocations (0 outside a model run).
+pub fn live_count() -> usize {
+    with_registry(|map| map.values().sum()).unwrap_or(0)
+}

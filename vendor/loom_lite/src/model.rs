@@ -1,0 +1,248 @@
+//! Schedule exploration: run a closure under every interleaving (up to a
+//! preemption bound), depth-first, and report the first failing schedule
+//! as a replayable seed.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+use crate::sched::{self, Branch, Execution};
+
+/// Exploration limits. The defaults exhaust small tests (2–3 threads, a
+/// handful of operations each) in well under a second.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum number of *preemptions* per execution — involuntary
+    /// context switches away from a runnable thread. Voluntary switch
+    /// points (spawn, join, yield) never consume budget. 2–3 finds the
+    /// overwhelming majority of real concurrency bugs (CHESS's result);
+    /// raise it for stronger guarantees on tiny tests.
+    pub preemption_bound: usize,
+    /// Stop (and fail) after this many executions: a runaway-state-space
+    /// backstop, not a sampling knob.
+    pub max_executions: usize,
+    /// Per-execution switch budget: trips on livelocks (e.g. a spin loop
+    /// that never calls `thread::yield_now`).
+    pub max_switches: usize,
+    /// Replay exactly one schedule instead of exploring: the branch
+    /// choices printed by a failure report.
+    pub replay: Option<Vec<usize>>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            preemption_bound: 2,
+            max_executions: 20_000,
+            max_switches: 100_000,
+            replay: None,
+        }
+    }
+}
+
+/// A completed exploration.
+#[derive(Clone, Debug)]
+pub struct Stats {
+    /// Number of distinct schedules executed.
+    pub executions: usize,
+}
+
+/// A failing schedule.
+pub struct Failure {
+    /// Branch choices reproducing the failure (`Config::replay` /
+    /// `LOOM_LITE_REPLAY`).
+    pub schedule: Vec<usize>,
+    /// Executions run before the failure surfaced.
+    pub executions: usize,
+    /// What went wrong, human-readable.
+    pub message: String,
+    /// The original panic payload, when the failure was a panic — so
+    /// `#[should_panic(expected = ...)]` keeps matching through the model
+    /// harness.
+    pub payload: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl std::fmt::Debug for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Failure")
+            .field("schedule", &self.schedule)
+            .field("executions", &self.executions)
+            .field("message", &self.message)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Render a schedule the way `LOOM_LITE_REPLAY` wants it back.
+pub fn schedule_string(schedule: &[usize]) -> String {
+    schedule
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Explore every schedule of `f` (bounded by `cfg`), returning stats on
+/// success or the first failing schedule. `f` runs once per schedule and
+/// must be deterministic apart from thread interleaving.
+pub fn check<F: Fn()>(cfg: Config, f: F) -> Result<Stats, Failure> {
+    let mut replay: Vec<usize> = cfg.replay.clone().unwrap_or_default();
+    let replay_only = cfg.replay.is_some();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        if executions > cfg.max_executions {
+            return Err(Failure {
+                schedule: replay,
+                executions: executions - 1,
+                message: format!(
+                    "more than {} schedules: state space too large \
+                     (shrink the test or lower preemption_bound)",
+                    cfg.max_executions
+                ),
+                payload: None,
+            });
+        }
+        let exec = Arc::new(Execution::new(
+            replay.clone(),
+            cfg.preemption_bound,
+            cfg.max_switches,
+        ));
+        let trace = match one_execution(&exec, &f) {
+            Ok(trace) => trace,
+            Err((message, payload)) => {
+                return Err(Failure {
+                    schedule: exec.trace().iter().map(|b| b.chosen).collect(),
+                    executions,
+                    message,
+                    payload,
+                });
+            }
+        };
+        if replay_only {
+            return Ok(Stats { executions });
+        }
+        // Depth-first advance: bump the deepest branch with an untried
+        // option, drop everything below it.
+        let mut prefix: Vec<Branch> = trace;
+        loop {
+            match prefix.last_mut() {
+                None => return Ok(Stats { executions }),
+                Some(b) if b.chosen + 1 < b.options => {
+                    b.chosen += 1;
+                    break;
+                }
+                Some(_) => {
+                    prefix.pop();
+                }
+            }
+        }
+        replay = prefix.iter().map(|b| b.chosen).collect();
+    }
+}
+
+type ExecError = (String, Option<Box<dyn std::any::Any + Send>>);
+
+/// Run one schedule to completion. Ok carries the branch trace for DFS.
+fn one_execution<F: Fn()>(exec: &Arc<Execution>, f: &F) -> Result<Vec<Branch>, ExecError> {
+    sched::install(Arc::clone(exec), 0);
+    let result = std::panic::catch_unwind(AssertUnwindSafe(f));
+    match result {
+        Ok(()) => {
+            exec.thread_exit(0);
+            exec.wait_all_finished();
+            exec.join_all();
+            sched::uninstall();
+            if let Some(msg) = exec.abort_message() {
+                return Err((msg, None));
+            }
+            let unjoined = exec.unjoined_panics();
+            if let Some(&tid) = unjoined.first() {
+                if let Some(Err(payload)) = exec.take_result(tid) {
+                    return Err((
+                        format!("thread {tid} panicked (never joined)"),
+                        Some(payload),
+                    ));
+                }
+                return Err((format!("thread {tid} panicked (never joined)"), None));
+            }
+            let leaked = exec
+                .allocations
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len();
+            if leaked != 0 {
+                return Err((
+                    format!("leak: {leaked} tracked allocation(s) still live at end of execution"),
+                    None,
+                ));
+            }
+            Ok(exec.trace())
+        }
+        Err(payload) => {
+            exec.abort("main thread panicked");
+            exec.join_all();
+            sched::uninstall();
+            let message = exec
+                .abort_message()
+                .filter(|m| m != "main thread panicked")
+                .unwrap_or_else(|| {
+                    format!("main thread panicked: {}", payload_str(payload.as_ref()))
+                });
+            Err((message, Some(payload)))
+        }
+    }
+}
+
+fn payload_str(p: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+/// [`check`] with defaults, panicking on failure with a replayable
+/// schedule printed to stderr. The original panic payload is re-raised,
+/// so `#[should_panic(expected = ...)]` works through the harness.
+pub fn run<F: Fn()>(f: F) {
+    run_with(Config::default(), f);
+}
+
+/// [`run`] with explicit limits. Honors `LOOM_LITE_REPLAY="2,0,1"` from
+/// the environment to pin a single schedule.
+pub fn run_with<F: Fn()>(mut cfg: Config, f: F) {
+    if cfg.replay.is_none() {
+        if let Ok(s) = std::env::var("LOOM_LITE_REPLAY") {
+            let parsed: Result<Vec<usize>, _> = s
+                .split(',')
+                .filter(|p| !p.is_empty())
+                .map(str::parse)
+                .collect();
+            match parsed {
+                Ok(v) => cfg.replay = Some(v),
+                Err(e) => panic!("loom_lite: bad LOOM_LITE_REPLAY {s:?}: {e}"),
+            }
+        }
+    }
+    match check(cfg, f) {
+        Ok(stats) => {
+            eprintln!("loom_lite: ok — {} schedule(s) explored", stats.executions);
+        }
+        Err(failure) => {
+            eprintln!(
+                "loom_lite: FAILED on schedule [{}] (execution #{}): {}\n\
+                 loom_lite: replay it with LOOM_LITE_REPLAY={} or Config {{ replay: Some(vec![{}]), .. }}",
+                schedule_string(&failure.schedule),
+                failure.executions,
+                failure.message,
+                schedule_string(&failure.schedule),
+                schedule_string(&failure.schedule),
+            );
+            match failure.payload {
+                Some(p) => std::panic::resume_unwind(p),
+                None => panic!("loom_lite: {}", failure.message),
+            }
+        }
+    }
+}

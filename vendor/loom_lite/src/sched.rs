@@ -1,0 +1,383 @@
+//! The deterministic scheduler: one baton, many threads, every handoff a
+//! recorded decision.
+//!
+//! An [`Execution`] runs the user's closure plus any threads it spawns as
+//! real OS threads, but only ever lets **one** of them run at a time. The
+//! running thread holds the baton; at every instrumented operation (an
+//! atomic access, a spawn, a join, a yield) it calls [`Execution::switch`],
+//! which consults the schedule explorer to pick the next thread and blocks
+//! the current one until the baton comes back. Because threads only
+//! interleave at these explicit points, an execution is fully determined
+//! by the sequence of scheduling choices — which is what makes schedules
+//! replayable and the search exhaustive.
+
+use std::collections::HashMap;
+use std::panic::{RefUnwindSafe, UnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Lock that shrugs off poisoning: a panicking model thread must not wedge
+/// the scheduler, it must *fail the schedule*.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Why a thread is handing the baton over.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Switch {
+    /// About to perform an instrumented operation; still runnable.
+    Op,
+    /// Voluntary yield (`thread::yield_now`): deprioritized until every
+    /// other runnable thread has yielded, blocked, or exited.
+    Yield,
+    /// Blocked joining the given thread id.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Yielded,
+    Blocked(usize),
+    Finished,
+}
+
+/// A thread's boxed completion value (`Ok`) or panic payload (`Err`).
+pub(crate) type ThreadResult = Result<Box<dyn std::any::Any + Send>, Box<dyn std::any::Any + Send>>;
+
+/// One branch point: which eligible thread was chosen, out of how many.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Branch {
+    pub chosen: usize,
+    pub options: usize,
+}
+
+pub(crate) struct SchedState {
+    status: Vec<Status>,
+    active: usize,
+    preemptions: usize,
+    switches: usize,
+    /// Branch-point decisions made so far in this execution.
+    pub(crate) trace: Vec<Branch>,
+    /// Set when the execution must stop (deadlock, switch-budget blown,
+    /// main-thread panic). All baton waits re-check this.
+    pub(crate) abort: Option<String>,
+    /// Per-thread completion values, boxed for type erasure.
+    results: Vec<Option<ThreadResult>>,
+    /// Threads that panicked; cleared when joined.
+    panicked: Vec<bool>,
+}
+
+pub(crate) struct Execution {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    pub(crate) preemption_bound: usize,
+    pub(crate) max_switches: usize,
+    /// Branch choices to replay from a previous execution (DFS prefix).
+    pub(crate) replay: Vec<usize>,
+    /// Live tracked allocations (see [`crate::alloc`]): address → count.
+    pub(crate) allocations: Mutex<HashMap<usize, usize>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl UnwindSafe for Execution {}
+impl RefUnwindSafe for Execution {}
+
+thread_local! {
+    /// The execution this OS thread is participating in, and its model
+    /// thread id. `None` outside `model::run` — every shim then falls
+    /// back to plain `std` behaviour.
+    static CURRENT: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The current execution + model thread id, if this thread is modeled.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn install(exec: Arc<Execution>, tid: usize) {
+    CURRENT.with(|c| {
+        let mut b = c.borrow_mut();
+        assert!(
+            b.is_none(),
+            "loom_lite: nested model executions are not supported"
+        );
+        *b = Some((exec, tid));
+    });
+}
+
+pub(crate) fn uninstall() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Instrumented-operation hook: a schedule point if modeled, free otherwise.
+#[inline]
+pub(crate) fn yield_point() {
+    if let Some((exec, tid)) = current() {
+        exec.switch(tid, Switch::Op);
+    }
+}
+
+impl Execution {
+    pub(crate) fn new(
+        replay: Vec<usize>,
+        preemption_bound: usize,
+        max_switches: usize,
+    ) -> Execution {
+        Execution {
+            state: Mutex::new(SchedState {
+                status: vec![Status::Runnable], // tid 0 = the main closure
+                active: 0,
+                preemptions: 0,
+                switches: 0,
+                trace: Vec::new(),
+                abort: None,
+                results: vec![None],
+                panicked: vec![false],
+            }),
+            cv: Condvar::new(),
+            preemption_bound,
+            max_switches,
+            replay,
+            allocations: Mutex::new(HashMap::new()),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Register a new model thread; it is runnable immediately.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = lock(&self.state);
+        st.status.push(Status::Runnable);
+        st.results.push(None);
+        st.panicked.push(false);
+        st.status.len() - 1
+    }
+
+    pub(crate) fn push_handle(&self, h: std::thread::JoinHandle<()>) {
+        lock(&self.handles).push(h);
+    }
+
+    /// Block a freshly spawned OS thread until the scheduler first picks
+    /// it. Returns `false` if the execution aborted before that.
+    pub(crate) fn wait_for_baton(&self, tid: usize) -> bool {
+        let mut st = lock(&self.state);
+        while st.active != tid {
+            if st.abort.is_some() {
+                return false;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        true
+    }
+
+    /// Hand the baton over and (unless exiting) wait for it to come back.
+    /// Panics the calling thread if the execution aborts while it waits —
+    /// that panic unwinds through the user closure into the per-thread
+    /// `catch_unwind`, failing the schedule cleanly.
+    pub(crate) fn switch(&self, me: usize, kind: Switch) {
+        let mut st = lock(&self.state);
+        if let Some(msg) = st.abort.clone() {
+            drop(st);
+            panic!("loom_lite: execution aborted: {msg}");
+        }
+        st.switches += 1;
+        if st.switches > self.max_switches {
+            let msg = format!(
+                "switch budget exhausted ({} switches): possible livelock \
+                 (a spin loop that never uses thread::yield_now?)",
+                self.max_switches
+            );
+            st.abort = Some(msg.clone());
+            self.cv.notify_all();
+            drop(st);
+            panic!("loom_lite: {msg}");
+        }
+        match kind {
+            Switch::Op => {}
+            Switch::Yield => st.status[me] = Status::Yielded,
+            Switch::Join(target) => st.status[me] = Status::Blocked(target),
+        }
+        if !self.schedule_next(&mut st, me, kind) {
+            // Deadlock: every unfinished thread is blocked.
+            let msg = format!("deadlock: threads {:?} all blocked", blocked_tids(&st));
+            st.abort = Some(msg.clone());
+            self.cv.notify_all();
+            drop(st);
+            panic!("loom_lite: {msg}");
+        }
+        // Wait for the baton to come back.
+        while st.active != me {
+            if st.abort.is_some() {
+                drop(st);
+                panic!("loom_lite: execution aborted mid-schedule");
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Mark `me` finished, wake joiners, and hand the baton onward. Never
+    /// panics (it runs on thread-exit paths, sometimes after a panic).
+    pub(crate) fn thread_exit(&self, me: usize) {
+        let mut st = lock(&self.state);
+        st.status[me] = Status::Finished;
+        for s in st.status.iter_mut() {
+            if *s == Status::Blocked(me) {
+                *s = Status::Runnable;
+            }
+        }
+        if st.abort.is_none() && !self.schedule_next(&mut st, me, Switch::Op) {
+            // Deadlock discovered on an exit path (which must not panic):
+            // abort so the blocked threads' own waits report it.
+            st.abort = Some(format!(
+                "deadlock: threads {:?} all blocked",
+                blocked_tids(&st)
+            ));
+        }
+        self.cv.notify_all();
+    }
+
+    /// Pick the next thread to run, recording a branch point when more
+    /// than one choice is eligible. Returns false on deadlock.
+    fn schedule_next(&self, st: &mut SchedState, me: usize, kind: Switch) -> bool {
+        let mut eligible: Vec<usize> = st
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if eligible.is_empty() {
+            // Everyone runnable has yielded: let the yielded threads
+            // re-check their conditions.
+            eligible = st
+                .status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s == Status::Yielded)
+                .map(|(i, _)| i)
+                .collect();
+        }
+        if eligible.is_empty() {
+            if st.status.iter().all(|s| *s == Status::Finished) {
+                self.cv.notify_all(); // wakes the driver in wait_all_finished
+                return true;
+            }
+            return false;
+        }
+        let me_runnable = kind == Switch::Op && st.status[me] == Status::Runnable;
+        let options = if me_runnable && st.preemptions >= self.preemption_bound {
+            // Preemption budget spent: the current thread must keep going.
+            vec![me]
+        } else {
+            eligible
+        };
+        let chosen = if options.len() == 1 {
+            options[0]
+        } else {
+            let depth = st.trace.len();
+            let idx = if depth < self.replay.len() {
+                assert!(
+                    self.replay[depth] < options.len(),
+                    "loom_lite: replay diverged at branch {depth} \
+                     ({} options, replay wants {}): is the test nondeterministic?",
+                    options.len(),
+                    self.replay[depth]
+                );
+                self.replay[depth]
+            } else {
+                0
+            };
+            st.trace.push(Branch {
+                chosen: idx,
+                options: options.len(),
+            });
+            options[idx]
+        };
+        if me_runnable && chosen != me {
+            st.preemptions += 1;
+        }
+        if st.status[chosen] == Status::Yielded {
+            st.status[chosen] = Status::Runnable;
+        }
+        st.active = chosen;
+        self.cv.notify_all();
+        true
+    }
+
+    /// Driver side: wait until every model thread has finished (or the
+    /// execution aborted). Called by `model::check` after the main closure
+    /// returns and `thread_exit(0)` ran.
+    pub(crate) fn wait_all_finished(&self) {
+        let mut st = lock(&self.state);
+        while st.abort.is_none() && !st.status.iter().all(|s| *s == Status::Finished) {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Abort the execution (main closure panicked): wake everyone so the
+    /// OS threads can unwind and be joined.
+    pub(crate) fn abort(&self, why: &str) {
+        let mut st = lock(&self.state);
+        if st.abort.is_none() {
+            st.abort = Some(why.to_string());
+        }
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn abort_message(&self) -> Option<String> {
+        lock(&self.state).abort.clone()
+    }
+
+    /// Join every spawned OS thread. All waits re-check `abort`, so after
+    /// `abort()` + `notify_all` this terminates.
+    pub(crate) fn join_all(&self) {
+        let handles: Vec<_> = lock(&self.handles).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    pub(crate) fn is_finished(&self, tid: usize) -> bool {
+        lock(&self.state).status[tid] == Status::Finished
+    }
+
+    pub(crate) fn store_result(&self, tid: usize, r: ThreadResult) {
+        let mut st = lock(&self.state);
+        if r.is_err() {
+            st.panicked[tid] = true;
+        }
+        st.results[tid] = Some(r);
+    }
+
+    pub(crate) fn take_result(&self, tid: usize) -> Option<ThreadResult> {
+        let mut st = lock(&self.state);
+        st.panicked[tid] = false;
+        st.results[tid].take()
+    }
+
+    /// A panic in a thread nobody joined still fails the schedule.
+    pub(crate) fn unjoined_panics(&self) -> Vec<usize> {
+        let st = lock(&self.state);
+        st.panicked
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The branch decisions of this execution, for DFS advancement and
+    /// failure reports.
+    pub(crate) fn trace(&self) -> Vec<Branch> {
+        lock(&self.state).trace.clone()
+    }
+}
+
+fn blocked_tids(st: &SchedState) -> Vec<usize> {
+    st.status
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s, Status::Blocked(_)))
+        .map(|(i, _)| i)
+        .collect()
+}

@@ -1,0 +1,259 @@
+//! Shimmed `std::sync` types: atomics whose every operation is a schedule
+//! point, and an `Arc` whose clone/drop are schedule points.
+//!
+//! The shims model **sequentially consistent interleavings only**: the
+//! `Ordering` argument is accepted for API compatibility but every
+//! operation executes `SeqCst`, and `compare_exchange_weak` never fails
+//! spuriously. Weak-memory reorderings are out of scope (they are covered
+//! in CI by ThreadSanitizer and by the repo lint that rejects `Relaxed`
+//! pointer-publishing stores); what the model explores exhaustively is
+//! the *interleaving* of operations, which is where lost updates, ABA
+//! races, and use-after-free protocols actually break.
+
+pub use std::sync::atomic::Ordering;
+
+use crate::sched::yield_point;
+
+macro_rules! atomic_int {
+    ($name:ident, $std:ty, $int:ty) => {
+        /// Model-checked atomic integer: same API as the `std` type, every
+        /// op a schedule point, all orderings upgraded to `SeqCst`.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            pub const fn new(v: $int) -> $name {
+                $name {
+                    inner: <$std>::new(v),
+                }
+            }
+
+            pub fn load(&self, _order: Ordering) -> $int {
+                yield_point();
+                self.inner.load(Ordering::SeqCst)
+            }
+
+            pub fn store(&self, v: $int, _order: Ordering) {
+                yield_point();
+                self.inner.store(v, Ordering::SeqCst)
+            }
+
+            pub fn swap(&self, v: $int, _order: Ordering) -> $int {
+                yield_point();
+                self.inner.swap(v, Ordering::SeqCst)
+            }
+
+            pub fn fetch_add(&self, v: $int, _order: Ordering) -> $int {
+                yield_point();
+                self.inner.fetch_add(v, Ordering::SeqCst)
+            }
+
+            pub fn fetch_sub(&self, v: $int, _order: Ordering) -> $int {
+                yield_point();
+                self.inner.fetch_sub(v, Ordering::SeqCst)
+            }
+
+            pub fn fetch_max(&self, v: $int, _order: Ordering) -> $int {
+                yield_point();
+                self.inner.fetch_max(v, Ordering::SeqCst)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $int,
+                new: $int,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$int, $int> {
+                yield_point();
+                self.inner
+                    .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            /// Like the strong version: the model does not explore
+            /// spurious failures.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+    };
+}
+
+atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+/// Model-checked atomic bool: same API as the `std` type, every op a
+/// schedule point, all orderings upgraded to `SeqCst`.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> AtomicBool {
+        AtomicBool {
+            inner: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    pub fn load(&self, _order: Ordering) -> bool {
+        yield_point();
+        self.inner.load(Ordering::SeqCst)
+    }
+
+    pub fn store(&self, v: bool, _order: Ordering) {
+        yield_point();
+        self.inner.store(v, Ordering::SeqCst)
+    }
+
+    pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+        yield_point();
+        self.inner.swap(v, Ordering::SeqCst)
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<bool, bool> {
+        yield_point();
+        self.inner
+            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+}
+
+/// Model-checked `AtomicPtr`: same API as `std::sync::atomic::AtomicPtr`,
+/// every op a schedule point, all orderings upgraded to `SeqCst`.
+pub struct AtomicPtr<T> {
+    inner: std::sync::atomic::AtomicPtr<T>,
+}
+
+// Like std's AtomicPtr, Debug prints the pointer and needs no `T: Debug`
+// (a derive would add that bound).
+impl<T> std::fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T> AtomicPtr<T> {
+    pub const fn new(p: *mut T) -> AtomicPtr<T> {
+        AtomicPtr {
+            inner: std::sync::atomic::AtomicPtr::new(p),
+        }
+    }
+
+    pub fn load(&self, _order: Ordering) -> *mut T {
+        yield_point();
+        self.inner.load(Ordering::SeqCst)
+    }
+
+    pub fn store(&self, p: *mut T, _order: Ordering) {
+        yield_point();
+        self.inner.store(p, Ordering::SeqCst)
+    }
+
+    pub fn swap(&self, p: *mut T, _order: Ordering) -> *mut T {
+        yield_point();
+        self.inner.swap(p, Ordering::SeqCst)
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        yield_point();
+        self.inner
+            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// Like the strong version: the model does not explore spurious
+    /// failures.
+    pub fn compare_exchange_weak(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        self.compare_exchange(current, new, success, failure)
+    }
+}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> AtomicPtr<T> {
+        AtomicPtr::new(std::ptr::null_mut())
+    }
+}
+
+/// Model-checked `Arc`: a thin wrapper over `std::sync::Arc` whose clone
+/// and drop are schedule points, so refcount traffic interleaves with the
+/// operations under test.
+pub struct Arc<T> {
+    inner: Option<std::sync::Arc<T>>,
+}
+
+impl<T> Arc<T> {
+    pub fn new(v: T) -> Arc<T> {
+        Arc {
+            inner: Some(std::sync::Arc::new(v)),
+        }
+    }
+
+    fn get(&self) -> &std::sync::Arc<T> {
+        self.inner
+            .as_ref()
+            .expect("loom_lite: Arc used after teardown")
+    }
+
+    pub fn strong_count(this: &Arc<T>) -> usize {
+        std::sync::Arc::strong_count(this.get())
+    }
+
+    pub fn ptr_eq(a: &Arc<T>, b: &Arc<T>) -> bool {
+        std::sync::Arc::ptr_eq(a.get(), b.get())
+    }
+}
+
+impl<T> Clone for Arc<T> {
+    fn clone(&self) -> Arc<T> {
+        yield_point();
+        Arc {
+            inner: Some(std::sync::Arc::clone(self.get())),
+        }
+    }
+}
+
+impl<T> Drop for Arc<T> {
+    fn drop(&mut self) {
+        yield_point();
+        self.inner.take();
+    }
+}
+
+impl<T> std::ops::Deref for Arc<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.get()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Arc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.get().fmt(f)
+    }
+}

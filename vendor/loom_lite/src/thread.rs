@@ -1,0 +1,128 @@
+//! Cooperative `thread::spawn` / `join` / `yield_now` shims.
+//!
+//! Inside [`crate::model::run`] these participate in the deterministic
+//! scheduler; outside it they fall back to plain `std` behaviour, so code
+//! compiled against the shims still works in ordinary tests.
+
+use std::panic::AssertUnwindSafe;
+
+use crate::sched::{self, Switch};
+
+enum Inner<T> {
+    /// A model thread: resolved through the scheduler.
+    Model { tid: usize },
+    /// Fallback outside a model run.
+    Os(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned (model or fallback) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T: Send + 'static> JoinHandle<T> {
+    /// Wait for the thread and return its result, `Err` if it panicked —
+    /// same contract as `std::thread::JoinHandle::join`. In a model run
+    /// this is a *blocking schedule point*: the scheduler explores every
+    /// interleaving of the join with the other threads' remaining work.
+    pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send>> {
+        match self.inner {
+            Inner::Os(h) => h.join(),
+            Inner::Model { tid } => {
+                let (exec, me) = sched::current()
+                    .expect("loom_lite: joining a model thread outside its execution");
+                while !exec.is_finished(tid) {
+                    exec.switch(me, Switch::Join(tid));
+                }
+                match exec.take_result(tid) {
+                    Some(Ok(boxed)) => Ok(*boxed
+                        .downcast::<T>()
+                        .expect("loom_lite: join result type mismatch")),
+                    Some(Err(payload)) => Err(payload),
+                    None => panic!("loom_lite: model thread {tid} finished without a result"),
+                }
+            }
+        }
+    }
+}
+
+/// Spawn a thread. Under the model this registers a new schedulable
+/// thread (run strictly one-at-a-time with every other); outside it
+/// delegates to `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match sched::current() {
+        None => JoinHandle {
+            inner: Inner::Os(std::thread::spawn(f)),
+        },
+        Some((exec, me)) => {
+            let tid = exec.register_thread();
+            let exec2 = std::sync::Arc::clone(&exec);
+            let os = std::thread::Builder::new()
+                .name(format!("loom-lite-{tid}"))
+                .spawn(move || {
+                    sched::install(std::sync::Arc::clone(&exec2), tid);
+                    if exec2.wait_for_baton(tid) {
+                        let r = std::panic::catch_unwind(AssertUnwindSafe(f));
+                        exec2.store_result(
+                            tid,
+                            r.map(|v| Box::new(v) as Box<dyn std::any::Any + Send>),
+                        );
+                    } else {
+                        // Execution aborted before this thread ever ran.
+                        exec2.store_result(tid, Err(Box::new("loom_lite: aborted before start")));
+                    }
+                    sched::uninstall();
+                    exec2.thread_exit(tid);
+                })
+                .expect("loom_lite: OS thread spawn failed");
+            exec.push_handle(os);
+            // The child is schedulable from this point on: branch.
+            exec.switch(me, Switch::Op);
+            JoinHandle {
+                inner: Inner::Model { tid },
+            }
+        }
+    }
+}
+
+/// Voluntary yield. Under the model this *deprioritizes* the calling
+/// thread until every other runnable thread has yielded, blocked, or
+/// exited — which is what keeps spin-wait loops (`while x.load() != 0
+/// {{ yield_now() }}`) from exploding the schedule space: the spinner
+/// only re-runs once the threads that can change the condition have had
+/// their turn.
+pub fn yield_now() {
+    match sched::current() {
+        None => std::thread::yield_now(),
+        Some((exec, me)) => exec.switch(me, Switch::Yield),
+    }
+}
+
+/// The current model thread's index: 0 for the `model::run` closure, then
+/// 1, 2, … in spawn order — deterministic per schedule, which is what
+/// per-thread striping (e.g. shard selection) needs for replayability.
+/// Outside a model run, falls back to a process-wide round-robin
+/// assignment per OS thread.
+pub fn index() -> usize {
+    if let Some((_, tid)) = sched::current() {
+        return tid;
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static INDEX: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    INDEX.with(|c| {
+        let v = c.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let v = NEXT.fetch_add(1, Ordering::Relaxed);
+        c.set(v);
+        v
+    })
+}

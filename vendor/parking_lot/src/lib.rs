@@ -7,6 +7,8 @@
 //! a thread that observes a poisoned lock panics, which matches how the
 //! codebase treated `parking_lot` (no `Result` handling at call sites).
 
+#![forbid(unsafe_code)]
+
 use std::sync::{self, TryLockError};
 
 /// A mutual-exclusion lock with `parking_lot`-style (non-`Result`) API.
