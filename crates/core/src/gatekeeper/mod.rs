@@ -149,6 +149,35 @@ impl Gatekeeper {
         Admission::Granted
     }
 
+    /// Earliest time at which a query from `user` could be admitted —
+    /// the exact retry hint for a [`RefusalReason::UserRateExceeded`] or
+    /// [`RefusalReason::SubnetRateExceeded`] refusal. Returns `None` for
+    /// unregistered identities (no amount of waiting helps).
+    ///
+    /// Both the per-user and per-subnet buckets refill monotonically, so
+    /// the earliest instant both hold a token is the max of their
+    /// individual refill times; a client that retries at exactly this
+    /// time is admitted (absent interleaved traffic draining the subnet
+    /// budget), and one that retries any earlier is refused again.
+    pub fn retry_at(&mut self, user: UserId, now: f64) -> Option<f64> {
+        let ip = self.registrar.ip_of(user)?;
+        let subnet = ip.subnet24();
+        let user_at = self
+            .users
+            .get_mut(&user)
+            .expect("registered user has state")
+            .bucket
+            .next_available(now, 1.0);
+        let subnet_at = self
+            .subnets
+            .entry(subnet)
+            .or_insert_with(|| {
+                TokenBucket::new(self.config.per_subnet_rate, self.config.per_subnet_burst)
+            })
+            .next_available(now, 1.0);
+        Some(user_at.max(subnet_at))
+    }
+
     /// Number of queries an identity has issued.
     pub fn query_count(&self, user: UserId) -> u64 {
         self.users.get(&user).map(|s| s.queries).unwrap_or(0)
@@ -256,6 +285,50 @@ mod tests {
         );
         // b still has subnet tokens available: a's refusals cost nothing.
         assert_eq!(k.admit(b, 20.0), Admission::Granted);
+    }
+
+    #[test]
+    fn retry_hint_is_exact() {
+        let mut k = keeper();
+        let u = register(&mut k, "10.0.0.1", 0.0);
+        // Drain the personal burst (2 tokens at rate 1/s).
+        assert_eq!(k.admit(u, 0.0), Admission::Granted);
+        assert_eq!(k.admit(u, 0.0), Admission::Granted);
+        assert_eq!(
+            k.admit(u, 0.0),
+            Admission::Refused(RefusalReason::UserRateExceeded)
+        );
+        let hint = k.retry_at(u, 0.0).unwrap();
+        assert!((hint - 1.0).abs() < 1e-9, "hint {hint}");
+        // Slightly early: refused. Exactly on the hint: admitted.
+        assert_eq!(
+            k.admit(u, hint - 1e-3),
+            Admission::Refused(RefusalReason::UserRateExceeded)
+        );
+        assert_eq!(k.admit(u, hint), Admission::Granted);
+    }
+
+    #[test]
+    fn retry_hint_covers_subnet_budget() {
+        let mut k = keeper();
+        let a = register(&mut k, "10.0.0.1", 0.0);
+        let b = register(&mut k, "10.0.0.2", 10.0);
+        let c = register(&mut k, "10.0.0.3", 20.0);
+        // Drain the subnet burst (3 tokens at rate 2/s) at t=100.
+        assert_eq!(k.admit(a, 100.0), Admission::Granted);
+        assert_eq!(k.admit(b, 100.0), Admission::Granted);
+        assert_eq!(k.admit(c, 100.0), Admission::Granted);
+        assert_eq!(
+            k.admit(b, 100.0),
+            Admission::Refused(RefusalReason::SubnetRateExceeded)
+        );
+        // b still has personal tokens; the binding constraint is the
+        // subnet bucket's 0.5 s refill.
+        let hint = k.retry_at(b, 100.0).unwrap();
+        assert!((hint - 100.5).abs() < 1e-9, "hint {hint}");
+        assert_eq!(k.admit(b, hint), Admission::Granted);
+        // Unregistered identities get no hint.
+        assert_eq!(k.retry_at(UserId(999), 0.0), None);
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //! The computed delay is *returned*, not slept, so simulations can account
 //! years of adversary delay instantly. Deployments enforce it through
 //! [`GuardedDatabase::execute_with_deadline`], which converts the policy's
-//! per-tuple delays into wall-clock [`Instant`] deadlines the caller (a
-//! server event loop, a timer wheel, ...) schedules however it likes;
+//! per-tuple delays into [`Clock`]-relative nanosecond deadlines the
+//! caller (a server event loop, a timer wheel, ...) schedules however it
+//! likes;
 //! [`GuardedDatabase::execute_blocking`] is the trivial enforcement —
 //! sleep until the query deadline — kept for library callers.
 //!
@@ -42,6 +43,7 @@
 //! the sequential path would have produced for the same event sequence
 //! (asserted in `tests/snapshot_concurrency.rs`).
 
+use crate::clock::{nanos_to_secs, secs_to_nanos, Clock, RealClock};
 use crate::config::GuardConfig;
 use crate::error::Result;
 use crate::policy::ChargingModel;
@@ -59,7 +61,6 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
 /// Per-table guard state.
 struct TableGuard {
@@ -130,42 +131,48 @@ pub struct GuardedResponse {
     pub tuples_charged: usize,
 }
 
-/// Outcome of a guarded statement with wall-clock enforcement deadlines.
+/// Outcome of a guarded statement with clock enforcement deadlines.
 ///
 /// Returned by [`GuardedDatabase::execute_with_deadline`]: instead of
-/// sleeping, the guard hands the caller the [`Instant`]s before which each
-/// tuple (and the statement as a whole) must not be released. A server
-/// schedules these on a timer wheel; a simple caller sleeps until
-/// [`DeadlineResponse::deadline`].
+/// sleeping, the guard hands the caller the [`Clock`]-relative nanosecond
+/// times before which each tuple (and the statement as a whole) must not
+/// be released. A server schedules these on a timer wheel; a simple
+/// caller sleeps until [`DeadlineResponse::deadline_nanos`]. All times
+/// are nanoseconds since the guard clock's epoch, so they are meaningful
+/// under the real clock and a simulated one alike.
 #[derive(Debug, Clone)]
 pub struct DeadlineResponse {
     /// The engine's output (rows, affected RowIds, ...).
     pub output: StatementOutput,
     /// Raw per-tuple policy delays in row order, in seconds.
     pub tuple_delays: Vec<f64>,
-    /// Per-tuple release offsets from `issued_at`, in seconds, under the
-    /// configured charging model: `PerTupleSum` streams tuples at prefix
-    /// sums (the query completes after the sum), `PerQueryMax` releases
-    /// each tuple at its own delay (the query completes at the max).
+    /// Per-tuple release offsets from `issued_at_nanos`, in seconds,
+    /// under the configured charging model: `PerTupleSum` streams tuples
+    /// at prefix sums (the query completes after the sum), `PerQueryMax`
+    /// releases each tuple at its own delay (the query completes at the
+    /// max).
     pub tuple_offsets: Vec<f64>,
     /// Total delay charged to the statement, in seconds (the largest
     /// tuple offset).
     pub delay_secs: f64,
-    /// When the statement was executed; all offsets are relative to this.
-    pub issued_at: Instant,
+    /// Guard-clock time when the statement was executed, in nanoseconds;
+    /// all offsets are relative to this.
+    pub issued_at_nanos: u64,
 }
 
 impl DeadlineResponse {
-    /// The wall-clock instant at which the whole statement may complete.
-    pub fn deadline(&self) -> Instant {
-        self.issued_at + Duration::from_secs_f64(self.delay_secs)
+    /// The guard-clock time (nanoseconds) at which the whole statement
+    /// may complete.
+    pub fn deadline_nanos(&self) -> u64 {
+        self.issued_at_nanos
+            .saturating_add(secs_to_nanos(self.delay_secs))
     }
 
-    /// Per-tuple wall-clock release instants, in row order.
-    pub fn tuple_deadlines(&self) -> impl Iterator<Item = Instant> + '_ {
+    /// Per-tuple guard-clock release times (nanoseconds), in row order.
+    pub fn tuple_deadline_nanos(&self) -> impl Iterator<Item = u64> + '_ {
         self.tuple_offsets
             .iter()
-            .map(move |&off| self.issued_at + Duration::from_secs_f64(off))
+            .map(move |&off| self.issued_at_nanos.saturating_add(secs_to_nanos(off)))
     }
 
     /// Collapse to the summary form used by simulations and library code.
@@ -214,7 +221,9 @@ pub struct GuardedDatabase {
     mutations: AtomicU64,
     rebuilds: AtomicU64,
     events_applied: AtomicU64,
-    started: Instant,
+    /// The guard's one time source: every deadline-path read goes through
+    /// here, so a simulated clock makes the whole guard deterministic.
+    clock: Arc<dyn Clock>,
 }
 
 impl GuardedDatabase {
@@ -225,6 +234,16 @@ impl GuardedDatabase {
 
     /// Guard an existing engine (e.g. with pre-loaded data).
     pub fn with_engine(engine: Engine, config: GuardConfig) -> GuardedDatabase {
+        GuardedDatabase::with_engine_and_clock(engine, config, RealClock::shared())
+    }
+
+    /// Guard an existing engine reading time from an explicit [`Clock`]
+    /// (the deterministic-simulation entry point).
+    pub fn with_engine_and_clock(
+        engine: Engine,
+        config: GuardConfig,
+        clock: Arc<dyn Clock>,
+    ) -> GuardedDatabase {
         let shard_count = config.shards.max(1).next_power_of_two();
         let shards = (0..shard_count)
             .map(|_| Mutex::new(HashMap::new()))
@@ -240,7 +259,7 @@ impl GuardedDatabase {
             events_applied: AtomicU64::new(0),
             config,
             shards,
-            started: Instant::now(),
+            clock,
         }
     }
 
@@ -254,10 +273,16 @@ impl GuardedDatabase {
         &self.config
     }
 
-    /// Seconds since the guard was created (the wall clock every
+    /// Seconds since the guard clock's epoch (the time source every
     /// deadline-path operation uses).
     pub fn now_secs(&self) -> f64 {
-        self.started.elapsed().as_secs_f64()
+        self.clock.now_secs()
+    }
+
+    /// The guard's time source (shared with servers so scheduler
+    /// deadlines and guard deadlines live on the same clock).
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
     }
 
     fn shard(&self, table: &str) -> &Mutex<HashMap<String, TableGuard>> {
@@ -352,8 +377,10 @@ impl GuardedDatabase {
 
     /// [`Self::execute_with_deadline`] over a pre-parsed statement.
     pub fn execute_stmt_with_deadline(&self, stmt: &Statement) -> Result<DeadlineResponse> {
-        let issued_at = Instant::now();
-        let now_secs = self.now_secs();
+        // One clock read: `issued_at_nanos` (deadline base) and `now_secs`
+        // (popularity timestamp) must agree or simulated replays drift.
+        let issued_at_nanos = self.clock.now_nanos();
+        let now_secs = nanos_to_secs(issued_at_nanos);
         let path = self.config.read_path;
         let (output, tuple_delays) = self.execute_stmt_detailed(stmt, now_secs, path)?;
         if path == ReadPath::Snapshot {
@@ -366,7 +393,7 @@ impl GuardedDatabase {
             tuple_delays,
             tuple_offsets,
             delay_secs,
-            issued_at,
+            issued_at_nanos,
         })
     }
 
@@ -374,11 +401,7 @@ impl GuardedDatabase {
     /// mode): a thin wrapper over [`Self::execute_with_deadline`].
     pub fn execute_blocking(&self, sql: &str) -> Result<GuardedResponse> {
         let resp = self.execute_with_deadline(sql)?;
-        let deadline = resp.deadline();
-        let now = Instant::now();
-        if deadline > now {
-            std::thread::sleep(deadline - now);
-        }
+        self.clock.sleep_until_nanos(resp.deadline_nanos());
         Ok(resp.into_response())
     }
 
@@ -619,6 +642,40 @@ impl GuardedDatabase {
                 self.refresh_inner();
             }
         }
+    }
+
+    /// Bulk-load popularity state: record `units` worth of accesses
+    /// against each row, then publish a fresh snapshot.
+    ///
+    /// This is the warm-start path (§2.3): a deployment that already
+    /// knows its popularity distribution — from logs, or a simulation
+    /// that would otherwise replay millions of warm-up queries — seeds
+    /// the trackers in one call. Counts are applied at the current decay
+    /// weight without advancing decay time, exactly like a flushed batch
+    /// of coalesced log entries; under no decay (rate `1.0`) the
+    /// resulting state is identical to having recorded each access
+    /// individually.
+    pub fn warm_accesses(&self, table: &str, counts: &[(RowId, f64)], now_secs: f64) {
+        if counts.is_empty() {
+            return;
+        }
+        let _refresh = self.refresh_lock.lock();
+        // Events already queued precede the warm-start batch.
+        self.apply_batch(self.queue.drain());
+        {
+            let mut guards = self.shard(table).lock();
+            let guard = guards
+                .entry(table.to_owned())
+                .or_insert_with(|| TableGuard::new(&self.config));
+            guard.epoch.get_or_insert(now_secs);
+            for &(rid, units) in counts {
+                guard.access.record_static_weighted(rid.raw(), units);
+            }
+            guard.dirty = true;
+        }
+        self.mutations
+            .fetch_add(counts.len() as u64, Ordering::Release);
+        self.refresh_inner();
     }
 
     // ---- inspection (served from the snapshot) --------------------------
@@ -896,10 +953,10 @@ mod tests {
         // PerTupleSum streams at prefix sums; the query deadline is the sum.
         assert_eq!(r.tuple_offsets, vec![10.0, 20.0, 30.0]);
         assert_eq!(r.delay_secs, 30.0);
-        let deadlines: Vec<_> = r.tuple_deadlines().collect();
+        let deadlines: Vec<_> = r.tuple_deadline_nanos().collect();
         assert_eq!(deadlines.len(), 3);
         assert!(deadlines.windows(2).all(|w| w[0] <= w[1]));
-        assert_eq!(*deadlines.last().unwrap(), r.deadline());
+        assert_eq!(*deadlines.last().unwrap(), r.deadline_nanos());
         let summary = r.into_response();
         assert_eq!(summary.tuples_charged, 3);
         assert_eq!(summary.delay_secs, 30.0);
@@ -931,13 +988,80 @@ mod tests {
         // Zero-delay policy: the wrapper must not sleep and must agree
         // with the non-blocking result shape.
         let db = setup(GuardPolicy::None);
-        let start = Instant::now();
+        let start = db.now_secs();
         let r = db
             .execute_blocking("SELECT * FROM items WHERE id = 1")
             .unwrap();
-        assert!(start.elapsed() < Duration::from_secs(1));
+        assert!(db.now_secs() - start < 1.0);
         assert_eq!(r.delay_secs, 0.0);
         assert_eq!(r.tuples_charged, 1);
+    }
+
+    #[test]
+    fn deadline_path_reads_injected_clock() {
+        use crate::clock::ManualClock;
+        use delayguard_query::Engine;
+        let clock = ManualClock::shared();
+        let config = GuardConfig {
+            policy: access_policy(),
+            charging: ChargingModel::PerTupleSum,
+            access_decay_rate: 1.0,
+            update_decay_rate: 1.0,
+            ..GuardConfig::paper_default()
+        };
+        let db = GuardedDatabase::with_engine_and_clock(
+            Engine::new(),
+            config,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        db.execute_at("CREATE TABLE t (id INT)", 0.0).unwrap();
+        db.execute_at("INSERT INTO t VALUES (1)", 0.0).unwrap();
+        clock.advance_to_secs(42.0);
+        let r = db.execute_with_deadline("SELECT * FROM t").unwrap();
+        assert_eq!(r.issued_at_nanos, secs_to_nanos(42.0));
+        assert_eq!(r.delay_secs, 10.0, "cold tuple pays the cap");
+        assert_eq!(r.deadline_nanos(), secs_to_nanos(52.0));
+        // The blocking wrapper "sleeps" by jumping the manual clock.
+        let r2 = db.execute_blocking("SELECT * FROM t").unwrap();
+        assert!(db.now_secs() >= 42.0 + r2.delay_secs);
+        assert!(r2.delay_secs > 0.0);
+    }
+
+    #[test]
+    fn warm_accesses_seeds_popularity_in_bulk() {
+        let db = setup(access_policy());
+        // RowIds for tuples 0..3 via queries (free of recording side
+        // effects on ranks large enough to matter).
+        let rid_of = |id: i64| {
+            let out = db
+                .execute_at(&format!("SELECT * FROM items WHERE id = {id}"), 0.5)
+                .unwrap();
+            match &out.output {
+                StatementOutput::Rows(rows) => rows.rows[0].0,
+                other => panic!("{other:?}"),
+            }
+        };
+        let (a, b, c) = (rid_of(0), rid_of(1), rid_of(2));
+        // A genuinely unwarmed tuple: an INSERT yields the RowId without
+        // recording any access (a SELECT here would count one and leak
+        // into the refreshed snapshot).
+        let out = db
+            .execute_at("INSERT INTO items VALUES (100, 'row-100')", 0.6)
+            .unwrap();
+        let cold_rid = match &out.output {
+            StatementOutput::Inserted { rids } => rids[0],
+            other => panic!("{other:?}"),
+        };
+        db.warm_accesses("items", &[(a, 1000.0), (b, 100.0), (c, 10.0)], 1.0);
+        assert_eq!(db.popularity_rank("items", a), Some(1));
+        assert_eq!(db.popularity_rank("items", b), Some(2));
+        assert_eq!(db.popularity_rank("items", c), Some(3));
+        // The snapshot was rebuilt inside the call: the snapshot path
+        // prices the warmed tuple as popular immediately.
+        let fast = db.snapshot_tuple_delay("items", a, 2.0).unwrap();
+        let cold = db.snapshot_tuple_delay("items", cold_rid, 2.0).unwrap();
+        assert!(fast < cold, "warmed {fast} vs cold {cold}");
+        assert_eq!(cold, 10.0, "unwarmed tuple still pays the cap");
     }
 
     #[test]

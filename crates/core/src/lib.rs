@@ -37,6 +37,7 @@
 
 pub mod access;
 pub mod analysis;
+pub mod clock;
 pub mod config;
 pub mod error;
 pub mod gatekeeper;
@@ -46,6 +47,7 @@ pub mod snapshot;
 pub mod update;
 
 pub use access::AccessDelayPolicy;
+pub use clock::{Clock, ManualClock, RealClock};
 pub use config::GuardConfig;
 pub use error::{GuardError, Result};
 pub use gatekeeper::{Gatekeeper, GatekeeperConfig};

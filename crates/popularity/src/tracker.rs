@@ -78,6 +78,7 @@ impl FrequencyTracker {
     /// `record` calls.
     pub fn record_static_weighted(&mut self, key: u64, units: f64) {
         self.apply(key, self.schedule.weight() * units);
+        self.events += extra_events(units);
         if self.schedule.needs_rescale() {
             self.rescale();
         }
@@ -89,12 +90,21 @@ impl FrequencyTracker {
         self.schedule.tick();
         let w = self.schedule.weight() * units;
         self.apply(key, w);
+        self.events += extra_events(units);
         if self.schedule.needs_rescale() {
             self.rescale();
         }
     }
 
     /// Add a raw (already inflated) increment to a key's counter.
+    ///
+    /// Bumps `events` by one; weighted entry points add the remaining
+    /// `units - 1` themselves via [`extra_events`], so a record worth
+    /// `units` accesses counts as `units` requests in the undecayed
+    /// global total that [`FrequencyTracker::fmax_global`] divides by.
+    /// Without that, bulk-seeded counts (write-behind flushes,
+    /// warm-started popularity) would dwarf the request count and push
+    /// the "relative" frequency far above 1.
     fn apply(&mut self, key: u64, w: f64) {
         use std::collections::hash_map::Entry;
         let new = match self.counts.entry(key) {
@@ -243,6 +253,14 @@ impl FrequencyTracker {
         self.total_raw /= f;
         self.max_raw /= f;
     }
+}
+
+/// Requests beyond the one [`FrequencyTracker::apply`] already counted
+/// for a record worth `units` accesses. Fractional units (coalesced
+/// write-behind deltas) round to the nearest whole request; anything
+/// below 1 adds nothing extra.
+fn extra_events(units: f64) -> u64 {
+    (units.round() as u64).saturating_sub(1)
 }
 
 #[cfg(test)]

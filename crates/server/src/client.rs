@@ -6,10 +6,12 @@
 //! is timestamped on receipt so callers can verify delay enforcement.
 
 use crate::protocol::{read_frame, write_frame, Frame, ProtocolError, RefuseReason};
+use delayguard_core::clock::{Clock, RealClock};
 use delayguard_storage::Row;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -59,8 +61,8 @@ pub struct ReceivedRow {
     pub seq: u32,
     /// The tuple.
     pub row: Row,
-    /// When the frame arrived at the client.
-    pub received_at: Instant,
+    /// When the frame arrived, in nanoseconds on the client's clock.
+    pub received_at_nanos: u64,
 }
 
 /// Result of [`Client::query`].
@@ -115,11 +117,19 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_query_id: u32,
+    clock: Arc<dyn Clock>,
 }
 
 impl Client {
-    /// Connect to a server.
+    /// Connect to a server, stamping arrivals with a fresh real clock.
     pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        Client::connect_with_clock(addr, RealClock::shared())
+    }
+
+    /// Connect, stamping arrivals and elapsed times on `clock` (lets
+    /// tests compare client-observed times against a server sharing the
+    /// same clock).
+    pub fn connect_with_clock(addr: SocketAddr, clock: Arc<dyn Clock>) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let write_half = stream.try_clone()?;
@@ -127,6 +137,7 @@ impl Client {
             reader: BufReader::new(stream),
             writer: BufWriter::new(write_half),
             next_query_id: 1,
+            clock,
         })
     }
 
@@ -173,7 +184,10 @@ impl Client {
     pub fn query(&mut self, user: u64, sql: &str) -> Result<QueryOutcome, ClientError> {
         let query_id = self.next_query_id;
         self.next_query_id += 1;
-        let started = Instant::now();
+        let started = self.clock.now_nanos();
+        let elapsed_since = |clock: &Arc<dyn Clock>| {
+            Duration::from_nanos(clock.now_nanos().saturating_sub(started))
+        };
         self.send(&Frame::Query {
             query_id,
             user,
@@ -203,7 +217,7 @@ impl Client {
                 return Ok(QueryOutcome::Done {
                     delay_secs,
                     tuples,
-                    elapsed: started.elapsed(),
+                    elapsed: elapsed_since(&self.clock),
                 })
             }
             Frame::RowsBegin {
@@ -223,7 +237,7 @@ impl Client {
                 } if qid == query_id => rows.push(ReceivedRow {
                     seq,
                     row,
-                    received_at: Instant::now(),
+                    received_at_nanos: self.clock.now_nanos(),
                 }),
                 Frame::Done {
                     query_id: qid,
@@ -234,7 +248,7 @@ impl Client {
                         columns,
                         rows,
                         delay_secs,
-                        elapsed: started.elapsed(),
+                        elapsed: elapsed_since(&self.clock),
                     })
                 }
                 other => return Err(ClientError::Unexpected(other)),

@@ -1,0 +1,423 @@
+//! The transport-agnostic front door: admission, delay pricing, and
+//! deadline scheduling, shared verbatim by the threaded TCP server
+//! ([`crate::server`]) and the deterministic simulation harness
+//! (`delayguard-testkit`).
+//!
+//! A transport owns sockets (or simulated links) and per-connection
+//! queues; everything the paper actually specifies — gatekeeper
+//! admission, per-tuple delay charging, scheduling rows on the timer
+//! wheel, refusal codes and retry hints, drain accounting — lives here,
+//! behind two small seams:
+//!
+//! * [`FrameSink`]: where response frames go. The TCP server's bounded
+//!   `SendQueue` implements it; the testkit's in-memory connection does
+//!   too. `try_reserve_rows` is the backpressure seam: a `SELECT` must
+//!   reserve its whole result set up front or be refused `Overloaded`.
+//! * [`Clock`][delayguard_core::clock::Clock]: the front door never
+//!   reads the wall directly; gatekeeper timestamps and scheduler
+//!   deadlines come from the injected clock, so the same admission code
+//!   is exact under simulation.
+//!
+//! Because both transports route every frame through [`FrontDoor`],
+//! properties proven in simulation (refusal retry hints are exact, drain
+//! delivers every charged tuple, Sybil swarms gain nothing) are
+//! properties of the code the real server runs — not of a model of it.
+
+use crate::metrics::ServerMetrics;
+use crate::protocol::{Frame, RefuseReason};
+use crate::scheduler::DelayScheduler;
+use delayguard_core::clock::Clock;
+use delayguard_core::gatekeeper::{
+    Admission, Gatekeeper, GatekeeperConfig, Ipv4, RefusalReason, RegistrationOutcome, UserId,
+};
+use delayguard_core::GuardedDatabase;
+use delayguard_query::engine::StatementOutput;
+use delayguard_sim::Registry;
+use parking_lot::Mutex as PMutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Where a session's response frames go. Implemented by the TCP server's
+/// bounded per-connection send queue and by the testkit's simulated
+/// connection.
+pub trait FrameSink: Send + Sync + 'static {
+    /// Queue a control frame (registration, refusal, begin/done, stats,
+    /// error). Control frames bypass the row budget; they are small and
+    /// bounded by the client's own request rate.
+    fn push_control(&self, frame: Frame);
+
+    /// Queue a row frame into a slot previously reserved with
+    /// [`FrameSink::try_reserve_rows`]. Must never block: scheduler jobs
+    /// call this on the wheel thread.
+    fn push_row(&self, frame: Frame);
+
+    /// Reserve capacity for `n` row frames, all-or-nothing, so a query
+    /// either streams completely or is refused up front.
+    fn try_reserve_rows(&self, n: usize) -> bool;
+}
+
+/// What the transport should do with the session after a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionControl {
+    /// Keep reading frames.
+    Continue,
+    /// Terminate the session (protocol violation).
+    Terminate,
+}
+
+/// Policy knobs the front door needs (a transport-independent subset of
+/// the server's configuration).
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Gatekeeper (registration + rate limiting) policy.
+    pub gatekeeper: GatekeeperConfig,
+    /// Honor the `claimed_ip` field of `REGISTER` frames. Off by default
+    /// (the peer address is authoritative); enable behind a trusted
+    /// proxy, or in tests that need many subnets over loopback.
+    pub trust_client_ip: bool,
+    /// Retry hint attached to refusals that have no exact gatekeeper
+    /// hint (`Overloaded`, `ShuttingDown`, `Unregistered`).
+    pub retry_after_secs: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> GateConfig {
+        GateConfig {
+            gatekeeper: GatekeeperConfig::default(),
+            trust_client_ip: false,
+            retry_after_secs: 1.0,
+        }
+    }
+}
+
+/// The front door itself: everything between "bytes decoded into a
+/// [`Frame`]" and "frames handed to a [`FrameSink`]".
+pub struct FrontDoor {
+    config: GateConfig,
+    db: Arc<GuardedDatabase>,
+    gatekeeper: PMutex<Gatekeeper>,
+    scheduler: Arc<DelayScheduler>,
+    metrics: ServerMetrics,
+    registry: Registry,
+    clock: Arc<dyn Clock>,
+    /// Set first during shutdown: refuse all new work.
+    draining: AtomicBool,
+    /// Query handlers between the draining check and their last
+    /// `schedule` call; shutdown waits for this to reach zero before
+    /// draining the wheel, so no delay is scheduled after the drain.
+    inflight_queries: AtomicUsize,
+}
+
+impl FrontDoor {
+    /// A front door over `db`, scheduling deadlines on `scheduler` and
+    /// reading time from `clock`. The scheduler must share `clock` (and
+    /// the guard should too) or deadlines drift.
+    pub fn new(
+        config: GateConfig,
+        db: Arc<GuardedDatabase>,
+        scheduler: Arc<DelayScheduler>,
+        clock: Arc<dyn Clock>,
+        metrics: ServerMetrics,
+        registry: Registry,
+    ) -> FrontDoor {
+        FrontDoor {
+            gatekeeper: PMutex::new(Gatekeeper::new(config.gatekeeper)),
+            config,
+            db,
+            scheduler,
+            metrics,
+            registry,
+            clock,
+            draining: AtomicBool::new(false),
+            inflight_queries: AtomicUsize::new(0),
+        }
+    }
+
+    /// Seconds on the front door's clock.
+    pub fn now_secs(&self) -> f64 {
+        self.clock.now_secs()
+    }
+
+    /// The injected clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The delay scheduler deadlines land on.
+    pub fn scheduler(&self) -> &Arc<DelayScheduler> {
+        &self.scheduler
+    }
+
+    /// The guarded database.
+    pub fn db(&self) -> &Arc<GuardedDatabase> {
+        &self.db
+    }
+
+    /// The metrics this front door publishes.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// The registry backing `STATS` replies.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Direct gatekeeper access (attack-economics assertions in tests).
+    pub fn gatekeeper(&self) -> &PMutex<Gatekeeper> {
+        &self.gatekeeper
+    }
+
+    // ---- drain accounting ------------------------------------------------
+
+    /// Refuse all new queries and registrations from this point on.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the front door is refusing new work.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Handlers that passed the draining check but have not finished
+    /// scheduling yet. Shutdown waits for zero before draining the wheel.
+    pub fn inflight_queries(&self) -> usize {
+        self.inflight_queries.load(Ordering::SeqCst)
+    }
+
+    // ---- frame dispatch --------------------------------------------------
+
+    /// Handle one decoded client frame. `peer_ip` is the transport's
+    /// authoritative view of the peer (IPv4 octets).
+    pub fn handle_frame<S: FrameSink>(
+        &self,
+        frame: Frame,
+        peer_ip: [u8; 4],
+        sink: &Arc<S>,
+    ) -> SessionControl {
+        match frame {
+            Frame::Register { claimed_ip } => {
+                self.handle_register(claimed_ip, peer_ip, sink.as_ref());
+                SessionControl::Continue
+            }
+            Frame::Query {
+                query_id,
+                user,
+                sql,
+            } => {
+                self.handle_query(query_id, user, &sql, sink);
+                SessionControl::Continue
+            }
+            Frame::Stats => {
+                sink.push_control(Frame::StatsReply {
+                    rendered: self.registry.render(),
+                });
+                SessionControl::Continue
+            }
+            other => {
+                sink.push_control(Frame::Error {
+                    query_id: 0,
+                    message: format!("unexpected frame from client: {other:?}"),
+                });
+                SessionControl::Terminate
+            }
+        }
+    }
+
+    /// Handle a `REGISTER` frame.
+    pub fn handle_register(&self, claimed_ip: [u8; 4], peer_ip: [u8; 4], sink: &dyn FrameSink) {
+        let retry = self.config.retry_after_secs;
+        if self.draining() {
+            self.metrics.refused_shutdown.inc();
+            sink.push_control(Frame::Refused {
+                query_id: 0,
+                reason: RefuseReason::ShuttingDown,
+                retry_after_secs: retry,
+            });
+            return;
+        }
+        let ip = if self.config.trust_client_ip && claimed_ip != [0, 0, 0, 0] {
+            claimed_ip
+        } else {
+            peer_ip
+        };
+        let now = self.now_secs();
+        let outcome = self.gatekeeper.lock().register(Ipv4(ip), now);
+        match outcome {
+            RegistrationOutcome::Admitted { user, fee_charged } => {
+                self.metrics.users_registered.inc();
+                sink.push_control(Frame::Registered {
+                    user: user.0,
+                    fee: fee_charged,
+                });
+            }
+            RegistrationOutcome::TooSoon { retry_at } => {
+                self.metrics.registrations_refused.inc();
+                sink.push_control(Frame::Refused {
+                    query_id: 0,
+                    reason: RefuseReason::RegistrationTooSoon,
+                    retry_after_secs: (retry_at - now).max(0.0),
+                });
+            }
+        }
+    }
+
+    /// Handle a `QUERY` frame: admission, delay pricing, and scheduling
+    /// every row (and the final `DONE`) on the wheel.
+    pub fn handle_query<S: FrameSink>(&self, query_id: u32, user: u64, sql: &str, sink: &Arc<S>) {
+        let retry = self.config.retry_after_secs;
+        // Entered before the draining check; shutdown waits for this count
+        // to reach zero before draining the wheel, so every delay we
+        // schedule below is delivered.
+        self.inflight_queries.fetch_add(1, Ordering::SeqCst);
+        let _guard = InflightGuard(self);
+        if self.draining() {
+            self.metrics.refused_shutdown.inc();
+            sink.push_control(Frame::Refused {
+                query_id,
+                reason: RefuseReason::ShuttingDown,
+                retry_after_secs: retry,
+            });
+            return;
+        }
+        let now = self.now_secs();
+        let admission = {
+            let mut gk = self.gatekeeper.lock();
+            match gk.admit(UserId(user), now) {
+                Admission::Granted => None,
+                Admission::Refused(reason) => {
+                    // Rate refusals carry the gatekeeper's exact refill
+                    // time; a client that waits precisely this long is
+                    // admitted, one that retries earlier is refused again.
+                    let hint = match reason {
+                        RefusalReason::UserRateExceeded | RefusalReason::SubnetRateExceeded => gk
+                            .retry_at(UserId(user), now)
+                            .map(|at| (at - now).max(0.0))
+                            .unwrap_or(retry),
+                        RefusalReason::Unregistered => retry,
+                    };
+                    Some((reason, hint))
+                }
+            }
+        };
+        if let Some((reason, hint)) = admission {
+            let counter = match reason {
+                RefusalReason::Unregistered => &self.metrics.refused_unregistered,
+                RefusalReason::UserRateExceeded => &self.metrics.refused_user_rate,
+                RefusalReason::SubnetRateExceeded => &self.metrics.refused_subnet_rate,
+            };
+            counter.inc();
+            sink.push_control(Frame::Refused {
+                query_id,
+                reason: wire_reason(reason),
+                retry_after_secs: hint,
+            });
+            return;
+        }
+        let response = match self.db.execute_with_deadline(sql) {
+            Ok(r) => r,
+            Err(e) => {
+                self.metrics.query_errors.inc();
+                sink.push_control(Frame::Error {
+                    query_id,
+                    message: e.to_string(),
+                });
+                return;
+            }
+        };
+        self.metrics.queries_admitted.inc();
+        self.metrics
+            .delay_micros_charged
+            .add_secs(response.delay_secs);
+        let delay_secs = response.delay_secs;
+        let done_at = response.deadline_nanos();
+        let tuple_deadlines: Vec<u64> = response.tuple_deadline_nanos().collect();
+        match response.output {
+            StatementOutput::Rows(select) => {
+                let n = select.rows.len();
+                if !sink.try_reserve_rows(n) {
+                    // The delay was charged but the connection cannot
+                    // absorb the result set; shed rather than block the
+                    // scheduler.
+                    self.metrics.refused_backpressure.inc();
+                    sink.push_control(Frame::Refused {
+                        query_id,
+                        reason: RefuseReason::Overloaded,
+                        retry_after_secs: retry,
+                    });
+                    return;
+                }
+                sink.push_control(Frame::RowsBegin {
+                    query_id,
+                    columns: select.columns.clone(),
+                    rows: n as u32,
+                });
+                self.metrics.rows_streamed.add(n as u64);
+                for (seq, ((_rid, row), deadline)) in
+                    select.rows.into_iter().zip(tuple_deadlines).enumerate()
+                {
+                    let frame = Frame::Row {
+                        query_id,
+                        seq: seq as u32,
+                        row,
+                    };
+                    let job_sink = Arc::clone(sink);
+                    self.scheduler
+                        .schedule(deadline, Box::new(move || job_sink.push_row(frame)));
+                }
+                // DONE rides the wheel too, scheduled after the rows at
+                // the same final deadline so stable ordering emits it
+                // last.
+                let done_sink = Arc::clone(sink);
+                self.scheduler.schedule(
+                    done_at,
+                    Box::new(move || {
+                        done_sink.push_control(Frame::Done {
+                            query_id,
+                            delay_secs,
+                            tuples: n as u32,
+                        })
+                    }),
+                );
+            }
+            other => {
+                let tuples = match &other {
+                    StatementOutput::Inserted { rids } => rids.len() as u32,
+                    StatementOutput::Updated { rids } => rids.len() as u32,
+                    StatementOutput::Deleted { rids } => rids.len() as u32,
+                    _ => 0,
+                };
+                let done_sink = Arc::clone(sink);
+                self.scheduler.schedule(
+                    done_at,
+                    Box::new(move || {
+                        done_sink.push_control(Frame::Done {
+                            query_id,
+                            delay_secs,
+                            tuples,
+                        })
+                    }),
+                );
+            }
+        }
+    }
+}
+
+/// Map a gatekeeper refusal onto its wire code.
+pub fn wire_reason(reason: RefusalReason) -> RefuseReason {
+    match reason {
+        RefusalReason::Unregistered => RefuseReason::Unregistered,
+        RefusalReason::UserRateExceeded => RefuseReason::UserRate,
+        RefusalReason::SubnetRateExceeded => RefuseReason::SubnetRate,
+    }
+}
+
+/// Decrements `inflight_queries` on every exit path of `handle_query`.
+struct InflightGuard<'a>(&'a FrontDoor);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight_queries.fetch_sub(1, Ordering::SeqCst);
+    }
+}

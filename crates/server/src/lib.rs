@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod gate;
 pub mod metrics;
 pub mod protocol;
 pub mod scheduler;
@@ -31,6 +32,7 @@ pub mod server;
 pub mod wheel;
 
 pub use client::{Client, ClientError, QueryOutcome, ReceivedRow, RegisterOutcome};
+pub use gate::{FrameSink, FrontDoor, GateConfig, SessionControl};
 pub use metrics::ServerMetrics;
 pub use protocol::{Frame, ProtocolError, RefuseReason};
 pub use scheduler::DelayScheduler;

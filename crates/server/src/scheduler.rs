@@ -1,23 +1,29 @@
-//! The delay scheduler: one thread, one timer wheel, any number of
-//! pending delays.
+//! The delay scheduler: one thread (or none), one timer wheel, any
+//! number of pending delays.
 //!
 //! `GuardedDatabase::execute_with_deadline` turns the paper's policy into
-//! per-tuple `Instant` deadlines; this module enforces them at scale. A
-//! single [`DelayScheduler`] thread owns a [`TimerWheel`](crate::wheel)
-//! and maps wall-clock time onto wheel ticks, so 10 000 concurrent
-//! delays cost 10 000 wheel entries — not 10 000 sleeping threads or
-//! tasks. Jobs (closures that push a `ROW`/`DONE` frame into a
-//! connection's bounded send queue) must be quick and non-blocking: they
-//! run on the scheduler thread.
+//! per-tuple nanosecond deadlines on a [`Clock`]; this module enforces
+//! them at scale. In the default **threaded** mode a single
+//! [`DelayScheduler`] thread owns a [`TimerWheel`](crate::wheel) and maps
+//! clock time onto wheel ticks, so 10 000 concurrent delays cost 10 000
+//! wheel entries — not 10 000 sleeping threads or tasks. In **manual**
+//! mode there is no thread at all: a deterministic test harness advances
+//! a simulated clock itself and calls [`DelayScheduler::poll`], making
+//! every firing a pure function of (schedule calls, clock advances).
+//!
+//! Jobs (closures that push a `ROW`/`DONE` frame into a connection's
+//! bounded send queue) must be quick and non-blocking: they run on the
+//! scheduler thread (or the polling thread, in manual mode).
 //!
 //! Firing is never early: a deadline maps to the tick *ceiling*, and the
-//! wheel releases a tick only once wall time has passed it.
+//! wheel releases a tick only once clock time has passed it.
 
 use crate::metrics::ServerMetrics;
 use crate::wheel::TimerWheel;
+use delayguard_core::clock::{Clock, RealClock};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Work fired when a deadline expires.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -33,20 +39,19 @@ struct Shared {
     work_cv: Condvar,
     /// Wakes drainers when the wheel runs dry.
     idle_cv: Condvar,
-    epoch: Instant,
+    clock: Arc<dyn Clock>,
     tick: Duration,
+    tick_nanos: u64,
     metrics: ServerMetrics,
 }
 
 impl Shared {
     fn now_tick(&self) -> u64 {
-        (self.epoch.elapsed().as_nanos() / self.tick.as_nanos()) as u64
+        self.clock.now_nanos() / self.tick_nanos
     }
 
-    fn deadline_tick(&self, deadline: Instant) -> u64 {
-        let offset = deadline.saturating_duration_since(self.epoch).as_nanos();
-        let tick = self.tick.as_nanos();
-        (offset.div_ceil(tick)) as u64
+    fn deadline_tick(&self, deadline_nanos: u64) -> u64 {
+        deadline_nanos.div_ceil(self.tick_nanos)
     }
 }
 
@@ -54,26 +59,28 @@ impl Shared {
 pub struct DelayScheduler {
     shared: Arc<Shared>,
     thread: Mutex<Option<JoinHandle<()>>>,
+    /// Manual mode: no thread; the owner drives [`Self::poll`].
+    manual: bool,
 }
 
 impl DelayScheduler {
-    /// Start the scheduler thread with the given tick granularity.
+    /// Start the scheduler thread with the given tick granularity,
+    /// reading the real clock.
     ///
     /// # Panics
     /// If `tick` is zero.
     pub fn start(tick: Duration, metrics: ServerMetrics) -> Arc<DelayScheduler> {
-        assert!(tick > Duration::ZERO, "tick must be positive");
-        let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                wheel: TimerWheel::new(),
-                running: true,
-            }),
-            work_cv: Condvar::new(),
-            idle_cv: Condvar::new(),
-            epoch: Instant::now(),
-            tick,
-            metrics,
-        });
+        DelayScheduler::start_with_clock(tick, metrics, RealClock::shared())
+    }
+
+    /// Start the scheduler thread against an explicit clock. Deadlines
+    /// passed to [`Self::schedule`] are nanoseconds on that clock.
+    pub fn start_with_clock(
+        tick: Duration,
+        metrics: ServerMetrics,
+        clock: Arc<dyn Clock>,
+    ) -> Arc<DelayScheduler> {
+        let shared = DelayScheduler::shared(tick, metrics, clock);
         shared.metrics.scheduler_threads.set(1);
         let thread_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -83,12 +90,47 @@ impl DelayScheduler {
         Arc::new(DelayScheduler {
             shared,
             thread: Mutex::new(Some(handle)),
+            manual: false,
         })
     }
 
-    /// Schedule `job` to run once wall time reaches `deadline`.
-    pub fn schedule(&self, deadline: Instant, job: Job) {
-        let tick = self.shared.deadline_tick(deadline);
+    /// A scheduler with **no thread**: deadlines fire only when the owner
+    /// calls [`Self::poll`] after advancing `clock`. This is the
+    /// deterministic-simulation mode — with a manual clock, the complete
+    /// firing schedule is a pure function of the calls made.
+    pub fn manual(
+        tick: Duration,
+        metrics: ServerMetrics,
+        clock: Arc<dyn Clock>,
+    ) -> Arc<DelayScheduler> {
+        let shared = DelayScheduler::shared(tick, metrics, clock);
+        Arc::new(DelayScheduler {
+            shared,
+            thread: Mutex::new(None),
+            manual: true,
+        })
+    }
+
+    fn shared(tick: Duration, metrics: ServerMetrics, clock: Arc<dyn Clock>) -> Arc<Shared> {
+        assert!(tick > Duration::ZERO, "tick must be positive");
+        Arc::new(Shared {
+            state: Mutex::new(State {
+                wheel: TimerWheel::new(),
+                running: true,
+            }),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            clock,
+            tick,
+            tick_nanos: tick.as_nanos() as u64,
+            metrics,
+        })
+    }
+
+    /// Schedule `job` to run once clock time reaches `deadline_nanos`
+    /// (nanoseconds on the scheduler's clock).
+    pub fn schedule(&self, deadline_nanos: u64, job: Job) {
+        let tick = self.shared.deadline_tick(deadline_nanos);
         let mut st = self.shared.state.lock().unwrap();
         st.wheel.insert(tick, job);
         self.shared.metrics.scheduler_scheduled.inc();
@@ -105,11 +147,62 @@ impl DelayScheduler {
         self.shared.state.lock().unwrap().wheel.pending()
     }
 
-    /// Wait until every scheduled delay has fired, then stop the thread.
+    /// The earliest pending deadline, in nanoseconds on the scheduler's
+    /// clock (the tick a simulated clock must reach for the next firing),
+    /// or `None` if the wheel is empty.
+    pub fn next_deadline_nanos(&self) -> Option<u64> {
+        let st = self.shared.state.lock().unwrap();
+        st.wheel
+            .next_deadline()
+            .map(|tick| tick.saturating_mul(self.shared.tick_nanos))
+    }
+
+    /// Fire everything whose deadline has been reached at the clock's
+    /// current time, running the jobs on the calling thread. Returns the
+    /// number of jobs fired. This is the manual-mode drive; it is also
+    /// safe (if pointless) alongside the scheduler thread.
+    pub fn poll(&self) -> usize {
+        let mut st = self.shared.state.lock().unwrap();
+        let now = self.shared.now_tick();
+        let fired = st.wheel.advance(now);
+        self.shared
+            .metrics
+            .scheduler_pending
+            .set(st.wheel.pending() as i64);
+        let wheel_dry = st.wheel.pending() == 0;
+        drop(st);
+        let n = fired.len();
+        if n > 0 {
+            self.shared.metrics.scheduler_fired.add(n as u64);
+            for (_, job) in fired {
+                job();
+            }
+        }
+        if wheel_dry {
+            self.shared.idle_cv.notify_all();
+        }
+        n
+    }
+
+    /// Wait until every scheduled delay has fired, then stop.
     ///
     /// The caller must ensure no new work is scheduled concurrently (the
     /// server refuses queries before draining), or this never returns.
+    /// In manual mode this advances the scheduler's clock through every
+    /// remaining deadline (a manual clock jumps; the firings still happen
+    /// in deadline order, one poll per pending tick).
     pub fn drain(&self) {
+        if self.manual {
+            loop {
+                self.poll();
+                let Some(next) = self.next_deadline_nanos() else {
+                    break;
+                };
+                self.shared.clock.sleep_until_nanos(next);
+            }
+            self.shared.state.lock().unwrap().running = false;
+            return;
+        }
         let mut st = self.shared.state.lock().unwrap();
         while st.wheel.pending() > 0 {
             st = self.shared.idle_cv.wait(st).unwrap();
@@ -177,9 +270,11 @@ fn run(shared: Arc<Shared>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use delayguard_core::clock::{secs_to_nanos, ManualClock};
     use delayguard_sim::Registry;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc;
+    use std::time::Instant;
 
     fn metrics() -> (Registry, ServerMetrics) {
         let r = Registry::new();
@@ -190,13 +285,16 @@ mod tests {
     #[test]
     fn fires_in_order_and_never_early() {
         let (_r, m) = metrics();
-        let sched = DelayScheduler::start(Duration::from_millis(1), m);
+        let clock = RealClock::shared();
+        let sched =
+            DelayScheduler::start_with_clock(Duration::from_millis(1), m, Arc::clone(&clock));
         let (tx, rx) = mpsc::channel();
+        let start_nanos = clock.now_nanos();
         let start = Instant::now();
         for &ms in &[30u64, 10, 20] {
             let tx = tx.clone();
             sched.schedule(
-                start + Duration::from_millis(ms),
+                start_nanos + ms * 1_000_000,
                 Box::new(move || tx.send((ms, Instant::now())).unwrap()),
             );
         }
@@ -220,13 +318,15 @@ mod tests {
     #[test]
     fn drain_waits_for_all_jobs() {
         let (_r, m) = metrics();
-        let sched = DelayScheduler::start(Duration::from_millis(1), m);
+        let clock = RealClock::shared();
+        let sched =
+            DelayScheduler::start_with_clock(Duration::from_millis(1), m, Arc::clone(&clock));
         let count = Arc::new(AtomicUsize::new(0));
-        let start = Instant::now();
+        let start = clock.now_nanos();
         for i in 0..50u64 {
             let count = Arc::clone(&count);
             sched.schedule(
-                start + Duration::from_millis(5 + i % 40),
+                start + (5 + i % 40) * 1_000_000,
                 Box::new(move || {
                     count.fetch_add(1, Ordering::SeqCst);
                 }),
@@ -240,10 +340,12 @@ mod tests {
     #[test]
     fn one_thread_many_delays() {
         let (r, m) = metrics();
-        let sched = DelayScheduler::start(Duration::from_millis(1), m);
-        let start = Instant::now();
+        let clock = RealClock::shared();
+        let sched =
+            DelayScheduler::start_with_clock(Duration::from_millis(1), m, Arc::clone(&clock));
+        let start = clock.now_nanos();
         for _ in 0..10_000 {
-            sched.schedule(start + Duration::from_millis(40), Box::new(|| {}));
+            sched.schedule(start + 40_000_000, Box::new(|| {}));
         }
         assert!(sched.pending() >= 9_000);
         sched.drain();
@@ -257,5 +359,62 @@ mod tests {
             other => panic!("{other:?}"),
         };
         assert_eq!(threads_high, 1, "one scheduler thread, not one per delay");
+    }
+
+    #[test]
+    fn manual_mode_fires_only_when_polled() {
+        let (_r, m) = metrics();
+        let clock = ManualClock::shared();
+        let sched = DelayScheduler::manual(
+            Duration::from_millis(1),
+            m,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        let count = Arc::new(AtomicUsize::new(0));
+        for secs in [3.0f64, 1.0, 2.0] {
+            let count = Arc::clone(&count);
+            sched.schedule(
+                secs_to_nanos(secs),
+                Box::new(move || {
+                    count.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+        }
+        assert_eq!(sched.pending(), 3);
+        assert_eq!(sched.next_deadline_nanos(), Some(secs_to_nanos(1.0)));
+        // Time passes but nobody polls: nothing fires.
+        clock.advance_to_secs(1.5);
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+        assert_eq!(sched.poll(), 1);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        assert_eq!(sched.next_deadline_nanos(), Some(secs_to_nanos(2.0)));
+        // Polling without advancing fires nothing.
+        assert_eq!(sched.poll(), 0);
+        clock.advance_to_secs(10.0);
+        assert_eq!(sched.poll(), 2);
+        assert_eq!(sched.pending(), 0);
+        assert_eq!(sched.next_deadline_nanos(), None);
+    }
+
+    #[test]
+    fn manual_drain_jumps_through_deadlines() {
+        let (_r, m) = metrics();
+        let clock = ManualClock::shared();
+        let sched = DelayScheduler::manual(
+            Duration::from_millis(1),
+            m,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for secs in [5.0f64, 1.0, 3.0] {
+            let order = Arc::clone(&order);
+            sched.schedule(
+                secs_to_nanos(secs),
+                Box::new(move || order.lock().unwrap().push(secs as u64)),
+            );
+        }
+        sched.drain();
+        assert_eq!(*order.lock().unwrap(), vec![1, 3, 5]);
+        assert!(clock.now_secs() >= 5.0);
     }
 }

@@ -1,8 +1,10 @@
-//! The network front door: TCP accept loop, per-connection sessions,
-//! gatekeeper admission, delay-scheduled streaming, and graceful drain.
+//! The TCP transport for the front door: accept loop, per-connection
+//! sessions, bounded send queues, and graceful drain.
 //!
-//! Concurrency model (no async runtime; the container's toolchain is all
-//! we use):
+//! All protocol *policy* — gatekeeper admission, delay pricing, deadline
+//! scheduling, refusal codes — lives in the transport-agnostic
+//! [`FrontDoor`](crate::gate::FrontDoor); this module owns the sockets
+//! and threads that carry it:
 //!
 //! * one accept thread; connections beyond `max_sessions` are shed with
 //!   an explicit `REFUSED(Overloaded)` carrying a retry hint,
@@ -19,21 +21,24 @@
 //! client. Scheduler jobs therefore never wait: they push into
 //! pre-reserved slots and drop frames only for dead connections.
 //!
-//! Graceful shutdown ([`ServerHandle::shutdown`]): mark the server
+//! Graceful shutdown ([`ServerHandle::shutdown`]): mark the front door
 //! draining (new queries, registrations, and connections are refused
 //! with `ShuttingDown`), wait for in-flight handlers to finish
 //! scheduling, drain the wheel so every already-charged tuple is
 //! delivered at its deadline, flush and close the send queues, then
 //! join all threads.
+//!
+//! Time: the server adopts the guard's [`Clock`] (`db.clock()`), so
+//! gatekeeper timestamps, guard deadlines, and wheel ticks share one
+//! epoch. Socket-flush timeouts read the same clock.
 
+use crate::gate::{FrameSink, FrontDoor, GateConfig, SessionControl};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{write_frame, Frame, ProtocolError, RefuseReason};
 use crate::scheduler::DelayScheduler;
-use delayguard_core::gatekeeper::{
-    Admission, Gatekeeper, GatekeeperConfig, Ipv4, RefusalReason, RegistrationOutcome, UserId,
-};
+use delayguard_core::clock::{secs_to_nanos, Clock};
+use delayguard_core::gatekeeper::GatekeeperConfig;
 use delayguard_core::GuardedDatabase;
-use delayguard_query::engine::StatementOutput;
 use delayguard_sim::{GuardStatsPublisher, Registry};
 use parking_lot::Mutex as PMutex;
 use std::collections::VecDeque;
@@ -42,7 +47,7 @@ use std::net::{IpAddr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -80,6 +85,17 @@ impl Default for ServerConfig {
             trust_client_ip: false,
             retry_after_secs: 1.0,
             snapshot_refresh_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The transport-independent subset handed to the front door.
+    fn gate_config(&self) -> GateConfig {
+        GateConfig {
+            gatekeeper: self.gatekeeper,
+            trust_client_ip: self.trust_client_ip,
+            retry_after_secs: self.retry_after_secs,
         }
     }
 }
@@ -182,16 +198,18 @@ impl SendQueue {
         self.empty.notify_all();
     }
 
-    /// Wait until every queued frame has been handed to the writer.
-    fn wait_drained(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
+    /// Wait until every queued frame has been handed to the writer,
+    /// measuring the timeout on `clock`.
+    fn wait_drained(&self, clock: &dyn Clock, timeout: Duration) -> bool {
+        let deadline = clock.now_nanos().saturating_add(timeout.as_nanos() as u64);
         let mut q = self.inner.lock().unwrap();
         while !q.frames.is_empty() {
-            let now = Instant::now();
+            let now = clock.now_nanos();
             if now >= deadline {
                 return false;
             }
-            let (guard, _) = self.empty.wait_timeout(q, deadline - now).unwrap();
+            let wait = Duration::from_nanos(deadline - now);
+            let (guard, _) = self.empty.wait_timeout(q, wait).unwrap();
             q = guard;
         }
         true
@@ -203,42 +221,42 @@ impl SendQueue {
 struct Conn {
     queue: SendQueue,
     stream: TcpStream,
+    /// Row budget for this connection ([`ServerConfig::send_queue_rows`]).
+    rows_cap: usize,
     done: AtomicBool,
     /// Set once the writer has flushed its last frame; shutdown waits for
     /// this before severing the stream, so no queued frame is cut off.
     writer_done: AtomicBool,
 }
 
+impl FrameSink for Conn {
+    fn push_control(&self, frame: Frame) {
+        self.queue.push_control(frame);
+    }
+
+    fn push_row(&self, frame: Frame) {
+        self.queue.push_row(frame);
+    }
+
+    fn try_reserve_rows(&self, n: usize) -> bool {
+        self.queue.try_reserve_rows(n, self.rows_cap)
+    }
+}
+
 // ---- the server itself --------------------------------------------------
 
 struct Shared {
     config: ServerConfig,
-    db: Arc<GuardedDatabase>,
-    gatekeeper: PMutex<Gatekeeper>,
-    scheduler: Arc<DelayScheduler>,
+    gate: FrontDoor,
+    clock: Arc<dyn Clock>,
     metrics: ServerMetrics,
-    registry: Registry,
-    /// Clock for gatekeeper decisions (seconds since server start).
-    epoch: Instant,
-    /// Set first during shutdown: refuse all new work.
-    draining: AtomicBool,
     /// Stops the accept loop.
     stop_accept: AtomicBool,
     /// Stops the snapshot refresher thread.
     stop_refresher: AtomicBool,
     /// Live sessions (the admission "semaphore").
     sessions: AtomicUsize,
-    /// Query handlers between the draining check and their last
-    /// `schedule` call; shutdown waits for this to reach zero before
-    /// draining the wheel, so no delay is scheduled after the drain.
-    inflight_queries: AtomicUsize,
     conns: PMutex<Vec<Arc<Conn>>>,
-}
-
-impl Shared {
-    fn now_secs(&self) -> f64 {
-        self.epoch.elapsed().as_secs_f64()
-    }
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -256,7 +274,9 @@ pub struct ServerHandle {
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
-    /// serving `db`, publishing metrics into `registry`.
+    /// serving `db`, publishing metrics into `registry`. The server
+    /// adopts the guard's clock, so guard deadlines and wheel ticks share
+    /// one epoch.
     pub fn start(
         addr: &str,
         config: ServerConfig,
@@ -267,26 +287,31 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let metrics = ServerMetrics::new(&registry);
-        let scheduler = DelayScheduler::start(config.tick, metrics.clone());
-        let shared = Arc::new(Shared {
-            gatekeeper: PMutex::new(Gatekeeper::new(config.gatekeeper)),
-            config,
-            db,
+        let clock = db.clock();
+        let scheduler =
+            DelayScheduler::start_with_clock(config.tick, metrics.clone(), Arc::clone(&clock));
+        let gate = FrontDoor::new(
+            config.gate_config(),
+            Arc::clone(&db),
             scheduler,
-            metrics,
+            Arc::clone(&clock),
+            metrics.clone(),
             registry,
-            epoch: Instant::now(),
-            draining: AtomicBool::new(false),
+        );
+        let shared = Arc::new(Shared {
+            config,
+            gate,
+            clock,
+            metrics,
             stop_accept: AtomicBool::new(false),
             stop_refresher: AtomicBool::new(false),
             sessions: AtomicUsize::new(0),
-            inflight_queries: AtomicUsize::new(0),
             conns: PMutex::new(Vec::new()),
         });
         // Publish an initial snapshot synchronously so the first query
         // prices against everything learned before the server started
         // (pre-seeded popularity, warm-up traffic through `execute_at`).
-        shared.db.refresh();
+        db.refresh();
         let refresher_shared = Arc::clone(&shared);
         let refresher_thread = std::thread::Builder::new()
             .name("delayguard-refresher".into())
@@ -311,11 +336,11 @@ impl Server {
 /// drain the guard's record queue into the master trackers, publish a
 /// fresh policy snapshot, and export the machinery's health gauges.
 fn refresher_loop(shared: Arc<Shared>) {
-    let publisher = GuardStatsPublisher::new(&shared.registry);
+    let publisher = GuardStatsPublisher::new(shared.gate.registry());
     while !shared.stop_refresher.load(Ordering::SeqCst) {
         std::thread::sleep(shared.config.snapshot_refresh_interval);
-        shared.db.refresh();
-        publisher.publish(&shared.db);
+        shared.gate.db().refresh();
+        publisher.publish(shared.gate.db());
     }
 }
 
@@ -327,7 +352,7 @@ impl ServerHandle {
 
     /// The metrics registry the server publishes into.
     pub fn registry(&self) -> &Registry {
-        &self.shared.registry
+        self.shared.gate.registry()
     }
 
     /// Gracefully shut down: refuse new work, deliver every in-flight
@@ -335,14 +360,14 @@ impl ServerHandle {
     pub fn shutdown(mut self) {
         let shared = &self.shared;
         // 1. Refuse new queries/registrations/connections.
-        shared.draining.store(true, Ordering::SeqCst);
+        shared.gate.begin_drain();
         // 2. Let handlers that already passed the draining check finish
         //    scheduling their result sets.
-        while shared.inflight_queries.load(Ordering::SeqCst) > 0 {
+        while shared.gate.inflight_queries() > 0 {
             std::thread::sleep(Duration::from_millis(1));
         }
         // 3. Deliver everything on the wheel at its deadline.
-        shared.scheduler.drain();
+        shared.gate.scheduler().drain();
         // 3b. Stop the refresher and fold the final queued accesses into
         //     the master trackers: no recorded access is ever lost to
         //     shutdown.
@@ -350,21 +375,22 @@ impl ServerHandle {
         if let Some(t) = self.refresher_thread.take() {
             let _ = t.join();
         }
-        shared.db.refresh();
+        shared.gate.db().refresh();
         // 4. Flush and close every send queue, then unblock readers.
         let conns: Vec<Arc<Conn>> = shared.conns.lock().drain(..).collect();
         for conn in &conns {
             if conn.done.load(Ordering::SeqCst) {
                 continue;
             }
-            conn.queue.wait_drained(Duration::from_secs(10));
+            conn.queue
+                .wait_drained(shared.clock.as_ref(), Duration::from_secs(10));
             conn.queue.close();
         }
         for conn in &conns {
             // Wait for the writer's final flush before severing the
             // stream, so clients receive every drained frame.
-            let deadline = Instant::now() + Duration::from_secs(10);
-            while !conn.writer_done.load(Ordering::SeqCst) && Instant::now() < deadline {
+            let deadline = shared.clock.now_nanos() + secs_to_nanos(10.0);
+            while !conn.writer_done.load(Ordering::SeqCst) && shared.clock.now_nanos() < deadline {
                 std::thread::sleep(Duration::from_millis(1));
             }
             let _ = conn.stream.shutdown(Shutdown::Both);
@@ -420,7 +446,7 @@ fn handle_accept(
     session_threads: &Arc<PMutex<Vec<JoinHandle<()>>>>,
 ) {
     let retry = shared.config.retry_after_secs;
-    if shared.draining.load(Ordering::SeqCst) {
+    if shared.gate.draining() {
         refuse_and_drop(stream, RefuseReason::ShuttingDown, retry);
         return;
     }
@@ -440,6 +466,7 @@ fn handle_accept(
     let conn = Arc::new(Conn {
         queue: SendQueue::new(),
         stream: stream.try_clone().expect("clone session stream"),
+        rows_cap: shared.config.send_queue_rows,
         done: AtomicBool::new(false),
         writer_done: AtomicBool::new(false),
     });
@@ -468,8 +495,9 @@ fn handle_accept(
             // client whose session the server terminated (protocol error,
             // unexpected frame) would block forever waiting for a close.
             reader_conn.queue.close();
-            let flush_deadline = Instant::now() + Duration::from_secs(10);
-            while !reader_conn.writer_done.load(Ordering::SeqCst) && Instant::now() < flush_deadline
+            let flush_deadline = reader_shared.clock.now_nanos() + secs_to_nanos(10.0);
+            while !reader_conn.writer_done.load(Ordering::SeqCst)
+                && reader_shared.clock.now_nanos() < flush_deadline
             {
                 std::thread::sleep(Duration::from_millis(2));
             }
@@ -509,16 +537,9 @@ fn peer_octets(peer: SocketAddr) -> [u8; 4] {
     }
 }
 
-fn wire_reason(reason: RefusalReason) -> RefuseReason {
-    match reason {
-        RefusalReason::Unregistered => RefuseReason::Unregistered,
-        RefusalReason::UserRateExceeded => RefuseReason::UserRate,
-        RefusalReason::SubnetRateExceeded => RefuseReason::SubnetRate,
-    }
-}
-
 fn session_loop(stream: TcpStream, peer: SocketAddr, shared: &Arc<Shared>, conn: &Arc<Conn>) {
     let mut reader = BufReader::new(stream);
+    let peer_ip = peer_octets(peer);
     loop {
         let frame = match crate::protocol::read_frame(&mut reader) {
             Ok(Some(frame)) => frame,
@@ -532,200 +553,9 @@ fn session_loop(stream: TcpStream, peer: SocketAddr, shared: &Arc<Shared>, conn:
                 return;
             }
         };
-        match frame {
-            Frame::Register { claimed_ip } => handle_register(claimed_ip, peer, shared, conn),
-            Frame::Query {
-                query_id,
-                user,
-                sql,
-            } => handle_query(query_id, user, &sql, shared, conn),
-            Frame::Stats => {
-                conn.queue.push_control(Frame::StatsReply {
-                    rendered: shared.registry.render(),
-                });
-            }
-            other => {
-                conn.queue.push_control(Frame::Error {
-                    query_id: 0,
-                    message: format!("unexpected frame from client: {other:?}"),
-                });
-                return;
-            }
+        match shared.gate.handle_frame(frame, peer_ip, conn) {
+            SessionControl::Continue => {}
+            SessionControl::Terminate => return,
         }
-    }
-}
-
-fn handle_register(claimed_ip: [u8; 4], peer: SocketAddr, shared: &Arc<Shared>, conn: &Arc<Conn>) {
-    let retry = shared.config.retry_after_secs;
-    if shared.draining.load(Ordering::SeqCst) {
-        shared.metrics.refused_shutdown.inc();
-        conn.queue.push_control(Frame::Refused {
-            query_id: 0,
-            reason: RefuseReason::ShuttingDown,
-            retry_after_secs: retry,
-        });
-        return;
-    }
-    let ip = if shared.config.trust_client_ip && claimed_ip != [0, 0, 0, 0] {
-        claimed_ip
-    } else {
-        peer_octets(peer)
-    };
-    let now = shared.now_secs();
-    let outcome = shared.gatekeeper.lock().register(Ipv4(ip), now);
-    match outcome {
-        RegistrationOutcome::Admitted { user, fee_charged } => {
-            shared.metrics.users_registered.inc();
-            conn.queue.push_control(Frame::Registered {
-                user: user.0,
-                fee: fee_charged,
-            });
-        }
-        RegistrationOutcome::TooSoon { retry_at } => {
-            shared.metrics.registrations_refused.inc();
-            conn.queue.push_control(Frame::Refused {
-                query_id: 0,
-                reason: RefuseReason::RegistrationTooSoon,
-                retry_after_secs: (retry_at - now).max(0.0),
-            });
-        }
-    }
-}
-
-fn handle_query(query_id: u32, user: u64, sql: &str, shared: &Arc<Shared>, conn: &Arc<Conn>) {
-    let retry = shared.config.retry_after_secs;
-    // Entered before the draining check; shutdown waits for this count to
-    // reach zero before draining the wheel, so every delay we schedule
-    // below is delivered.
-    shared.inflight_queries.fetch_add(1, Ordering::SeqCst);
-    let _guard = InflightGuard(shared);
-    if shared.draining.load(Ordering::SeqCst) {
-        shared.metrics.refused_shutdown.inc();
-        conn.queue.push_control(Frame::Refused {
-            query_id,
-            reason: RefuseReason::ShuttingDown,
-            retry_after_secs: retry,
-        });
-        return;
-    }
-    let admission = shared
-        .gatekeeper
-        .lock()
-        .admit(UserId(user), shared.now_secs());
-    if let Admission::Refused(reason) = admission {
-        let counter = match reason {
-            RefusalReason::Unregistered => &shared.metrics.refused_unregistered,
-            RefusalReason::UserRateExceeded => &shared.metrics.refused_user_rate,
-            RefusalReason::SubnetRateExceeded => &shared.metrics.refused_subnet_rate,
-        };
-        counter.inc();
-        conn.queue.push_control(Frame::Refused {
-            query_id,
-            reason: wire_reason(reason),
-            retry_after_secs: retry,
-        });
-        return;
-    }
-    let response = match shared.db.execute_with_deadline(sql) {
-        Ok(r) => r,
-        Err(e) => {
-            shared.metrics.query_errors.inc();
-            conn.queue.push_control(Frame::Error {
-                query_id,
-                message: e.to_string(),
-            });
-            return;
-        }
-    };
-    shared.metrics.queries_admitted.inc();
-    shared
-        .metrics
-        .delay_micros_charged
-        .add_secs(response.delay_secs);
-    let delay_secs = response.delay_secs;
-    let done_at = response.deadline();
-    match response.output {
-        StatementOutput::Rows(select) => {
-            let n = select.rows.len();
-            if !conn
-                .queue
-                .try_reserve_rows(n, shared.config.send_queue_rows)
-            {
-                // The delay was charged but the connection cannot absorb
-                // the result set; shed rather than block the scheduler.
-                shared.metrics.refused_backpressure.inc();
-                conn.queue.push_control(Frame::Refused {
-                    query_id,
-                    reason: RefuseReason::Overloaded,
-                    retry_after_secs: retry,
-                });
-                return;
-            }
-            conn.queue.push_control(Frame::RowsBegin {
-                query_id,
-                columns: select.columns.clone(),
-                rows: n as u32,
-            });
-            shared.metrics.rows_streamed.add(n as u64);
-            let issued_at = response.issued_at;
-            for (seq, ((_rid, row), offset)) in select
-                .rows
-                .into_iter()
-                .zip(response.tuple_offsets.iter())
-                .enumerate()
-            {
-                let frame = Frame::Row {
-                    query_id,
-                    seq: seq as u32,
-                    row,
-                };
-                let job_conn = Arc::clone(conn);
-                shared.scheduler.schedule(
-                    issued_at + Duration::from_secs_f64(offset.max(0.0)),
-                    Box::new(move || job_conn.queue.push_row(frame)),
-                );
-            }
-            // DONE rides the wheel too, scheduled after the rows at the
-            // same final deadline so stable ordering emits it last.
-            let done_conn = Arc::clone(conn);
-            shared.scheduler.schedule(
-                done_at,
-                Box::new(move || {
-                    done_conn.queue.push_control(Frame::Done {
-                        query_id,
-                        delay_secs,
-                        tuples: n as u32,
-                    })
-                }),
-            );
-        }
-        other => {
-            let tuples = match &other {
-                StatementOutput::Inserted { rids } => rids.len() as u32,
-                StatementOutput::Updated { rids } => rids.len() as u32,
-                StatementOutput::Deleted { rids } => rids.len() as u32,
-                _ => 0,
-            };
-            let done_conn = Arc::clone(conn);
-            shared.scheduler.schedule(
-                done_at,
-                Box::new(move || {
-                    done_conn.queue.push_control(Frame::Done {
-                        query_id,
-                        delay_secs,
-                        tuples,
-                    })
-                }),
-            );
-        }
-    }
-}
-
-/// Decrements `inflight_queries` on every exit path of `handle_query`.
-struct InflightGuard<'a>(&'a Arc<Shared>);
-
-impl Drop for InflightGuard<'_> {
-    fn drop(&mut self) {
-        self.0.inflight_queries.fetch_sub(1, Ordering::SeqCst);
     }
 }

@@ -87,6 +87,20 @@ impl<T> TimerWheel<T> {
         self.pending
     }
 
+    /// The earliest deadline of any pending entry, or `None` if the wheel
+    /// is empty. Entries inserted with an already-passed deadline report
+    /// their original (past) deadline. O(pending + slots) scan — used by
+    /// the manual-mode scheduler to decide how far a simulated clock must
+    /// advance, not on the per-tick hot path.
+    pub fn next_deadline(&self) -> Option<u64> {
+        let all = self
+            .due
+            .iter()
+            .chain(self.levels.iter().flatten().flatten())
+            .chain(self.overflow.iter());
+        all.map(|e| e.deadline).min()
+    }
+
     /// Schedule `item` to fire once `advance` reaches `deadline`.
     /// Deadlines at or before the current tick fire on the next `advance`.
     pub fn insert(&mut self, deadline: u64, item: T) {
@@ -180,11 +194,18 @@ impl<T> TimerWheel<T> {
                     break;
                 }
             }
-            // Top level turned over: overflow entries may now fit.
+            // Top level turned over: overflow entries may now fit. An
+            // entry due exactly at the turnover tick must fire in this
+            // batch — `place` would park it in `due` for the *next*
+            // advance, one tick late.
             if self.now.is_multiple_of(HORIZON) && !self.overflow.is_empty() {
                 let entries = std::mem::take(&mut self.overflow);
                 for e in entries {
-                    self.place(e);
+                    if e.deadline <= self.now {
+                        fired.push(e);
+                    } else {
+                        self.place(e);
+                    }
                 }
             }
             // Fire this tick's level-0 slot.
@@ -269,6 +290,63 @@ mod tests {
             assert_eq!(fired, vec![(d, d)], "deadline {d}");
         }
         assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn next_deadline_tracks_minimum() {
+        let mut w = TimerWheel::new();
+        assert_eq!(w.next_deadline(), None);
+        w.insert(HORIZON + 17, "overflow");
+        assert_eq!(w.next_deadline(), Some(HORIZON + 17));
+        w.insert(500, "mid");
+        w.insert(3, "soon");
+        assert_eq!(w.next_deadline(), Some(3));
+        w.advance(3);
+        assert_eq!(w.next_deadline(), Some(500));
+        // A deadline already in the past still reports itself.
+        w.insert(1, "late");
+        assert_eq!(w.next_deadline(), Some(1));
+    }
+
+    #[test]
+    fn level_boundary_deadline_fires_once_and_on_time() {
+        // Regression: a deadline landing exactly on a level-boundary tick
+        // (a multiple of 64, 64^2, 64^3, or the horizon) is cascaded and
+        // fired in the same `advance` step — exactly once, never early,
+        // never a tick late.
+        let boundaries = [
+            level_span(1),                     // 64
+            level_span(2),                     // 4 096
+            level_span(3),                     // 262 144
+            HORIZON,                           // 16 777 216: top level turns over
+            3 * level_span(1),                 // boundary later than one slot
+            2 * level_span(2) + level_span(1), // mixed-level boundary
+        ];
+        for &d in &boundaries {
+            let mut w = TimerWheel::new();
+            w.insert(d, "x");
+            assert!(
+                w.advance(d - 1).is_empty(),
+                "deadline {d} fired early (at {})",
+                d - 1
+            );
+            assert_eq!(w.advance(d), vec![(d, "x")], "deadline {d} missed its tick");
+            assert!(w.advance(d + 1).is_empty(), "deadline {d} fired twice");
+            assert_eq!(w.pending(), 0);
+        }
+        // Same, crossing the boundary one tick at a time (the cascade path
+        // the scheduler thread actually exercises).
+        let mut w = TimerWheel::new();
+        let d = level_span(2); // 4 096
+        w.insert(d, "y");
+        let mut fired = Vec::new();
+        for t in 1..=d + 2 {
+            fired.extend(w.advance(t));
+            if t < d {
+                assert!(fired.is_empty(), "fired at {t}, before {d}");
+            }
+        }
+        assert_eq!(fired, vec![(d, "y")]);
     }
 
     #[test]

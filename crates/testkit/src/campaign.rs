@@ -1,0 +1,553 @@
+//! §2.4 adversary campaigns in virtual time.
+//!
+//! A [`Campaign`] is a simulated deployment seeded as the paper's
+//! running example: a directory of `n` tuples whose popularity follows a
+//! Zipf distribution with exponent α, warmed into the tracker in bulk
+//! (so `fmax` and the rank order are known in closed form), guarded by
+//! the access-rate delay policy `d(i) = i^(α+β) / (n·fmax)`.
+//!
+//! The drivers replay the paper's attacks end to end over the wire —
+//! registration, refusal hints, per-tuple delay enforcement — and return
+//! reports whose numbers can be asserted against
+//! [`delayguard_core::analysis`] (Eq. 4 and the Sybil economics):
+//!
+//! * [`Campaign::sequential_crawl`] — one identity walks a rank list;
+//!   months of simulated delay, seconds of wall clock.
+//! * [`Campaign::swarm_crawl`] — k identities crawl stripes of the rank
+//!   space concurrently (work-conserving, virtual-time parallel); with
+//!   [`Campaign::sybil_ips`] this is the Sybil attack racing the
+//!   registration interval, with [`Campaign::clustered_ips`] it is the
+//!   same swarm collapsed onto one /24 for the subnet aggregation
+//!   defense.
+//! * [`Campaign::zipf_ranks`] — a popularity-aware workload (the
+//!   *user*'s side of Eq. 4, or a smart crawler that goes for the
+//!   popular head first).
+
+use crate::net::{self, NetLink, QueryOutcome};
+use crate::world::{MeshLink, SimConfig, SimWorld};
+use delayguard_core::access::{AccessDelayPolicy, FmaxMode};
+use delayguard_core::analysis;
+use delayguard_core::gatekeeper::{GatekeeperConfig, RegistrationPolicy};
+use delayguard_core::policy::GuardPolicy;
+use delayguard_core::GuardConfig;
+use delayguard_query::StatementOutput;
+use delayguard_server::gate::GateConfig;
+use delayguard_server::protocol::Frame;
+use delayguard_storage::RowId;
+use delayguard_workload::{generalized_harmonic, Rng, Zipf};
+use std::time::Duration;
+
+/// Per-attempt timeout for a registration exchange (virtual seconds).
+const REGISTER_TIMEOUT_SECS: f64 = 600.0;
+
+/// Timeout for a single query: must exceed the largest per-tuple delay a
+/// campaign can be charged (rank n at n²-ish seconds).
+const QUERY_TIMEOUT_SECS: f64 = 50.0 * 86_400.0;
+
+/// The paper's running example, parameterized.
+#[derive(Debug, Clone)]
+pub struct CampaignParams {
+    /// Database size (tuples), ranked 1 (most popular) to `n`.
+    pub n: u64,
+    /// Zipf exponent of the seeded popularity distribution.
+    pub alpha: f64,
+    /// Delay-policy exponent: `d(i) ∝ i^(α+β)`.
+    pub beta: f64,
+    /// Per-tuple delay cap; `f64::INFINITY` is the uncapped §2.1 policy.
+    pub cap_secs: f64,
+    /// Access count of the rank-1 tuple when the campaign starts
+    /// (`c_i = seed_scale · i^(−α)`). Large values make the crawl's own
+    /// accesses a negligible perturbation of `fmax`.
+    pub seed_scale: f64,
+    /// Gatekeeper configuration (defaults to wide-open so the delay
+    /// policy is the only brake; override for Sybil / subnet scenarios).
+    pub gatekeeper: GatekeeperConfig,
+    /// Timer-wheel tick. Campaign delays are seconds-to-hours, so a
+    /// coarse tick keeps the event count proportional to queries.
+    pub tick: Duration,
+    /// Per-connection send-queue row cap.
+    pub send_queue_rows: usize,
+}
+
+impl Default for CampaignParams {
+    fn default() -> CampaignParams {
+        CampaignParams {
+            n: 1100,
+            alpha: 1.0,
+            beta: 1.0,
+            cap_secs: f64::INFINITY,
+            seed_scale: 1e6,
+            gatekeeper: GatekeeperConfig {
+                per_user_rate: 1e9,
+                per_user_burst: 1e9,
+                per_subnet_rate: 1e9,
+                per_subnet_burst: 1e9,
+                registration: RegistrationPolicy::interval(0.0),
+                storefront_query_threshold: 0,
+            },
+            tick: Duration::from_secs(1),
+            send_queue_rows: 4096,
+        }
+    }
+}
+
+/// What one crawling identity observed.
+#[derive(Debug, Clone)]
+pub struct CrawlReport {
+    /// Queries answered with rows.
+    pub queries: u64,
+    /// Refusals absorbed (each followed by honoring the retry hint).
+    pub refused: u64,
+    /// Tuples charged across all answered queries.
+    pub tuples: u64,
+    /// Sum of charged delays (the server's `DONE` accounting).
+    pub total_delay_secs: f64,
+    /// Virtual time when the crawl started (before registration).
+    pub started_secs: f64,
+    /// Virtual time when the last `DONE` arrived.
+    pub finished_secs: f64,
+    /// Minimum over all queries of `(done − sent) − charged delay`:
+    /// negative means some tuple was released early.
+    pub min_margin_secs: f64,
+}
+
+impl CrawlReport {
+    /// End-to-end campaign wall time in virtual seconds.
+    pub fn wall_secs(&self) -> f64 {
+        self.finished_secs - self.started_secs
+    }
+}
+
+/// What a k-identity swarm observed.
+#[derive(Debug, Clone)]
+pub struct SybilReport {
+    /// Identities that completed registration.
+    pub identities: u64,
+    /// `RegistrationTooSoon` refusals absorbed while registering.
+    pub registration_refusals: u64,
+    /// Virtual time when the swarm started registering.
+    pub started_secs: f64,
+    /// Virtual time when the last identity was admitted.
+    pub registration_done_secs: f64,
+    /// Virtual time when the last stripe finished.
+    pub finished_secs: f64,
+    /// Sum of charged delays across the whole swarm.
+    pub total_delay_secs: f64,
+    /// Tuples charged across the whole swarm.
+    pub tuples: u64,
+    /// Query refusals absorbed during the crawl.
+    pub refused_queries: u64,
+    /// Minimum never-early margin across every query (see
+    /// [`CrawlReport::min_margin_secs`]).
+    pub min_margin_secs: f64,
+}
+
+impl SybilReport {
+    /// End-to-end campaign wall time (registration + crawl).
+    pub fn wall_secs(&self) -> f64 {
+        self.finished_secs - self.started_secs
+    }
+
+    /// Time spent serially registering the swarm.
+    pub fn registration_wall_secs(&self) -> f64 {
+        self.registration_done_secs - self.started_secs
+    }
+}
+
+/// A simulated deployment seeded as the paper's running example.
+pub struct Campaign {
+    world: SimWorld,
+    params: CampaignParams,
+    rids: Vec<RowId>,
+    rng: Rng,
+    next_query_id: u32,
+}
+
+impl Campaign {
+    /// Build the world, create and populate the directory table, and
+    /// warm the popularity tracker with `c_i = seed_scale · i^(−α)`
+    /// accesses per rank — all at virtual time zero, before any client
+    /// connects. Rank `i` is the row with `id = i − 1`.
+    pub fn new(seed: u64, params: CampaignParams) -> Campaign {
+        let policy = AccessDelayPolicy::new(params.alpha, params.beta)
+            .with_cap(params.cap_secs)
+            .with_fmax_mode(FmaxMode::DecayedTotal);
+        let guard = GuardConfig::paper_default().with_policy(GuardPolicy::AccessRate(policy));
+        let gate = GateConfig {
+            gatekeeper: params.gatekeeper,
+            ..GateConfig::default()
+        };
+        let world = SimWorld::new(
+            seed,
+            SimConfig {
+                guard,
+                gate,
+                tick: params.tick,
+                send_queue_rows: params.send_queue_rows,
+                faults: crate::net::FaultPlan::ideal(),
+            },
+        );
+        let db = world.db();
+        db.execute_at(
+            "CREATE TABLE directory (id INT NOT NULL, entry TEXT NOT NULL)",
+            0.0,
+        )
+        .expect("create table");
+        db.execute_at("CREATE UNIQUE INDEX directory_pk ON directory (id)", 0.0)
+            .expect("create index");
+        let mut rids = Vec::with_capacity(params.n as usize);
+        for rank in 1..=params.n {
+            let id = rank - 1;
+            let resp = db
+                .execute_at(
+                    &format!("INSERT INTO directory VALUES ({id}, 'entry-{id}')"),
+                    0.0,
+                )
+                .expect("insert row");
+            match resp.output {
+                StatementOutput::Inserted { rids: mut r } => {
+                    rids.push(r.pop().expect("one rid per insert"))
+                }
+                other => panic!("unexpected insert output: {other:?}"),
+            }
+        }
+        let counts: Vec<(RowId, f64)> = rids
+            .iter()
+            .enumerate()
+            .map(|(i, &rid)| {
+                let rank = (i + 1) as f64;
+                (rid, params.seed_scale * rank.powf(-params.alpha))
+            })
+            .collect();
+        db.warm_accesses("directory", &counts, 0.0);
+        Campaign {
+            world,
+            // Independent stream from the world's fault RNG.
+            rng: Rng::new(seed ^ 0x9e37_79b9_7f4a_7c15),
+            params,
+            rids,
+            next_query_id: 1,
+        }
+    }
+
+    /// The underlying world (digest, metrics, fault control).
+    pub fn world(&self) -> &SimWorld {
+        &self.world
+    }
+
+    /// The campaign parameters.
+    pub fn params(&self) -> &CampaignParams {
+        &self.params
+    }
+
+    /// The `RowId` of rank `i` (1-based).
+    pub fn rid_of_rank(&self, rank: u64) -> RowId {
+        self.rids[(rank - 1) as usize]
+    }
+
+    // ---- closed-form expectations (Eq. 4 inputs) --------------------------
+
+    /// The warmed tracker's max relative access frequency:
+    /// `fmax = c_1 / Σ c_i = 1 / H(n, α)` exactly.
+    pub fn fmax(&self) -> f64 {
+        1.0 / generalized_harmonic(self.params.n, self.params.alpha)
+    }
+
+    /// The policy's delay for rank `i` (with the cap applied).
+    pub fn analytic_delay_at_rank(&self, rank: u64) -> f64 {
+        analysis::delay_at_rank(
+            self.params.n,
+            self.params.alpha,
+            self.params.beta,
+            self.fmax(),
+            rank,
+        )
+        .min(self.params.cap_secs)
+    }
+
+    /// Total delay a full-crawl adversary pays (Eq. 3 / capped variant).
+    pub fn analytic_total(&self) -> f64 {
+        let p = &self.params;
+        if p.cap_secs.is_finite() {
+            analysis::adversary_total_capped(p.n, p.alpha, p.beta, self.fmax(), p.cap_secs)
+        } else {
+            analysis::adversary_total(p.n, p.alpha, p.beta, self.fmax())
+        }
+    }
+
+    /// Eq. 4: adversary total over the median user's delay.
+    pub fn analytic_ratio(&self) -> f64 {
+        let p = &self.params;
+        let dmax = p.cap_secs.is_finite().then_some(p.cap_secs);
+        analysis::delay_ratio(p.n, p.alpha, p.beta, self.fmax(), dmax)
+    }
+
+    /// The rank the median user query lands on.
+    pub fn median_rank(&self) -> u64 {
+        analysis::median_rank_exact(self.params.n, self.params.alpha)
+    }
+
+    /// The point query that touches exactly the rank-`i` tuple.
+    pub fn sql_for_rank(&self, rank: u64) -> String {
+        format!("SELECT * FROM directory WHERE id = {}", rank - 1)
+    }
+
+    /// Every rank, in crawl order `1..=n`.
+    pub fn all_ranks(&self) -> Vec<u64> {
+        (1..=self.params.n).collect()
+    }
+
+    /// `count` ranks sampled from the user's Zipf(α) popularity
+    /// distribution — the workload honest users (or a popularity-aware
+    /// crawler) generate. Deterministic per campaign seed.
+    pub fn zipf_ranks(&mut self, count: u64) -> Vec<u64> {
+        let zipf = Zipf::new(self.params.n, self.params.alpha);
+        (0..count).map(|_| zipf.sample(&mut self.rng)).collect()
+    }
+
+    /// Distinct-/24 source addresses for a Sybil swarm of `k`.
+    pub fn sybil_ips(k: u64) -> Vec<[u8; 4]> {
+        (0..k).map(|j| [10, (j >> 8) as u8, j as u8, 1]).collect()
+    }
+
+    /// `k` addresses on one /24 (the subnet-aggregation worst case).
+    pub fn clustered_ips(k: u64) -> Vec<[u8; 4]> {
+        (0..k).map(|j| [10, 0, 0, (j + 1) as u8]).collect()
+    }
+
+    // ---- drivers ----------------------------------------------------------
+
+    fn register_link(&mut self, ip: [u8; 4]) -> (MeshLink, u64, u64) {
+        let mut link = self.world.connect_link(ip);
+        let (user, refusals) =
+            net::register_until_admitted(&mut self.world, &mut link, [0; 4], REGISTER_TIMEOUT_SECS)
+                .expect("registration");
+        (link, user, refusals)
+    }
+
+    fn fresh_query_id(&mut self) -> u32 {
+        let id = self.next_query_id;
+        self.next_query_id += 1;
+        id
+    }
+
+    /// One identity from `ip` crawls `ranks` in order, honoring refusal
+    /// hints, accumulating the server's own delay accounting.
+    pub fn sequential_crawl(&mut self, ip: [u8; 4], ranks: &[u64]) -> CrawlReport {
+        let started_secs = self.world.now_secs();
+        let (mut link, user, _) = self.register_link(ip);
+        let mut report = CrawlReport {
+            queries: 0,
+            refused: 0,
+            tuples: 0,
+            total_delay_secs: 0.0,
+            started_secs,
+            finished_secs: started_secs,
+            min_margin_secs: f64::INFINITY,
+        };
+        for &rank in ranks {
+            let sql = self.sql_for_rank(rank);
+            loop {
+                let qid = self.fresh_query_id();
+                match net::run_query(&mut link, qid, user, &sql, QUERY_TIMEOUT_SECS)
+                    .expect("link alive")
+                {
+                    QueryOutcome::Rows {
+                        rows,
+                        delay_secs,
+                        tuples,
+                        sent_at_secs,
+                        done_at_secs,
+                        ..
+                    } => {
+                        assert_eq!(rows.len(), 1, "rank {rank} must be a point lookup");
+                        report.queries += 1;
+                        report.tuples += tuples as u64;
+                        report.total_delay_secs += delay_secs;
+                        let margin = (done_at_secs - sent_at_secs) - delay_secs;
+                        report.min_margin_secs = report.min_margin_secs.min(margin);
+                        break;
+                    }
+                    QueryOutcome::Refused {
+                        retry_after_secs, ..
+                    } => {
+                        report.refused += 1;
+                        self.world.run_for(retry_after_secs + 1e-6);
+                    }
+                    QueryOutcome::Error { message } => panic!("rank {rank}: {message}"),
+                    QueryOutcome::TimedOut => panic!("rank {rank}: query timed out"),
+                }
+            }
+        }
+        report.finished_secs = self.world.now_secs();
+        report
+    }
+
+    /// `ips.len()` identities register serially (honoring the
+    /// registration-interval hints — the Sybil cost), then crawl `ranks`
+    /// striped round-robin: identity `j` takes `ranks[j]`,
+    /// `ranks[j + k]`, ... All stripes run concurrently in virtual time;
+    /// the driver is work-conserving (an identity issues its next query
+    /// the instant its previous `DONE` arrives).
+    pub fn swarm_crawl(&mut self, ips: &[[u8; 4]], ranks: &[u64]) -> SybilReport {
+        let k = ips.len();
+        assert!(k > 0, "swarm needs at least one identity");
+        let started_secs = self.world.now_secs();
+        let mut links = Vec::with_capacity(k);
+        let mut registration_refusals = 0;
+        for &ip in ips {
+            let (link, user, refusals) = self.register_link(ip);
+            registration_refusals += refusals;
+            links.push((link, user));
+        }
+        let registration_done_secs = self.world.now_secs();
+
+        let mut report = SybilReport {
+            identities: k as u64,
+            registration_refusals,
+            started_secs,
+            registration_done_secs,
+            finished_secs: registration_done_secs,
+            total_delay_secs: 0.0,
+            tuples: 0,
+            refused_queries: 0,
+            min_margin_secs: f64::INFINITY,
+        };
+        let mut states: Vec<StripeState> = (0..k)
+            .map(|j| StripeState {
+                next: j,
+                inflight: None,
+                resume_at: 0.0,
+            })
+            .collect();
+        // Iterations since something last happened. A healthy pass either
+        // sends, consumes an arrival, or advances virtual time; if none of
+        // those occur for this long, the driver is livelocked — panic with
+        // the full stripe/world state instead of spinning silently.
+        let mut stalled: u32 = 0;
+        loop {
+            if stalled > 10_000 {
+                let now = self.world.now_secs();
+                let snapshot: Vec<String> = states
+                    .iter()
+                    .enumerate()
+                    .map(|(j, s)| {
+                        format!(
+                            "id{j}: next={} inflight={} resume_at={:.9}",
+                            s.next,
+                            s.inflight.is_some(),
+                            s.resume_at
+                        )
+                    })
+                    .collect();
+                panic!(
+                    "swarm driver livelocked at virtual t={now:.9}s:\n{}\nworld: {}",
+                    snapshot.join("\n"),
+                    self.world.debug_snapshot()
+                );
+            }
+            let mut active = false;
+            let mut progressed = false;
+            for (j, state) in states.iter_mut().enumerate() {
+                let (link, user) = &mut links[j];
+                // Issue the next query if this identity is idle.
+                if state.inflight.is_none()
+                    && state.next < ranks.len()
+                    && self.world.now_secs() >= state.resume_at
+                {
+                    let rank = ranks[state.next];
+                    let qid = self.next_query_id;
+                    self.next_query_id += 1;
+                    link.send(&Frame::Query {
+                        query_id: qid,
+                        user: *user,
+                        sql: format!("SELECT * FROM directory WHERE id = {}", rank - 1),
+                    })
+                    .expect("link alive");
+                    state.inflight = Some(Pending {
+                        qid,
+                        rank,
+                        sent_at_secs: self.world.now_secs(),
+                    });
+                    progressed = true;
+                }
+                if state.inflight.is_some() || state.next < ranks.len() {
+                    active = true;
+                }
+                // Drain whatever has already arrived, without waiting.
+                while let Some(arrival) = link.recv(0.0).expect("link alive") {
+                    let Some(pending) = state.inflight.as_ref() else {
+                        continue;
+                    };
+                    match arrival.frame {
+                        Frame::Done {
+                            query_id,
+                            delay_secs,
+                            tuples,
+                        } if query_id == pending.qid => {
+                            report.total_delay_secs += delay_secs;
+                            report.tuples += tuples as u64;
+                            let margin = (arrival.at_secs - pending.sent_at_secs) - delay_secs;
+                            report.min_margin_secs = report.min_margin_secs.min(margin);
+                            state.next += k;
+                            state.inflight = None;
+                            progressed = true;
+                        }
+                        Frame::Refused {
+                            query_id,
+                            retry_after_secs,
+                            ..
+                        } if query_id == pending.qid || query_id == 0 => {
+                            report.refused_queries += 1;
+                            state.resume_at = self.world.now_secs() + retry_after_secs + 1e-6;
+                            state.inflight = None;
+                            progressed = true;
+                        }
+                        Frame::Error { message, .. } => {
+                            panic!("rank {}: {message}", pending.rank)
+                        }
+                        _ => {} // RowsBegin / Row frames
+                    }
+                }
+            }
+            if !active {
+                break;
+            }
+            stalled = if progressed { 0 } else { stalled + 1 };
+            if !progressed {
+                // Nothing arrived and nobody could send: advance virtual
+                // time to the next scheduled instant, or to the earliest
+                // retry if the whole swarm is backing off.
+                if !self.world.step_once() {
+                    let now = self.world.now_secs();
+                    let resume = states
+                        .iter()
+                        .filter(|s| s.inflight.is_none() && s.next < ranks.len())
+                        .map(|s| s.resume_at)
+                        .fold(f64::INFINITY, f64::min);
+                    assert!(
+                        resume.is_finite() && resume > now,
+                        "swarm deadlocked: queries in flight but world idle"
+                    );
+                    self.world.run_for(resume - now);
+                }
+            }
+        }
+        report.finished_secs = self.world.now_secs();
+        report
+    }
+}
+
+struct Pending {
+    qid: u32,
+    rank: u64,
+    sent_at_secs: f64,
+}
+
+struct StripeState {
+    /// Index into the shared rank list of this identity's next query.
+    next: usize,
+    inflight: Option<Pending>,
+    /// Earliest virtual time this identity may send (refusal backoff).
+    resume_at: f64,
+}

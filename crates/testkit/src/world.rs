@@ -1,0 +1,721 @@
+//! The simulated deployment: the real server stack on a virtual clock.
+//!
+//! A [`SimWorld`] owns exactly the objects the TCP server owns — a
+//! [`GuardedDatabase`] (snapshot read path and all), a manual-mode
+//! [`DelayScheduler`] with the real timer wheel, and the
+//! [`FrontDoor`] — all sharing one [`ManualClock`]. Clients connect over
+//! an in-memory mesh; every frame crosses the real wire codec in both
+//! directions, so what travels is bytes, not objects.
+//!
+//! Time is event-driven: the world advances the clock straight to the
+//! next scheduled thing (a wheel deadline or a frame arrival) and
+//! processes everything due there. A 30-day adversary campaign is a few
+//! thousand events — the wheel fast-forwards across empty spans, so the
+//! cost is proportional to traffic, never to simulated time.
+//!
+//! Determinism: the world is single-threaded, every component reads the
+//! injected clock, connections iterate in id order, and all fault
+//! sampling draws from one seeded RNG. Two worlds built from the same
+//! seed and driven by the same calls produce bit-identical executions —
+//! checkable via [`SimWorld::digest`], which folds every delivered
+//! frame's bytes and delivery time into an order-sensitive hash.
+
+use crate::net::{Arrival, FaultPlan, LinkError, NetLink, SimNet};
+use delayguard_core::clock::{nanos_to_secs, secs_to_nanos, Clock, ManualClock};
+use delayguard_core::{GuardConfig, GuardedDatabase};
+use delayguard_query::Engine;
+use delayguard_server::gate::{FrameSink, FrontDoor, GateConfig, SessionControl};
+use delayguard_server::metrics::ServerMetrics;
+use delayguard_server::protocol::{read_frame, write_frame, Frame};
+use delayguard_server::scheduler::DelayScheduler;
+use delayguard_sim::Registry;
+use delayguard_workload::Rng;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifies one simulated connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnId(pub u64);
+
+/// Configuration of a simulated deployment (the subset of the TCP
+/// server's knobs that exist without sockets).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Guard (delay policy) configuration.
+    pub guard: GuardConfig,
+    /// Front-door (gatekeeper, refusal hints) configuration.
+    pub gate: GateConfig,
+    /// Timer-wheel granularity; delays round up to the next tick.
+    pub tick: Duration,
+    /// Per-connection cap on rows admitted but not yet delivered to the
+    /// mesh — mirrors the TCP server's bounded send queue, so the
+    /// `Overloaded` backpressure path is reachable in simulation.
+    pub send_queue_rows: usize,
+    /// Fault plan applied to newly created links (override per link with
+    /// [`SimWorld::set_faults`]).
+    pub faults: FaultPlan,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            guard: GuardConfig::paper_default(),
+            gate: GateConfig::default(),
+            tick: Duration::from_millis(1),
+            send_queue_rows: 4096,
+            faults: FaultPlan::ideal(),
+        }
+    }
+}
+
+// ---- the per-connection frame sink --------------------------------------
+
+/// The mesh's [`FrameSink`]: the front door pushes response frames here
+/// (scheduler jobs included); the world drains them onto the simulated
+/// wire. Row accounting mirrors the TCP server's bounded send queue:
+/// reservations are all-or-nothing and released as rows leave.
+struct SimSink {
+    inner: Mutex<SinkInner>,
+}
+
+struct SinkInner {
+    queue: Vec<Frame>,
+    rows_cap: usize,
+    rows_outstanding: usize,
+}
+
+impl SimSink {
+    fn new(rows_cap: usize) -> SimSink {
+        SimSink {
+            inner: Mutex::new(SinkInner {
+                queue: Vec::new(),
+                rows_cap,
+                rows_outstanding: 0,
+            }),
+        }
+    }
+
+    /// Take everything queued, releasing row reservations as they leave.
+    fn drain(&self) -> Vec<Frame> {
+        let mut g = self.inner.lock();
+        let out = std::mem::take(&mut g.queue);
+        let rows = out
+            .iter()
+            .filter(|f| matches!(f, Frame::Row { .. }))
+            .count();
+        g.rows_outstanding = g.rows_outstanding.saturating_sub(rows);
+        out
+    }
+}
+
+impl FrameSink for SimSink {
+    fn push_control(&self, frame: Frame) {
+        self.inner.lock().queue.push(frame);
+    }
+
+    fn push_row(&self, frame: Frame) {
+        self.inner.lock().queue.push(frame);
+    }
+
+    fn try_reserve_rows(&self, n: usize) -> bool {
+        let mut g = self.inner.lock();
+        if g.rows_outstanding + n > g.rows_cap {
+            return false;
+        }
+        g.rows_outstanding += n;
+        true
+    }
+}
+
+// ---- events -------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    ToServer,
+    ToClient,
+}
+
+struct Ev {
+    at: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+enum EvKind {
+    Deliver { conn: u64, dir: Dir, bytes: Vec<u8> },
+    Reset { conn: u64 },
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Ev) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Ev) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Ev) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Conn {
+    peer_ip: [u8; 4],
+    open: bool,
+    partitioned: bool,
+    /// A reset is in flight: new sends are discarded.
+    pending_reset: bool,
+    faults: FaultPlan,
+    sink: Arc<SimSink>,
+    inbox: VecDeque<Arrival>,
+    /// FIFO floors per direction: a new frame never arrives before one
+    /// sent earlier (unless a reorder fault explicitly lets it overtake).
+    fifo_to_server: u64,
+    fifo_to_client: u64,
+    /// Frames held while partitioned, with their would-be arrival times.
+    held: Vec<(Dir, u64, Vec<u8>)>,
+}
+
+// ---- the world ----------------------------------------------------------
+
+struct Core {
+    seed: u64,
+    clock: Arc<ManualClock>,
+    rng: Rng,
+    gate: Arc<FrontDoor>,
+    scheduler: Arc<DelayScheduler>,
+    registry: Registry,
+    heap: BinaryHeap<Reverse<Ev>>,
+    next_seq: u64,
+    conns: BTreeMap<u64, Conn>,
+    next_conn: u64,
+    default_faults: FaultPlan,
+    send_queue_rows: usize,
+    frames_dropped: u64,
+    frames_delivered: u64,
+    digest: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl Core {
+    fn new(seed: u64, config: SimConfig) -> Core {
+        let clock = ManualClock::shared();
+        let dyn_clock: Arc<dyn Clock> = Arc::clone(&clock) as Arc<dyn Clock>;
+        let db = Arc::new(GuardedDatabase::with_engine_and_clock(
+            Engine::new(),
+            config.guard,
+            Arc::clone(&dyn_clock),
+        ));
+        let registry = Registry::new();
+        let metrics = ServerMetrics::new(&registry);
+        let scheduler =
+            DelayScheduler::manual(config.tick, metrics.clone(), Arc::clone(&dyn_clock));
+        let gate = Arc::new(FrontDoor::new(
+            config.gate,
+            db,
+            Arc::clone(&scheduler),
+            dyn_clock,
+            metrics,
+            registry.clone(),
+        ));
+        Core {
+            seed,
+            clock,
+            rng: Rng::new(seed),
+            gate,
+            scheduler,
+            registry,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            conns: BTreeMap::new(),
+            next_conn: 1,
+            default_faults: config.faults,
+            send_queue_rows: config.send_queue_rows,
+            frames_dropped: 0,
+            frames_delivered: 0,
+            digest: FNV_OFFSET,
+        }
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.clock.now_nanos()
+    }
+
+    fn connect(&mut self, peer_ip: [u8; 4]) -> u64 {
+        let id = self.next_conn;
+        self.next_conn += 1;
+        self.conns.insert(
+            id,
+            Conn {
+                peer_ip,
+                open: true,
+                partitioned: false,
+                pending_reset: false,
+                faults: self.default_faults,
+                sink: Arc::new(SimSink::new(self.send_queue_rows)),
+                inbox: VecDeque::new(),
+                fifo_to_server: 0,
+                fifo_to_client: 0,
+                held: Vec::new(),
+            },
+        );
+        id
+    }
+
+    fn push_ev(&mut self, at: u64, kind: EvKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Ev { at, seq, kind }));
+    }
+
+    /// Put one frame on the wire in direction `dir`, applying the link's
+    /// fault plan. Returns `Err` only for client sends on a dead link.
+    fn transmit(&mut self, conn_id: u64, dir: Dir, frame: &Frame) -> Result<(), LinkError> {
+        let now = self.now_nanos();
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return Err(LinkError::Closed);
+        };
+        if !conn.open || conn.pending_reset {
+            return match dir {
+                Dir::ToServer => Err(LinkError::Closed),
+                // Server frames to a dead connection vanish, as on TCP.
+                Dir::ToClient => Ok(()),
+            };
+        }
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, frame).expect("frame encodes");
+        let f = conn.faults;
+        if f.reset_prob > 0.0 && self.rng.chance(f.reset_prob) {
+            conn.pending_reset = true;
+            let at = now.saturating_add(secs_to_nanos(f.latency_secs));
+            self.push_ev(at, EvKind::Reset { conn: conn_id });
+            return Ok(());
+        }
+        if f.drop_prob > 0.0 && self.rng.chance(f.drop_prob) {
+            self.frames_dropped += 1;
+            return Ok(());
+        }
+        let mut latency = f.latency_secs;
+        if f.jitter_secs > 0.0 {
+            latency += self.rng.f64_range(0.0, f.jitter_secs);
+        }
+        let overtakable = f.reorder_prob > 0.0 && self.rng.chance(f.reorder_prob);
+        if overtakable {
+            latency += f.reorder_extra_secs;
+        }
+        let mut at = now.saturating_add(secs_to_nanos(latency));
+        let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+        if !overtakable {
+            let fifo = match dir {
+                Dir::ToServer => &mut conn.fifo_to_server,
+                Dir::ToClient => &mut conn.fifo_to_client,
+            };
+            at = at.max(*fifo);
+            *fifo = at;
+        }
+        if conn.partitioned {
+            conn.held.push((dir, at, bytes));
+        } else {
+            self.push_ev(
+                at,
+                EvKind::Deliver {
+                    conn: conn_id,
+                    dir,
+                    bytes,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Drain every connection's sink onto the wire, in connection-id
+    /// order (deterministic).
+    fn route_outboxes(&mut self) {
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let frames = {
+                let Some(conn) = self.conns.get(&id) else {
+                    continue;
+                };
+                conn.sink.drain()
+            };
+            for frame in frames {
+                let _ = self.transmit(id, Dir::ToClient, &frame);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev.kind {
+            EvKind::Deliver { conn, dir, bytes } => {
+                let (open, ip, sink) = match self.conns.get(&conn) {
+                    Some(c) => (c.open, c.peer_ip, Arc::clone(&c.sink)),
+                    None => return,
+                };
+                if !open {
+                    return;
+                }
+                let frame = read_frame(&mut bytes.as_slice())
+                    .expect("frame decodes")
+                    .expect("non-empty frame");
+                self.digest = fnv(self.digest, &ev.at.to_le_bytes());
+                self.digest = fnv(self.digest, &[dir as u8]);
+                self.digest = fnv(self.digest, &conn.to_le_bytes());
+                self.digest = fnv(self.digest, &bytes);
+                self.frames_delivered += 1;
+                match dir {
+                    Dir::ToServer => {
+                        if self.gate.handle_frame(frame, ip, &sink) == SessionControl::Terminate {
+                            if let Some(c) = self.conns.get_mut(&conn) {
+                                c.open = false;
+                            }
+                        }
+                    }
+                    Dir::ToClient => {
+                        if let Some(c) = self.conns.get_mut(&conn) {
+                            c.inbox.push_back(Arrival {
+                                at_secs: nanos_to_secs(ev.at),
+                                frame,
+                            });
+                        }
+                    }
+                }
+            }
+            EvKind::Reset { conn } => {
+                self.digest = fnv(self.digest, &ev.at.to_le_bytes());
+                self.digest = fnv(self.digest, b"reset");
+                self.digest = fnv(self.digest, &conn.to_le_bytes());
+                if let Some(c) = self.conns.get_mut(&conn) {
+                    c.open = false;
+                }
+            }
+        }
+    }
+
+    fn next_wake(&self) -> Option<u64> {
+        let ev = self.heap.peek().map(|Reverse(e)| e.at);
+        let dl = self.scheduler.next_deadline_nanos();
+        match (ev, dl) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Deliver every transport event due at or before now.
+    fn deliver_due(&mut self) {
+        loop {
+            let due = matches!(self.heap.peek(), Some(Reverse(e)) if e.at <= self.now_nanos());
+            if !due {
+                break;
+            }
+            let Reverse(ev) = self.heap.pop().expect("peeked");
+            self.dispatch(ev);
+        }
+    }
+
+    /// Advance to the next scheduled thing and process everything due
+    /// there. Returns false when nothing is scheduled anywhere.
+    fn step(&mut self) -> bool {
+        let Some(next) = self.next_wake() else {
+            return false;
+        };
+        self.clock.advance_to_nanos(next);
+        // Wheel first: jobs fired now produce frames that enter the wire
+        // at this instant.
+        self.scheduler.poll();
+        self.route_outboxes();
+        self.deliver_due();
+        self.route_outboxes();
+        true
+    }
+
+    fn run_for(&mut self, secs: f64) {
+        // A positive wait must move time: seconds-to-nanos truncation on
+        // a sub-nanosecond wait would otherwise leave the clock exactly
+        // where it was, livelocking any caller that retries "just after"
+        // an instant the clock cannot quite reach.
+        let nanos = match secs_to_nanos(secs) {
+            0 if secs > 0.0 => 1,
+            n => n,
+        };
+        let deadline = self.now_nanos().saturating_add(nanos);
+        while matches!(self.next_wake(), Some(at) if at <= deadline) {
+            self.step();
+        }
+        self.clock.advance_to_nanos(deadline);
+        self.scheduler.poll();
+        self.route_outboxes();
+        self.deliver_due();
+        // Handlers invoked just now may have queued zero-latency replies
+        // due at this exact instant; flush them so a bounded wait
+        // observes everything that happened strictly within it.
+        self.route_outboxes();
+        self.deliver_due();
+    }
+
+    fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    // ---- link operations -------------------------------------------------
+
+    fn client_send(&mut self, conn: u64, frame: &Frame) -> Result<(), LinkError> {
+        match self.conns.get(&conn) {
+            Some(c) if c.open && !c.pending_reset => {}
+            _ => return Err(LinkError::Closed),
+        }
+        self.transmit(conn, Dir::ToServer, frame)
+    }
+
+    fn link_recv(&mut self, conn: u64, max_wait_secs: f64) -> Result<Option<Arrival>, LinkError> {
+        let deadline = self
+            .now_nanos()
+            .saturating_add(secs_to_nanos(max_wait_secs));
+        loop {
+            if let Some(c) = self.conns.get_mut(&conn) {
+                if let Some(arrival) = c.inbox.pop_front() {
+                    return Ok(Some(arrival));
+                }
+                if !c.open {
+                    return Err(LinkError::Closed);
+                }
+            } else {
+                return Err(LinkError::Closed);
+            }
+            match self.next_wake() {
+                Some(at) if at <= deadline => {
+                    self.step();
+                }
+                _ => {
+                    self.clock.advance_to_nanos(deadline);
+                    self.scheduler.poll();
+                    self.route_outboxes();
+                    self.deliver_due();
+                    self.route_outboxes();
+                    self.deliver_due();
+                    let empty = self
+                        .conns
+                        .get_mut(&conn)
+                        .map(|c| c.inbox.pop_front())
+                        .unwrap_or(None);
+                    return Ok(empty);
+                }
+            }
+        }
+    }
+}
+
+/// The simulated deployment. See the module docs.
+pub struct SimWorld {
+    core: Rc<RefCell<Core>>,
+}
+
+impl SimWorld {
+    /// A fresh world from a seed: its own database, scheduler, front
+    /// door, clock (at zero) and RNG.
+    pub fn new(seed: u64, config: SimConfig) -> SimWorld {
+        SimWorld {
+            core: Rc::new(RefCell::new(Core::new(seed, config))),
+        }
+    }
+
+    /// The seed this world was built from.
+    pub fn seed(&self) -> u64 {
+        self.core.borrow().seed
+    }
+
+    /// Virtual seconds since the world's epoch.
+    pub fn now_secs(&self) -> f64 {
+        self.core.borrow().clock.now_secs()
+    }
+
+    /// The guarded database (for DDL/seeding around the wire protocol).
+    pub fn db(&self) -> Arc<GuardedDatabase> {
+        Arc::clone(self.core.borrow().gate.db())
+    }
+
+    /// The front door (drain control, gatekeeper inspection).
+    pub fn gate(&self) -> Arc<FrontDoor> {
+        Arc::clone(&self.core.borrow().gate)
+    }
+
+    /// The metrics registry the front door publishes into.
+    pub fn registry(&self) -> Registry {
+        self.core.borrow().registry.clone()
+    }
+
+    /// Open a mesh connection whose peer address (as the server sees it)
+    /// is `peer_ip` — any subnet, no spoofing configuration needed.
+    pub fn connect_link(&self, peer_ip: [u8; 4]) -> MeshLink {
+        let conn = self.core.borrow_mut().connect(peer_ip);
+        MeshLink {
+            core: Rc::clone(&self.core),
+            conn,
+        }
+    }
+
+    /// Override the fault plan of one link.
+    pub fn set_faults(&self, conn: ConnId, faults: FaultPlan) {
+        if let Some(c) = self.core.borrow_mut().conns.get_mut(&conn.0) {
+            c.faults = faults;
+        }
+    }
+
+    /// Partition a link: frames sent in either direction are held.
+    pub fn partition(&self, conn: ConnId) {
+        if let Some(c) = self.core.borrow_mut().conns.get_mut(&conn.0) {
+            c.partitioned = true;
+        }
+    }
+
+    /// Heal a partition: held frames flood through, in order, no earlier
+    /// than now.
+    pub fn heal(&self, conn: ConnId) {
+        let mut core = self.core.borrow_mut();
+        let now = core.now_nanos();
+        let held = match core.conns.get_mut(&conn.0) {
+            Some(c) => {
+                c.partitioned = false;
+                std::mem::take(&mut c.held)
+            }
+            None => return,
+        };
+        for (dir, at, bytes) in held {
+            let at = at.max(now);
+            core.push_ev(
+                at,
+                EvKind::Deliver {
+                    conn: conn.0,
+                    dir,
+                    bytes,
+                },
+            );
+        }
+    }
+
+    /// Let `secs` of virtual time pass, processing everything due.
+    pub fn run_for(&self, secs: f64) {
+        self.core.borrow_mut().run_for(secs);
+    }
+
+    /// Run until nothing is scheduled anywhere (wheel empty, wire quiet).
+    pub fn run_until_idle(&self) {
+        self.core.borrow_mut().run_until_idle();
+    }
+
+    /// Process exactly one scheduled instant (the earliest wheel deadline
+    /// or frame arrival). Returns false if nothing is scheduled — used by
+    /// work-conserving drivers that multiplex many links.
+    pub fn step_once(&self) -> bool {
+        self.core.borrow_mut().step()
+    }
+
+    /// Graceful shutdown, like the TCP server's: refuse new work, then
+    /// deliver every in-flight delayed tuple at its deadline.
+    pub fn shutdown(&self) {
+        self.gate().begin_drain();
+        self.run_until_idle();
+    }
+
+    /// Order-sensitive FNV-1a hash of every event processed so far
+    /// (delivery time, direction, connection, frame bytes): equal digests
+    /// mean bit-identical executions.
+    pub fn digest(&self) -> u64 {
+        self.core.borrow().digest
+    }
+
+    /// Frames dropped by fault injection so far.
+    pub fn frames_dropped(&self) -> u64 {
+        self.core.borrow().frames_dropped
+    }
+
+    /// One-line view of everything that could wake the world — for
+    /// diagnosing a driver that spins without making progress.
+    pub fn debug_snapshot(&self) -> String {
+        let core = self.core.borrow();
+        let inboxes: Vec<usize> = core.conns.values().map(|c| c.inbox.len()).collect();
+        format!(
+            "now={}ns heap={} peek={:?} wheel_pending={} wheel_next={:?} inboxes={:?}",
+            core.clock.now_nanos(),
+            core.heap.len(),
+            core.heap.peek().map(|std::cmp::Reverse(e)| e.at),
+            core.scheduler.pending(),
+            core.scheduler.next_deadline_nanos(),
+            inboxes
+        )
+    }
+
+    /// Frames delivered (in either direction) so far.
+    pub fn frames_delivered(&self) -> u64 {
+        self.core.borrow().frames_delivered
+    }
+}
+
+impl SimNet for SimWorld {
+    fn connect(&mut self, from_ip: [u8; 4]) -> Result<Box<dyn NetLink>, LinkError> {
+        Ok(Box::new(self.connect_link(from_ip)))
+    }
+
+    fn wait(&mut self, secs: f64) {
+        self.run_for(secs);
+    }
+
+    fn now_secs(&self) -> f64 {
+        SimWorld::now_secs(self)
+    }
+}
+
+/// A client's end of a mesh connection.
+pub struct MeshLink {
+    core: Rc<RefCell<Core>>,
+    conn: u64,
+}
+
+impl MeshLink {
+    /// This link's connection id (for [`SimWorld::set_faults`],
+    /// [`SimWorld::partition`], ...).
+    pub fn id(&self) -> ConnId {
+        ConnId(self.conn)
+    }
+}
+
+impl NetLink for MeshLink {
+    fn send(&mut self, frame: &Frame) -> Result<(), LinkError> {
+        self.core.borrow_mut().client_send(self.conn, frame)
+    }
+
+    fn recv(&mut self, max_wait_secs: f64) -> Result<Option<Arrival>, LinkError> {
+        self.core.borrow_mut().link_recv(self.conn, max_wait_secs)
+    }
+
+    fn now_secs(&self) -> f64 {
+        self.core.borrow().clock.now_secs()
+    }
+
+    fn is_open(&self) -> bool {
+        self.core
+            .borrow()
+            .conns
+            .get(&self.conn)
+            .is_some_and(|c| c.open)
+    }
+}
