@@ -53,8 +53,10 @@ use crate::snapshot::{
 use arc_swap::ArcSwap;
 use delayguard_popularity::{DecaySchedule, FrequencyTracker, ShardedEventQueue};
 use delayguard_query::ast::Statement;
-use delayguard_query::{parse, Engine, StatementOutput};
-use delayguard_storage::RowId;
+use delayguard_query::{
+    parse, Engine, SelectCursor, SelectOutput, StatementOutput, StreamedStatement,
+};
+use delayguard_storage::{Row, RowId};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -185,8 +187,174 @@ impl DeadlineResponse {
     }
 }
 
+/// A guarded statement being executed in streaming mode.
+///
+/// Handed to the closure of [`GuardedDatabase::execute_streaming`]:
+/// SELECTs arrive as an open [`DeadlineStream`] to pull and price in
+/// chunks; everything else has already run and carries its finished
+/// [`DeadlineResponse`] (non-SELECT statements are never delayed, so
+/// their deadline is the issue time).
+pub enum StreamedQuery<'s, 'c> {
+    /// An open, priced SELECT pipeline.
+    Rows(DeadlineStream<'s, 'c>),
+    /// A non-SELECT statement that already ran to completion.
+    Finished(DeadlineResponse),
+}
+
+/// One chunk's worth of pricing, returned by [`DeadlineStream::charge`].
+#[derive(Debug, Clone)]
+pub struct ChargedChunk {
+    /// Raw per-tuple policy delays for the chunk, in row order (seconds).
+    pub delays: Vec<f64>,
+    /// Per-tuple release offsets from
+    /// [`DeadlineStream::issued_at_nanos`], in seconds, under the
+    /// configured charging model — the streaming continuation of
+    /// [`DeadlineResponse::tuple_offsets`].
+    pub offsets: Vec<f64>,
+}
+
+/// Pricing state pinned when a [`DeadlineStream`] opens.
+///
+/// The snapshot path pins the `Arc<TableSnapshot>` (and its window) once
+/// so a concurrent refresh cannot reprice a query mid-stream; the locked
+/// path re-enters the shard lock per chunk, which is exact because the
+/// epoch and `now` are fixed for the whole statement.
+enum StreamPricing {
+    Locked,
+    Snapshot {
+        stats: Arc<TableSnapshot>,
+        window: f64,
+    },
+}
+
+/// An open SELECT whose tuples are priced as they are pulled.
+///
+/// Pull uncharged rows with [`DeadlineStream::next_chunk`], then price
+/// and record them with [`DeadlineStream::charge`] — in that order, so a
+/// caller that must shed load (a full send queue, say) can refuse the
+/// chunk *before* the requester's popularity ledger is charged for it.
+/// The charging model folds online: after any prefix of chunks,
+/// [`DeadlineStream::delay_secs`] equals exactly what
+/// [`DeadlineResponse::delay_secs`] would be for that prefix.
+pub struct DeadlineStream<'s, 'c> {
+    db: &'s GuardedDatabase,
+    cursor: &'s mut SelectCursor<'c>,
+    table: String,
+    /// Table cardinality captured at open (the policy's `n`).
+    n: u64,
+    now_secs: f64,
+    issued_at_nanos: u64,
+    pricing: StreamPricing,
+    /// Running combine of every delay charged so far: the prefix sum
+    /// under `PerTupleSum`, the running max under `PerQueryMax`.
+    total_delay_secs: f64,
+    tuples_charged: u64,
+}
+
+impl DeadlineStream<'_, '_> {
+    /// Output column names, in projection order.
+    pub fn columns(&self) -> &[String] {
+        self.cursor.columns()
+    }
+
+    /// Guard-clock time when the statement was issued (nanoseconds); all
+    /// offsets are relative to this.
+    pub fn issued_at_nanos(&self) -> u64 {
+        self.issued_at_nanos
+    }
+
+    /// Pull up to `max_rows` projected rows from the executor without
+    /// charging them. Returns `None` once the pipeline is exhausted.
+    pub fn next_chunk(&mut self, max_rows: usize) -> Result<Option<Vec<(RowId, Row)>>> {
+        let cap = max_rows.max(1);
+        let mut chunk = Vec::new();
+        while chunk.len() < cap {
+            match self.cursor.next_row()? {
+                Some(pair) => chunk.push(pair),
+                None => break,
+            }
+        }
+        if chunk.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(chunk))
+        }
+    }
+
+    /// Price a pulled chunk and record its accesses in the popularity
+    /// ledger, folding the delays into the running charging model.
+    pub fn charge(&mut self, rows: &[(RowId, Row)]) -> ChargedChunk {
+        let delays = match &self.pricing {
+            StreamPricing::Snapshot { stats, window } => {
+                let mut delays = Vec::with_capacity(rows.len());
+                let mut keys = Vec::with_capacity(rows.len());
+                for (rid, _) in rows {
+                    let key = rid.raw();
+                    let d = self.db.config.policy.tuple_delay(
+                        &stats.access,
+                        &stats.updates,
+                        self.n,
+                        key,
+                        *window,
+                    );
+                    delays.push(d);
+                    keys.push(key);
+                }
+                if !keys.is_empty() {
+                    self.db.queue.push(AccessEvent {
+                        table: Arc::from(self.table.as_str()),
+                        now_secs: self.now_secs,
+                        kind: EventKind::Select(keys),
+                    });
+                }
+                delays
+            }
+            StreamPricing::Locked => self.db.charge_chunk_locked(
+                &self.table,
+                rows.iter().map(|(rid, _)| *rid),
+                self.now_secs,
+                self.n,
+            ),
+        };
+        let mut offsets = Vec::with_capacity(delays.len());
+        for &d in &delays {
+            match self.db.config.charging {
+                ChargingModel::PerTupleSum => {
+                    self.total_delay_secs += d;
+                    offsets.push(self.total_delay_secs);
+                }
+                ChargingModel::PerQueryMax => {
+                    self.total_delay_secs = self.total_delay_secs.max(d);
+                    offsets.push(d);
+                }
+            }
+        }
+        self.tuples_charged += delays.len() as u64;
+        ChargedChunk { delays, offsets }
+    }
+
+    /// Total delay charged so far, in seconds (the statement-level
+    /// combine over every chunk charged to date).
+    pub fn delay_secs(&self) -> f64 {
+        self.total_delay_secs
+    }
+
+    /// Tuples charged so far.
+    pub fn tuples_charged(&self) -> u64 {
+        self.tuples_charged
+    }
+
+    /// The guard-clock time (nanoseconds) before which the statement, as
+    /// charged so far, must not complete.
+    pub fn deadline_nanos(&self) -> u64 {
+        self.issued_at_nanos
+            .saturating_add(secs_to_nanos(self.total_delay_secs))
+    }
+}
+
 /// Release offsets for each tuple under a charging model (see
 /// [`DeadlineResponse::tuple_offsets`]).
+#[cfg(test)]
 fn release_offsets(charging: ChargingModel, delays: &[f64]) -> Vec<f64> {
     match charging {
         ChargingModel::PerTupleSum => {
@@ -376,25 +544,135 @@ impl GuardedDatabase {
     }
 
     /// [`Self::execute_with_deadline`] over a pre-parsed statement.
+    ///
+    /// Implemented as a single-chunk drain of the streaming pipeline, so
+    /// the materialized and streaming paths cannot diverge: identical
+    /// rows, identical delays, identical offsets, one access event.
     pub fn execute_stmt_with_deadline(&self, stmt: &Statement) -> Result<DeadlineResponse> {
+        self.execute_stmt_streaming(stmt, |query| match query {
+            StreamedQuery::Rows(mut stream) => {
+                let columns = stream.columns().to_vec();
+                let mut rows = Vec::new();
+                let mut tuple_delays = Vec::new();
+                let mut tuple_offsets = Vec::new();
+                loop {
+                    match stream.next_chunk(usize::MAX) {
+                        Ok(Some(chunk)) => {
+                            let charged = stream.charge(&chunk);
+                            tuple_delays.extend(charged.delays);
+                            tuple_offsets.extend(charged.offsets);
+                            rows.extend(chunk);
+                        }
+                        Ok(None) => break,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(DeadlineResponse {
+                    output: StatementOutput::Rows(SelectOutput { columns, rows }),
+                    tuple_delays,
+                    tuple_offsets,
+                    delay_secs: stream.delay_secs(),
+                    issued_at_nanos: stream.issued_at_nanos(),
+                })
+            }
+            StreamedQuery::Finished(resp) => Ok(resp),
+        })?
+    }
+
+    /// Parse and execute one statement in streaming mode. See
+    /// [`Self::execute_stmt_streaming`].
+    pub fn execute_streaming<R>(
+        &self,
+        sql: &str,
+        f: impl FnOnce(StreamedQuery<'_, '_>) -> R,
+    ) -> Result<R> {
+        let stmt = parse(sql)?;
+        self.execute_stmt_streaming(&stmt, f)
+    }
+
+    /// Execute a statement in streaming mode: a SELECT is handed to `f`
+    /// as an open [`DeadlineStream`] that prices tuples chunk by chunk as
+    /// they are pulled from the executor, instead of materializing and
+    /// pricing the whole result up front.
+    ///
+    /// Pricing state (table cardinality, the policy snapshot and its
+    /// window on the default read path) is pinned when the stream opens,
+    /// so a query's delays are independent of how it is chunked; a stream
+    /// dropped mid-result charges — and records in the popularity
+    /// trackers — exactly the tuples that were passed to
+    /// [`DeadlineStream::charge`], nothing more. The underlying table
+    /// lock is held for the duration of `f`, as it is for a materialized
+    /// execution, so `f` must not call back into this database.
+    pub fn execute_stmt_streaming<R>(
+        &self,
+        stmt: &Statement,
+        f: impl FnOnce(StreamedQuery<'_, '_>) -> R,
+    ) -> Result<R> {
         // One clock read: `issued_at_nanos` (deadline base) and `now_secs`
         // (popularity timestamp) must agree or simulated replays drift.
         let issued_at_nanos = self.clock.now_nanos();
         let now_secs = nanos_to_secs(issued_at_nanos);
         let path = self.config.read_path;
-        let (output, tuple_delays) = self.execute_stmt_detailed(stmt, now_secs, path)?;
+        let table = statement_table(stmt).map(str::to_owned);
+        let result = self
+            .engine
+            .execute_stmt_streaming(stmt, |streamed| match streamed {
+                StreamedStatement::Rows(cursor) => {
+                    let table = table.clone().unwrap_or_default();
+                    // The policy's `n` comes from the cursor, not
+                    // `Self::table_len`: the engine already holds the table's
+                    // write lock, so re-reading the catalog here would
+                    // self-deadlock. A SELECT never changes cardinality, so
+                    // the open-time capture equals the materialized value.
+                    let n = cursor.table_rows();
+                    let pricing = match path {
+                        ReadPath::Locked => StreamPricing::Locked,
+                        ReadPath::Snapshot => {
+                            let snap = self.snapshot.load_full();
+                            let stats = match snap.table(&table) {
+                                Some(t) => Arc::clone(t),
+                                None => empty_table_snapshot(),
+                            };
+                            let window = stats.window(now_secs);
+                            StreamPricing::Snapshot { stats, window }
+                        }
+                    };
+                    f(StreamedQuery::Rows(DeadlineStream {
+                        db: self,
+                        cursor,
+                        table,
+                        n,
+                        now_secs,
+                        issued_at_nanos,
+                        pricing,
+                        total_delay_secs: 0.0,
+                        tuples_charged: 0,
+                    }))
+                }
+                StreamedStatement::Finished(out) => {
+                    let output = std::mem::replace(out, StatementOutput::TableCreated);
+                    match (&output, table.as_deref()) {
+                        (StatementOutput::Updated { rids }, Some(t)) => {
+                            self.note_rows(t, rids, now_secs, path, RowNote::Update)
+                        }
+                        (StatementOutput::Inserted { rids }, Some(t)) => {
+                            self.note_rows(t, rids, now_secs, path, RowNote::Insert)
+                        }
+                        _ => {}
+                    }
+                    f(StreamedQuery::Finished(DeadlineResponse {
+                        output,
+                        tuple_delays: Vec::new(),
+                        tuple_offsets: Vec::new(),
+                        delay_secs: 0.0,
+                        issued_at_nanos,
+                    }))
+                }
+            })?;
         if path == ReadPath::Snapshot {
             self.maybe_refresh();
         }
-        let tuple_offsets = release_offsets(self.config.charging, &tuple_delays);
-        let delay_secs = self.config.charging.combine(tuple_delays.iter().copied());
-        Ok(DeadlineResponse {
-            output,
-            tuple_delays,
-            tuple_offsets,
-            delay_secs,
-            issued_at_nanos,
-        })
+        Ok(result)
     }
 
     /// Execute and actually sleep until the deadline (library deployment
@@ -417,6 +695,21 @@ impl GuardedDatabase {
         now: f64,
     ) -> Result<Vec<f64>> {
         let n = self.table_len(table)?;
+        Ok(self.charge_chunk_locked(table, rids, now, n))
+    }
+
+    /// Exact-path pricing for one chunk of returned tuples, with the
+    /// table cardinality supplied by the caller (the streaming path reads
+    /// it off the open cursor because the engine still holds the table
+    /// lock). `now` and the guard epoch are fixed per statement, so
+    /// chunked calls are bit-identical to one whole-result call.
+    fn charge_chunk_locked(
+        &self,
+        table: &str,
+        rids: impl Iterator<Item = RowId>,
+        now: f64,
+        n: u64,
+    ) -> Vec<f64> {
         // Events queued by snapshot-path traffic precede this statement;
         // fold them in first so the trackers are exact.
         self.apply_pending();
@@ -442,7 +735,7 @@ impl GuardedDatabase {
             self.mutations
                 .fetch_add(delays.len() as u64, Ordering::Release);
         }
-        Ok(delays)
+        delays
     }
 
     /// Record updates/inserts on either path.
@@ -1172,5 +1465,56 @@ mod tests {
         db.execute_at("SELECT * FROM items WHERE id = 2", 3.0)
             .unwrap();
         assert_eq!(db.access_events("items"), 11);
+    }
+
+    #[test]
+    fn online_offset_fold_matches_release_offsets() {
+        // The streaming path folds release offsets online as chunks are
+        // charged; the batch reference computes them from the full delay
+        // vector. One tuple per chunk is the adversarial chunking — the
+        // fold state crosses every chunk boundary — and the results must
+        // still be bit-identical under both charging models.
+        for charging in [ChargingModel::PerTupleSum, ChargingModel::PerQueryMax] {
+            let config = GuardConfig {
+                policy: access_policy(),
+                charging,
+                ..GuardConfig::paper_default()
+            };
+            let db = GuardedDatabase::new(config);
+            db.execute_at("CREATE TABLE items (id INT NOT NULL, body TEXT)", 0.0)
+                .unwrap();
+            for i in 0..8 {
+                db.execute_at(&format!("INSERT INTO items VALUES ({i}, 'row-{i}')"), 0.0)
+                    .unwrap();
+            }
+            // Skew the popularity so delays are not all equal.
+            for _ in 0..50 {
+                db.execute_at("SELECT * FROM items WHERE id = 3", 1.0)
+                    .unwrap();
+            }
+            let (delays, offsets, total) = db
+                .execute_streaming("SELECT * FROM items", |query| match query {
+                    StreamedQuery::Rows(mut stream) => {
+                        let mut delays = Vec::new();
+                        let mut offsets = Vec::new();
+                        while let Some(chunk) = stream.next_chunk(1).unwrap() {
+                            let charged = stream.charge(&chunk);
+                            delays.extend(charged.delays);
+                            offsets.extend(charged.offsets);
+                        }
+                        (delays, offsets, stream.delay_secs())
+                    }
+                    StreamedQuery::Finished(_) => panic!("expected rows"),
+                })
+                .unwrap();
+            let reference = release_offsets(charging, &delays);
+            let bits = |v: &[f64]| v.iter().map(|d| d.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&offsets), bits(&reference), "{charging:?}");
+            assert_eq!(
+                total.to_bits(),
+                config.charging.combine(delays.iter().copied()).to_bits(),
+                "{charging:?}: combined total"
+            );
+        }
     }
 }

@@ -51,7 +51,9 @@ pub use clock::{Clock, ManualClock, RealClock};
 pub use config::GuardConfig;
 pub use error::{GuardError, Result};
 pub use gatekeeper::{Gatekeeper, GatekeeperConfig};
-pub use guarded::{DeadlineResponse, GuardedDatabase, GuardedResponse};
+pub use guarded::{
+    ChargedChunk, DeadlineResponse, DeadlineStream, GuardedDatabase, GuardedResponse, StreamedQuery,
+};
 pub use policy::{ChargingModel, GuardPolicy};
 pub use snapshot::{PolicySnapshot, ReadPath, SnapshotPolicy, SnapshotStats, TableSnapshot};
 pub use update::UpdateDelayPolicy;

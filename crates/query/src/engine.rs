@@ -2,7 +2,8 @@
 
 use crate::ast::Statement;
 use crate::error::{QueryError, Result};
-use crate::exec::{const_eval, run_delete, run_select, run_update, SelectOutput};
+use crate::exec::SelectCursor;
+use crate::exec::{const_eval, open_select, run_delete, run_select, run_update, SelectOutput};
 use crate::parser::parse;
 use crate::planner::{plan_locate, plan_select};
 use delayguard_storage::{Catalog, Column, Row, RowId, Schema};
@@ -46,6 +47,18 @@ impl StatementOutput {
             _ => None,
         }
     }
+}
+
+/// A statement being executed in streaming mode.
+///
+/// SELECTs expose an open [`SelectCursor`] to pull rows from; every other
+/// statement runs to completion eagerly (DML has no row stream to speak
+/// of) and hands back its finished output.
+pub enum StreamedStatement<'a> {
+    /// An open SELECT pipeline; pull rows with [`SelectCursor::next_row`].
+    Rows(SelectCursor<'a>),
+    /// A non-SELECT statement that already ran to completion.
+    Finished(StatementOutput),
 }
 
 /// A SQL engine bound to a catalog.
@@ -161,6 +174,64 @@ impl Engine {
                 let (access, bound_filter) = plan_locate(&t, filter.as_ref())?;
                 let rids = run_delete(&mut t, &access, bound_filter.as_ref())?;
                 Ok(StatementOutput::Deleted { rids })
+            }
+        }
+    }
+
+    /// Parse and execute one statement in streaming mode.
+    ///
+    /// See [`Engine::execute_stmt_streaming`].
+    pub fn execute_streaming<R>(
+        &self,
+        sql: &str,
+        f: impl FnOnce(&mut StreamedStatement<'_>) -> R,
+    ) -> Result<R> {
+        let stmt = parse(sql)?;
+        self.execute_stmt_streaming(&stmt, f)
+    }
+
+    /// Execute a statement in streaming mode: a SELECT is handed to `f`
+    /// as an open [`SelectCursor`] instead of a materialized result set.
+    ///
+    /// The table's write lock is held for the duration of `f`, exactly as
+    /// it is held across `run_select` on the materialized path — the
+    /// stream is a different shape for the same critical section, so `f`
+    /// must not call back into this engine for the same table. Rows read
+    /// are recorded when `f` returns; a partially-consumed cursor charges
+    /// only the rows it actually yielded.
+    pub fn execute_stmt_streaming<R>(
+        &self,
+        stmt: &Statement,
+        f: impl FnOnce(&mut StreamedStatement<'_>) -> R,
+    ) -> Result<R> {
+        match stmt {
+            Statement::Select {
+                table,
+                projection,
+                filter,
+                order_by,
+                limit,
+            } => {
+                let t = self.catalog.table(table)?;
+                let mut t = t.write();
+                let plan = plan_select(&t, projection, filter.as_ref(), order_by.as_ref(), *limit)?;
+                let (result, yielded) = {
+                    let cursor = open_select(&t, &plan)?;
+                    let mut streamed = StreamedStatement::Rows(cursor);
+                    let result = f(&mut streamed);
+                    let yielded = match &streamed {
+                        StreamedStatement::Rows(c) => c.rows_yielded(),
+                        StreamedStatement::Finished(_) => 0,
+                    };
+                    (result, yielded)
+                };
+                t.record_reads(yielded);
+                Ok(result)
+            }
+            other => {
+                let out = self.execute_stmt(other)?;
+                let mut streamed = StreamedStatement::Finished(out);
+                Ok(f(&mut streamed))
             }
         }
     }

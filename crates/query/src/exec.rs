@@ -94,32 +94,253 @@ fn passes(filter: Option<&BoundExpr>, row: &Row) -> Result<bool> {
     }
 }
 
-/// Execute a SELECT plan.
-pub fn run_select(table: &mut Table, plan: &SelectPlan) -> Result<SelectOutput> {
-    let rids = locate(table, &plan.access, plan.filter.as_ref())?;
-    let mut full: Vec<(RowId, Row)> = Vec::with_capacity(rids.len());
-    for rid in rids {
-        full.push((rid, table.peek(rid)?));
-    }
-    if let Some((col, ascending)) = plan.order_by {
-        full.sort_by(|(_, a), (_, b)| {
-            let av = a.get(col).cloned().unwrap_or(Value::Null);
-            let bv = b.get(col).cloned().unwrap_or(Value::Null);
-            if ascending {
-                av.cmp(&bv)
-            } else {
-                bv.cmp(&av)
+/// A Volcano-style pull operator: each call produces the next output row
+/// or `None` when the operator is exhausted.
+///
+/// Operators compose into a tree (source → filter → sort → limit →
+/// project); only `SortOp` is a pipeline breaker, buffering its input.
+/// Everything else holds O(1) state, which is what gives the server its
+/// bounded per-connection memory.
+pub trait RowStream {
+    /// Pull the next `(row id, row)` pair, or `None` at end of stream.
+    fn next_row(&mut self) -> Result<Option<(RowId, Row)>>;
+}
+
+/// Leaf operator: a heap scan over the whole table.
+struct ScanSource<'a> {
+    iter: Box<dyn Iterator<Item = delayguard_storage::Result<(RowId, Row)>> + 'a>,
+}
+
+impl RowStream for ScanSource<'_> {
+    fn next_row(&mut self) -> Result<Option<(RowId, Row)>> {
+        match self.iter.next() {
+            Some(item) => {
+                let (rid, row) = item?;
+                Ok(Some((rid, row)))
             }
-        });
+            None => Ok(None),
+        }
+    }
+}
+
+/// Leaf operator: RowIds from an index probe, rows fetched lazily so an
+/// abandoned stream never pays for rows it did not yield.
+struct IndexSource<'a> {
+    table: &'a Table,
+    rids: std::vec::IntoIter<RowId>,
+}
+
+impl RowStream for IndexSource<'_> {
+    fn next_row(&mut self) -> Result<Option<(RowId, Row)>> {
+        match self.rids.next() {
+            Some(rid) => Ok(Some((rid, self.table.peek(rid)?))),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Drops rows that fail the residual predicate.
+struct FilterOp<'a> {
+    input: Box<dyn RowStream + 'a>,
+    filter: Option<&'a BoundExpr>,
+}
+
+impl RowStream for FilterOp<'_> {
+    fn next_row(&mut self) -> Result<Option<(RowId, Row)>> {
+        while let Some((rid, row)) = self.input.next_row()? {
+            if passes(self.filter, &row)? {
+                return Ok(Some((rid, row)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Pipeline breaker: drains its input on first pull, sorts, then replays.
+///
+/// Sorting happens on unprojected rows (the sort key may not survive the
+/// projection) with the same stable comparator the materialized executor
+/// used, so streamed output order is identical.
+struct SortOp<'a> {
+    input: Option<Box<dyn RowStream + 'a>>,
+    col: usize,
+    ascending: bool,
+    sorted: std::vec::IntoIter<(RowId, Row)>,
+}
+
+impl<'a> SortOp<'a> {
+    fn new(input: Box<dyn RowStream + 'a>, col: usize, ascending: bool) -> Self {
+        SortOp {
+            input: Some(input),
+            col,
+            ascending,
+            sorted: Vec::new().into_iter(),
+        }
+    }
+}
+
+impl RowStream for SortOp<'_> {
+    fn next_row(&mut self) -> Result<Option<(RowId, Row)>> {
+        if let Some(mut input) = self.input.take() {
+            let mut buffered = Vec::new();
+            while let Some(pair) = input.next_row()? {
+                buffered.push(pair);
+            }
+            let (col, ascending) = (self.col, self.ascending);
+            buffered.sort_by(|(_, a), (_, b)| {
+                let av = a.get(col).cloned().unwrap_or(Value::Null);
+                let bv = b.get(col).cloned().unwrap_or(Value::Null);
+                if ascending {
+                    av.cmp(&bv)
+                } else {
+                    bv.cmp(&av)
+                }
+            });
+            self.sorted = buffered.into_iter();
+        }
+        Ok(self.sorted.next())
+    }
+}
+
+/// Stops after `remaining` rows.
+struct LimitOp<'a> {
+    input: Box<dyn RowStream + 'a>,
+    remaining: u64,
+}
+
+impl RowStream for LimitOp<'_> {
+    fn next_row(&mut self) -> Result<Option<(RowId, Row)>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next_row()? {
+            Some(pair) => {
+                self.remaining -= 1;
+                Ok(Some(pair))
+            }
+            None => {
+                self.remaining = 0;
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// Projects each row to the output column list.
+struct ProjectOp<'a> {
+    input: Box<dyn RowStream + 'a>,
+    projection: &'a [usize],
+}
+
+impl RowStream for ProjectOp<'_> {
+    fn next_row(&mut self) -> Result<Option<(RowId, Row)>> {
+        match self.input.next_row()? {
+            Some((rid, row)) => Ok(Some((rid, row.project(self.projection)))),
+            None => Ok(None),
+        }
+    }
+}
+
+/// An open SELECT pipeline: pull projected rows one at a time.
+///
+/// The cursor captures `table.len()` at open so the pricing layer can
+/// read cardinality without re-acquiring the table lock mid-stream, and
+/// counts yielded rows so the executor can charge `record_reads` for
+/// exactly the rows a partially-consumed stream produced.
+pub struct SelectCursor<'a> {
+    inner: Box<dyn RowStream + 'a>,
+    columns: &'a [String],
+    table_rows: u64,
+    yielded: u64,
+}
+
+impl SelectCursor<'_> {
+    /// Pull the next projected `(row id, row)` pair.
+    pub fn next_row(&mut self) -> Result<Option<(RowId, Row)>> {
+        let item = self.inner.next_row()?;
+        if item.is_some() {
+            self.yielded += 1;
+        }
+        Ok(item)
+    }
+
+    /// Output column names, in projection order.
+    pub fn columns(&self) -> &[String] {
+        self.columns
+    }
+
+    /// Table cardinality captured when the cursor was opened.
+    pub fn table_rows(&self) -> u64 {
+        self.table_rows
+    }
+
+    /// Rows yielded so far.
+    pub fn rows_yielded(&self) -> u64 {
+        self.yielded
+    }
+}
+
+/// Open a SELECT plan as a pull pipeline over `table`.
+pub fn open_select<'a>(table: &'a Table, plan: &'a SelectPlan) -> Result<SelectCursor<'a>> {
+    let source: Box<dyn RowStream + 'a> = match &plan.access {
+        AccessPath::FullScan => Box::new(ScanSource {
+            iter: Box::new(table.scan()),
+        }),
+        AccessPath::IndexEq { columns, key } => {
+            let rids = table
+                .index_lookup(columns, key)
+                .ok_or_else(|| QueryError::Semantic("planned index disappeared".into()))?;
+            Box::new(IndexSource {
+                table,
+                rids: rids.into_iter(),
+            })
+        }
+        AccessPath::IndexRange { columns, lo, hi } => {
+            let rids = table
+                .index_range(columns, as_ref_bound(lo), as_ref_bound(hi))
+                .ok_or_else(|| QueryError::Semantic("planned index disappeared".into()))?;
+            Box::new(IndexSource {
+                table,
+                rids: rids.into_iter(),
+            })
+        }
+    };
+    let mut stream: Box<dyn RowStream + 'a> = Box::new(FilterOp {
+        input: source,
+        filter: plan.filter.as_ref(),
+    });
+    if let Some((col, ascending)) = plan.order_by {
+        stream = Box::new(SortOp::new(stream, col, ascending));
     }
     if let Some(limit) = plan.limit {
-        full.truncate(limit as usize);
+        stream = Box::new(LimitOp {
+            input: stream,
+            remaining: limit,
+        });
     }
-    let rows: Vec<(RowId, Row)> = full
-        .into_iter()
-        .map(|(rid, row)| (rid, row.project(&plan.projection)))
-        .collect();
-    table.record_reads(rows.len() as u64);
+    stream = Box::new(ProjectOp {
+        input: stream,
+        projection: &plan.projection,
+    });
+    Ok(SelectCursor {
+        inner: stream,
+        columns: &plan.output_names,
+        table_rows: table.len() as u64,
+        yielded: 0,
+    })
+}
+
+/// Execute a SELECT plan by draining the pull pipeline.
+pub fn run_select(table: &mut Table, plan: &SelectPlan) -> Result<SelectOutput> {
+    let mut rows = Vec::new();
+    let yielded = {
+        let mut cursor = open_select(table, plan)?;
+        while let Some(pair) = cursor.next_row()? {
+            rows.push(pair);
+        }
+        cursor.rows_yielded()
+    };
+    table.record_reads(yielded);
     Ok(SelectOutput {
         columns: plan.output_names.clone(),
         rows,

@@ -40,7 +40,7 @@ pub mod plan;
 pub mod planner;
 pub mod token;
 
-pub use engine::{Engine, StatementOutput};
+pub use engine::{Engine, StatementOutput, StreamedStatement};
 pub use error::{QueryError, Result};
-pub use exec::SelectOutput;
+pub use exec::{open_select, RowStream, SelectCursor, SelectOutput};
 pub use parser::{parse, parse_expr};

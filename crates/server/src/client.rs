@@ -5,7 +5,9 @@
 //! hand-rolling frames. One connection, sequential requests; each `ROW`
 //! is timestamped on receipt so callers can verify delay enforcement.
 
-use crate::protocol::{read_frame, write_frame, Frame, ProtocolError, RefuseReason};
+use crate::protocol::{
+    read_frame, write_frame, Frame, ProtocolError, RefuseReason, PROTOCOL_VERSION, ROWS_UNKNOWN,
+};
 use delayguard_core::clock::{Clock, RealClock};
 use delayguard_storage::Row;
 use std::io::{BufReader, BufWriter, Write};
@@ -163,8 +165,12 @@ impl Client {
 
     /// Register claiming `ip` (honored only by servers configured with
     /// `trust_client_ip`; `[0;4]` falls back to the peer address).
+    /// Negotiates the current protocol version (trailer framing).
     pub fn register_as(&mut self, ip: [u8; 4]) -> Result<RegisterOutcome, ClientError> {
-        self.send(&Frame::Register { claimed_ip: ip })?;
+        self.send(&Frame::Register {
+            claimed_ip: ip,
+            version: PROTOCOL_VERSION,
+        })?;
         match self.recv()? {
             Frame::Registered { user, fee } => Ok(RegisterOutcome::Registered { user, fee }),
             Frame::Refused {
@@ -224,10 +230,16 @@ impl Client {
                 query_id: qid,
                 columns,
                 rows,
-            } if qid == query_id => (columns, rows as usize),
+            } if qid == query_id => (columns, rows),
             other => return Err(ClientError::Unexpected(other)),
         };
-        let mut rows = Vec::with_capacity(expected);
+        // ROWS_UNKNOWN means trailer framing: the count arrives in
+        // ROWS_END, so don't trust the sentinel as an allocation hint.
+        let mut rows = Vec::with_capacity(if expected == ROWS_UNKNOWN {
+            0
+        } else {
+            expected as usize
+        });
         loop {
             match self.recv()? {
                 Frame::Row {
@@ -239,6 +251,19 @@ impl Client {
                     row,
                     received_at_nanos: self.clock.now_nanos(),
                 }),
+                Frame::RowsEnd { query_id: qid, .. } if qid == query_id => {}
+                // Mid-stream shed: the server delivered every charged row
+                // and then refused the remainder.
+                Frame::Refused {
+                    query_id: qid,
+                    reason,
+                    retry_after_secs,
+                } if qid == query_id || qid == 0 => {
+                    return Ok(QueryOutcome::Refused {
+                        reason,
+                        retry_after_secs,
+                    })
+                }
                 Frame::Done {
                     query_id: qid,
                     delay_secs,

@@ -11,8 +11,11 @@
 //!
 //! * [`FrameSink`]: where response frames go. The TCP server's bounded
 //!   `SendQueue` implements it; the testkit's in-memory connection does
-//!   too. `try_reserve_rows` is the backpressure seam: a `SELECT` must
-//!   reserve its whole result set up front or be refused `Overloaded`.
+//!   too. `try_reserve_rows` is the backpressure seam: a `SELECT`
+//!   reserves send-queue slots chunk by chunk as the executor produces
+//!   rows ([`GateConfig::stream_chunk_rows`]) and is refused
+//!   `Overloaded` the moment a chunk does not fit — *before* that
+//!   chunk's tuples are charged to the popularity ledger.
 //! * [`Clock`][delayguard_core::clock::Clock]: the front door never
 //!   reads the wall directly; gatekeeper timestamps and scheduler
 //!   deadlines come from the injected clock, so the same admission code
@@ -24,17 +27,17 @@
 //! properties of the code the real server runs — not of a model of it.
 
 use crate::metrics::ServerMetrics;
-use crate::protocol::{Frame, RefuseReason};
+use crate::protocol::{Frame, RefuseReason, PROTOCOL_VERSION, ROWS_UNKNOWN};
 use crate::scheduler::DelayScheduler;
-use delayguard_core::clock::Clock;
+use delayguard_core::clock::{secs_to_nanos, Clock};
 use delayguard_core::gatekeeper::{
     Admission, Gatekeeper, GatekeeperConfig, Ipv4, RefusalReason, RegistrationOutcome, UserId,
 };
-use delayguard_core::GuardedDatabase;
+use delayguard_core::{DeadlineStream, GuardedDatabase, StreamedQuery};
 use delayguard_query::engine::StatementOutput;
 use delayguard_sim::Registry;
 use parking_lot::Mutex as PMutex;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Where a session's response frames go. Implemented by the TCP server's
@@ -51,9 +54,52 @@ pub trait FrameSink: Send + Sync + 'static {
     /// call this on the wheel thread.
     fn push_row(&self, frame: Frame);
 
-    /// Reserve capacity for `n` row frames, all-or-nothing, so a query
-    /// either streams completely or is refused up front.
+    /// Reserve capacity for `n` row frames, all-or-nothing, so a chunk
+    /// either streams completely or the query is refused at the chunk
+    /// boundary (with nothing from that chunk charged).
     fn try_reserve_rows(&self, n: usize) -> bool;
+}
+
+/// Per-connection protocol state negotiated at `REGISTER`.
+///
+/// A connection starts at version 1 (legacy count-up-front framing) and
+/// is upgraded when its `REGISTER` frame carries a version byte; the
+/// effective version is the minimum of the client's and
+/// [`PROTOCOL_VERSION`]. The transport owns one of these per connection
+/// and passes it to every [`FrontDoor::handle_frame`] call.
+#[derive(Debug)]
+pub struct SessionState {
+    version: AtomicU8,
+}
+
+impl SessionState {
+    /// A fresh connection: legacy framing until `REGISTER` negotiates up.
+    pub fn new() -> SessionState {
+        SessionState {
+            version: AtomicU8::new(1),
+        }
+    }
+
+    /// The negotiated protocol version.
+    pub fn version(&self) -> u8 {
+        self.version.load(Ordering::Relaxed)
+    }
+
+    /// Whether `SELECT` results use `ROWS_END`-trailer framing.
+    pub fn streaming(&self) -> bool {
+        self.version() >= 2
+    }
+
+    fn negotiate(&self, client_version: u8) {
+        self.version
+            .store(client_version.clamp(1, PROTOCOL_VERSION), Ordering::Relaxed);
+    }
+}
+
+impl Default for SessionState {
+    fn default() -> Self {
+        SessionState::new()
+    }
 }
 
 /// What the transport should do with the session after a frame.
@@ -78,6 +124,11 @@ pub struct GateConfig {
     /// Retry hint attached to refusals that have no exact gatekeeper
     /// hint (`Overloaded`, `ShuttingDown`, `Unregistered`).
     pub retry_after_secs: f64,
+    /// How many rows a streaming `SELECT` pulls from the executor (and
+    /// reserves in the send queue) per chunk. Bounds the executor-side
+    /// buffering per connection at `stream_chunk_rows × row size`,
+    /// independent of result-set size.
+    pub stream_chunk_rows: usize,
 }
 
 impl Default for GateConfig {
@@ -86,6 +137,7 @@ impl Default for GateConfig {
             gatekeeper: GatekeeperConfig::default(),
             trust_client_ip: false,
             retry_after_secs: 1.0,
+            stream_chunk_rows: 256,
         }
     }
 }
@@ -189,15 +241,21 @@ impl FrontDoor {
     // ---- frame dispatch --------------------------------------------------
 
     /// Handle one decoded client frame. `peer_ip` is the transport's
-    /// authoritative view of the peer (IPv4 octets).
+    /// authoritative view of the peer (IPv4 octets); `session` is the
+    /// connection's negotiated protocol state.
     pub fn handle_frame<S: FrameSink>(
         &self,
         frame: Frame,
         peer_ip: [u8; 4],
+        session: &SessionState,
         sink: &Arc<S>,
     ) -> SessionControl {
         match frame {
-            Frame::Register { claimed_ip } => {
+            Frame::Register {
+                claimed_ip,
+                version,
+            } => {
+                session.negotiate(version);
                 self.handle_register(claimed_ip, peer_ip, sink.as_ref());
                 SessionControl::Continue
             }
@@ -206,7 +264,7 @@ impl FrontDoor {
                 user,
                 sql,
             } => {
-                self.handle_query(query_id, user, &sql, sink);
+                self.handle_query(query_id, user, &sql, session, sink);
                 SessionControl::Continue
             }
             Frame::Stats => {
@@ -265,7 +323,23 @@ impl FrontDoor {
 
     /// Handle a `QUERY` frame: admission, delay pricing, and scheduling
     /// every row (and the final `DONE`) on the wheel.
-    pub fn handle_query<S: FrameSink>(&self, query_id: u32, user: u64, sql: &str, sink: &Arc<S>) {
+    ///
+    /// `SELECT` results are executed through the streaming pipeline: rows
+    /// are pulled in [`GateConfig::stream_chunk_rows`]-sized chunks, each
+    /// chunk reserves its send-queue slots *before* its tuples are
+    /// charged, and charged chunks land on the wheel while the executor
+    /// is still producing the next one. Version-≥2 sessions get
+    /// trailer framing (`ROWS_BEGIN` with [`ROWS_UNKNOWN`], then a
+    /// `ROWS_END` count); legacy sessions still see the exact count in
+    /// `ROWS_BEGIN`, which requires draining the executor first.
+    pub fn handle_query<S: FrameSink>(
+        &self,
+        query_id: u32,
+        user: u64,
+        sql: &str,
+        session: &SessionState,
+        sink: &Arc<S>,
+    ) {
         let retry = self.config.retry_after_secs;
         // Entered before the draining check; shutdown waits for this count
         // to reach zero before draining the wheel, so every delay we
@@ -315,82 +389,29 @@ impl FrontDoor {
             });
             return;
         }
-        let response = match self.db.execute_with_deadline(sql) {
-            Ok(r) => r,
-            Err(e) => {
-                self.metrics.query_errors.inc();
-                sink.push_control(Frame::Error {
-                    query_id,
-                    message: e.to_string(),
-                });
-                return;
-            }
-        };
-        self.metrics.queries_admitted.inc();
-        self.metrics
-            .delay_micros_charged
-            .add_secs(response.delay_secs);
-        let delay_secs = response.delay_secs;
-        let done_at = response.deadline_nanos();
-        let tuple_deadlines: Vec<u64> = response.tuple_deadline_nanos().collect();
-        match response.output {
-            StatementOutput::Rows(select) => {
-                let n = select.rows.len();
-                if !sink.try_reserve_rows(n) {
-                    // The delay was charged but the connection cannot
-                    // absorb the result set; shed rather than block the
-                    // scheduler.
-                    self.metrics.refused_backpressure.inc();
-                    sink.push_control(Frame::Refused {
-                        query_id,
-                        reason: RefuseReason::Overloaded,
-                        retry_after_secs: retry,
-                    });
-                    return;
+        let trailer_framing = session.streaming();
+        let result = self.db.execute_streaming(sql, |query| match query {
+            StreamedQuery::Rows(mut stream) => {
+                self.metrics.queries_admitted.inc();
+                if trailer_framing {
+                    self.stream_select(query_id, &mut stream, sink);
+                } else {
+                    self.materialize_select(query_id, &mut stream, sink);
                 }
-                sink.push_control(Frame::RowsBegin {
-                    query_id,
-                    columns: select.columns.clone(),
-                    rows: n as u32,
-                });
-                self.metrics.rows_streamed.add(n as u64);
-                for (seq, ((_rid, row), deadline)) in
-                    select.rows.into_iter().zip(tuple_deadlines).enumerate()
-                {
-                    let frame = Frame::Row {
-                        query_id,
-                        seq: seq as u32,
-                        row,
-                    };
-                    let job_sink = Arc::clone(sink);
-                    self.scheduler
-                        .schedule(deadline, Box::new(move || job_sink.push_row(frame)));
-                }
-                // DONE rides the wheel too, scheduled after the rows at
-                // the same final deadline so stable ordering emits it
-                // last.
-                let done_sink = Arc::clone(sink);
-                self.scheduler.schedule(
-                    done_at,
-                    Box::new(move || {
-                        done_sink.push_control(Frame::Done {
-                            query_id,
-                            delay_secs,
-                            tuples: n as u32,
-                        })
-                    }),
-                );
             }
-            other => {
-                let tuples = match &other {
+            StreamedQuery::Finished(resp) => {
+                self.metrics.queries_admitted.inc();
+                self.metrics.delay_micros_charged.add_secs(resp.delay_secs);
+                let tuples = match &resp.output {
                     StatementOutput::Inserted { rids } => rids.len() as u32,
                     StatementOutput::Updated { rids } => rids.len() as u32,
                     StatementOutput::Deleted { rids } => rids.len() as u32,
                     _ => 0,
                 };
+                let delay_secs = resp.delay_secs;
                 let done_sink = Arc::clone(sink);
                 self.scheduler.schedule(
-                    done_at,
+                    resp.deadline_nanos(),
                     Box::new(move || {
                         done_sink.push_control(Frame::Done {
                             query_id,
@@ -400,7 +421,197 @@ impl FrontDoor {
                     }),
                 );
             }
+        });
+        if let Err(e) = result {
+            self.metrics.query_errors.inc();
+            sink.push_control(Frame::Error {
+                query_id,
+                message: e.to_string(),
+            });
         }
+    }
+
+    /// Version-≥2 `SELECT` delivery: pull → reserve → charge → schedule,
+    /// one bounded chunk at a time, with trailer framing.
+    fn stream_select<S: FrameSink>(
+        &self,
+        query_id: u32,
+        stream: &mut DeadlineStream<'_, '_>,
+        sink: &Arc<S>,
+    ) {
+        let retry = self.config.retry_after_secs;
+        let chunk_rows = self.config.stream_chunk_rows.max(1);
+        let mut seq: u32 = 0;
+        let mut began = false;
+        loop {
+            let chunk = match stream.next_chunk(chunk_rows) {
+                Ok(Some(chunk)) => chunk,
+                Ok(None) => break,
+                Err(e) => {
+                    // Mid-stream executor failure: already-scheduled rows
+                    // still deliver at their deadlines; the error frame
+                    // tells the client the stream is truncated.
+                    self.metrics.query_errors.inc();
+                    sink.push_control(Frame::Error {
+                        query_id,
+                        message: e.to_string(),
+                    });
+                    return;
+                }
+            };
+            if !sink.try_reserve_rows(chunk.len()) {
+                // Refuse BEFORE charging: the tuples of this chunk are
+                // neither delayed-priced nor recorded in the popularity
+                // ledger, so a shed query costs the requester nothing.
+                self.metrics.refused_backpressure.inc();
+                let refused = Frame::Refused {
+                    query_id,
+                    reason: RefuseReason::Overloaded,
+                    retry_after_secs: retry,
+                };
+                if !began {
+                    sink.push_control(refused);
+                } else {
+                    // Earlier chunks were charged and are on the wheel;
+                    // the drain invariant ("every charged tuple is
+                    // delivered") means the refusal must trail them.
+                    let refuse_sink = Arc::clone(sink);
+                    self.scheduler.schedule(
+                        stream.deadline_nanos(),
+                        Box::new(move || refuse_sink.push_control(refused)),
+                    );
+                }
+                return;
+            }
+            let before_secs = stream.delay_secs();
+            let charged = stream.charge(&chunk);
+            self.metrics
+                .delay_micros_charged
+                .add_secs(stream.delay_secs() - before_secs);
+            if !began {
+                began = true;
+                sink.push_control(Frame::RowsBegin {
+                    query_id,
+                    columns: stream.columns().to_vec(),
+                    rows: ROWS_UNKNOWN,
+                });
+            }
+            self.metrics.rows_streamed.add(chunk.len() as u64);
+            let issued = stream.issued_at_nanos();
+            for ((_rid, row), offset) in chunk.into_iter().zip(charged.offsets) {
+                let frame = Frame::Row { query_id, seq, row };
+                seq += 1;
+                let job_sink = Arc::clone(sink);
+                self.scheduler.schedule(
+                    issued.saturating_add(secs_to_nanos(offset)),
+                    Box::new(move || job_sink.push_row(frame)),
+                );
+            }
+        }
+        if !began {
+            sink.push_control(Frame::RowsBegin {
+                query_id,
+                columns: stream.columns().to_vec(),
+                rows: ROWS_UNKNOWN,
+            });
+        }
+        // Trailer and DONE ride the wheel at the final deadline; they are
+        // inserted after every row, so stable same-tick ordering emits
+        // ROWS_END after the last row and DONE last of all.
+        let rows = seq;
+        let delay_secs = stream.delay_secs();
+        let done_at = stream.deadline_nanos();
+        let end_sink = Arc::clone(sink);
+        self.scheduler.schedule(
+            done_at,
+            Box::new(move || end_sink.push_control(Frame::RowsEnd { query_id, rows })),
+        );
+        let done_sink = Arc::clone(sink);
+        self.scheduler.schedule(
+            done_at,
+            Box::new(move || {
+                done_sink.push_control(Frame::Done {
+                    query_id,
+                    delay_secs,
+                    tuples: rows,
+                })
+            }),
+        );
+    }
+
+    /// Legacy (version-1) `SELECT` delivery: the client expects the exact
+    /// row count in `ROWS_BEGIN`, so the executor is drained first; the
+    /// whole result then reserves all-or-nothing and is only charged if
+    /// it fits.
+    fn materialize_select<S: FrameSink>(
+        &self,
+        query_id: u32,
+        stream: &mut DeadlineStream<'_, '_>,
+        sink: &Arc<S>,
+    ) {
+        let retry = self.config.retry_after_secs;
+        let mut rows = Vec::new();
+        loop {
+            match stream.next_chunk(usize::MAX) {
+                Ok(Some(mut chunk)) => rows.append(&mut chunk),
+                Ok(None) => break,
+                Err(e) => {
+                    self.metrics.query_errors.inc();
+                    sink.push_control(Frame::Error {
+                        query_id,
+                        message: e.to_string(),
+                    });
+                    return;
+                }
+            }
+        }
+        let n = rows.len();
+        if !sink.try_reserve_rows(n) {
+            // Nothing has been charged yet: pull happened, pricing did
+            // not, so the refused query leaves no trace in the ledger.
+            self.metrics.refused_backpressure.inc();
+            sink.push_control(Frame::Refused {
+                query_id,
+                reason: RefuseReason::Overloaded,
+                retry_after_secs: retry,
+            });
+            return;
+        }
+        let charged = stream.charge(&rows);
+        self.metrics
+            .delay_micros_charged
+            .add_secs(stream.delay_secs());
+        sink.push_control(Frame::RowsBegin {
+            query_id,
+            columns: stream.columns().to_vec(),
+            rows: n as u32,
+        });
+        self.metrics.rows_streamed.add(n as u64);
+        let issued = stream.issued_at_nanos();
+        for (seq, ((_rid, row), offset)) in rows.into_iter().zip(charged.offsets).enumerate() {
+            let frame = Frame::Row {
+                query_id,
+                seq: seq as u32,
+                row,
+            };
+            let job_sink = Arc::clone(sink);
+            self.scheduler.schedule(
+                issued.saturating_add(secs_to_nanos(offset)),
+                Box::new(move || job_sink.push_row(frame)),
+            );
+        }
+        let delay_secs = stream.delay_secs();
+        let done_sink = Arc::clone(sink);
+        self.scheduler.schedule(
+            stream.deadline_nanos(),
+            Box::new(move || {
+                done_sink.push_control(Frame::Done {
+                    query_id,
+                    delay_secs,
+                    tuples: n as u32,
+                })
+            }),
+        );
     }
 }
 

@@ -32,9 +32,9 @@ pub mod server;
 pub mod wheel;
 
 pub use client::{Client, ClientError, QueryOutcome, ReceivedRow, RegisterOutcome};
-pub use gate::{FrameSink, FrontDoor, GateConfig, SessionControl};
+pub use gate::{FrameSink, FrontDoor, GateConfig, SessionControl, SessionState};
 pub use metrics::ServerMetrics;
-pub use protocol::{Frame, ProtocolError, RefuseReason};
+pub use protocol::{Frame, ProtocolError, RefuseReason, PROTOCOL_VERSION, ROWS_UNKNOWN};
 pub use scheduler::DelayScheduler;
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use wheel::TimerWheel;

@@ -2,10 +2,22 @@
 //!
 //! Every frame is `len: u32 LE | opcode: u8 | payload`, where `len`
 //! counts the opcode byte plus payload. Three request verbs (`REGISTER`,
-//! `QUERY`, `STATS`) and six response frames; `SELECT` results stream as
-//! `ROWS_BEGIN`, then one `ROW` per tuple *as its delay deadline
+//! `QUERY`, `STATS`) and seven response frames; `SELECT` results stream
+//! as `ROWS_BEGIN`, then one `ROW` per tuple *as its delay deadline
 //! expires*, then `DONE`. Responses carry the originating `query_id` so
 //! a client may pipeline queries on one connection.
+//!
+//! # Versioning
+//!
+//! The protocol version is negotiated at `REGISTER`: a v1 client sends
+//! the original 4-byte payload (just the claimed ip) and gets
+//! count-up-front framing, where `ROWS_BEGIN.rows` is the exact result
+//! size. A client that appends a version byte ≥ 2 opts into trailer
+//! framing: the server executes streaming, `ROWS_BEGIN.rows` is the
+//! [`ROWS_UNKNOWN`] sentinel, and a `ROWS_END` trailer carries the real
+//! count once the executor finishes. Old servers reject the 5-byte
+//! register payload outright (trailing bytes), so a v2 client is never
+//! silently mis-framed.
 //!
 //! Row payloads reuse the storage engine's row codec
 //! ([`delayguard_storage::codec`]), so the server adds no second
@@ -18,6 +30,17 @@ use std::io::{self, Read, Write};
 
 /// Largest accepted frame body (opcode + payload).
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Current frame-level protocol version, sent with `REGISTER`.
+///
+/// Version 2 negotiates `ROWS_END`-trailer framing for `SELECT` results
+/// (see the module docs); version 1 is the legacy count-up-front framing.
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// Sentinel for [`Frame::RowsBegin::rows`] on version-≥2 sessions: the
+/// result is streaming and the total count arrives in the
+/// [`Frame::RowsEnd`] trailer instead.
+pub const ROWS_UNKNOWN: u32 = u32::MAX;
 
 /// Why the server refused a request (wire codes are stable).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,8 +78,10 @@ impl RefuseReason {
 pub enum Frame {
     /// Request an identity. `claimed_ip` is honored only when the server
     /// is configured to trust it (proxy / test deployments); `[0;4]`
-    /// means "use the connection's peer address".
-    Register { claimed_ip: [u8; 4] },
+    /// means "use the connection's peer address". `version` is the
+    /// highest protocol version the client speaks: decoded as 1 when the
+    /// payload carries no version byte (legacy 4-byte form).
+    Register { claimed_ip: [u8; 4], version: u8 },
     /// Execute SQL as `user`; responses echo `query_id`.
     Query {
         query_id: u32,
@@ -75,6 +100,8 @@ pub enum Frame {
         retry_after_secs: f64,
     },
     /// A `SELECT` started streaming: column names and total row count.
+    /// On version-≥2 sessions `rows` is [`ROWS_UNKNOWN`] and the count
+    /// arrives in the [`Frame::RowsEnd`] trailer.
     RowsBegin {
         query_id: u32,
         columns: Vec<String>,
@@ -82,6 +109,9 @@ pub enum Frame {
     },
     /// One tuple, released at its delay deadline.
     Row { query_id: u32, seq: u32, row: Row },
+    /// Trailer on version-≥2 sessions: the executor finished and `rows`
+    /// is the total row count. Sent after the last `ROW`, before `DONE`.
+    RowsEnd { query_id: u32, rows: u32 },
     /// The statement completed; `delay_secs` is the total charged.
     Done {
         query_id: u32,
@@ -105,6 +135,7 @@ mod opcode {
     pub const DONE: u8 = 0x14;
     pub const STATS_REPLY: u8 = 0x15;
     pub const ERROR: u8 = 0x16;
+    pub const ROWS_END: u8 = 0x17;
 }
 
 /// Protocol-level failures (distinct from transport `io::Error`).
@@ -211,6 +242,10 @@ impl<'a> Cursor<'a> {
         s
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     fn finish(self) -> Result<(), ProtocolError> {
         if self.pos != self.buf.len() {
             return Err(ProtocolError::Malformed(format!(
@@ -227,9 +262,13 @@ impl Frame {
     fn encode_body(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(32);
         match self {
-            Frame::Register { claimed_ip } => {
+            Frame::Register {
+                claimed_ip,
+                version,
+            } => {
                 out.push(opcode::REGISTER);
                 out.extend_from_slice(claimed_ip);
+                out.push(*version);
             }
             Frame::Query {
                 query_id,
@@ -276,6 +315,11 @@ impl Frame {
                 put_u32(&mut out, *seq);
                 out.extend_from_slice(&row_bytes(row));
             }
+            Frame::RowsEnd { query_id, rows } => {
+                out.push(opcode::ROWS_END);
+                put_u32(&mut out, *query_id);
+                put_u32(&mut out, *rows);
+            }
             Frame::Done {
                 query_id,
                 delay_secs,
@@ -304,9 +348,16 @@ impl Frame {
         let mut c = Cursor::new(body);
         let op = c.u8()?;
         let frame = match op {
-            opcode::REGISTER => Frame::Register {
-                claimed_ip: c.take(4)?.try_into().unwrap(),
-            },
+            opcode::REGISTER => {
+                let claimed_ip: [u8; 4] = c.take(4)?.try_into().unwrap();
+                // Legacy (v1) clients send only the ip; the version byte
+                // was appended in v2.
+                let version = if c.remaining() > 0 { c.u8()? } else { 1 };
+                Frame::Register {
+                    claimed_ip,
+                    version,
+                }
+            }
             opcode::QUERY => Frame::Query {
                 query_id: c.u32()?,
                 user: c.u64()?,
@@ -349,6 +400,10 @@ impl Frame {
                     .map_err(|e| ProtocolError::Malformed(format!("bad row: {e}")))?;
                 Frame::Row { query_id, seq, row }
             }
+            opcode::ROWS_END => Frame::RowsEnd {
+                query_id: c.u32()?,
+                rows: c.u32()?,
+            },
             opcode::DONE => Frame::Done {
                 query_id: c.u32()?,
                 delay_secs: c.f64()?,
@@ -422,6 +477,7 @@ mod tests {
     fn all_frames_round_trip() {
         round_trip(Frame::Register {
             claimed_ip: [10, 0, 0, 7],
+            version: PROTOCOL_VERSION,
         });
         round_trip(Frame::Query {
             query_id: 3,
@@ -444,6 +500,10 @@ mod tests {
             query_id: 1,
             seq: 5,
             row: Row::new(vec![Value::Int(9), Value::Text("x".into()), Value::Null]),
+        });
+        round_trip(Frame::RowsEnd {
+            query_id: 1,
+            rows: 100,
         });
         round_trip(Frame::Done {
             query_id: 1,
@@ -471,6 +531,22 @@ mod tests {
             Some(Frame::Registered { user: 1, .. })
         ));
         assert_eq!(read_frame(&mut slice).unwrap(), None);
+    }
+
+    #[test]
+    fn legacy_register_decodes_as_version_one() {
+        // The v1 payload is exactly 4 ip bytes — no version byte.
+        let body = vec![opcode::REGISTER, 10, 0, 0, 7];
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&body);
+        assert_eq!(
+            read_frame(&mut buf.as_slice()).unwrap(),
+            Some(Frame::Register {
+                claimed_ip: [10, 0, 0, 7],
+                version: 1,
+            })
+        );
     }
 
     #[test]

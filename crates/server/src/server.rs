@@ -32,7 +32,7 @@
 //! gatekeeper timestamps, guard deadlines, and wheel ticks share one
 //! epoch. Socket-flush timeouts read the same clock.
 
-use crate::gate::{FrameSink, FrontDoor, GateConfig, SessionControl};
+use crate::gate::{FrameSink, FrontDoor, GateConfig, SessionControl, SessionState};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{write_frame, Frame, ProtocolError, RefuseReason};
 use crate::scheduler::DelayScheduler;
@@ -67,6 +67,10 @@ pub struct ServerConfig {
     pub trust_client_ip: bool,
     /// Retry hint attached to `Overloaded` / `ShuttingDown` refusals.
     pub retry_after_secs: f64,
+    /// How many rows a streaming `SELECT` pulls from the executor (and
+    /// reserves in the send queue) per chunk; bounds executor-side
+    /// buffering per connection independently of result size.
+    pub stream_chunk_rows: usize,
     /// How often the background refresher drains the guard's record queue
     /// and publishes a fresh policy snapshot. This is the server's half
     /// of the bounded-staleness contract: query threads also trip
@@ -84,6 +88,7 @@ impl Default for ServerConfig {
             tick: Duration::from_millis(1),
             trust_client_ip: false,
             retry_after_secs: 1.0,
+            stream_chunk_rows: 256,
             snapshot_refresh_interval: Duration::from_millis(20),
         }
     }
@@ -96,6 +101,7 @@ impl ServerConfig {
             gatekeeper: self.gatekeeper,
             trust_client_ip: self.trust_client_ip,
             retry_after_secs: self.retry_after_secs,
+            stream_chunk_rows: self.stream_chunk_rows,
         }
     }
 }
@@ -223,6 +229,8 @@ struct Conn {
     stream: TcpStream,
     /// Row budget for this connection ([`ServerConfig::send_queue_rows`]).
     rows_cap: usize,
+    /// Protocol version negotiated at `REGISTER`.
+    session: SessionState,
     done: AtomicBool,
     /// Set once the writer has flushed its last frame; shutdown waits for
     /// this before severing the stream, so no queued frame is cut off.
@@ -467,6 +475,7 @@ fn handle_accept(
         queue: SendQueue::new(),
         stream: stream.try_clone().expect("clone session stream"),
         rows_cap: shared.config.send_queue_rows,
+        session: SessionState::new(),
         done: AtomicBool::new(false),
         writer_done: AtomicBool::new(false),
     });
@@ -553,7 +562,10 @@ fn session_loop(stream: TcpStream, peer: SocketAddr, shared: &Arc<Shared>, conn:
                 return;
             }
         };
-        match shared.gate.handle_frame(frame, peer_ip, conn) {
+        match shared
+            .gate
+            .handle_frame(frame, peer_ip, &conn.session, conn)
+        {
             SessionControl::Continue => {}
             SessionControl::Terminate => return,
         }

@@ -19,7 +19,7 @@
 //! not of a sim-only shim.
 
 use delayguard_core::clock::{Clock, RealClock};
-use delayguard_server::protocol::{read_frame, write_frame, Frame, RefuseReason};
+use delayguard_server::protocol::{read_frame, write_frame, Frame, RefuseReason, PROTOCOL_VERSION};
 use delayguard_storage::Row;
 use std::io::Write as _;
 use std::net::TcpStream;
@@ -330,13 +330,28 @@ impl QueryOutcome {
     }
 }
 
-/// Send one `REGISTER` and wait for the verdict.
+/// Send one `REGISTER` (negotiating the current protocol version) and
+/// wait for the verdict.
 pub fn register_once(
     link: &mut dyn NetLink,
     claimed_ip: [u8; 4],
     timeout_secs: f64,
 ) -> Result<Result<u64, f64>, LinkError> {
-    link.send(&Frame::Register { claimed_ip })?;
+    register_once_with_version(link, claimed_ip, PROTOCOL_VERSION, timeout_secs)
+}
+
+/// [`register_once`] pinning an explicit protocol version — version 1
+/// keeps legacy count-up-front framing for compatibility tests.
+pub fn register_once_with_version(
+    link: &mut dyn NetLink,
+    claimed_ip: [u8; 4],
+    version: u8,
+    timeout_secs: f64,
+) -> Result<Result<u64, f64>, LinkError> {
+    link.send(&Frame::Register {
+        claimed_ip,
+        version,
+    })?;
     let deadline = link.now_secs() + timeout_secs;
     loop {
         let remaining = deadline - link.now_secs();
@@ -426,6 +441,14 @@ pub fn run_query(
             } if qid == query_id => {
                 rows.push((seq, row));
                 row_arrivals.push(arrival.at_secs);
+            }
+            // Trailer framing: the real count supersedes the
+            // ROWS_UNKNOWN sentinel announced at ROWS_BEGIN.
+            Frame::RowsEnd {
+                query_id: qid,
+                rows: n,
+            } if qid == query_id => {
+                announced = n;
             }
             Frame::Done {
                 query_id: qid,

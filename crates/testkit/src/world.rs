@@ -24,7 +24,7 @@ use crate::net::{Arrival, FaultPlan, LinkError, NetLink, SimNet};
 use delayguard_core::clock::{nanos_to_secs, secs_to_nanos, Clock, ManualClock};
 use delayguard_core::{GuardConfig, GuardedDatabase};
 use delayguard_query::Engine;
-use delayguard_server::gate::{FrameSink, FrontDoor, GateConfig, SessionControl};
+use delayguard_server::gate::{FrameSink, FrontDoor, GateConfig, SessionControl, SessionState};
 use delayguard_server::metrics::ServerMetrics;
 use delayguard_server::protocol::{read_frame, write_frame, Frame};
 use delayguard_server::scheduler::DelayScheduler;
@@ -176,6 +176,9 @@ struct Conn {
     pending_reset: bool,
     faults: FaultPlan,
     sink: Arc<SimSink>,
+    /// Protocol version negotiated at `REGISTER` (same state the TCP
+    /// server keeps per connection).
+    session: Arc<SessionState>,
     inbox: VecDeque<Arrival>,
     /// FIFO floors per direction: a new frame never arrives before one
     /// sent earlier (unless a reorder fault explicitly lets it overtake).
@@ -272,6 +275,7 @@ impl Core {
                 pending_reset: false,
                 faults: self.default_faults,
                 sink: Arc::new(SimSink::new(self.send_queue_rows)),
+                session: Arc::new(SessionState::new()),
                 inbox: VecDeque::new(),
                 fifo_to_server: 0,
                 fifo_to_client: 0,
@@ -367,8 +371,13 @@ impl Core {
     fn dispatch(&mut self, ev: Ev) {
         match ev.kind {
             EvKind::Deliver { conn, dir, bytes } => {
-                let (open, ip, sink) = match self.conns.get(&conn) {
-                    Some(c) => (c.open, c.peer_ip, Arc::clone(&c.sink)),
+                let (open, ip, sink, session) = match self.conns.get(&conn) {
+                    Some(c) => (
+                        c.open,
+                        c.peer_ip,
+                        Arc::clone(&c.sink),
+                        Arc::clone(&c.session),
+                    ),
                     None => return,
                 };
                 if !open {
@@ -384,7 +393,9 @@ impl Core {
                 self.frames_delivered += 1;
                 match dir {
                     Dir::ToServer => {
-                        if self.gate.handle_frame(frame, ip, &sink) == SessionControl::Terminate {
+                        if self.gate.handle_frame(frame, ip, &session, &sink)
+                            == SessionControl::Terminate
+                        {
                             if let Some(c) = self.conns.get_mut(&conn) {
                                 c.open = false;
                             }

@@ -365,7 +365,7 @@ fn partition_mid_drain_delivers_every_tuple_after_heal() {
                     Frame::Done {
                         delay_secs, tuples, ..
                     } => done = Some((delay_secs, tuples, arrival.at_secs)),
-                    Frame::RowsBegin { .. } => {}
+                    Frame::RowsBegin { .. } | Frame::RowsEnd { .. } => {}
                     other => panic!("unexpected frame after heal: {other:?}"),
                 }
                 if done.is_some() && rows == 10 {

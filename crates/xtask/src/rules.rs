@@ -27,6 +27,14 @@
 //!   rule tracks identifiers declared as `AtomicPtr` in the same file
 //!   (field and `let` declarations), plus any store whose operand is
 //!   visibly a raw pointer (`Box::into_raw`, `null_mut`, `as *mut`).
+//! * **R5 no result-set materialization on the server hot path** —
+//!   `.collect` is banned in the non-test code of the front door's query
+//!   path (`crates/server/src/gate.rs`, `crates/server/src/server.rs`):
+//!   the streaming executor exists so a result set is never buffered
+//!   whole, and one stray `collect::<Vec<_>>()` silently reintroduces
+//!   O(result) memory. Bounded, vetted collections (column-name lists,
+//!   config tables) go through `crates/xtask/lint-allow.txt`. Unit-test
+//!   modules are exempt.
 
 use std::collections::HashSet;
 use std::path::Path;
@@ -89,6 +97,7 @@ pub fn lint_file(rel: &str, src: &str, allow: &Allowlist) -> Vec<Finding> {
     rule_no_wall_clock(rel, &scanned, &source_lines, allow, &mut findings);
     rule_no_unwrap_on_server_paths(rel, &scanned, &source_lines, allow, &mut findings);
     rule_no_relaxed_pointer_publish(rel, &scanned, &mut findings);
+    rule_no_collect_on_server_hot_path(rel, &scanned, &source_lines, allow, &mut findings);
     findings
 }
 
@@ -230,6 +239,49 @@ fn rule_no_unwrap_on_server_paths(
             line: i + 1,
             message: "`unwrap`/`expect` on a server path — handle the error \
                       or add a vetted entry to crates/xtask/lint-allow.txt"
+                .to_string(),
+        });
+    }
+}
+
+/// Files on the server's per-query hot path, where buffering a whole
+/// result set would defeat the streaming pipeline's memory bound.
+fn streaming_hot_path(rel: &str) -> bool {
+    matches!(
+        rel,
+        "crates/server/src/gate.rs" | "crates/server/src/server.rs"
+    )
+}
+
+fn rule_no_collect_on_server_hot_path(
+    rel: &str,
+    s: &Scanned,
+    source_lines: &[&str],
+    allow: &Allowlist,
+    findings: &mut Vec<Finding>,
+) {
+    if !streaming_hot_path(rel) {
+        return;
+    }
+    let in_test = test_mod_lines(&s.code);
+    for (i, code) in s.code.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        if !code.contains(".collect") {
+            continue;
+        }
+        let source = source_lines.get(i).copied().unwrap_or("");
+        if allow.permits(rel, source) {
+            continue;
+        }
+        findings.push(Finding {
+            file: rel.to_string(),
+            line: i + 1,
+            message: "`.collect` on the server hot path — results must stream \
+                      in bounded chunks, never materialize whole; for a \
+                      provably bounded collection add a vetted entry to \
+                      crates/xtask/lint-allow.txt"
                 .to_string(),
         });
     }
@@ -534,5 +586,42 @@ mod tests {
         let src = "struct S { n: AtomicU64 }\n\
                    fn f(s: &S) { s.n.store(1, Ordering::Relaxed); }\n";
         assert!(lint("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn collect_on_server_hot_path_fires() {
+        let src = "fn f(rows: Vec<Row>) { let v = rows.iter().collect::<Vec<_>>(); }\n";
+        for rel in ["crates/server/src/gate.rs", "crates/server/src/server.rs"] {
+            let f = lint(rel, src);
+            assert_eq!(f.len(), 1, "{rel} must be in R5 scope");
+            assert!(f[0].message.contains("stream"));
+        }
+        // Fine off the hot path (clients and tests materialize freely).
+        assert!(lint("crates/server/src/client.rs", src).is_empty());
+        assert!(lint("crates/core/src/guarded.rs", src).is_empty());
+    }
+
+    #[test]
+    fn collect_allowlist_and_test_modules_exempt() {
+        let src = "fn f(c: &[String]) { let v = c.iter().cloned().collect::<Vec<_>>(); }\n";
+        let allow = Allowlist::parse(
+            "crates/server/src/gate.rs: fn f(c: &[String]) { let v = c.iter().cloned().collect::<Vec<_>>(); }\n",
+        );
+        assert!(lint_file("crates/server/src/gate.rs", src, &allow).is_empty());
+        assert_eq!(lint("crates/server/src/gate.rs", src).len(), 1);
+        let test_src = "fn f() {}\n\
+                        #[cfg(test)]\n\
+                        mod tests {\n\
+                            #[test]\n\
+                            fn t() { let v: Vec<u8> = (0..9).collect(); }\n\
+                        }\n";
+        assert!(lint("crates/server/src/gate.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn collect_in_string_or_comment_is_ignored() {
+        let src = "// results .collect() whole is discussed here\n\
+                   fn f() { let s = \"never .collect()\"; }\n";
+        assert!(lint("crates/server/src/gate.rs", src).is_empty());
     }
 }

@@ -288,6 +288,187 @@ fn delay_never_exceeds_cap_nor_negative() {
     });
 }
 
+// ---- streaming execution pipeline ---------------------------------------
+
+/// The materialized deadline path is a drain of the streaming pipeline;
+/// this cross-checks the two end to end on random Zipf workloads: every
+/// query on database A runs through `execute_with_deadline`, the same
+/// query on identically-seeded database B through `execute_streaming`
+/// drained in random-sized chunks. Rows, per-tuple delays, release
+/// offsets, and the combined delay must be bit-identical — and stay
+/// identical across queries, which proves the chunked path records the
+/// same popularity mutations as the one-shot path. Occasionally a query
+/// is dropped mid-stream on both sides (a client hanging up after k
+/// chunks); the charged prefix must match and later queries still agree.
+#[test]
+fn streaming_execution_matches_materialized() {
+    use delayguard::core::clock::ManualClock;
+    use delayguard::core::{
+        ChargingModel, DeadlineResponse, GuardConfig, GuardedDatabase, ReadPath, SnapshotPolicy,
+        StreamedQuery,
+    };
+    use delayguard::query::StatementOutput;
+    use std::sync::Arc;
+
+    /// Drain a streaming query in chunks of `chunk_rows`, stopping after
+    /// `drop_after` charged chunks if set; mirrors the materialized
+    /// response shape for comparison.
+    fn drain_streaming(
+        db: &GuardedDatabase,
+        sql: &str,
+        chunk_rows: usize,
+        drop_after: Option<usize>,
+    ) -> DeadlineResponse {
+        db.execute_streaming(sql, |query| match query {
+            StreamedQuery::Rows(mut stream) => {
+                let mut rows = Vec::new();
+                let mut delays = Vec::new();
+                let mut offsets = Vec::new();
+                let mut chunks = 0;
+                while let Some(chunk) = stream.next_chunk(chunk_rows).unwrap() {
+                    if drop_after == Some(chunks) {
+                        break;
+                    }
+                    let charged = stream.charge(&chunk);
+                    delays.extend(charged.delays);
+                    offsets.extend(charged.offsets);
+                    rows.extend(chunk);
+                    chunks += 1;
+                }
+                assert_eq!(stream.tuples_charged() as usize, delays.len());
+                DeadlineResponse {
+                    output: StatementOutput::Rows(delayguard::query::SelectOutput {
+                        columns: stream.columns().to_vec(),
+                        rows,
+                    }),
+                    tuple_delays: delays,
+                    tuple_offsets: offsets,
+                    delay_secs: stream.delay_secs(),
+                    issued_at_nanos: stream.issued_at_nanos(),
+                }
+            }
+            StreamedQuery::Finished(resp) => resp,
+        })
+        .unwrap()
+    }
+
+    fn assert_bit_equal(a: &DeadlineResponse, b: &DeadlineResponse, ctx: &str) {
+        match (&a.output, &b.output) {
+            (StatementOutput::Rows(ra), StatementOutput::Rows(rb)) => {
+                assert_eq!(ra.columns, rb.columns, "{ctx}: columns");
+                assert_eq!(ra.rows.len(), rb.rows.len(), "{ctx}: row count");
+                for ((ida, rowa), (idb, rowb)) in ra.rows.iter().zip(&rb.rows) {
+                    assert_eq!(ida, idb, "{ctx}: row id");
+                    assert_eq!(rowa.values(), rowb.values(), "{ctx}: row payload");
+                }
+            }
+            (oa, ob) => panic!("{ctx}: non-row outputs {oa:?} vs {ob:?}"),
+        }
+        let bits = |v: &[f64]| v.iter().map(|d| d.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&a.tuple_delays),
+            bits(&b.tuple_delays),
+            "{ctx}: delays"
+        );
+        assert_eq!(
+            bits(&a.tuple_offsets),
+            bits(&b.tuple_offsets),
+            "{ctx}: offsets"
+        );
+        assert_eq!(
+            a.delay_secs.to_bits(),
+            b.delay_secs.to_bits(),
+            "{ctx}: combined delay"
+        );
+        assert_eq!(a.issued_at_nanos, b.issued_at_nanos, "{ctx}: issue time");
+        assert_eq!(a.deadline_nanos(), b.deadline_nanos(), "{ctx}: deadline");
+    }
+
+    cases(0x57EEA, |rng| {
+        // Random but shared configuration for the pair of databases.
+        let charging = if rng.chance(0.5) {
+            ChargingModel::PerTupleSum
+        } else {
+            ChargingModel::PerQueryMax
+        };
+        let read_path = if rng.chance(0.5) {
+            ReadPath::Snapshot
+        } else {
+            ReadPath::Locked
+        };
+        let config = GuardConfig::paper_default()
+            .with_charging(charging)
+            .with_read_path(read_path)
+            // Refresh after every statement so the chunked path (one
+            // recorded event per chunk) and the one-shot path (one event
+            // per statement) apply their mutations at the same points.
+            .with_snapshot_policy(SnapshotPolicy {
+                max_pending_events: 1,
+                ..SnapshotPolicy::default()
+            });
+        let clock_a = Arc::new(ManualClock::new());
+        let clock_b = Arc::new(ManualClock::new());
+        let db_a = GuardedDatabase::with_engine_and_clock(
+            delayguard::query::Engine::new(),
+            config,
+            Arc::clone(&clock_a) as Arc<dyn delayguard::core::Clock>,
+        );
+        let db_b = GuardedDatabase::with_engine_and_clock(
+            delayguard::query::Engine::new(),
+            config,
+            Arc::clone(&clock_b) as Arc<dyn delayguard::core::Clock>,
+        );
+
+        // Identical schema and contents on both sides.
+        let n_rows = rng.range(1, 40);
+        for sql in [
+            "CREATE TABLE t (id INT NOT NULL, grp INT NOT NULL, note TEXT NOT NULL)",
+            "CREATE UNIQUE INDEX t_pk ON t (id)",
+        ] {
+            db_a.execute_with_deadline(sql).unwrap();
+            db_b.execute_with_deadline(sql).unwrap();
+        }
+        for id in 0..n_rows {
+            let sql = format!("INSERT INTO t VALUES ({id}, {}, 'n-{id}')", id % 5);
+            db_a.execute_with_deadline(&sql).unwrap();
+            db_b.execute_with_deadline(&sql).unwrap();
+        }
+
+        // A Zipf-skewed query mix, advancing both clocks in lockstep.
+        let zipf = Zipf::new(n_rows.max(1), 1.1);
+        let n_queries = rng.range(3, 12);
+        for q in 0..n_queries {
+            let dt = rng.below(2_000_000_000);
+            clock_a.advance_nanos(dt);
+            clock_b.advance_nanos(dt);
+            let sql = match rng.below(5) {
+                0 => "SELECT * FROM t".to_string(),
+                1 => format!("SELECT id, note FROM t WHERE id = {}", zipf.sample(rng) - 1),
+                2 => format!("SELECT * FROM t WHERE grp = {}", rng.below(5)),
+                3 => format!(
+                    "SELECT * FROM t ORDER BY id DESC LIMIT {}",
+                    rng.range(1, 10)
+                ),
+                _ => format!("SELECT note FROM t WHERE id < {}", zipf.sample(rng)),
+            };
+            let chunk_rows = rng.range(1, 8) as usize;
+            if rng.chance(0.15) {
+                // Mid-stream drop, mirrored on both sides: only the
+                // charged prefix may have been recorded.
+                let k = rng.below(4) as usize;
+                let a = drain_streaming(&db_a, &sql, chunk_rows, Some(k));
+                let b = drain_streaming(&db_b, &sql, chunk_rows, Some(k));
+                assert_bit_equal(&a, &b, &format!("query {q} (dropped after {k})"));
+                assert!(a.tuple_delays.len() <= k * chunk_rows);
+            } else {
+                let a = db_a.execute_with_deadline(&sql).unwrap();
+                let b = drain_streaming(&db_b, &sql, chunk_rows, None);
+                assert_bit_equal(&a, &b, &format!("query {q} ({sql})"));
+            }
+        }
+    });
+}
+
 #[test]
 fn charging_models_bounded_by_each_other() {
     use delayguard::core::ChargingModel;
