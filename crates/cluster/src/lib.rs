@@ -1,0 +1,35 @@
+//! # delayguard-cluster
+//!
+//! The sharded multi-node front door: N complete `delayguard-server`
+//! stacks partitioned by table behind a router, with the popularity
+//! aggregates that price `d(i)` replicated by a periodic delta-sync
+//! protocol (`DELTA` / `DELTA_ACK`, protocol v2).
+//!
+//! * [`partition::PartitionMap`] — round-robin key ownership
+//!   (`id mod N`) and point-query routing. Round-robin models hash
+//!   partitioning: ownership is uncorrelated with popularity, so every
+//!   shard sees a proportional slice of the Zipf head and tail.
+//! * [`sim::ClusterWorld`] — the deterministic simulated cluster: one
+//!   virtual clock, real wire codec on every hop (client↔router and
+//!   node↔node), seeded digest, gossip cadence, partition/heal.
+//! * [`campaign::ClusterCampaign`] — the paper's §2.4 campaigns against
+//!   the cluster, with closed-form expectations: replicated nodes
+//!   converge to the single-node Eq. 3/Eq. 4 economics; un-replicated
+//!   shards collapse the adversary total to ≈ 1/N of the closed form
+//!   ([`delayguard_core::analysis::sharded_unreplicated_total`]).
+//!
+//! Replication safety rests on the core seams this crate composes: the
+//! origin-tagged remote key space
+//! ([`delayguard_core::replica::tag_remote_key`]), replace-if-newer
+//! delta application (order-independent, bit-exact under decay), and
+//! the gatekeeper's mergeable charge-log CRDTs.
+
+#![forbid(unsafe_code)]
+
+pub mod campaign;
+pub mod partition;
+pub mod sim;
+
+pub use campaign::{ClusterCampaign, ClusterCampaignParams};
+pub use partition::PartitionMap;
+pub use sim::{ClusterConfig, ClusterLink, ClusterWorld, ConnId};

@@ -1,0 +1,165 @@
+//! Table partitioning: which node owns which rows.
+//!
+//! The cluster shards the guarded relation round-robin by key: the row
+//! with `id = k` lives on node `k mod N`. Round-robin is the honest
+//! stand-in for hash partitioning — ownership is uncorrelated with
+//! popularity rank, so every shard holds a proportional slice of the
+//! head *and* the tail of the Zipf distribution. (A contiguous-by-rank
+//! split would hand some node the entire tail, collapsing its local
+//! `f_max` and inflating its delays far past the single-node policy —
+//! the closed form in [`delayguard_core::analysis`] assumes the
+//! round-robin layout.)
+//!
+//! The router also uses this map to route point queries: a
+//! `WHERE id = k` predicate pins the query to the owner; everything
+//! else is broadcast-free and lands on node 0 (the cluster serves the
+//! paper's point-lookup workload; scatter-gather is out of scope).
+
+/// The cluster's partition map: `nodes` shards, round-robin by key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionMap {
+    nodes: usize,
+}
+
+impl PartitionMap {
+    /// A map over `nodes` shards. Panics on zero.
+    pub fn new(nodes: usize) -> PartitionMap {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        PartitionMap { nodes }
+    }
+
+    /// Number of shards.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The node owning the row with key `id`.
+    pub fn node_for_id(&self, id: u64) -> usize {
+        (id % self.nodes as u64) as usize
+    }
+
+    /// The node owning popularity rank `rank` (1-based; rank `i` is the
+    /// row with `id = i - 1`).
+    pub fn node_for_rank(&self, rank: u64) -> usize {
+        self.node_for_id(rank - 1)
+    }
+
+    /// Whether `id` lives on `node`.
+    pub fn owns(&self, node: usize, id: u64) -> bool {
+        self.node_for_id(id) == node
+    }
+
+    /// The ids owned by `node` among `0..n`, ascending.
+    pub fn ids_of(&self, node: usize, n: u64) -> Vec<u64> {
+        (0..n).filter(|&id| self.owns(node, id)).collect()
+    }
+
+    /// How many of the ids `0..n` node `node` owns.
+    pub fn rows_of(&self, node: usize, n: u64) -> u64 {
+        let node = node as u64;
+        let nodes = self.nodes as u64;
+        if node >= n {
+            return 0;
+        }
+        (n - node).div_ceil(nodes)
+    }
+
+    /// Extract the routing key from a point query, if the statement is
+    /// one. Recognizes the single-predicate form the campaigns and the
+    /// paper's workload use: `... WHERE id = <k>` (case-insensitive
+    /// keyword, optional whitespace). Returns `None` for anything else.
+    pub fn point_query_id(sql: &str) -> Option<u64> {
+        let lower = sql.to_ascii_lowercase();
+        let pos = lower.find(" where ")?;
+        let pred = sql[pos + " where ".len()..].trim();
+        let pred_lower = pred.to_ascii_lowercase();
+        let rest = pred_lower.strip_prefix("id")?.trim_start();
+        let rest = rest.strip_prefix('=')?.trim_start();
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if digits.is_empty() {
+            return None;
+        }
+        let tail = rest[digits.len()..].trim();
+        if !tail.is_empty() {
+            return None; // compound predicate: not a point query on id
+        }
+        digits.parse().ok()
+    }
+
+    /// Route a statement: the owner of its point key, node 0 otherwise.
+    pub fn route(&self, sql: &str) -> usize {
+        match Self::point_query_id(sql) {
+            Some(id) => self.node_for_id(id),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_ownership() {
+        let p = PartitionMap::new(4);
+        assert_eq!(p.node_for_id(0), 0);
+        assert_eq!(p.node_for_id(1), 1);
+        assert_eq!(p.node_for_id(7), 3);
+        assert_eq!(p.node_for_rank(1), 0);
+        assert_eq!(p.node_for_rank(5), 0);
+        assert_eq!(p.node_for_rank(6), 1);
+    }
+
+    #[test]
+    fn shards_cover_everything_exactly_once() {
+        let p = PartitionMap::new(4);
+        let n = 11u64;
+        let mut seen: Vec<u64> = (0..4).flat_map(|j| p.ids_of(j, n)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        for j in 0..4 {
+            assert_eq!(p.rows_of(j, n), p.ids_of(j, n).len() as u64);
+        }
+    }
+
+    #[test]
+    fn rows_of_handles_degenerate_splits() {
+        let p = PartitionMap::new(8);
+        // 3 rows over 8 nodes: nodes 0..3 get one each, the rest none.
+        assert_eq!(p.rows_of(0, 3), 1);
+        assert_eq!(p.rows_of(2, 3), 1);
+        assert_eq!(p.rows_of(3, 3), 0);
+        assert_eq!(p.rows_of(7, 3), 0);
+    }
+
+    #[test]
+    fn point_queries_parse() {
+        assert_eq!(
+            PartitionMap::point_query_id("SELECT * FROM directory WHERE id = 42"),
+            Some(42)
+        );
+        assert_eq!(
+            PartitionMap::point_query_id("select entry from directory where id=7"),
+            Some(7)
+        );
+        assert_eq!(
+            PartitionMap::point_query_id("SELECT * FROM directory"),
+            None
+        );
+        assert_eq!(
+            PartitionMap::point_query_id("SELECT * FROM t WHERE id = 1 AND x = 2"),
+            None
+        );
+        assert_eq!(
+            PartitionMap::point_query_id("SELECT * FROM t WHERE entry = 'a'"),
+            None
+        );
+    }
+
+    #[test]
+    fn routing_pins_points_and_defaults_to_node_zero() {
+        let p = PartitionMap::new(4);
+        assert_eq!(p.route("SELECT * FROM directory WHERE id = 6"), 2);
+        assert_eq!(p.route("CREATE TABLE t (x INT)"), 0);
+    }
+}

@@ -1,0 +1,925 @@
+//! The simulated cluster: N real server stacks behind a router, on one
+//! virtual clock.
+//!
+//! A [`ClusterWorld`] owns `N` complete nodes — each the exact object
+//! graph the TCP server owns (a [`GuardedDatabase`] with the snapshot
+//! read path, a manual-mode [`DelayScheduler`] with the real timer
+//! wheel, a [`FrontDoor`]) — all sharing one [`ManualClock`]. Clients
+//! connect to the *router*, which speaks the unchanged client protocol:
+//!
+//! * `REGISTER` is broadcast to every node in node order. Registrars
+//!   assign identities deterministically, so all nodes hand out the
+//!   same user id; the router forwards node 0's verdict and swallows
+//!   the duplicates.
+//! * `QUERY` is routed by the [`PartitionMap`]: a `WHERE id = k` point
+//!   query goes to the owner node `k mod N`; anything else lands on
+//!   node 0.
+//!
+//! Nodes gossip their popularity and gatekeeper aggregates on a sync
+//! cadence: every `sync_interval_secs` each node exports a cumulative
+//! [`Frame::Delta`] and sends it to every peer over the real wire codec
+//! (what travels is bytes). Receivers fold it through
+//! [`FrontDoor::apply_delta`], answer with `DELTA_ACK`, and republish
+//! their policy snapshots — so `d(i)` converges to the global closed
+//! form on every node. An unchanged delta (quiet node) is not re-sent.
+//!
+//! Determinism mirrors `delayguard-testkit`: single-threaded, one event
+//! heap, connections and nodes iterate in id order, and
+//! [`ClusterWorld::digest`] folds every delivered frame — client- and
+//! peer-side — into an order-sensitive hash. [`ClusterWorld::cut_node`]
+//! / [`ClusterWorld::heal_node`] partition a node away from gossip
+//! (held frames flood through on heal), leaving client routing intact.
+
+use crate::partition::PartitionMap;
+use delayguard_core::clock::{nanos_to_secs, secs_to_nanos, Clock, ManualClock};
+use delayguard_core::replica::ReplicaDelta;
+use delayguard_core::{GuardConfig, GuardedDatabase};
+use delayguard_query::Engine;
+use delayguard_server::gate::{FrameSink, FrontDoor, GateConfig, SessionControl, SessionState};
+use delayguard_server::metrics::ServerMetrics;
+use delayguard_server::protocol::{read_frame, write_frame, Frame};
+use delayguard_server::scheduler::DelayScheduler;
+use delayguard_sim::Registry;
+use delayguard_testkit::net::{Arrival, LinkError, NetLink, SimNet};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifies one client connection to the router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnId(pub u64);
+
+/// Configuration of a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes (shards).
+    pub nodes: usize,
+    /// Guard (delay policy) configuration, applied to every node.
+    pub guard: GuardConfig,
+    /// Front-door configuration, applied to every node.
+    pub gate: GateConfig,
+    /// Timer-wheel granularity; delays round up to the next tick.
+    pub tick: Duration,
+    /// Per-connection cap on rows admitted but not yet delivered.
+    pub send_queue_rows: usize,
+    /// Gossip cadence in virtual seconds; `0.0` disables replication
+    /// (the un-replicated negative control).
+    pub sync_interval_secs: f64,
+    /// One-way node-to-node latency for delta frames.
+    pub peer_latency_secs: f64,
+    /// One-way client-to-router latency (the "router hop").
+    pub client_latency_secs: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            nodes: 4,
+            guard: GuardConfig::paper_default(),
+            gate: GateConfig::default(),
+            tick: Duration::from_millis(1),
+            send_queue_rows: 4096,
+            sync_interval_secs: 60.0,
+            peer_latency_secs: 0.0,
+            client_latency_secs: 0.0,
+        }
+    }
+}
+
+// ---- per-link frame sink (mirrors the testkit mesh sink) ----------------
+
+struct ClusterSink {
+    inner: Mutex<SinkInner>,
+}
+
+struct SinkInner {
+    queue: Vec<Frame>,
+    rows_cap: usize,
+    rows_outstanding: usize,
+}
+
+impl ClusterSink {
+    fn new(rows_cap: usize) -> ClusterSink {
+        ClusterSink {
+            inner: Mutex::new(SinkInner {
+                queue: Vec::new(),
+                rows_cap,
+                rows_outstanding: 0,
+            }),
+        }
+    }
+
+    fn drain(&self) -> Vec<Frame> {
+        let mut g = self.inner.lock();
+        let out = std::mem::take(&mut g.queue);
+        let rows = out
+            .iter()
+            .filter(|f| matches!(f, Frame::Row { .. }))
+            .count();
+        g.rows_outstanding = g.rows_outstanding.saturating_sub(rows);
+        out
+    }
+}
+
+impl FrameSink for ClusterSink {
+    fn push_control(&self, frame: Frame) {
+        self.inner.lock().queue.push(frame);
+    }
+
+    fn push_row(&self, frame: Frame) {
+        self.inner.lock().queue.push(frame);
+    }
+
+    fn try_reserve_rows(&self, n: usize) -> bool {
+        let mut g = self.inner.lock();
+        if g.rows_outstanding + n > g.rows_cap {
+            return false;
+        }
+        g.rows_outstanding += n;
+        true
+    }
+}
+
+// ---- events -------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    ToRouter,
+    ToClient,
+}
+
+struct Ev {
+    at: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+enum EvKind {
+    /// A frame on a client↔router link.
+    Deliver { conn: u64, dir: Dir, bytes: Vec<u8> },
+    /// A frame on a node↔node peer link.
+    PeerDeliver {
+        from: usize,
+        to: usize,
+        bytes: Vec<u8>,
+    },
+    /// The gossip cadence fired.
+    SyncTick,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Ev) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Ev) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Ev) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+// ---- nodes and connections ----------------------------------------------
+
+struct Node {
+    gate: Arc<FrontDoor>,
+    scheduler: Arc<DelayScheduler>,
+    registry: Registry,
+    /// Inbound peer-link sink: `DELTA_ACK`s accumulate here.
+    peer_sink: Arc<ClusterSink>,
+    /// Last exported delta (tables + gate, seq ignored): an unchanged
+    /// state is not re-gossiped.
+    last_export: Option<ReplicaDelta>,
+    /// Cut off from gossip (client routing still works).
+    cut: bool,
+}
+
+struct Conn {
+    peer_ip: [u8; 4],
+    open: bool,
+    /// `Some(j)`: a direct connection to node `j` that bypasses the
+    /// router (registration is not broadcast, queries are not routed).
+    /// The baseline a routed query's overhead is measured against.
+    pinned: Option<usize>,
+    /// One sink and session per node: the router fans a client out to
+    /// whichever nodes its frames land on, and each node's scheduler
+    /// pushes delayed rows into its own sink.
+    sinks: Vec<Arc<ClusterSink>>,
+    sessions: Vec<Arc<SessionState>>,
+    inbox: VecDeque<Arrival>,
+    fifo_to_router: u64,
+    fifo_to_client: u64,
+}
+
+// ---- the world ----------------------------------------------------------
+
+struct Core {
+    seed: u64,
+    clock: Arc<ManualClock>,
+    partition: PartitionMap,
+    nodes: Vec<Node>,
+    heap: BinaryHeap<Reverse<Ev>>,
+    next_seq: u64,
+    conns: BTreeMap<u64, Conn>,
+    next_conn: u64,
+    send_queue_rows: usize,
+    sync_interval_nanos: u64,
+    sync_enabled: bool,
+    /// A `SyncTick` is sitting in the heap.
+    sync_armed: bool,
+    peer_latency_nanos: u64,
+    client_latency_nanos: u64,
+    /// Peer frames held by a partition: `(from, to, would-be arrival)`.
+    held_peer: Vec<(usize, usize, u64, Vec<u8>)>,
+    peer_frames_held: u64,
+    peer_frames_delivered: u64,
+    frames_delivered: u64,
+    digest: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn encode(frame: &Frame) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, frame).expect("frame encodes");
+    bytes
+}
+
+fn decode(mut bytes: &[u8]) -> Frame {
+    read_frame(&mut bytes)
+        .expect("frame decodes")
+        .expect("non-empty frame")
+}
+
+impl Core {
+    fn new(seed: u64, config: ClusterConfig) -> Core {
+        assert!(config.nodes > 0, "a cluster needs at least one node");
+        let clock = ManualClock::shared();
+        let nodes = (0..config.nodes)
+            .map(|j| {
+                let dyn_clock: Arc<dyn Clock> = Arc::clone(&clock) as Arc<dyn Clock>;
+                let db = Arc::new(GuardedDatabase::with_engine_and_clock(
+                    Engine::new(),
+                    config.guard,
+                    Arc::clone(&dyn_clock),
+                ));
+                let registry = Registry::new();
+                let metrics = ServerMetrics::new(&registry);
+                let scheduler =
+                    DelayScheduler::manual(config.tick, metrics.clone(), Arc::clone(&dyn_clock));
+                let gate = Arc::new(FrontDoor::new(
+                    config.gate.clone(),
+                    db,
+                    Arc::clone(&scheduler),
+                    dyn_clock,
+                    metrics,
+                    registry.clone(),
+                ));
+                // Origins are 1-based: 0 is the single-node default and
+                // must not collide with a real peer in the CRDT logs.
+                gate.set_node_origin(j as u16 + 1);
+                Node {
+                    gate,
+                    scheduler,
+                    registry,
+                    peer_sink: Arc::new(ClusterSink::new(usize::MAX)),
+                    last_export: None,
+                    cut: false,
+                }
+            })
+            .collect();
+        let mut core = Core {
+            seed,
+            clock,
+            partition: PartitionMap::new(config.nodes),
+            nodes,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            conns: BTreeMap::new(),
+            next_conn: 1,
+            send_queue_rows: config.send_queue_rows,
+            sync_interval_nanos: secs_to_nanos(config.sync_interval_secs),
+            sync_enabled: config.sync_interval_secs > 0.0,
+            sync_armed: false,
+            peer_latency_nanos: secs_to_nanos(config.peer_latency_secs),
+            client_latency_nanos: secs_to_nanos(config.client_latency_secs),
+            held_peer: Vec::new(),
+            peer_frames_held: 0,
+            peer_frames_delivered: 0,
+            frames_delivered: 0,
+            digest: FNV_OFFSET,
+        };
+        if core.sync_enabled {
+            core.arm_sync();
+        }
+        core
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.clock.now_nanos()
+    }
+
+    fn arm_sync(&mut self) {
+        if self.sync_armed || self.sync_interval_nanos == 0 {
+            return;
+        }
+        let at = self.now_nanos().saturating_add(self.sync_interval_nanos);
+        self.push_ev(at, EvKind::SyncTick);
+        self.sync_armed = true;
+    }
+
+    fn connect(&mut self, peer_ip: [u8; 4], pinned: Option<usize>) -> u64 {
+        let id = self.next_conn;
+        self.next_conn += 1;
+        let n = self.nodes.len();
+        self.conns.insert(
+            id,
+            Conn {
+                peer_ip,
+                open: true,
+                pinned,
+                sinks: (0..n)
+                    .map(|_| Arc::new(ClusterSink::new(self.send_queue_rows)))
+                    .collect(),
+                sessions: (0..n).map(|_| Arc::new(SessionState::new())).collect(),
+                inbox: VecDeque::new(),
+                fifo_to_router: 0,
+                fifo_to_client: 0,
+            },
+        );
+        id
+    }
+
+    fn push_ev(&mut self, at: u64, kind: EvKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Ev { at, seq, kind }));
+    }
+
+    /// Put one frame on a client link, FIFO per direction.
+    fn transmit(&mut self, conn_id: u64, dir: Dir, frame: &Frame) -> Result<(), LinkError> {
+        let now = self.now_nanos();
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return Err(LinkError::Closed);
+        };
+        if !conn.open {
+            return match dir {
+                Dir::ToRouter => Err(LinkError::Closed),
+                Dir::ToClient => Ok(()), // frames to a dead client vanish
+            };
+        }
+        let bytes = encode(frame);
+        let mut at = now.saturating_add(self.client_latency_nanos);
+        let fifo = match dir {
+            Dir::ToRouter => &mut conn.fifo_to_router,
+            Dir::ToClient => &mut conn.fifo_to_client,
+        };
+        at = at.max(*fifo);
+        *fifo = at;
+        self.push_ev(
+            at,
+            EvKind::Deliver {
+                conn: conn_id,
+                dir,
+                bytes,
+            },
+        );
+        Ok(())
+    }
+
+    /// Send one peer frame `from → to`, holding it if either end is cut.
+    fn peer_send(&mut self, from: usize, to: usize, bytes: Vec<u8>) {
+        let at = self.now_nanos().saturating_add(self.peer_latency_nanos);
+        if self.nodes[from].cut || self.nodes[to].cut {
+            self.held_peer.push((from, to, at, bytes));
+            self.peer_frames_held += 1;
+        } else {
+            self.push_ev(at, EvKind::PeerDeliver { from, to, bytes });
+        }
+    }
+
+    /// One gossip round: every node exports its cumulative delta and
+    /// sends it to every peer, skipping states unchanged since the last
+    /// export (the `DELTA_ACK`-driven quiescence of the real wire,
+    /// collapsed to its observable effect).
+    fn gossip_round(&mut self) {
+        for j in 0..self.nodes.len() {
+            let delta = self.nodes[j].gate.export_delta();
+            if let Some(last) = &self.nodes[j].last_export {
+                if last.tables == delta.tables && last.gate == delta.gate {
+                    continue;
+                }
+            }
+            let bytes = encode(&Frame::Delta {
+                delta: delta.clone(),
+            });
+            self.nodes[j].last_export = Some(delta);
+            for k in 0..self.nodes.len() {
+                if k != j {
+                    self.peer_send(j, k, bytes.clone());
+                }
+            }
+        }
+    }
+
+    /// Drain every sink onto the wire: per-connection node sinks in
+    /// `(conn, node)` order, then node peer sinks in node order.
+    fn route_outboxes(&mut self) {
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            for node in 0..self.nodes.len() {
+                let frames = {
+                    let Some(conn) = self.conns.get(&id) else {
+                        continue;
+                    };
+                    conn.sinks[node].drain()
+                };
+                for frame in frames {
+                    let _ = self.transmit(id, Dir::ToClient, &frame);
+                }
+            }
+        }
+        for j in 0..self.nodes.len() {
+            let frames = self.nodes[j].peer_sink.drain();
+            for frame in frames {
+                // Replies on a peer link go back to the delta's origin.
+                if let Frame::DeltaAck { origin, .. } = frame {
+                    let to = (origin as usize).wrapping_sub(1);
+                    if to < self.nodes.len() && to != j {
+                        self.peer_send(j, to, encode(&frame));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deliver one client frame straight to node `j` (pinned
+    /// connections: no broadcast, no routing).
+    fn deliver_direct(&mut self, conn_id: u64, j: usize, frame: Frame) {
+        let (ip, sink, session) = match self.conns.get(&conn_id) {
+            Some(c) => (
+                c.peer_ip,
+                Arc::clone(&c.sinks[j]),
+                Arc::clone(&c.sessions[j]),
+            ),
+            None => return,
+        };
+        let control = self.nodes[j].gate.handle_frame(frame, ip, &session, &sink);
+        if control == SessionControl::Terminate {
+            if let Some(c) = self.conns.get_mut(&conn_id) {
+                c.open = false;
+            }
+        }
+    }
+
+    /// The router: deliver one client frame to the node(s) it targets.
+    fn route_to_nodes(&mut self, conn_id: u64, frame: Frame) {
+        let (ip, sinks, sessions) = match self.conns.get(&conn_id) {
+            Some(c) => (c.peer_ip, c.sinks.clone(), c.sessions.clone()),
+            None => return,
+        };
+        match &frame {
+            Frame::Register { .. } => {
+                // Flush anything already queued so the verdict filter
+                // below only ever sees registration frames.
+                self.route_outboxes();
+                let mut terminate = false;
+                for j in 0..self.nodes.len() {
+                    let control =
+                        self.nodes[j]
+                            .gate
+                            .handle_frame(frame.clone(), ip, &sessions[j], &sinks[j]);
+                    terminate |= control == SessionControl::Terminate;
+                    if j > 0 {
+                        // Registrars are deterministic: every node hands
+                        // out the same id. Forward node 0's verdict only.
+                        let dup = sinks[j].drain();
+                        debug_assert!(
+                            dup.iter().all(|f| matches!(
+                                f,
+                                Frame::Registered { .. } | Frame::Refused { .. }
+                            )),
+                            "unexpected frame in registration broadcast: {dup:?}"
+                        );
+                    }
+                }
+                if terminate {
+                    if let Some(c) = self.conns.get_mut(&conn_id) {
+                        c.open = false;
+                    }
+                }
+            }
+            Frame::Query { sql, .. } => {
+                let j = self.partition.route(sql);
+                let control = self.nodes[j]
+                    .gate
+                    .handle_frame(frame, ip, &sessions[j], &sinks[j]);
+                if control == SessionControl::Terminate {
+                    if let Some(c) = self.conns.get_mut(&conn_id) {
+                        c.open = false;
+                    }
+                }
+            }
+            _ => {
+                let control = self.nodes[0]
+                    .gate
+                    .handle_frame(frame, ip, &sessions[0], &sinks[0]);
+                if control == SessionControl::Terminate {
+                    if let Some(c) = self.conns.get_mut(&conn_id) {
+                        c.open = false;
+                    }
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev.kind {
+            EvKind::Deliver { conn, dir, bytes } => {
+                let open = match self.conns.get(&conn) {
+                    Some(c) => c.open,
+                    None => return,
+                };
+                if !open {
+                    return;
+                }
+                let frame = decode(&bytes);
+                self.digest = fnv(self.digest, &ev.at.to_le_bytes());
+                self.digest = fnv(self.digest, &[dir as u8]);
+                self.digest = fnv(self.digest, &conn.to_le_bytes());
+                self.digest = fnv(self.digest, &bytes);
+                self.frames_delivered += 1;
+                match dir {
+                    Dir::ToRouter => match self.conns.get(&conn).and_then(|c| c.pinned) {
+                        Some(j) => self.deliver_direct(conn, j, frame),
+                        None => self.route_to_nodes(conn, frame),
+                    },
+                    Dir::ToClient => {
+                        if let Some(c) = self.conns.get_mut(&conn) {
+                            c.inbox.push_back(Arrival {
+                                at_secs: nanos_to_secs(ev.at),
+                                frame,
+                            });
+                        }
+                    }
+                }
+            }
+            EvKind::PeerDeliver { from, to, bytes } => {
+                let frame = decode(&bytes);
+                self.digest = fnv(self.digest, &ev.at.to_le_bytes());
+                self.digest = fnv(self.digest, b"peer");
+                self.digest = fnv(self.digest, &(from as u64).to_le_bytes());
+                self.digest = fnv(self.digest, &(to as u64).to_le_bytes());
+                self.digest = fnv(self.digest, &bytes);
+                self.frames_delivered += 1;
+                self.peer_frames_delivered += 1;
+                let sink = Arc::clone(&self.nodes[to].peer_sink);
+                let _ = self.nodes[to].gate.handle_peer_frame(frame, &sink);
+            }
+            EvKind::SyncTick => {
+                self.sync_armed = false;
+                if self.sync_enabled {
+                    self.gossip_round();
+                    self.arm_sync();
+                }
+            }
+        }
+    }
+
+    fn next_wake(&self) -> Option<u64> {
+        let ev = self.heap.peek().map(|Reverse(e)| e.at);
+        let dl = self
+            .nodes
+            .iter()
+            .filter_map(|n| n.scheduler.next_deadline_nanos())
+            .min();
+        match (ev, dl) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn deliver_due(&mut self) {
+        loop {
+            let due = matches!(self.heap.peek(), Some(Reverse(e)) if e.at <= self.now_nanos());
+            if !due {
+                break;
+            }
+            let Reverse(ev) = self.heap.pop().expect("peeked");
+            self.dispatch(ev);
+        }
+    }
+
+    fn poll_schedulers(&mut self) {
+        for node in &self.nodes {
+            node.scheduler.poll();
+        }
+    }
+
+    fn step(&mut self) -> bool {
+        let Some(next) = self.next_wake() else {
+            return false;
+        };
+        self.clock.advance_to_nanos(next);
+        self.poll_schedulers();
+        self.route_outboxes();
+        self.deliver_due();
+        self.route_outboxes();
+        true
+    }
+
+    fn run_for(&mut self, secs: f64) {
+        let nanos = match secs_to_nanos(secs) {
+            0 if secs > 0.0 => 1,
+            n => n,
+        };
+        let deadline = self.now_nanos().saturating_add(nanos);
+        while matches!(self.next_wake(), Some(at) if at <= deadline) {
+            self.step();
+        }
+        self.clock.advance_to_nanos(deadline);
+        self.poll_schedulers();
+        self.route_outboxes();
+        self.deliver_due();
+        self.route_outboxes();
+        self.deliver_due();
+    }
+
+    fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    // ---- link operations --------------------------------------------------
+
+    fn client_send(&mut self, conn: u64, frame: &Frame) -> Result<(), LinkError> {
+        match self.conns.get(&conn) {
+            Some(c) if c.open => {}
+            _ => return Err(LinkError::Closed),
+        }
+        self.transmit(conn, Dir::ToRouter, frame)
+    }
+
+    fn link_recv(&mut self, conn: u64, max_wait_secs: f64) -> Result<Option<Arrival>, LinkError> {
+        let deadline = self
+            .now_nanos()
+            .saturating_add(secs_to_nanos(max_wait_secs));
+        loop {
+            if let Some(c) = self.conns.get_mut(&conn) {
+                if let Some(arrival) = c.inbox.pop_front() {
+                    return Ok(Some(arrival));
+                }
+                if !c.open {
+                    return Err(LinkError::Closed);
+                }
+            } else {
+                return Err(LinkError::Closed);
+            }
+            match self.next_wake() {
+                Some(at) if at <= deadline => {
+                    self.step();
+                }
+                _ => {
+                    self.clock.advance_to_nanos(deadline);
+                    self.poll_schedulers();
+                    self.route_outboxes();
+                    self.deliver_due();
+                    self.route_outboxes();
+                    self.deliver_due();
+                    let empty = self
+                        .conns
+                        .get_mut(&conn)
+                        .map(|c| c.inbox.pop_front())
+                        .unwrap_or(None);
+                    return Ok(empty);
+                }
+            }
+        }
+    }
+}
+
+/// The simulated cluster deployment. See the module docs.
+pub struct ClusterWorld {
+    core: Rc<RefCell<Core>>,
+    peer_latency_secs: f64,
+}
+
+impl ClusterWorld {
+    /// A fresh cluster from a seed: `config.nodes` complete server
+    /// stacks on one virtual clock, gossip armed if
+    /// `sync_interval_secs > 0`.
+    pub fn new(seed: u64, config: ClusterConfig) -> ClusterWorld {
+        let peer_latency_secs = config.peer_latency_secs;
+        ClusterWorld {
+            core: Rc::new(RefCell::new(Core::new(seed, config))),
+            peer_latency_secs,
+        }
+    }
+
+    /// The seed this cluster was built from.
+    pub fn seed(&self) -> u64 {
+        self.core.borrow().seed
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.core.borrow().nodes.len()
+    }
+
+    /// The partition map (shared with the router).
+    pub fn partition_map(&self) -> PartitionMap {
+        self.core.borrow().partition
+    }
+
+    /// Virtual seconds since the cluster's epoch.
+    pub fn now_secs(&self) -> f64 {
+        self.core.borrow().clock.now_secs()
+    }
+
+    /// Node `j`'s guarded database (for DDL/seeding its shard).
+    pub fn node_db(&self, j: usize) -> Arc<GuardedDatabase> {
+        Arc::clone(self.core.borrow().nodes[j].gate.db())
+    }
+
+    /// Node `j`'s front door.
+    pub fn node_gate(&self, j: usize) -> Arc<FrontDoor> {
+        Arc::clone(&self.core.borrow().nodes[j].gate)
+    }
+
+    /// Node `j`'s metrics registry.
+    pub fn node_registry(&self, j: usize) -> Registry {
+        self.core.borrow().nodes[j].registry.clone()
+    }
+
+    /// Open a client connection to the router; `peer_ip` is the address
+    /// every node sees for this client.
+    pub fn connect_link(&self, peer_ip: [u8; 4]) -> ClusterLink {
+        let conn = self.core.borrow_mut().connect(peer_ip, None);
+        ClusterLink {
+            core: Rc::clone(&self.core),
+            conn,
+        }
+    }
+
+    /// Open a client connection wired straight to node `node`, bypassing
+    /// the router entirely: registration is not broadcast and queries
+    /// are not routed. The baseline the router hop is benchmarked
+    /// against (identities registered this way exist only on `node`).
+    pub fn connect_node_link(&self, node: usize, peer_ip: [u8; 4]) -> ClusterLink {
+        assert!(node < self.nodes(), "node {node} out of range");
+        let conn = self.core.borrow_mut().connect(peer_ip, Some(node));
+        ClusterLink {
+            core: Rc::clone(&self.core),
+            conn,
+        }
+    }
+
+    /// Enable or disable the gossip cadence. Enabling arms the next
+    /// tick one interval from now.
+    pub fn set_sync_enabled(&self, enabled: bool) {
+        let mut core = self.core.borrow_mut();
+        core.sync_enabled = enabled;
+        if enabled {
+            core.arm_sync();
+        }
+    }
+
+    /// Run one gossip round right now and deliver it (one round fully
+    /// converges the cluster: deltas are cumulative).
+    pub fn sync_now(&self) {
+        self.core.borrow_mut().gossip_round();
+        self.run_for(self.peer_latency_secs);
+    }
+
+    /// Cut node `j` off from gossip: peer frames to and from it are
+    /// held. Client routing is unaffected.
+    pub fn cut_node(&self, j: usize) {
+        self.core.borrow_mut().nodes[j].cut = true;
+    }
+
+    /// Heal node `j`: held peer frames whose both endpoints are now
+    /// reachable flood through, in order, no earlier than now.
+    pub fn heal_node(&self, j: usize) {
+        let mut core = self.core.borrow_mut();
+        core.nodes[j].cut = false;
+        let now = core.now_nanos();
+        let held = std::mem::take(&mut core.held_peer);
+        for (from, to, at, bytes) in held {
+            if core.nodes[from].cut || core.nodes[to].cut {
+                core.held_peer.push((from, to, at, bytes));
+            } else {
+                core.push_ev(at.max(now), EvKind::PeerDeliver { from, to, bytes });
+            }
+        }
+    }
+
+    /// Let `secs` of virtual time pass, processing everything due.
+    pub fn run_for(&self, secs: f64) {
+        self.core.borrow_mut().run_for(secs);
+    }
+
+    /// Run until nothing is scheduled. Call
+    /// [`ClusterWorld::set_sync_enabled`]`(false)` first if gossip is
+    /// on — a live cadence re-arms forever.
+    pub fn run_until_idle(&self) {
+        self.core.borrow_mut().run_until_idle();
+    }
+
+    /// Process exactly one scheduled instant; false if nothing is
+    /// scheduled.
+    pub fn step_once(&self) -> bool {
+        self.core.borrow_mut().step()
+    }
+
+    /// Order-sensitive FNV-1a hash of every delivered frame (client and
+    /// peer): equal digests mean bit-identical executions.
+    pub fn digest(&self) -> u64 {
+        self.core.borrow().digest
+    }
+
+    /// Frames delivered so far, both client- and peer-side.
+    pub fn frames_delivered(&self) -> u64 {
+        self.core.borrow().frames_delivered
+    }
+
+    /// Peer frames delivered so far.
+    pub fn peer_frames_delivered(&self) -> u64 {
+        self.core.borrow().peer_frames_delivered
+    }
+
+    /// Peer frames ever held by a partition.
+    pub fn peer_frames_held(&self) -> u64 {
+        self.core.borrow().peer_frames_held
+    }
+
+    /// Peer frames currently held (0 when fully healed and drained).
+    pub fn peer_frames_pending(&self) -> usize {
+        self.core.borrow().held_peer.len()
+    }
+}
+
+impl SimNet for ClusterWorld {
+    fn connect(&mut self, from_ip: [u8; 4]) -> Result<Box<dyn NetLink>, LinkError> {
+        Ok(Box::new(self.connect_link(from_ip)))
+    }
+
+    fn wait(&mut self, secs: f64) {
+        self.run_for(secs);
+    }
+
+    fn now_secs(&self) -> f64 {
+        ClusterWorld::now_secs(self)
+    }
+}
+
+/// A client's end of a router connection.
+pub struct ClusterLink {
+    core: Rc<RefCell<Core>>,
+    conn: u64,
+}
+
+impl ClusterLink {
+    /// This link's connection id.
+    pub fn id(&self) -> ConnId {
+        ConnId(self.conn)
+    }
+}
+
+impl NetLink for ClusterLink {
+    fn send(&mut self, frame: &Frame) -> Result<(), LinkError> {
+        self.core.borrow_mut().client_send(self.conn, frame)
+    }
+
+    fn recv(&mut self, max_wait_secs: f64) -> Result<Option<Arrival>, LinkError> {
+        self.core.borrow_mut().link_recv(self.conn, max_wait_secs)
+    }
+
+    fn now_secs(&self) -> f64 {
+        self.core.borrow().clock.now_secs()
+    }
+
+    fn is_open(&self) -> bool {
+        self.core
+            .borrow()
+            .conns
+            .get(&self.conn)
+            .is_some_and(|c| c.open)
+    }
+}

@@ -1,0 +1,316 @@
+//! End-to-end cluster campaigns: the §2.4 attacks against the sharded,
+//! replicated front door, asserted against the closed forms of
+//! [`delayguard_core::analysis`].
+//!
+//! The load-bearing claims:
+//!
+//! * **Replication restores the paper's economics.** With delta-sync
+//!   on, every node prices from the merged global aggregates, so both
+//!   the sequential crawl and the shard-grouped crawl pay the
+//!   single-node Eq. 3 total, and the median user sees the single-node
+//!   Eq. 1 delay — within 10% plus the replication-lag slack. This
+//!   holds through a mid-campaign partition and heal.
+//! * **Without replication the defense collapses.** Each shard prices
+//!   from 1/N-th of the distribution, and the adversary total lands on
+//!   `sharded_unreplicated_total` — a small fraction (≈ (N+1)/(2N²))
+//!   of the closed form. That negative control is why the delta-sync
+//!   protocol exists.
+//! * **Determinism.** Same seed, same drive ⇒ bit-identical event
+//!   digest, gossip, partitions and heals included.
+
+use delayguard_cluster::{ClusterCampaign, ClusterCampaignParams, ClusterConfig, ClusterWorld};
+use delayguard_core::gatekeeper::{GatekeeperConfig, RegistrationPolicy};
+use delayguard_server::gate::GateConfig;
+use delayguard_sim::MetricValue;
+use delayguard_testkit::net::{self, NetLink, QueryOutcome};
+use delayguard_testkit::seed::{check_in, check_seeds_in};
+
+const PKG: &str = "delayguard-cluster";
+
+fn rel_err(measured: f64, expected: f64) -> f64 {
+    (measured - expected).abs() / expected
+}
+
+fn params(n: u64, nodes: usize, sync_interval_secs: f64) -> ClusterCampaignParams {
+    let mut p = ClusterCampaignParams::default();
+    p.base.n = n;
+    p.nodes = nodes;
+    p.sync_interval_secs = sync_interval_secs;
+    p
+}
+
+fn wide_open() -> GatekeeperConfig {
+    GatekeeperConfig {
+        per_user_rate: 1e9,
+        per_user_burst: 1e9,
+        per_subnet_rate: 1e9,
+        per_subnet_burst: 1e9,
+        registration: RegistrationPolicy::interval(0.0),
+        storefront_query_threshold: 0,
+    }
+}
+
+fn counter(world: &ClusterWorld, node: usize, name: &str) -> u64 {
+    match world.node_registry(node).value(name) {
+        Some(MetricValue::Counter(v)) => v,
+        other => panic!("metric {name} on node {node}: {other:?}"),
+    }
+}
+
+/// The router speaks the unchanged client protocol: one identity per
+/// `REGISTER` (duplicate shard verdicts are swallowed), point queries
+/// land on the owning shard, and gossip carries deltas both ways.
+#[test]
+fn router_hands_out_one_identity_and_routes_point_queries() {
+    check_in(
+        PKG,
+        "router_hands_out_one_identity_and_routes_point_queries",
+        11,
+        |seed| {
+            let mut world = ClusterWorld::new(
+                seed,
+                ClusterConfig {
+                    nodes: 2,
+                    gate: GateConfig {
+                        gatekeeper: wide_open(),
+                        ..GateConfig::default()
+                    },
+                    sync_interval_secs: 60.0,
+                    ..ClusterConfig::default()
+                },
+            );
+            let map = world.partition_map();
+            for j in 0..2 {
+                let db = world.node_db(j);
+                db.execute_at(
+                    "CREATE TABLE directory (id INT NOT NULL, entry TEXT NOT NULL)",
+                    0.0,
+                )
+                .expect("create table");
+                db.execute_at("CREATE UNIQUE INDEX directory_pk ON directory (id)", 0.0)
+                    .expect("create index");
+                for id in map.ids_of(j, 8) {
+                    db.execute_at(
+                        &format!("INSERT INTO directory VALUES ({id}, 'entry-{id}')"),
+                        0.0,
+                    )
+                    .expect("insert");
+                }
+            }
+            let mut link = world.connect_link([10, 0, 0, 1]);
+            let (user, _) = net::register_until_admitted(&mut world, &mut link, [0; 4], 600.0)
+                .expect("registration");
+            assert_eq!(user, 1, "registrars assign ids deterministically");
+            assert!(
+                link.recv(0.0).expect("link alive").is_none(),
+                "duplicate shard verdicts must be swallowed by the router"
+            );
+            // One point query per shard; both must come back with the
+            // owner's row (start-up transient: each pays the 10 s cap).
+            for id in [0u64, 1] {
+                let sql = format!("SELECT * FROM directory WHERE id = {id}");
+                match net::run_query(&mut link, 1 + id as u32, user, &sql, 3600.0)
+                    .expect("link alive")
+                {
+                    QueryOutcome::Rows { rows, .. } => {
+                        assert_eq!(rows.len(), 1, "id {id} is a point lookup");
+                    }
+                    other => panic!("id {id}: {other:?}"),
+                }
+            }
+            // Each shard admitted exactly its own query.
+            assert_eq!(counter(&world, 0, "server_queries_admitted"), 1);
+            assert_eq!(counter(&world, 1, "server_queries_admitted"), 1);
+            // Gossip: one round folds a delta into every node.
+            world.sync_now();
+            assert!(counter(&world, 0, "cluster_deltas_applied") >= 1);
+            assert!(counter(&world, 1, "cluster_deltas_applied") >= 1);
+            assert!(world.peer_frames_delivered() >= 2);
+            // A second identity gets the next id, on every node.
+            let mut link2 = world.connect_link([10, 0, 1, 1]);
+            let (user2, _) = net::register_until_admitted(&mut world, &mut link2, [0; 4], 600.0)
+                .expect("registration");
+            assert_eq!(user2, 2);
+        },
+    );
+}
+
+/// The flagship: the §2.4 sequential crawl against a 4-node replicated
+/// cluster pays the single-node Eq. 3 total, and the median user sees
+/// the single-node Eq. 1 delay — the delay policy is restored to the
+/// paper's economics even though no node owns more than a quarter of
+/// the relation.
+#[test]
+fn replicated_sequential_crawl_matches_single_node_closed_form() {
+    check_in(
+        PKG,
+        "replicated_sequential_crawl_matches_single_node_closed_form",
+        7,
+        |seed| {
+            let mut campaign = ClusterCampaign::new(seed, ClusterCampaignParams::default());
+            let ranks = campaign.all_ranks();
+            let report = campaign.sequential_crawl([10, 0, 0, 1], &ranks);
+            let tolerance = campaign.tolerance();
+            let expected = campaign.analytic_total();
+            assert_eq!(report.queries, ranks.len() as u64);
+            assert_eq!(report.refused, 0, "gatekeeper is wide open");
+            assert!(
+                rel_err(report.total_delay_secs, expected) <= tolerance,
+                "adversary total {} vs closed form {} (rel err {:.4}, tolerance {:.4})",
+                report.total_delay_secs,
+                expected,
+                rel_err(report.total_delay_secs, expected),
+                tolerance,
+            );
+            assert!(
+                report.min_margin_secs >= -1e-6,
+                "a tuple was released {}s early",
+                -report.min_margin_secs
+            );
+            let median = campaign.median_user_delay([10, 9, 0, 1]);
+            let expected_median = campaign.analytic_delay_at_rank(campaign.median_rank());
+            assert!(
+                rel_err(median, expected_median) <= tolerance,
+                "median user delay {} vs closed form {} (tolerance {:.4})",
+                median,
+                expected_median,
+                tolerance,
+            );
+        },
+    );
+}
+
+/// The shard-aware crawl (one shard at a time) gains nothing against a
+/// replicated cluster — and the result survives a mid-campaign
+/// partition and heal: deltas held while a node is cut flood through
+/// afterwards, and the totals still land on the closed form.
+#[test]
+fn shard_grouped_crawl_with_partition_and_heal_matches_closed_form() {
+    check_in(
+        PKG,
+        "shard_grouped_crawl_with_partition_and_heal_matches_closed_form",
+        23,
+        |seed| {
+            let mut campaign = ClusterCampaign::new(seed, ClusterCampaignParams::default());
+            let ranks = campaign.shard_grouped_ranks();
+            let (head, rest) = ranks.split_at(ranks.len() / 2);
+            let (mid, tail) = rest.split_at(rest.len() / 2);
+            let mut total = 0.0;
+            let mut min_margin = f64::INFINITY;
+
+            let r1 = campaign.sequential_crawl([10, 0, 0, 1], head);
+            total += r1.total_delay_secs;
+            min_margin = min_margin.min(r1.min_margin_secs);
+
+            campaign.world().cut_node(1);
+            let r2 = campaign.sequential_crawl([10, 0, 0, 2], mid);
+            total += r2.total_delay_secs;
+            min_margin = min_margin.min(r2.min_margin_secs);
+            assert!(
+                campaign.world().peer_frames_held() > 0,
+                "the partition must actually hold gossip frames"
+            );
+
+            campaign.world().heal_node(1);
+            let r3 = campaign.sequential_crawl([10, 0, 0, 3], tail);
+            total += r3.total_delay_secs;
+            min_margin = min_margin.min(r3.min_margin_secs);
+            campaign.world().sync_now();
+            assert_eq!(
+                campaign.world().peer_frames_pending(),
+                0,
+                "heal must flood every held frame through"
+            );
+
+            let tolerance = campaign.tolerance();
+            let expected = campaign.analytic_total();
+            assert!(
+                rel_err(total, expected) <= tolerance,
+                "shard-aware total {} vs closed form {} (rel err {:.4}, tolerance {:.4})",
+                total,
+                expected,
+                rel_err(total, expected),
+                tolerance,
+            );
+            assert!(min_margin >= -1e-6);
+            let median = campaign.median_user_delay([10, 9, 0, 1]);
+            let expected_median = campaign.analytic_delay_at_rank(campaign.median_rank());
+            assert!(
+                rel_err(median, expected_median) <= tolerance,
+                "median user delay {median} vs closed form {expected_median}",
+            );
+        },
+    );
+}
+
+/// The negative control: with replication disabled, each shard prices
+/// from its local 1/N-th of the distribution and the shard-aware crawl
+/// pays only `sharded_unreplicated_total` — for 4 nodes under α=β=1,
+/// about 14% of the single-node total. Eq. 4 is defeated.
+#[test]
+fn unreplicated_shards_collapse_the_adversary_total() {
+    check_in(
+        PKG,
+        "unreplicated_shards_collapse_the_adversary_total",
+        5,
+        |seed| {
+            let mut campaign = ClusterCampaign::new(seed, params(1100, 4, 0.0));
+            let ranks = campaign.shard_grouped_ranks();
+            let report = campaign.sequential_crawl([10, 0, 0, 1], &ranks);
+            assert_eq!(
+                campaign.world().peer_frames_delivered(),
+                0,
+                "replication is off: no gossip may flow"
+            );
+            let expected = campaign.analytic_unreplicated_total();
+            assert!(
+                rel_err(report.total_delay_secs, expected) <= campaign.tolerance(),
+                "unreplicated total {} vs sharded closed form {} (rel err {:.4})",
+                report.total_delay_secs,
+                expected,
+                rel_err(report.total_delay_secs, expected),
+            );
+            // The defeat: a small fraction of the single-node economics.
+            let single_node = campaign.analytic_total();
+            assert!(
+                report.total_delay_secs < 0.2 * single_node,
+                "sharding without replication must collapse the total: {} vs {}",
+                report.total_delay_secs,
+                single_node,
+            );
+            assert!(report.min_margin_secs >= -1e-6);
+        },
+    );
+}
+
+/// Same seed, same drive ⇒ bit-identical executions — gossip rounds,
+/// a partition, a heal, and a Zipf workload included.
+#[test]
+fn same_seed_drives_bit_identical_executions() {
+    check_seeds_in(
+        PKG,
+        "same_seed_drives_bit_identical_executions",
+        &[3, 17],
+        |seed| {
+            let run = |seed: u64| {
+                let mut campaign = ClusterCampaign::new(seed, params(120, 4, 60.0));
+                let mut ranks = campaign.zipf_ranks(24);
+                ranks.extend_from_slice(&campaign.all_ranks()[..16]);
+                let (a, b) = ranks.split_at(ranks.len() / 2);
+                campaign.sequential_crawl([10, 0, 0, 1], a);
+                campaign.world().cut_node(2);
+                campaign.sequential_crawl([10, 0, 0, 2], b);
+                campaign.world().heal_node(2);
+                campaign.world().sync_now();
+                (
+                    campaign.world().digest(),
+                    campaign.world().frames_delivered(),
+                )
+            };
+            let (d1, f1) = run(seed);
+            let (d2, f2) = run(seed);
+            assert_eq!(d1, d2, "digests diverged for seed {seed}");
+            assert_eq!(f1, f2);
+        },
+    );
+}

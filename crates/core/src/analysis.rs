@@ -134,6 +134,58 @@ pub fn registration_interval_for(total_delay: f64, slowdown: f64) -> f64 {
     (slowdown * total_delay).powi(2) / (4.0 * total_delay)
 }
 
+// ---- cluster (sharded front door) closed forms --------------------------
+
+/// The Eq. 2 adversary total against `nodes` *un-replicated* shards — the
+/// cluster's negative control.
+///
+/// Rows are partitioned round-robin by popularity rank (rank `i` lives on
+/// node `(i − 1) mod nodes`), the model for a hash partition uncorrelated
+/// with popularity. Each node prices from its **local** view only: local
+/// cardinality `m ≈ n/nodes`, local relative `f_max` (its own hottest
+/// row's share of its own traffic), and local ranks. A shard-aware
+/// crawler querying each row at its owner therefore pays
+///
+/// ```text
+///   Σ_j  P(m_j, α+β) / (m_j · f_max,j),
+///   f_max,j = (j+1)^(−α) / Σ_{i ≡ j (mod N)} i^(−α)
+/// ```
+///
+/// which collapses toward `(N+1)/(2N²)` of [`adversary_total`] for
+/// α = β = 1 — the Eq. 4 defeat the replicated cluster must close (its
+/// merged views restore global `n`, global ranks, and global `f_max`).
+pub fn sharded_unreplicated_total(n: u64, nodes: u64, alpha: f64, beta: f64) -> f64 {
+    assert!(n > 0 && nodes > 0);
+    let mut total = 0.0;
+    for j in 0..nodes.min(n) {
+        // Node j's rows are global ranks j+1, j+1+N, j+1+2N, ...
+        let m = (n - j).div_ceil(nodes);
+        let mut local_sum = 0.0;
+        let mut i = j + 1;
+        while i <= n {
+            local_sum += (i as f64).powf(-alpha);
+            i += nodes;
+        }
+        let fmax_local = ((j + 1) as f64).powf(-alpha) / local_sum;
+        total += power_sum(m, alpha + beta) / (m as f64 * fmax_local);
+    }
+    total
+}
+
+/// Extra fractional tolerance for cross-checking a *replicated* cluster
+/// campaign against the single-node closed forms (Eq. 3 / Eq. 4 with a
+/// replication-lag term).
+///
+/// Between delta syncs a node prices from remote counts that are stale by
+/// at most `lag_secs`, so any count — and hence `f_max` and every
+/// `d(i)` — can be off by at most the traffic one origin adds in that
+/// window relative to the warmed baseline: `rate · lag / warm_events`.
+/// Campaigns assert `|sim − theory| ≤ (base_tol + this) · theory`.
+pub fn replication_lag_slack(warm_events: f64, event_rate: f64, lag_secs: f64) -> f64 {
+    assert!(warm_events > 0.0 && event_rate >= 0.0 && lag_secs >= 0.0);
+    (event_rate * lag_secs) / warm_events
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +291,51 @@ mod tests {
                 "slowdown {slowdown}: wall {wall}"
             );
         }
+    }
+
+    #[test]
+    fn one_shard_is_the_single_node_total() {
+        let (n, a, b) = (1100u64, 1.0, 1.0);
+        let fmax = 1.0 / generalized_harmonic(n, a);
+        let single = adversary_total(n, a, b, fmax);
+        let sharded = sharded_unreplicated_total(n, 1, a, b);
+        assert!((sharded - single).abs() / single < 1e-12);
+    }
+
+    #[test]
+    fn unreplicated_shards_defeat_the_adversary_total() {
+        // The campaign's parameters: n = 1100, α = β = 1, 4 nodes.
+        let (n, a, b) = (1100u64, 1.0, 1.0);
+        let single = sharded_unreplicated_total(n, 1, a, b);
+        let four = sharded_unreplicated_total(n, 4, a, b);
+        let ratio = four / single;
+        // α = β = 1 collapses toward (N+1)/(2N²) ≈ 0.156 of the total.
+        assert!(
+            (0.10..0.20).contains(&ratio),
+            "expected the Eq. 4 defeat, got ratio {ratio}"
+        );
+        // More shards, bigger defeat.
+        let eight = sharded_unreplicated_total(n, 8, a, b);
+        assert!(eight < four && four < single);
+    }
+
+    #[test]
+    fn unreplicated_total_handles_uneven_and_degenerate_splits() {
+        // n not divisible by nodes still covers every rank exactly once.
+        let direct: f64 = sharded_unreplicated_total(10, 3, 1.0, 1.0);
+        assert!(direct.is_finite() && direct > 0.0);
+        // More nodes than rows degenerates to one row per node, each
+        // priced as its own universe: m = 1, fmax = 1, d = 1.
+        let tiny = sharded_unreplicated_total(3, 8, 1.0, 1.0);
+        assert!((tiny - 3.0).abs() < 1e-12, "got {tiny}");
+    }
+
+    #[test]
+    fn replication_lag_slack_scales_linearly() {
+        assert_eq!(replication_lag_slack(1e6, 0.0, 30.0), 0.0);
+        let s1 = replication_lag_slack(1e6, 100.0, 5.0);
+        let s2 = replication_lag_slack(1e6, 100.0, 10.0);
+        assert!((s2 - 2.0 * s1).abs() < 1e-15);
+        assert!(s1 > 0.0 && s1 < 0.01);
     }
 }

@@ -90,6 +90,12 @@ impl Subnet {
     pub fn prefix(&self) -> u8 {
         self.prefix
     }
+
+    /// Base address (for wire encoding; round-trips through
+    /// [`Ipv4::subnet`]).
+    pub fn base(&self) -> [u8; 4] {
+        self.base
+    }
 }
 
 impl fmt::Display for Subnet {

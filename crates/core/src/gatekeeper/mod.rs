@@ -11,10 +11,12 @@
 //! * **Storefronts** — per-identity query budgets plus a volume anomaly
 //!   detector flag identities whose traffic dwarfs a normal user's.
 
+pub mod crdt;
 pub mod identity;
 pub mod registration;
 pub mod token_bucket;
 
+pub use crdt::{Charge, GateDelta, MergeableBucket, SubnetCharges};
 pub use identity::{Ipv4, Subnet, UserId};
 pub use registration::{Registrar, RegistrationOutcome, RegistrationPolicy};
 pub use token_bucket::TokenBucket;
@@ -75,17 +77,25 @@ pub enum Admission {
 /// Per-identity accounting.
 #[derive(Debug)]
 struct UserState {
-    bucket: TokenBucket,
+    bucket: MergeableBucket,
     queries: u64,
 }
 
 /// The gatekeeper itself.
+///
+/// Budgets are [`MergeableBucket`] charge-log CRDTs: a standalone
+/// deployment never notices (single-origin replay is the plain token
+/// bucket), while cluster nodes exchange [`GateDelta`]s so per-identity
+/// and per-/24 throttling holds against the *global* traffic an identity
+/// spreads across shards.
 #[derive(Debug)]
 pub struct Gatekeeper {
     config: GatekeeperConfig,
     registrar: Registrar,
     users: HashMap<UserId, UserState>,
-    subnets: HashMap<Subnet, TokenBucket>,
+    subnets: HashMap<Subnet, MergeableBucket>,
+    /// This node's origin id for charge logs (0 for standalone).
+    origin: u16,
 }
 
 impl Gatekeeper {
@@ -96,20 +106,32 @@ impl Gatekeeper {
             registrar: Registrar::new(config.registration),
             users: HashMap::new(),
             subnets: HashMap::new(),
+            origin: 0,
         }
+    }
+
+    /// Set this node's origin id for charge logs. Call before any
+    /// traffic: buckets tag their own charges with the origin current at
+    /// creation time.
+    pub fn set_origin(&mut self, origin: u16) {
+        self.origin = origin;
+    }
+
+    /// This node's origin id.
+    pub fn origin(&self) -> u16 {
+        self.origin
     }
 
     /// Register a new identity from `ip` at `now`.
     pub fn register(&mut self, ip: Ipv4, now: f64) -> RegistrationOutcome {
         let outcome = self.registrar.register(ip, now);
         if let RegistrationOutcome::Admitted { user, .. } = outcome {
-            self.users.insert(
-                user,
-                UserState {
-                    bucket: TokenBucket::new(self.config.per_user_rate, self.config.per_user_burst),
-                    queries: 0,
-                },
+            let bucket = MergeableBucket::new(
+                self.config.per_user_rate,
+                self.config.per_user_burst,
+                self.origin,
             );
+            self.users.insert(user, UserState { bucket, queries: 0 });
         }
         outcome
     }
@@ -133,18 +155,23 @@ impl Gatekeeper {
         if !user_ok {
             return Admission::Refused(RefusalReason::UserRateExceeded);
         }
+        let origin = self.origin;
         let subnet_bucket = self.subnets.entry(subnet).or_insert_with(|| {
-            TokenBucket::new(self.config.per_subnet_rate, self.config.per_subnet_burst)
+            MergeableBucket::new(
+                self.config.per_subnet_rate,
+                self.config.per_subnet_burst,
+                origin,
+            )
         });
         if subnet_bucket.available(now) < 1.0 - 1e-9 {
             return Admission::Refused(RefusalReason::SubnetRateExceeded);
         }
-        subnet_bucket.try_take(now);
+        subnet_bucket.charge(now, 1.0);
         let state = self
             .users
             .get_mut(&user)
             .expect("registered user has state");
-        state.bucket.try_take(now);
+        state.bucket.charge(now, 1.0);
         state.queries += 1;
         Admission::Granted
     }
@@ -168,11 +195,16 @@ impl Gatekeeper {
             .expect("registered user has state")
             .bucket
             .next_available(now, 1.0);
+        let origin = self.origin;
         let subnet_at = self
             .subnets
             .entry(subnet)
             .or_insert_with(|| {
-                TokenBucket::new(self.config.per_subnet_rate, self.config.per_subnet_burst)
+                MergeableBucket::new(
+                    self.config.per_subnet_rate,
+                    self.config.per_subnet_burst,
+                    origin,
+                )
             })
             .next_available(now, 1.0);
         Some(user_at.max(subnet_at))
@@ -204,6 +236,73 @@ impl Gatekeeper {
     /// The registrar (for attack-economics queries).
     pub fn registrar(&self) -> &Registrar {
         &self.registrar
+    }
+
+    /// Export this node's locally-originated charges — the full
+    /// own-origin log of every bucket — for replication to peers.
+    /// Cumulative and deterministic (sorted), so a lost delta is subsumed
+    /// by the next one.
+    pub fn export_gate_delta(&self) -> GateDelta {
+        let mut users: Vec<(u64, Vec<Charge>)> = self
+            .users
+            .iter()
+            .filter(|(_, s)| !s.bucket.own_log().is_empty())
+            .map(|(u, s)| (u.0, s.bucket.own_log().to_vec()))
+            .collect();
+        users.sort_by_key(|(u, _)| *u);
+        let mut subnets: Vec<SubnetCharges> = self
+            .subnets
+            .iter()
+            .filter(|(_, b)| !b.own_log().is_empty())
+            .map(|(s, b)| SubnetCharges {
+                base: s.base(),
+                prefix: s.prefix(),
+                log: b.own_log().to_vec(),
+            })
+            .collect();
+        subnets.sort_by_key(|s| (s.base, s.prefix));
+        GateDelta {
+            origin: self.origin,
+            users,
+            subnets,
+        }
+    }
+
+    /// Fold a peer's charges into the local buckets. Idempotent and
+    /// order-insensitive (CRDT merge per bucket). Buckets for identities
+    /// or subnets this node has not seen locally are created on the spot:
+    /// the budget must bind even before any local traffic.
+    pub fn merge_gate_delta(&mut self, delta: &GateDelta) {
+        if delta.origin == self.origin {
+            return; // own charges echoed back: already in the logs
+        }
+        for (user, log) in &delta.users {
+            let origin = self.origin;
+            let state = self
+                .users
+                .entry(UserId(*user))
+                .or_insert_with(|| UserState {
+                    bucket: MergeableBucket::new(
+                        self.config.per_user_rate,
+                        self.config.per_user_burst,
+                        origin,
+                    ),
+                    queries: 0,
+                });
+            state.bucket.merge(delta.origin, log);
+        }
+        for sc in &delta.subnets {
+            let subnet = Ipv4(sc.base).subnet(sc.prefix);
+            let origin = self.origin;
+            let bucket = self.subnets.entry(subnet).or_insert_with(|| {
+                MergeableBucket::new(
+                    self.config.per_subnet_rate,
+                    self.config.per_subnet_burst,
+                    origin,
+                )
+            });
+            bucket.merge(delta.origin, &sc.log);
+        }
     }
 }
 
@@ -339,6 +438,150 @@ mod tests {
             k.register(Ipv4::parse("10.0.0.2").unwrap(), 5.0),
             RegistrationOutcome::TooSoon { .. }
         ));
+    }
+
+    /// Replicated throttling: two nodes each see part of a subnet's
+    /// traffic; after exchanging gate deltas, each node's admission state
+    /// must equal a single gatekeeper that saw the union stream.
+    #[test]
+    fn merged_subnet_throttling_equals_single_node_on_union_stream() {
+        let config = GatekeeperConfig {
+            per_user_rate: 100.0, // user budget never binds here
+            per_user_burst: 100.0,
+            per_subnet_rate: 1.0,
+            per_subnet_burst: 4.0,
+            registration: RegistrationPolicy::interval(0.0),
+            storefront_query_threshold: 0,
+        };
+        let mut node_a = Gatekeeper::new(config);
+        node_a.set_origin(1);
+        let mut node_b = Gatekeeper::new(config);
+        node_b.set_origin(2);
+        let mut single = Gatekeeper::new(config);
+        // Same registration stream everywhere (the router broadcasts
+        // registrations), so user ids agree.
+        let sybils: Vec<UserId> = (1..=4)
+            .map(|i| {
+                let ip = Ipv4::parse(&format!("10.0.0.{i}")).unwrap();
+                let u = match node_a.register(ip, 0.0) {
+                    RegistrationOutcome::Admitted { user, .. } => user,
+                    other => panic!("{other:?}"),
+                };
+                assert!(matches!(
+                    node_b.register(ip, 0.0),
+                    RegistrationOutcome::Admitted { .. }
+                ));
+                assert!(matches!(
+                    single.register(ip, 0.0),
+                    RegistrationOutcome::Admitted { .. }
+                ));
+                u
+            })
+            .collect();
+        // The swarm splits across the two nodes: sybil i queries node
+        // (i % 2) at time i. Every query also goes to the single-node
+        // reference. Nodes sync after each admission.
+        let mut granted_split = 0;
+        let mut granted_single = 0;
+        for q in 0..12usize {
+            let u = sybils[q % sybils.len()];
+            let t = 10.0 + q as f64 * 0.01; // bursty: budget must bind
+            let node = if q % 2 == 0 { &mut node_a } else { &mut node_b };
+            let split = node.admit(u, t);
+            let unified = single.admit(u, t);
+            assert_eq!(split, unified, "query {q} at t={t}");
+            if split == Admission::Granted {
+                granted_split += 1;
+            }
+            if unified == Admission::Granted {
+                granted_single += 1;
+            }
+            // Delta sync both ways after every query (tightest lag).
+            let da = node_a.export_gate_delta();
+            let db = node_b.export_gate_delta();
+            node_b.merge_gate_delta(&da);
+            node_a.merge_gate_delta(&db);
+        }
+        assert_eq!(granted_split, granted_single);
+        // The subnet burst (4) bounds the grants; without replication the
+        // split swarm would have gotten ~2x.
+        assert!(
+            granted_split <= 5,
+            "subnet budget leaked: {granted_split} grants"
+        );
+        // Retry hints agree with the union view too.
+        let ha = node_a.retry_at(sybils[0], 11.0).unwrap();
+        let hs = single.retry_at(sybils[0], 11.0).unwrap();
+        assert!((ha - hs).abs() < 1e-9, "{ha} vs {hs}");
+    }
+
+    /// Merging the same delta repeatedly, or in either order, leaves the
+    /// gatekeeper in the same observable state.
+    #[test]
+    fn gate_delta_merge_idempotent_and_commutative() {
+        let config = GatekeeperConfig {
+            registration: RegistrationPolicy::interval(0.0),
+            ..GatekeeperConfig::default()
+        };
+        let mut src_a = Gatekeeper::new(config);
+        src_a.set_origin(1);
+        let mut src_b = Gatekeeper::new(config);
+        src_b.set_origin(2);
+        let ua = register(&mut src_a, "10.0.0.1", 0.0);
+        assert_eq!(register(&mut src_b, "10.0.0.1", 0.0), ua);
+        for t in 0..5 {
+            src_a.admit(ua, t as f64);
+            src_b.admit(ua, 0.5 + t as f64);
+        }
+        let da = src_a.export_gate_delta();
+        let db = src_b.export_gate_delta();
+        let probe = |k: &mut Gatekeeper| {
+            let r = k.retry_at(ua, 10.0).unwrap();
+            let q = k.query_count(ua);
+            (r, q)
+        };
+        let mut ab = Gatekeeper::new(config);
+        ab.set_origin(9);
+        assert_eq!(register(&mut ab, "10.0.0.1", 0.0), ua);
+        ab.merge_gate_delta(&da);
+        ab.merge_gate_delta(&db);
+        let mut ba = Gatekeeper::new(config);
+        ba.set_origin(9);
+        assert_eq!(register(&mut ba, "10.0.0.1", 0.0), ua);
+        ba.merge_gate_delta(&db);
+        ba.merge_gate_delta(&da);
+        ba.merge_gate_delta(&da); // idempotent re-merge
+        ba.merge_gate_delta(&db);
+        assert_eq!(probe(&mut ab), probe(&mut ba));
+    }
+
+    #[test]
+    fn merge_creates_buckets_for_unseen_identities() {
+        // A node that never saw a user locally still enforces the global
+        // budget once a peer's charges arrive.
+        let config = GatekeeperConfig {
+            per_user_rate: 1.0,
+            per_user_burst: 2.0,
+            per_subnet_rate: 100.0,
+            per_subnet_burst: 100.0,
+            registration: RegistrationPolicy::interval(0.0),
+            storefront_query_threshold: 0,
+        };
+        let mut remote = Gatekeeper::new(config);
+        remote.set_origin(1);
+        let u = register(&mut remote, "10.0.0.1", 0.0);
+        assert_eq!(remote.admit(u, 100.0), Admission::Granted);
+        assert_eq!(remote.admit(u, 100.0), Admission::Granted);
+        let mut local = Gatekeeper::new(config);
+        local.set_origin(2);
+        assert_eq!(register(&mut local, "10.0.0.1", 0.0), u);
+        local.merge_gate_delta(&remote.export_gate_delta());
+        // The user's burst is spent cluster-wide.
+        assert_eq!(
+            local.admit(u, 100.0),
+            Admission::Refused(RefusalReason::UserRateExceeded)
+        );
+        assert_eq!(local.admit(u, 101.0), Admission::Granted);
     }
 
     #[test]

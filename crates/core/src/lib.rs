@@ -43,6 +43,7 @@ pub mod error;
 pub mod gatekeeper;
 pub mod guarded;
 pub mod policy;
+pub mod replica;
 pub mod snapshot;
 pub mod update;
 
@@ -55,5 +56,6 @@ pub use guarded::{
     ChargedChunk, DeadlineResponse, DeadlineStream, GuardedDatabase, GuardedResponse, StreamedQuery,
 };
 pub use policy::{ChargingModel, GuardPolicy};
+pub use replica::{tag_remote_key, ReplicaDelta, TableDelta};
 pub use snapshot::{PolicySnapshot, ReadPath, SnapshotPolicy, SnapshotStats, TableSnapshot};
 pub use update::UpdateDelayPolicy;

@@ -87,6 +87,10 @@ pub struct TableSnapshot {
     pub updates: FrequencyTracker,
     /// Virtual time the table first came under observation.
     pub epoch: Option<f64>,
+    /// Rows held by *other* cluster nodes for this table (from replicated
+    /// deltas); pricing adds this to the local cardinality so `n` in
+    /// Eq. 1 is the global table size. Zero on a single node.
+    pub extra_rows: u64,
 }
 
 impl TableSnapshot {
@@ -110,6 +114,7 @@ pub fn empty_table_snapshot() -> Arc<TableSnapshot> {
             access: FrequencyTracker::no_decay(),
             updates: FrequencyTracker::no_decay(),
             epoch: None,
+            extra_rows: 0,
         })
     }))
 }
@@ -203,6 +208,7 @@ mod tests {
             access: FrequencyTracker::no_decay(),
             updates: FrequencyTracker::no_decay(),
             epoch: Some(10.0),
+            extra_rows: 0,
         };
         assert_eq!(ts.window(30.0), 20.0);
         assert_eq!(ts.window(10.0), 1e-9, "clamped at epoch");

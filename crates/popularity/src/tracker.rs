@@ -239,6 +239,19 @@ impl FrequencyTracker {
             .map(|(&k, &raw)| (k, self.schedule.normalize(raw)))
     }
 
+    /// Snapshot the tracker as `(key, decay-normalized count)` pairs
+    /// sorted by key: the deterministic wire form replication ships.
+    /// Normalized counts are the decay-invariant representation — the
+    /// receiver folds them back in at *its* current weight via
+    /// [`FrequencyTracker::record_static_weighted`], so two trackers at
+    /// different points in their inflated-increment/rescale cycles
+    /// exchange state without either's arithmetic leaking into the other.
+    pub fn export_counts(&self) -> Vec<(u64, f64)> {
+        let mut out: Vec<(u64, f64)> = self.iter().collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
     /// Divide every stored quantity by the accumulated inflation factor and
     /// rebuild the rank index. Called automatically when the schedule
     /// signals overflow risk.
@@ -425,6 +438,47 @@ mod tests {
         let after = t.count(1);
         assert!((after - before / 2.0).abs() < 1e-12);
         assert_eq!(t.events(), 1);
+    }
+
+    #[test]
+    fn export_fold_roundtrip_is_decay_invariant() {
+        // A tracker deep into its inflation cycle (rescales included)
+        // exports normalized counts; folding them into a fresh tracker
+        // reproduces counts, frequencies and ranks.
+        let mut src = FrequencyTracker::new(DecaySchedule::new(1.5).with_rescale_threshold(1e6));
+        for i in 0..200u64 {
+            src.record(i % 11);
+        }
+        assert!(src.schedule().rescales() > 0);
+        let exported = src.export_counts();
+        let mut dst = FrequencyTracker::new(DecaySchedule::new(1.5).with_rescale_threshold(1e6));
+        // Put the receiver at a different point in its own cycle first.
+        for _ in 0..17 {
+            dst.tick_boundary();
+        }
+        for &(k, units) in &exported {
+            dst.record_static_weighted(k, units);
+        }
+        for k in 0..11u64 {
+            let a = src.count(k);
+            let b = dst.count(k);
+            assert!(
+                (a - b).abs() <= a.abs() * 1e-9,
+                "key {k}: {a} vs {b} despite normalization"
+            );
+            assert_eq!(src.rank(k), dst.rank(k), "key {k}");
+        }
+        assert!((src.fmax() - dst.fmax()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_counts_is_sorted_and_complete() {
+        let mut t = FrequencyTracker::no_decay();
+        t.record(9);
+        t.record(3);
+        t.ensure_tracked(7);
+        let e = t.export_counts();
+        assert_eq!(e, vec![(3, 1.0), (7, 0.0), (9, 1.0)]);
     }
 
     #[test]

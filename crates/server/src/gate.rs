@@ -33,11 +33,12 @@ use delayguard_core::clock::{secs_to_nanos, Clock};
 use delayguard_core::gatekeeper::{
     Admission, Gatekeeper, GatekeeperConfig, Ipv4, RefusalReason, RegistrationOutcome, UserId,
 };
+use delayguard_core::replica::ReplicaDelta;
 use delayguard_core::{DeadlineStream, GuardedDatabase, StreamedQuery};
 use delayguard_query::engine::StatementOutput;
 use delayguard_sim::Registry;
 use parking_lot::Mutex as PMutex;
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Where a session's response frames go. Implemented by the TCP server's
@@ -158,6 +159,8 @@ pub struct FrontDoor {
     /// `schedule` call; shutdown waits for this to reach zero before
     /// draining the wheel, so no delay is scheduled after the drain.
     inflight_queries: AtomicUsize,
+    /// Monotone sequence stamped onto exported replication deltas.
+    delta_seq: AtomicU64,
 }
 
 impl FrontDoor {
@@ -182,6 +185,7 @@ impl FrontDoor {
             clock,
             draining: AtomicBool::new(false),
             inflight_queries: AtomicUsize::new(0),
+            delta_seq: AtomicU64::new(0),
         }
     }
 
@@ -218,6 +222,81 @@ impl FrontDoor {
     /// Direct gatekeeper access (attack-economics assertions in tests).
     pub fn gatekeeper(&self) -> &PMutex<Gatekeeper> {
         &self.gatekeeper
+    }
+
+    // ---- cluster replication (peer links) --------------------------------
+
+    /// Set this node's cluster origin id. Must be called before traffic:
+    /// the origin stamps every gatekeeper charge log and every exported
+    /// delta, and peers key their remote stores by it.
+    pub fn set_node_origin(&self, origin: u16) {
+        self.gatekeeper.lock().set_origin(origin);
+    }
+
+    /// This node's cluster origin id (0 on a standalone server).
+    pub fn node_origin(&self) -> u16 {
+        self.gatekeeper.lock().origin()
+    }
+
+    /// Snapshot everything this node has locally originated — popularity
+    /// per table, gatekeeper charge logs — as one [`ReplicaDelta`],
+    /// stamped with the next monotone sequence number.
+    pub fn export_delta(&self) -> ReplicaDelta {
+        let seq = self.delta_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics.deltas_exported.inc();
+        let gate = self.gatekeeper.lock().export_gate_delta();
+        ReplicaDelta {
+            origin: gate.origin,
+            seq,
+            tables: self.db.export_table_deltas(),
+            gate,
+        }
+    }
+
+    /// Fold a peer's delta: gatekeeper charge logs merge CRDT-style
+    /// (commutative, idempotent), popularity state replaces-if-newer in
+    /// the guard's remote store and republishes merged snapshots.
+    /// Returns whether the popularity half was new.
+    pub fn apply_delta(&self, delta: &ReplicaDelta) -> bool {
+        // The gate merge is unconditionally safe: charge-log entries are
+        // append-only and keyed by (origin, seq), so replaying an old
+        // delta merges nothing.
+        self.gatekeeper.lock().merge_gate_delta(&delta.gate);
+        let fresh = self.db.apply_replica_delta(delta);
+        if fresh {
+            self.metrics.deltas_applied.inc();
+        } else {
+            self.metrics.deltas_stale.inc();
+        }
+        fresh
+    }
+
+    /// Handle one frame from an authenticated *peer node* link. Clients
+    /// never reach this path — [`Self::handle_frame`] terminates sessions
+    /// that send replication frames — so the transport decides which
+    /// connections are peers (the cluster sim marks its inter-node links;
+    /// a TCP deployment would gate on listener or auth).
+    pub fn handle_peer_frame<S: FrameSink>(&self, frame: Frame, sink: &Arc<S>) -> SessionControl {
+        match frame {
+            Frame::Delta { delta } => {
+                self.apply_delta(&delta);
+                sink.push_control(Frame::DeltaAck {
+                    origin: delta.origin,
+                    seq: delta.seq,
+                });
+                SessionControl::Continue
+            }
+            // Acks are bookkeeping for the sender's skip-if-unchanged
+            // logic; the front door itself has nothing to update.
+            Frame::DeltaAck { .. } => SessionControl::Continue,
+            other => {
+                sink.push_control(Frame::Error {
+                    query_id: 0,
+                    message: format!("unexpected frame on peer link: {other:?}"),
+                });
+                SessionControl::Terminate
+            }
+        }
     }
 
     // ---- drain accounting ------------------------------------------------

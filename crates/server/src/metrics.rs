@@ -48,6 +48,12 @@ pub struct ServerMetrics {
     pub scheduler_scheduled: Counter,
     /// Delays fired off the wheel.
     pub scheduler_fired: Counter,
+    /// Replication deltas folded from peers (cluster only).
+    pub deltas_applied: Counter,
+    /// Replication deltas discarded as stale/duplicate (cluster only).
+    pub deltas_stale: Counter,
+    /// Replication deltas exported to peers (cluster only).
+    pub deltas_exported: Counter,
 }
 
 impl ServerMetrics {
@@ -72,6 +78,9 @@ impl ServerMetrics {
             scheduler_pending: registry.gauge("scheduler_pending"),
             scheduler_scheduled: registry.counter("scheduler_scheduled_total"),
             scheduler_fired: registry.counter("scheduler_fired_total"),
+            deltas_applied: registry.counter("cluster_deltas_applied"),
+            deltas_stale: registry.counter("cluster_deltas_stale"),
+            deltas_exported: registry.counter("cluster_deltas_exported"),
         }
     }
 }

@@ -23,6 +23,8 @@
 //! ([`delayguard_storage::codec`]), so the server adds no second
 //! serialization format.
 
+use delayguard_core::gatekeeper::{Charge, GateDelta, SubnetCharges};
+use delayguard_core::replica::{ReplicaDelta, TableDelta};
 use delayguard_storage::codec::{decode_row, row_bytes};
 use delayguard_storage::Row;
 use std::fmt;
@@ -122,6 +124,13 @@ pub enum Frame {
     StatsReply { rendered: String },
     /// The statement failed.
     Error { query_id: u32, message: String },
+    /// Inter-node replication (cluster delta-sync): one origin's
+    /// cumulative popularity + gatekeeper state. Never sent by clients;
+    /// a front door only accepts it on connections marked as peer links.
+    Delta { delta: ReplicaDelta },
+    /// Acknowledges the highest `seq` folded from `origin`, so the sender
+    /// can skip unchanged re-sends.
+    DeltaAck { origin: u16, seq: u64 },
 }
 
 mod opcode {
@@ -136,6 +145,8 @@ mod opcode {
     pub const STATS_REPLY: u8 = 0x15;
     pub const ERROR: u8 = 0x16;
     pub const ROWS_END: u8 = 0x17;
+    pub const DELTA: u8 = 0x20;
+    pub const DELTA_ACK: u8 = 0x21;
 }
 
 /// Protocol-level failures (distinct from transport `io::Error`).
@@ -184,6 +195,54 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
 fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
+}
+
+fn put_counts(out: &mut Vec<u8>, counts: &[(u64, f64)]) {
+    put_u32(out, counts.len() as u32);
+    for &(key, units) in counts {
+        put_u64(out, key);
+        put_f64(out, units);
+    }
+}
+
+fn put_charges(out: &mut Vec<u8>, log: &[Charge]) {
+    put_u32(out, log.len() as u32);
+    for c in log {
+        put_u64(out, c.seq);
+        put_f64(out, c.at_secs);
+        put_f64(out, c.amount);
+    }
+}
+
+fn put_replica_delta(out: &mut Vec<u8>, delta: &ReplicaDelta) {
+    out.extend_from_slice(&delta.origin.to_le_bytes());
+    put_u64(out, delta.seq);
+    put_u32(out, delta.tables.len() as u32);
+    for (name, td) in &delta.tables {
+        put_str(out, name);
+        put_counts(out, &td.accesses);
+        put_counts(out, &td.updates);
+        put_u64(out, td.rows);
+        match td.epoch {
+            Some(e) => {
+                out.push(1);
+                put_f64(out, e);
+            }
+            None => out.push(0),
+        }
+    }
+    out.extend_from_slice(&delta.gate.origin.to_le_bytes());
+    put_u32(out, delta.gate.users.len() as u32);
+    for (user, log) in &delta.gate.users {
+        put_u64(out, *user);
+        put_charges(out, log);
+    }
+    put_u32(out, delta.gate.subnets.len() as u32);
+    for sc in &delta.gate.subnets {
+        out.extend_from_slice(&sc.base);
+        out.push(sc.prefix);
+        put_charges(out, &sc.log);
+    }
 }
 
 struct Cursor<'a> {
@@ -254,6 +313,96 @@ impl<'a> Cursor<'a> {
             )));
         }
         Ok(())
+    }
+
+    /// A length-prefixed list, with the count sanity-bounded by the
+    /// remaining payload so a hostile length cannot pre-allocate gigabytes.
+    fn list_len(&mut self, min_item_bytes: usize) -> Result<usize, ProtocolError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_item_bytes) > self.remaining() {
+            return Err(ProtocolError::Malformed(format!(
+                "list of {n} items cannot fit in {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    fn counts(&mut self) -> Result<Vec<(u64, f64)>, ProtocolError> {
+        let n = self.list_len(16)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push((self.u64()?, self.f64()?));
+        }
+        Ok(out)
+    }
+
+    fn charges(&mut self) -> Result<Vec<Charge>, ProtocolError> {
+        let n = self.list_len(24)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(Charge {
+                seq: self.u64()?,
+                at_secs: self.f64()?,
+                amount: self.f64()?,
+            });
+        }
+        Ok(out)
+    }
+
+    fn replica_delta(&mut self) -> Result<ReplicaDelta, ProtocolError> {
+        let origin = self.u16()?;
+        let seq = self.u64()?;
+        let ntables = self.list_len(4)?;
+        let mut tables = Vec::with_capacity(ntables);
+        for _ in 0..ntables {
+            let name = self.string()?;
+            let accesses = self.counts()?;
+            let updates = self.counts()?;
+            let rows = self.u64()?;
+            let epoch = match self.u8()? {
+                0 => None,
+                1 => Some(self.f64()?),
+                other => return Err(ProtocolError::Malformed(format!("bad epoch flag {other}"))),
+            };
+            tables.push((
+                name,
+                TableDelta {
+                    accesses,
+                    updates,
+                    rows,
+                    epoch,
+                },
+            ));
+        }
+        let gate_origin = self.u16()?;
+        let nusers = self.list_len(12)?;
+        let mut users = Vec::with_capacity(nusers);
+        for _ in 0..nusers {
+            let user = self.u64()?;
+            users.push((user, self.charges()?));
+        }
+        let nsubnets = self.list_len(9)?;
+        let mut subnets = Vec::with_capacity(nsubnets);
+        for _ in 0..nsubnets {
+            let base: [u8; 4] = self.take(4)?.try_into().unwrap();
+            let prefix = self.u8()?;
+            subnets.push(SubnetCharges {
+                base,
+                prefix,
+                log: self.charges()?,
+            });
+        }
+        Ok(ReplicaDelta {
+            origin,
+            seq,
+            tables,
+            gate: GateDelta {
+                origin: gate_origin,
+                users,
+                subnets,
+            },
+        })
     }
 }
 
@@ -339,6 +488,15 @@ impl Frame {
                 put_u32(&mut out, *query_id);
                 put_str(&mut out, message);
             }
+            Frame::Delta { delta } => {
+                out.push(opcode::DELTA);
+                put_replica_delta(&mut out, delta);
+            }
+            Frame::DeltaAck { origin, seq } => {
+                out.push(opcode::DELTA_ACK);
+                out.extend_from_slice(&origin.to_le_bytes());
+                put_u64(&mut out, *seq);
+            }
         }
         out
     }
@@ -415,6 +573,13 @@ impl Frame {
             opcode::ERROR => Frame::Error {
                 query_id: c.u32()?,
                 message: c.string()?,
+            },
+            opcode::DELTA => Frame::Delta {
+                delta: c.replica_delta()?,
+            },
+            opcode::DELTA_ACK => Frame::DeltaAck {
+                origin: c.u16()?,
+                seq: c.u64()?,
             },
             other => {
                 return Err(ProtocolError::Malformed(format!(
@@ -517,6 +682,80 @@ mod tests {
             query_id: 2,
             message: "no such table".into(),
         });
+        round_trip(Frame::DeltaAck { origin: 3, seq: 17 });
+    }
+
+    #[test]
+    fn delta_frame_round_trips() {
+        let delta = ReplicaDelta {
+            origin: 2,
+            seq: 9,
+            tables: vec![
+                (
+                    "directory".into(),
+                    TableDelta {
+                        accesses: vec![(0, 41.5), (1, 0.0), (7, 3.25)],
+                        updates: vec![(1, 2.0)],
+                        rows: 275,
+                        epoch: Some(12.5),
+                    },
+                ),
+                (
+                    "empty".into(),
+                    TableDelta {
+                        rows: 10,
+                        ..TableDelta::default()
+                    },
+                ),
+            ],
+            gate: GateDelta {
+                origin: 2,
+                users: vec![
+                    (
+                        1,
+                        vec![
+                            Charge {
+                                seq: 1,
+                                at_secs: 10.0,
+                                amount: 1.0,
+                            },
+                            Charge {
+                                seq: 2,
+                                at_secs: 10.5,
+                                amount: 1.0,
+                            },
+                        ],
+                    ),
+                    (4, Vec::new()),
+                ],
+                subnets: vec![SubnetCharges {
+                    base: [10, 0, 1, 0],
+                    prefix: 24,
+                    log: vec![Charge {
+                        seq: 1,
+                        at_secs: 10.0,
+                        amount: 1.0,
+                    }],
+                }],
+            },
+        };
+        round_trip(Frame::Delta { delta });
+    }
+
+    #[test]
+    fn delta_rejects_hostile_list_lengths() {
+        // origin + seq, then a table count claiming 2^31 entries with an
+        // empty remainder: must fail on the bound check, not allocate.
+        let mut body = vec![opcode::DELTA, 2, 0];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&0x8000_0000u32.to_le_bytes());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&body);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ProtocolError::Malformed(_))
+        ));
     }
 
     #[test]

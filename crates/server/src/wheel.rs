@@ -89,10 +89,14 @@ impl<T> TimerWheel<T> {
 
     /// The earliest deadline of any pending entry, or `None` if the wheel
     /// is empty. Entries inserted with an already-passed deadline report
-    /// their original (past) deadline. O(pending + slots) scan — used by
-    /// the manual-mode scheduler to decide how far a simulated clock must
-    /// advance, not on the per-tick hot path.
+    /// their original (past) deadline. O(pending + slots) scan with an
+    /// O(1) empty fast path — simulation drivers (the testkit and the
+    /// cluster router) call this once per node per event-loop step, and
+    /// most nodes' wheels are empty most of the time.
     pub fn next_deadline(&self) -> Option<u64> {
+        if self.pending == 0 {
+            return None;
+        }
         let all = self
             .due
             .iter()

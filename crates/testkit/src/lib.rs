@@ -48,5 +48,5 @@ pub mod world;
 
 pub use campaign::{Campaign, CampaignParams, CrawlReport, SybilReport};
 pub use net::{Arrival, FaultPlan, LinkError, NetLink, QueryOutcome, SimNet, TcpNet};
-pub use seed::{check, check_seeds, replay_seed};
+pub use seed::{check, check_in, check_seeds, check_seeds_in, replay_seed};
 pub use world::{ConnId, SimConfig, SimWorld};

@@ -10,15 +10,19 @@
 //!   layers (`crates/core/src/policy.rs`, `crates/core/src/snapshot.rs`,
 //!   all of `crates/popularity`) and on the whole deterministic serving
 //!   path (`crates/server/src`, `crates/core/src/guarded.rs`,
-//!   `crates/core/src/clock.rs`): those layers take time as a parameter
-//!   or read it through the `Clock` facade, so the same code runs under
-//!   the simulated clock and stays deterministic and model-checkable.
-//!   The only vetted exceptions (in `crates/xtask/lint-allow.txt`) are
-//!   inside the real-clock implementation itself. Unit-test modules are
-//!   exempt.
+//!   `crates/core/src/clock.rs`, all of `crates/cluster/src` — the
+//!   cluster world runs entirely under the shared `ManualClock`, and a
+//!   single wall read would make its event loop unreplayable): those
+//!   layers take time as a parameter or read it through the `Clock`
+//!   facade, so the same code runs under the simulated clock and stays
+//!   deterministic and model-checkable. The only vetted exceptions (in
+//!   `crates/xtask/lint-allow.txt`) are inside the real-clock
+//!   implementation itself. Unit-test modules are exempt.
 //! * **R3 no `unwrap`/`expect` on server paths** — the long-running
-//!   server loops (`server.rs`, `scheduler.rs`, `wheel.rs`) must not
-//!   panic on recoverable conditions; vetted exceptions live in
+//!   server loops (`server.rs`, `scheduler.rs`, `wheel.rs`) and the
+//!   cluster front door's router/delta-sync path
+//!   (`crates/cluster/src/sim.rs`, `crates/cluster/src/partition.rs`)
+//!   must not panic on recoverable conditions; vetted exceptions live in
 //!   `crates/xtask/lint-allow.txt`. Unit-test modules are exempt.
 //! * **R4 no `Relaxed` pointer publishes** — a store/swap (or the
 //!   success ordering of a compare-exchange) on an `AtomicPtr`-typed
@@ -153,9 +157,11 @@ fn rule_unsafe_needs_safety(rel: &str, s: &Scanned, findings: &mut Vec<Finding>)
 }
 
 /// Files where wall-clock reads are banned: the pure policy/snapshot
-/// layers (time is a parameter) and the whole serving path (time comes
+/// layers (time is a parameter), the whole serving path (time comes
 /// from the injected `Clock`, so the deterministic simulation harness
-/// controls it).
+/// controls it), and the cluster front door (router, delta sync and
+/// campaign drivers all run on the shared `ManualClock`; one wall read
+/// would break seeded replay of a multi-node run).
 fn wall_clock_banned(rel: &str) -> bool {
     rel == "crates/core/src/policy.rs"
         || rel == "crates/core/src/snapshot.rs"
@@ -163,6 +169,7 @@ fn wall_clock_banned(rel: &str) -> bool {
         || rel == "crates/core/src/clock.rs"
         || rel.starts_with("crates/popularity/")
         || rel.starts_with("crates/server/src/")
+        || rel.starts_with("crates/cluster/src/")
 }
 
 fn rule_no_wall_clock(
@@ -201,7 +208,10 @@ fn rule_no_wall_clock(
     }
 }
 
-/// Server-loop files where panicking calls are banned.
+/// Server-loop files where panicking calls are banned: the real server's
+/// long-running loops, plus the cluster router/delta-sync path — one
+/// malformed frame or sync message must not take the whole front door
+/// down with it.
 fn panic_free_path(rel: &str) -> bool {
     matches!(
         rel,
@@ -209,6 +219,8 @@ fn panic_free_path(rel: &str) -> bool {
             | "crates/server/src/gate.rs"
             | "crates/server/src/scheduler.rs"
             | "crates/server/src/wheel.rs"
+            | "crates/cluster/src/sim.rs"
+            | "crates/cluster/src/partition.rs"
     )
 }
 
@@ -488,6 +500,34 @@ mod tests {
         ] {
             assert_eq!(lint(rel, src).len(), 1, "{rel} must be in R2 scope");
         }
+    }
+
+    #[test]
+    fn wall_clock_banned_across_the_cluster_crate() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        for rel in [
+            "crates/cluster/src/sim.rs",
+            "crates/cluster/src/partition.rs",
+            "crates/cluster/src/campaign.rs",
+            "crates/cluster/src/lib.rs",
+        ] {
+            assert_eq!(lint(rel, src).len(), 1, "{rel} must be in R2 scope");
+        }
+        // Cluster integration tests may time things for real.
+        assert!(lint("crates/cluster/tests/cluster_campaigns.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_on_cluster_router_path_fires() {
+        let src = "fn f() { x.lock().unwrap(); }\n";
+        for rel in [
+            "crates/cluster/src/sim.rs",
+            "crates/cluster/src/partition.rs",
+        ] {
+            assert_eq!(lint(rel, src).len(), 1, "{rel} must be in R3 scope");
+        }
+        // The campaign driver is a test harness, not the router loop.
+        assert!(lint("crates/cluster/src/campaign.rs", src).is_empty());
     }
 
     #[test]
