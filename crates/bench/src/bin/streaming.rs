@@ -15,14 +15,22 @@
 //! CI; the latency gate (first row of the largest scan within 2x of a
 //! one-row query) is enforced only on the full run.
 
+use delayguard_bench::throughput::{measure_hot_path, HotPathMeters, ThroughputConfig};
 use delayguard_core::{GuardConfig, GuardedDatabase, StreamedQuery};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
+
+#[path = "../alloc_count.rs"]
+mod alloc_count;
 
 /// Matches `ServerConfig::stream_chunk_rows`'s default.
 const CHUNK_ROWS: usize = 256;
 /// Timing repetitions; the minimum is reported.
 const REPS: usize = 5;
+/// Steady-state allocation budget for one prepared query on the zero-copy
+/// path (one access-event queue node plus its key vector per chunk).
+const ALLOCS_PER_QUERY_MAX: f64 = 2.0;
 
 #[derive(Debug, Clone, Copy)]
 struct Sample {
@@ -109,13 +117,40 @@ fn main() {
         if smoke { ", not enforced in smoke" } else { "" }
     );
 
+    // Memory discipline on the streaming hot path: the same prepared
+    // drain loop the server runs, metered by the counting allocator and
+    // the codec copymeter.
+    let hot_shape = ThroughputConfig {
+        rows: 8192,
+        rows_per_query: 32,
+        queries_per_thread: 0,
+        warmup_queries: 0,
+    };
+    let hot_db = Arc::new(seeded_db(hot_shape.rows));
+    let meters = measure_hot_path(&hot_db, &hot_shape, &alloc_count::count);
+    eprintln!(
+        "  hot path: {:.3} allocs/query (budget {ALLOCS_PER_QUERY_MAX}), \
+         {:.1} bytes copied/row",
+        meters.allocs_per_query, meters.bytes_copied_per_row
+    );
+
     let path = output_path();
     std::fs::write(
         &path,
-        render_json(smoke, &point, &materialized, &streaming, ratio),
+        render_json(smoke, &point, &materialized, &streaming, ratio, &meters),
     )
     .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     eprintln!("wrote {}", path.display());
+
+    // The allocation budget is structural too: enforced even in smoke.
+    if meters.allocs_per_query > ALLOCS_PER_QUERY_MAX {
+        eprintln!(
+            "FAIL: {:.3} allocs/query on the streaming hot path, budget is \
+             {ALLOCS_PER_QUERY_MAX}",
+            meters.allocs_per_query
+        );
+        std::process::exit(1);
+    }
 
     if !smoke && ratio > 2.0 {
         eprintln!(
@@ -225,6 +260,7 @@ fn render_json(
     materialized: &[Sample],
     streaming: &[Sample],
     ratio: f64,
+    meters: &HotPathMeters,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"streaming_pipeline\",\n");
@@ -242,10 +278,18 @@ fn render_json(
     out.push_str(&format!(
         "  \"largest_scan_first_row_over_point_query\": {ratio:.4},\n"
     ));
+    out.push_str(&format!(
+        "  \"hot_path\": {{\"allocs_per_query\": {:.3}, \"bytes_copied_per_row\": {:.3}}},\n",
+        meters.allocs_per_query, meters.bytes_copied_per_row
+    ));
+    out.push_str(&format!(
+        "  \"budget\": {{\"allocs_per_query_max\": {ALLOCS_PER_QUERY_MAX:.1}}},\n"
+    ));
     out.push_str(
         "  \"acceptance\": \"streaming peak_buffered_rows <= chunk_rows at every scan size \
-         (always enforced); first row of the largest scan within 2x of a one-row query \
-         (enforced on the full run)\"\n",
+         (always enforced); allocs_per_query <= budget on the prepared drain loop (always \
+         enforced); first row of the largest scan within 2x of a one-row query (enforced on \
+         the full run)\"\n",
     );
     out.push('}');
     out.push('\n');

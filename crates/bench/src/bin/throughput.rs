@@ -1,6 +1,7 @@
 //! Concurrent-throughput sweep runner: measures guarded-query qps at
-//! 1/2/4/8 threads under the old global-mutex design and the lock-free
-//! snapshot path, and writes `BENCH_throughput.json` at the repo root.
+//! 1/2/4/8 threads under the old global-mutex design, the lock-free
+//! snapshot path, and the prepared zero-copy pipeline, and writes
+//! `BENCH_throughput.json` at the repo root.
 //!
 //! ```text
 //! cargo run -p delayguard-bench --release --bin throughput
@@ -8,16 +9,37 @@
 //! ```
 //!
 //! `--smoke` runs a tiny shape for CI: it checks the harness end to end
-//! without asserting the speedup (contended scaling on shared CI runners
-//! is noise; the acceptance number comes from the full run).
+//! and still enforces the allocation budget (allocation counts are exact,
+//! not load-dependent), but skips the timing gates (qps on shared CI
+//! runners is noise; the acceptance numbers come from the full run).
 
 use delayguard_bench::throughput::{
-    locked_single_mutex_config, run_with_stats_storm, seeded_db, snapshot_sharded_config, sweep,
-    ThroughputConfig, ThroughputSample,
+    locked_single_mutex_config, measure_hot_path, run_with_stats_storm, seeded_db,
+    snapshot_sharded_config, sweep, sweep_prepared, HotPathMeters, ThroughputConfig,
+    ThroughputSample,
 };
 use std::path::PathBuf;
 
+#[path = "../alloc_count.rs"]
+mod alloc_count;
+
 const THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// Committed pre-PR single-thread qps of the then-best path
+/// (`snapshot_sharded`, ad-hoc statements through
+/// `execute_stmt_with_deadline`), from `BENCH_throughput.json` as of the
+/// streaming-executor PR. The zero-copy gate measures against this fixed
+/// snapshot, so a regression in the new pipeline cannot hide behind a
+/// faster machine re-measuring its own baseline.
+const PRE_PR_SINGLE_THREAD_QPS: f64 = 51_798.19;
+/// Full runs must beat the recorded baseline by at least this factor on
+/// one thread. Single-thread speedup needs no hardware parallelism, so
+/// unlike the 8-thread scaling gate it is enforced on every full run.
+const SINGLE_THREAD_SPEEDUP_MIN: f64 = 3.0;
+/// Steady-state allocations per query through the prepared pipeline.
+/// Currently: one queue node for the recorded access event and one keys
+/// vector inside it. Enforced even in smoke — counts are exact.
+const ALLOCS_PER_QUERY_MAX: f64 = 2.0;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -45,9 +67,36 @@ fn main() {
     eprintln!("-- snapshot_sharded (lock-free read path) --");
     let snapshot = sweep(snapshot_sharded_config(), &shape, THREADS);
     print_samples(&snapshot);
+    eprintln!("-- prepared_zero_copy (allocation-free hot path) --");
+    let prepared = sweep_prepared(snapshot_sharded_config(), &shape, THREADS);
+    print_samples(&prepared);
 
     let speedup_at_8 = speedup(&locked, &snapshot, 8);
-    eprintln!("speedup at 8 threads: {speedup_at_8:.2}x");
+    eprintln!("snapshot speedup at 8 threads: {speedup_at_8:.2}x");
+
+    let prepared_1t = prepared
+        .iter()
+        .find(|s| s.threads == 1)
+        .expect("single-thread sample");
+    let single_thread_speedup = prepared_1t.qps / PRE_PR_SINGLE_THREAD_QPS;
+    eprintln!(
+        "zero-copy single-thread: {:.0} qps, {single_thread_speedup:.2}x the recorded \
+         {PRE_PR_SINGLE_THREAD_QPS:.0} qps baseline (gate: >= {SINGLE_THREAD_SPEEDUP_MIN}x{})",
+        prepared_1t.qps,
+        if smoke { ", not enforced in smoke" } else { "" }
+    );
+
+    // Steady-state allocation and copy accounting on the measuring
+    // thread, via the counting global allocator this binary installs.
+    let meters = {
+        let db = seeded_db(snapshot_sharded_config(), &shape);
+        measure_hot_path(&db, &shape, &alloc_count::count)
+    };
+    eprintln!(
+        "hot path: {:.3} allocs/query (budget {ALLOCS_PER_QUERY_MAX}), \
+         {:.1} bytes copied/row",
+        meters.allocs_per_query, meters.bytes_copied_per_row
+    );
 
     // Satellite experiment: 4 query workers racing a stats storm. The
     // baseline's inspection path takes the writers' exclusive lock (the
@@ -72,6 +121,9 @@ fn main() {
             &shape,
             &locked,
             &snapshot,
+            &prepared,
+            &meters,
+            single_thread_speedup,
             &storm_locked,
             &storm_snapshot,
             hardware_threads,
@@ -81,7 +133,25 @@ fn main() {
     .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     eprintln!("wrote {}", path.display());
 
-    // The >= 3x acceptance gate measures parallel scaling, which needs
+    // Allocation counts are exact and machine-independent: enforced on
+    // every run, smoke included.
+    if meters.allocs_per_query > ALLOCS_PER_QUERY_MAX {
+        eprintln!(
+            "FAIL: hot path allocates {:.3} per query, budget is {ALLOCS_PER_QUERY_MAX}",
+            meters.allocs_per_query
+        );
+        std::process::exit(1);
+    }
+    // The single-thread zero-copy gate needs no parallelism: enforced on
+    // every full run regardless of hardware_threads.
+    if !smoke && single_thread_speedup < SINGLE_THREAD_SPEEDUP_MIN {
+        eprintln!(
+            "FAIL: zero-copy path is {single_thread_speedup:.2}x the recorded single-thread \
+             baseline, need >= {SINGLE_THREAD_SPEEDUP_MIN}x"
+        );
+        std::process::exit(1);
+    }
+    // The >= 3x parallel-scaling gate measures contention, which needs
     // real hardware parallelism: on a machine that cannot run 8 workers
     // concurrently the sweep degenerates to time-slicing one core and
     // both paths are bounded by the same total CPU. Record the numbers
@@ -127,10 +197,14 @@ fn output_path() -> PathBuf {
         .join("BENCH_throughput.json")
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     shape: &ThroughputConfig,
     locked: &[ThroughputSample],
     snapshot: &[ThroughputSample],
+    prepared: &[ThroughputSample],
+    meters: &HotPathMeters,
+    single_thread_speedup: f64,
     storm_locked: &ThroughputSample,
     storm_snapshot: &ThroughputSample,
     hardware_threads: usize,
@@ -161,8 +235,12 @@ fn render_json(
         samples_json(locked)
     ));
     out.push_str(&format!(
-        "    \"snapshot_sharded\": {}\n",
+        "    \"snapshot_sharded\": {},\n",
         samples_json(snapshot)
+    ));
+    out.push_str(&format!(
+        "    \"prepared_zero_copy\": {}\n",
+        samples_json(prepared)
     ));
     out.push_str("  },\n");
     for threads in [2usize, 4, 8] {
@@ -172,6 +250,30 @@ fn render_json(
             speedup(locked, snapshot, threads)
         ));
     }
+    out.push_str("  \"hot_path\": {\n");
+    out.push_str(&format!(
+        "    \"allocs_per_query\": {:.4},\n",
+        meters.allocs_per_query
+    ));
+    out.push_str(&format!(
+        "    \"bytes_copied_per_row\": {:.2},\n",
+        meters.bytes_copied_per_row
+    ));
+    out.push_str(&format!(
+        "    \"single_thread_speedup_vs_recorded_baseline\": {single_thread_speedup:.4}\n"
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"budget\": {\n");
+    out.push_str(&format!(
+        "    \"allocs_per_query_max\": {ALLOCS_PER_QUERY_MAX},\n"
+    ));
+    out.push_str(&format!(
+        "    \"single_thread_speedup_min\": {SINGLE_THREAD_SPEEDUP_MIN},\n"
+    ));
+    out.push_str(&format!(
+        "    \"baseline_single_thread_qps\": {PRE_PR_SINGLE_THREAD_QPS}\n"
+    ));
+    out.push_str("  },\n");
     out.push_str("  \"stats_storm\": {\n");
     out.push_str(&format!(
         "    \"locked_single_mutex_qps\": {:.2},\n",
@@ -187,8 +289,11 @@ fn render_json(
     ));
     out.push_str("  },\n");
     out.push_str(
-        "  \"acceptance\": \"snapshot_sharded qps >= 3x locked_single_mutex at 8 threads \
-         (enforced when hardware_threads >= 8; parallel scaling cannot be observed on fewer)\"\n",
+        "  \"acceptance\": \"prepared_zero_copy single-thread qps >= 3x the recorded pre-PR \
+         baseline and allocs_per_query <= budget (both enforced on every full run; the \
+         allocation budget also holds in smoke); snapshot_sharded qps >= 3x \
+         locked_single_mutex at 8 threads (enforced when hardware_threads >= 8; parallel \
+         scaling cannot be observed on fewer)\"\n",
     );
     out.push('}');
     out.push('\n');

@@ -16,9 +16,13 @@
 //! old design did under the lock) dominates, exactly the contention the
 //! snapshot path removes.
 
-use delayguard_core::{AccessDelayPolicy, GuardConfig, GuardPolicy, GuardedDatabase, ReadPath};
+use delayguard_core::{
+    AccessDelayPolicy, ChargedChunk, GuardConfig, GuardPolicy, GuardedDatabase, PreparedQuery,
+    ReadPath,
+};
 use delayguard_query::ast::Statement;
-use delayguard_query::parse;
+use delayguard_query::{parse, ExecScratch, RowBuf};
+use delayguard_storage::copymeter;
 use delayguard_workload::Rng;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
@@ -136,20 +140,67 @@ pub fn seeded_db(config: GuardConfig, shape: &ThroughputConfig) -> Arc<GuardedDa
     Arc::new(db)
 }
 
-/// Pre-parse each worker's query mix (64 distinct range scans, cycled),
-/// so the measured phase is execute + price + record, not SQL parsing.
-fn worker_statements(tid: u64, shape: &ThroughputConfig) -> Vec<Statement> {
+/// Each worker's query mix: 64 distinct range scans, cycled.
+fn worker_sql(tid: u64, shape: &ThroughputConfig) -> Vec<String> {
     let mut rng = Rng::new(0xbadc0de + tid);
     (0..64)
         .map(|_| {
             let start = rng.below(shape.rows.saturating_sub(shape.rows_per_query).max(1));
-            parse(&format!(
+            format!(
                 "SELECT * FROM t WHERE id >= {start} AND id < {}",
                 start + shape.rows_per_query
-            ))
-            .unwrap()
+            )
         })
         .collect()
+}
+
+/// Pre-parse each worker's query mix, so the measured phase is execute +
+/// price + record, not SQL parsing.
+fn worker_statements(tid: u64, shape: &ThroughputConfig) -> Vec<Statement> {
+    worker_sql(tid, shape)
+        .iter()
+        .map(|sql| parse(sql).unwrap())
+        .collect()
+}
+
+/// Prepare each worker's query mix for the zero-copy hot path.
+fn worker_prepared(db: &GuardedDatabase, tid: u64, shape: &ThroughputConfig) -> Vec<PreparedQuery> {
+    worker_sql(tid, shape)
+        .iter()
+        .map(|sql| db.prepare(sql).unwrap())
+        .collect()
+}
+
+/// Run one prepared query through the streaming hot path, draining it in
+/// `chunk_rows`-sized pulls through recycled buffers — the exact shape of
+/// the server gate's per-connection loop. Returns the rows seen.
+#[inline]
+fn drain_prepared(
+    db: &GuardedDatabase,
+    prep: &mut PreparedQuery,
+    scratch: &mut ExecScratch,
+    buf: &mut RowBuf,
+    charged: &mut ChargedChunk,
+    chunk_rows: usize,
+) -> u64 {
+    db.execute_prepared_streaming(prep, scratch, |mut stream| {
+        let mut rows = 0u64;
+        loop {
+            let n = stream.next_chunk_into(chunk_rows, buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            stream.charge_into(buf.rows(), charged);
+            rows += n as u64;
+            // A short chunk means the cursor is exhausted; skip the
+            // empty re-probe the trailing `Ok(0)` round would cost.
+            if n < chunk_rows {
+                break;
+            }
+        }
+        rows
+    })
+    .unwrap()
 }
 
 /// Run the measured phase: `threads` workers each issuing
@@ -198,6 +249,129 @@ pub fn run(
     }
 }
 
+/// Run the measured phase through the allocation-free pipeline:
+/// `threads` workers, each with its own prepared query mix and recycled
+/// scratch/row/pricing buffers, issuing `queries_per_thread` queries via
+/// `execute_prepared_streaming`.
+pub fn run_prepared(
+    db: &Arc<GuardedDatabase>,
+    threads: usize,
+    shape: &ThroughputConfig,
+) -> ThroughputSample {
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let workers: Vec<_> = (0..threads)
+        .map(|tid| {
+            let db = Arc::clone(db);
+            let barrier = Arc::clone(&barrier);
+            let mut preps = worker_prepared(&db, tid as u64, shape);
+            let queries = shape.queries_per_thread;
+            let rows_per_query = shape.rows_per_query;
+            // One row more than a full result, so the last (only) chunk
+            // comes back short and the drain ends without an empty probe.
+            let chunk_rows = rows_per_query as usize + 1;
+            thread::spawn(move || {
+                let mut scratch = ExecScratch::new();
+                let mut buf = RowBuf::new();
+                let mut charged = ChargedChunk::default();
+                barrier.wait();
+                let mut rows = 0u64;
+                for q in 0..queries {
+                    let i = (q % preps.len() as u64) as usize;
+                    rows += drain_prepared(
+                        &db,
+                        &mut preps[i],
+                        &mut scratch,
+                        &mut buf,
+                        &mut charged,
+                        chunk_rows,
+                    );
+                }
+                assert_eq!(rows, queries * rows_per_query, "short result set");
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let elapsed_secs = started.elapsed().as_secs_f64().max(1e-9);
+    let queries = threads as u64 * shape.queries_per_thread;
+    ThroughputSample {
+        threads,
+        queries,
+        elapsed_secs,
+        qps: queries as f64 / elapsed_secs,
+        tuples_per_sec: (queries * shape.rows_per_query) as f64 / elapsed_secs,
+    }
+}
+
+/// Steady-state instrumentation of the prepared hot path.
+#[derive(Debug, Clone, Copy)]
+pub struct HotPathMeters {
+    /// Queries in the measured span.
+    pub queries: u64,
+    /// Heap allocations per query (counting allocator delta / queries).
+    pub allocs_per_query: f64,
+    /// Payload bytes memcpy'd per row ([`copymeter`] delta / rows).
+    pub bytes_copied_per_row: f64,
+}
+
+/// Measure `allocs_per_query` and `bytes_copied_per_row` over a
+/// steady-state single-thread span of the prepared pipeline.
+///
+/// `alloc_probe` reads the calling thread's allocation counter — the
+/// bench binaries pass their counting `#[global_allocator]`'s reader (the
+/// library itself is `forbid(unsafe_code)` and cannot own the allocator).
+/// A long warm-up first gets every recycled buffer to its high-water
+/// mark, so the measured span sees only the allocations the pipeline
+/// makes *per query*, not one-time growth.
+pub fn measure_hot_path(
+    db: &Arc<GuardedDatabase>,
+    shape: &ThroughputConfig,
+    alloc_probe: &dyn Fn() -> u64,
+) -> HotPathMeters {
+    let mut preps = worker_prepared(db, 0, shape);
+    let mut scratch = ExecScratch::new();
+    let mut buf = RowBuf::new();
+    let mut charged = ChargedChunk::default();
+    let chunk_rows = shape.rows_per_query as usize + 1;
+    let warmup = 256u64;
+    let measured = 1024u64;
+    let mut rows = 0u64;
+    for q in 0..warmup {
+        let i = (q % preps.len() as u64) as usize;
+        drain_prepared(
+            db,
+            &mut preps[i],
+            &mut scratch,
+            &mut buf,
+            &mut charged,
+            chunk_rows,
+        );
+    }
+    let allocs_before = alloc_probe();
+    let copied_before = copymeter::read();
+    for q in 0..measured {
+        let i = (q % preps.len() as u64) as usize;
+        rows += drain_prepared(
+            db,
+            &mut preps[i],
+            &mut scratch,
+            &mut buf,
+            &mut charged,
+            chunk_rows,
+        );
+    }
+    let allocs = alloc_probe() - allocs_before;
+    let copied = copymeter::read() - copied_before;
+    HotPathMeters {
+        queries: measured,
+        allocs_per_query: allocs as f64 / measured as f64,
+        bytes_copied_per_row: copied as f64 / rows.max(1) as f64,
+    }
+}
+
 /// Sweep thread counts for one configuration over a freshly seeded
 /// database per point (so no run inherits another's learned state).
 pub fn sweep(
@@ -210,6 +384,21 @@ pub fn sweep(
         .map(|&threads| {
             let db = seeded_db(config, shape);
             run(&db, threads, shape)
+        })
+        .collect()
+}
+
+/// [`sweep`], but through the prepared zero-copy pipeline.
+pub fn sweep_prepared(
+    config: GuardConfig,
+    shape: &ThroughputConfig,
+    thread_counts: &[usize],
+) -> Vec<ThroughputSample> {
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            let db = seeded_db(config, shape);
+            run_prepared(&db, threads, shape)
         })
         .collect()
 }
@@ -276,6 +465,42 @@ mod tests {
             assert_eq!(sample.queries, 100);
             assert!(sample.qps > 0.0);
         }
+    }
+
+    #[test]
+    fn prepared_path_accounts_every_tuple() {
+        let shape = ThroughputConfig {
+            rows: 128,
+            rows_per_query: 4,
+            queries_per_thread: 25,
+            warmup_queries: 10,
+        };
+        let db = seeded_db(snapshot_sharded_config(), &shape);
+        let sample = run_prepared(&db, 2, &shape);
+        assert_eq!(sample.queries, 50);
+        db.refresh();
+        let expected = (shape.warmup_queries + sample.queries) * shape.rows_per_query;
+        assert_eq!(db.access_events("t"), expected);
+    }
+
+    #[test]
+    fn hot_path_meters_report_finite_numbers() {
+        let shape = ThroughputConfig {
+            rows: 256,
+            rows_per_query: 8,
+            queries_per_thread: 50,
+            warmup_queries: 50,
+        };
+        let db = seeded_db(snapshot_sharded_config(), &shape);
+        // The test harness has no counting allocator; a constant probe
+        // still exercises the measurement plumbing end to end.
+        let meters = measure_hot_path(&db, &shape, &|| 0);
+        assert_eq!(meters.queries, 1024);
+        assert_eq!(meters.allocs_per_query, 0.0);
+        assert!(
+            meters.bytes_copied_per_row > 0.0,
+            "rows decode through the copymeter"
+        );
     }
 
     #[test]

@@ -128,6 +128,30 @@ impl AccessDelayPolicy {
         (m.ceil() as u64).clamp(1, n)
     }
 
+    /// Flatten a frozen tracker into a [`PackedAccessDelays`] table for
+    /// this policy: sorted keys plus each key's precomputed delay
+    /// numerator `rank^(α+β)`, with `f_max` evaluated once. Pricing a
+    /// tuple from the packed table is a binary search and one division —
+    /// no hash probes, no `powf`, no tracker access — and is bit-identical
+    /// to [`AccessDelayPolicy::delay`] against the same frozen tracker
+    /// because every floating-point operation has the same shape and
+    /// inputs (`powf` at pack time over the same rank, the same
+    /// `n·f_max` product, the same `min` against the cap).
+    pub fn pack(&self, tracker: &FrequencyTracker) -> PackedAccessDelays {
+        let exponent = self.alpha + self.beta;
+        let mut pairs: Vec<(u64, usize)> = tracker.rank_table().collect();
+        pairs.sort_unstable_by_key(|&(key, _)| key);
+        PackedAccessDelays {
+            policy: *self,
+            fmax: self.fmax_of(tracker),
+            keys: pairs.iter().map(|&(key, _)| key).collect(),
+            numer: pairs
+                .iter()
+                .map(|&(_, rank)| (rank as f64).powf(exponent))
+                .collect(),
+        }
+    }
+
     /// Total delay an adversary pays to extract all `n` tuples with the
     /// *learned* statistics in `tracker` (each tuple charged once).
     /// Untracked tuples (never requested) are charged the cap, matching the
@@ -143,6 +167,127 @@ impl AccessDelayPolicy {
         }
         debug_assert!(seen <= n, "tracker holds more keys than the relation");
         total + (n.saturating_sub(seen)) as f64 * self.cap_secs
+    }
+}
+
+/// A frozen tracker's delay inputs packed into flat, rank-ordered
+/// arrays: the cache-friendly form of [`AccessDelayPolicy::delay`] for
+/// the snapshot pricing hot path.
+///
+/// Built once per snapshot by [`AccessDelayPolicy::pack`]; priced
+/// per-stream by first fixing the relation-size scalars
+/// ([`PackedAccessDelays::scalars`]) and then calling
+/// [`PackedAccessDelays::delay`] per tuple. The result is bit-identical
+/// to the generic tracker walk for every key, tracked or not.
+#[derive(Debug, Clone)]
+pub struct PackedAccessDelays {
+    /// The policy the table was packed for (delays are only valid — and
+    /// only bit-exact — against this exact policy).
+    policy: AccessDelayPolicy,
+    /// `f_max` evaluated against the frozen tracker at pack time.
+    fmax: f64,
+    /// Every tracked key, sorted ascending for binary search.
+    keys: Vec<u64>,
+    /// `rank^(α+β)` for the key at the same position in `keys`.
+    numer: Vec<f64>,
+}
+
+/// Per-stream scalars fixed by [`PackedAccessDelays::scalars`] when a
+/// query opens: everything in Eq. 1 that depends on the relation size
+/// `n` but not on the individual tuple.
+#[derive(Debug, Clone, Copy)]
+pub struct PackedScalars {
+    /// `n · f_max` — the delay denominator.
+    nf: f64,
+    /// `n^(α+β)` — the numerator charged to keys the tracker never saw
+    /// (they rank last, i.e. at `n`).
+    untracked_numer: f64,
+    /// Start-up transient: `n == 0` or `f_max <= 0` prices everything at
+    /// the cap (via `INFINITY.min(cap)`, exactly like the generic path).
+    degenerate: bool,
+}
+
+impl PackedAccessDelays {
+    /// Whether this packed table was built for exactly `policy` (delays
+    /// from a stale pack under a different policy would be wrong, not
+    /// just slow).
+    pub fn matches(&self, policy: &AccessDelayPolicy) -> bool {
+        self.policy == *policy
+    }
+
+    /// The `f_max` frozen into this pack.
+    pub fn fmax(&self) -> f64 {
+        self.fmax
+    }
+
+    /// Number of packed keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the pack holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Fix the per-stream scalars for a relation of `n` rows.
+    pub fn scalars(&self, n: u64) -> PackedScalars {
+        PackedScalars {
+            nf: n as f64 * self.fmax,
+            untracked_numer: (n as f64).powf(self.policy.alpha + self.policy.beta),
+            degenerate: n == 0 || self.fmax <= 0.0,
+        }
+    }
+
+    /// The capped Eq. 5 delay for `key`: bit-identical to
+    /// [`AccessDelayPolicy::delay`] on the tracker this pack froze, with
+    /// `n` as passed to [`PackedAccessDelays::scalars`].
+    #[inline]
+    pub fn delay(&self, s: &PackedScalars, key: u64) -> f64 {
+        let raw = if s.degenerate {
+            f64::INFINITY
+        } else {
+            let numer = match self.keys.binary_search(&key) {
+                Ok(i) => self.numer[i],
+                Err(_) => s.untracked_numer,
+            };
+            numer / s.nf
+        };
+        raw.min(self.policy.cap_secs)
+    }
+
+    /// [`PackedAccessDelays::delay`] with a position hint for sequential
+    /// workloads. Rows pulled by an index range scan arrive in key order,
+    /// so each lookup usually lands right where the previous one left
+    /// off; checking that slot (and the miss-side insertion point) before
+    /// falling back to binary search makes pricing a scanned chunk O(1)
+    /// per tuple instead of O(log keys). Returns bit-identical delays to
+    /// [`PackedAccessDelays::delay`] for every key and any hint value.
+    #[inline]
+    pub fn delay_seq(&self, s: &PackedScalars, key: u64, hint: &mut usize) -> f64 {
+        if s.degenerate {
+            return f64::INFINITY.min(self.policy.cap_secs);
+        }
+        let i = *hint;
+        let numer = if i < self.keys.len() && self.keys[i] == key {
+            *hint = i + 1;
+            self.numer[i]
+        } else if i < self.keys.len() && self.keys[i] > key && (i == 0 || self.keys[i - 1] < key) {
+            // `key` falls in the gap just before the hint: untracked.
+            s.untracked_numer
+        } else {
+            match self.keys.binary_search(&key) {
+                Ok(j) => {
+                    *hint = j + 1;
+                    self.numer[j]
+                }
+                Err(j) => {
+                    *hint = j;
+                    s.untracked_numer
+                }
+            }
+        };
+        (numer / s.nf).min(self.policy.cap_secs)
     }
 }
 
@@ -227,6 +372,107 @@ mod tests {
         // 990 unseen keys at the 10 s cap dominate.
         assert!(total >= 9_900.0);
         assert!(total <= 10_000.0 + 1.0);
+    }
+
+    #[test]
+    fn packed_delays_are_bit_identical_to_tracker_walk() {
+        // Randomized trackers across fmax modes, caps (including 0 and
+        // uncapped), and relation sizes (including n = 0): the packed
+        // table must reproduce `AccessDelayPolicy::delay` to the bit for
+        // tracked and untracked keys alike.
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for case in 0..40u32 {
+            let mut t = FrequencyTracker::new(if case % 2 == 0 {
+                delayguard_popularity::DecaySchedule::none()
+            } else {
+                delayguard_popularity::DecaySchedule::new(1.01)
+            });
+            let keys = (case % 7) as u64 * 13;
+            for _ in 0..(case as u64 * 17) {
+                t.record(next() % (keys + 1));
+            }
+            if case % 3 == 0 {
+                t.ensure_tracked(next() % 1000);
+            }
+            let mode = match case % 3 {
+                0 => FmaxMode::GlobalRequests,
+                1 => FmaxMode::DecayedTotal,
+                _ => FmaxMode::RawCount,
+            };
+            let cap = [0.0, 1.0, 10.0, f64::INFINITY][case as usize % 4];
+            let p = AccessDelayPolicy::new(0.8, 1.2)
+                .with_fmax_mode(mode)
+                .with_cap(cap);
+            let packed = p.pack(&t);
+            assert!(packed.matches(&p));
+            assert!(!packed.matches(&AccessDelayPolicy { beta: 1.3, ..p }));
+            for n in [0u64, 1, t.tracked() as u64 + 5, 10_000] {
+                let s = packed.scalars(n);
+                let probe: Vec<u64> = t
+                    .rank_table()
+                    .map(|(k, _)| k)
+                    .chain([next() % 2000, u64::MAX, 0])
+                    .collect();
+                for key in probe {
+                    assert_eq!(
+                        packed.delay(&s, key).to_bits(),
+                        p.delay(&t, n, key).to_bits(),
+                        "case {case} n {n} key {key}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hinted_lookup_is_bit_identical_to_binary_search() {
+        // `delay_seq` must agree with `delay` to the bit for every key
+        // and *any* hint value — sequential scans, random probes,
+        // untracked keys, and stale hints left over from another chunk.
+        let mut x: u64 = 0x2545f4914f6cdd1d;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for case in 0..20u32 {
+            let mut t = FrequencyTracker::no_decay();
+            for _ in 0..(case as u64 * 31) {
+                t.record(next() % 97);
+            }
+            let cap = [0.0, 10.0, f64::INFINITY][case as usize % 3];
+            let p = AccessDelayPolicy::new(1.5, 1.0).with_cap(cap);
+            let packed = p.pack(&t);
+            for n in [0u64, 1, 500] {
+                let s = packed.scalars(n);
+                // Sequential ascending sweep, the intended usage.
+                let mut hint = 0usize;
+                for key in 0..120u64 {
+                    assert_eq!(
+                        packed.delay_seq(&s, key, &mut hint).to_bits(),
+                        packed.delay(&s, key).to_bits(),
+                        "case {case} n {n} seq key {key}"
+                    );
+                }
+                // Random keys against arbitrary (possibly stale) hints.
+                for _ in 0..200 {
+                    let key = next() % 150;
+                    let mut hint = (next() % 140) as usize;
+                    assert_eq!(
+                        packed.delay_seq(&s, key, &mut hint).to_bits(),
+                        packed.delay(&s, key).to_bits(),
+                        "case {case} n {n} random key {key}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

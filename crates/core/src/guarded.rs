@@ -43,10 +43,11 @@
 //! the sequential path would have produced for the same event sequence
 //! (asserted in `tests/snapshot_concurrency.rs`).
 
+use crate::access::PackedScalars;
 use crate::clock::{nanos_to_secs, secs_to_nanos, Clock, RealClock};
 use crate::config::GuardConfig;
 use crate::error::Result;
-use crate::policy::ChargingModel;
+use crate::policy::{ChargingModel, GuardPolicy};
 use crate::replica::{tag_remote_key, ReplicaDelta, TableDelta};
 use crate::snapshot::{
     empty_table_snapshot, PolicySnapshot, ReadPath, SnapshotStats, TableSnapshot,
@@ -55,7 +56,8 @@ use arc_swap::ArcSwap;
 use delayguard_popularity::{DecaySchedule, FrequencyTracker, ShardedEventQueue};
 use delayguard_query::ast::Statement;
 use delayguard_query::{
-    parse, Engine, SelectCursor, SelectOutput, StatementOutput, StreamedStatement,
+    parse, Engine, ExecScratch, PreparedSelect, RowBuf, SelectCursor, SelectOutput,
+    StatementOutput, StreamedStatement,
 };
 use delayguard_storage::{Row, RowId};
 use parking_lot::Mutex;
@@ -112,6 +114,7 @@ fn merged_table_snapshot(
     guard: &TableGuard,
     name: &str,
     remote: &BTreeMap<u16, RemoteState>,
+    policy: &GuardPolicy,
 ) -> TableSnapshot {
     let mut access = guard.access.clone();
     let mut updates = guard.updates.clone();
@@ -132,11 +135,19 @@ fn merged_table_snapshot(
             };
         }
     }
+    // Pure access-rate pricing depends only on the frozen tracker, so it
+    // can be flattened once per rebuild; update-rate and hybrid delays
+    // depend on the per-query window and keep the generic tracker walk.
+    let packed_access = match policy {
+        GuardPolicy::AccessRate(p) => Some(p.pack(&access)),
+        _ => None,
+    };
     TableSnapshot {
         access,
         updates,
         epoch,
         extra_rows,
+        packed_access,
     }
 }
 
@@ -247,8 +258,24 @@ pub enum StreamedQuery<'s, 'c> {
     Finished(DeadlineResponse),
 }
 
+/// A SELECT parsed, planned, and name-interned once for repeated guarded
+/// execution via [`GuardedDatabase::execute_prepared_streaming`].
+pub struct PreparedQuery {
+    inner: PreparedSelect,
+    /// The table name shared with every access event this query emits,
+    /// so recording an access never copies the string.
+    table: Arc<str>,
+}
+
+impl PreparedQuery {
+    /// The table this query reads.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+}
+
 /// One chunk's worth of pricing, returned by [`DeadlineStream::charge`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ChargedChunk {
     /// Raw per-tuple policy delays for the chunk, in row order (seconds).
     pub delays: Vec<f64>,
@@ -270,6 +297,11 @@ enum StreamPricing {
     Snapshot {
         stats: Arc<TableSnapshot>,
         window: f64,
+        /// Relation-size scalars for the packed access-rate fast path,
+        /// fixed at open when the snapshot carries a pack built for the
+        /// active policy. `None` falls back to the generic tracker walk
+        /// (identical bits, more cache misses).
+        fast: Option<PackedScalars>,
     },
 }
 
@@ -285,7 +317,7 @@ enum StreamPricing {
 pub struct DeadlineStream<'s, 'c> {
     db: &'s GuardedDatabase,
     cursor: &'s mut SelectCursor<'c>,
-    table: String,
+    table: Arc<str>,
     /// Table cardinality captured at open (the policy's `n`).
     n: u64,
     now_secs: f64,
@@ -312,71 +344,102 @@ impl DeadlineStream<'_, '_> {
     /// Pull up to `max_rows` projected rows from the executor without
     /// charging them. Returns `None` once the pipeline is exhausted.
     pub fn next_chunk(&mut self, max_rows: usize) -> Result<Option<Vec<(RowId, Row)>>> {
-        let cap = max_rows.max(1);
-        let mut chunk = Vec::new();
-        while chunk.len() < cap {
-            match self.cursor.next_row()? {
-                Some(pair) => chunk.push(pair),
-                None => break,
-            }
-        }
-        if chunk.is_empty() {
+        let mut buf = RowBuf::new();
+        if self.next_chunk_into(max_rows, &mut buf)? == 0 {
             Ok(None)
         } else {
-            Ok(Some(chunk))
+            Ok(Some(buf.rows().to_vec()))
         }
+    }
+
+    /// Pull up to `max_rows` projected rows into a caller-owned buffer,
+    /// reusing its row allocations; returns how many were filled (0 once
+    /// the pipeline is exhausted). The steady-state form of
+    /// [`DeadlineStream::next_chunk`]: a connection that recycles its
+    /// [`RowBuf`] decodes every tuple into storage it already owns.
+    pub fn next_chunk_into(&mut self, max_rows: usize, buf: &mut RowBuf) -> Result<usize> {
+        Ok(self.cursor.fill_chunk(max_rows.max(1), buf)?)
     }
 
     /// Price a pulled chunk and record its accesses in the popularity
     /// ledger, folding the delays into the running charging model.
     pub fn charge(&mut self, rows: &[(RowId, Row)]) -> ChargedChunk {
-        let delays = match &self.pricing {
-            StreamPricing::Snapshot { stats, window } => {
-                let mut delays = Vec::with_capacity(rows.len());
+        let mut out = ChargedChunk {
+            delays: Vec::new(),
+            offsets: Vec::new(),
+        };
+        self.charge_into(rows, &mut out);
+        out
+    }
+
+    /// [`DeadlineStream::charge`] into a caller-owned chunk, reusing its
+    /// vectors. On the snapshot read path the only allocation left is
+    /// the access event itself (one queue node and one key vector per
+    /// chunk — the record the refresher folds into the trackers).
+    pub fn charge_into(&mut self, rows: &[(RowId, Row)], out: &mut ChargedChunk) {
+        out.delays.clear();
+        out.offsets.clear();
+        match &self.pricing {
+            StreamPricing::Snapshot {
+                stats,
+                window,
+                fast,
+            } => {
                 let mut keys = Vec::with_capacity(rows.len());
-                for (rid, _) in rows {
-                    let key = rid.raw();
-                    let d = self.db.config.policy.tuple_delay(
-                        &stats.access,
-                        &stats.updates,
-                        self.n,
-                        key,
-                        *window,
-                    );
-                    delays.push(d);
-                    keys.push(key);
+                match (fast, stats.packed_access.as_ref()) {
+                    (Some(scalars), Some(packed)) => {
+                        // Chunks from range scans arrive in key order, so
+                        // a positional hint prices each tuple in O(1).
+                        let mut hint = 0usize;
+                        for (rid, _) in rows {
+                            let key = rid.raw();
+                            out.delays.push(packed.delay_seq(scalars, key, &mut hint));
+                            keys.push(key);
+                        }
+                    }
+                    _ => {
+                        for (rid, _) in rows {
+                            let key = rid.raw();
+                            out.delays.push(self.db.config.policy.tuple_delay(
+                                &stats.access,
+                                &stats.updates,
+                                self.n,
+                                key,
+                                *window,
+                            ));
+                            keys.push(key);
+                        }
+                    }
                 }
                 if !keys.is_empty() {
                     self.db.queue.push(AccessEvent {
-                        table: Arc::from(self.table.as_str()),
+                        table: Arc::clone(&self.table),
                         now_secs: self.now_secs,
                         kind: EventKind::Select(keys),
                     });
                 }
-                delays
             }
-            StreamPricing::Locked => self.db.charge_chunk_locked(
+            StreamPricing::Locked => out.delays.extend(self.db.charge_chunk_locked(
                 &self.table,
                 rows.iter().map(|(rid, _)| *rid),
                 self.now_secs,
                 self.n,
-            ),
-        };
-        let mut offsets = Vec::with_capacity(delays.len());
-        for &d in &delays {
+            )),
+        }
+        out.offsets.reserve(out.delays.len());
+        for &d in &out.delays {
             match self.db.config.charging {
                 ChargingModel::PerTupleSum => {
                     self.total_delay_secs += d;
-                    offsets.push(self.total_delay_secs);
+                    out.offsets.push(self.total_delay_secs);
                 }
                 ChargingModel::PerQueryMax => {
                     self.total_delay_secs = self.total_delay_secs.max(d);
-                    offsets.push(d);
+                    out.offsets.push(d);
                 }
             }
         }
-        self.tuples_charged += delays.len() as u64;
-        ChargedChunk { delays, offsets }
+        self.tuples_charged += out.delays.len() as u64;
     }
 
     /// Total delay charged so far, in seconds (the statement-level
@@ -677,7 +740,7 @@ impl GuardedDatabase {
             .engine
             .execute_stmt_streaming(stmt, |streamed| match streamed {
                 StreamedStatement::Rows(cursor) => {
-                    let table = table.clone().unwrap_or_default();
+                    let table: Arc<str> = Arc::from(table.clone().unwrap_or_default());
                     // The policy's `n` comes from the cursor, not
                     // `Self::table_len`: the engine already holds the table's
                     // write lock, so re-reading the catalog here would
@@ -686,19 +749,7 @@ impl GuardedDatabase {
                     // On the snapshot path, peers' replicated row counts
                     // are added so `n` is the global table size.
                     let mut n = cursor.table_rows();
-                    let pricing = match path {
-                        ReadPath::Locked => StreamPricing::Locked,
-                        ReadPath::Snapshot => {
-                            let snap = self.snapshot.load_full();
-                            let stats = match snap.table(&table) {
-                                Some(t) => Arc::clone(t),
-                                None => empty_table_snapshot(),
-                            };
-                            let window = stats.window(now_secs);
-                            n += stats.extra_rows;
-                            StreamPricing::Snapshot { stats, window }
-                        }
-                    };
+                    let pricing = self.open_pricing(path, &table, now_secs, &mut n);
                     f(StreamedQuery::Rows(DeadlineStream {
                         db: self,
                         cursor,
@@ -731,6 +782,97 @@ impl GuardedDatabase {
                     }))
                 }
             })?;
+        if path == ReadPath::Snapshot {
+            self.maybe_refresh();
+        }
+        Ok(result)
+    }
+
+    /// Pin a stream's pricing state at open: on the snapshot path, the
+    /// table's frozen statistics plus — when the snapshot carries a
+    /// packed access table built for the active policy — the relation
+    /// scalars of the allocation-free fast path. Grows `n` by peers'
+    /// replicated rows so Eq. 1 sees the global table size.
+    fn open_pricing(
+        &self,
+        path: ReadPath,
+        table: &str,
+        now_secs: f64,
+        n: &mut u64,
+    ) -> StreamPricing {
+        match path {
+            ReadPath::Locked => StreamPricing::Locked,
+            ReadPath::Snapshot => {
+                let snap = self.snapshot.load_full();
+                let stats = match snap.table(table) {
+                    Some(t) => Arc::clone(t),
+                    None => empty_table_snapshot(),
+                };
+                let window = stats.window(now_secs);
+                *n += stats.extra_rows;
+                let fast = match (&self.config.policy, &stats.packed_access) {
+                    (GuardPolicy::AccessRate(p), Some(packed)) if packed.matches(p) => {
+                        Some(packed.scalars(*n))
+                    }
+                    _ => None,
+                };
+                StreamPricing::Snapshot {
+                    stats,
+                    window,
+                    fast,
+                }
+            }
+        }
+    }
+
+    /// Prepare a SELECT for repeated guarded execution: parsed, planned,
+    /// and its table name interned once. Re-run it with
+    /// [`Self::execute_prepared_streaming`]; the plan revalidates (and
+    /// transparently replans) against the table's DDL version on every
+    /// execution.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedQuery> {
+        let inner = self.engine.prepare_select(sql)?;
+        let table: Arc<str> = Arc::from(inner.table());
+        Ok(PreparedQuery { inner, table })
+    }
+
+    /// Execute a prepared SELECT in streaming mode: the steady-state hot
+    /// path. Identical pricing, recording, and results to
+    /// [`Self::execute_stmt_streaming`] on the same statement — but no
+    /// parse, no plan, no per-query scratch: the cursor fills rows into
+    /// `scratch`'s recycled buffers and the access event reuses the
+    /// prepared table name.
+    pub fn execute_prepared_streaming<R>(
+        &self,
+        prep: &mut PreparedQuery,
+        scratch: &mut ExecScratch,
+        f: impl FnOnce(DeadlineStream<'_, '_>) -> R,
+    ) -> Result<R> {
+        // One clock read, exactly like the ad-hoc path.
+        let issued_at_nanos = self.clock.now_nanos();
+        let now_secs = nanos_to_secs(issued_at_nanos);
+        let path = self.config.read_path;
+        let table = Arc::clone(&prep.table);
+        let result =
+            self.engine
+                .execute_prepared_streaming(&mut prep.inner, scratch, |streamed| {
+                    let StreamedStatement::Rows(cursor) = streamed else {
+                        unreachable!("prepared statements are always SELECTs");
+                    };
+                    let mut n = cursor.table_rows();
+                    let pricing = self.open_pricing(path, &table, now_secs, &mut n);
+                    f(DeadlineStream {
+                        db: self,
+                        cursor,
+                        table,
+                        n,
+                        now_secs,
+                        issued_at_nanos,
+                        pricing,
+                        total_delay_secs: 0.0,
+                        tuples_charged: 0,
+                    })
+                })?;
         if path == ReadPath::Snapshot {
             self.maybe_refresh();
         }
@@ -985,7 +1127,12 @@ impl GuardedDatabase {
                 if guard.dirty || !tables.contains_key(name) || (remote_changed && has_remote) {
                     tables.insert(
                         name.clone(),
-                        Arc::new(merged_table_snapshot(guard, name, &remote)),
+                        Arc::new(merged_table_snapshot(
+                            guard,
+                            name,
+                            &remote,
+                            &self.config.policy,
+                        )),
                     );
                     guard.dirty = false;
                 }
@@ -1670,6 +1817,92 @@ mod tests {
                 "{charging:?}: combined total"
             );
         }
+    }
+
+    #[test]
+    fn prepared_snapshot_path_matches_adhoc_bit_for_bit() {
+        // Traffic → refresh → the snapshot carries a packed access table.
+        // The prepared fast path (packed pricing, recycled buffers) must
+        // return the same rows and bit-identical delays as the ad-hoc
+        // snapshot path, and keep recording accesses.
+        let config = GuardConfig {
+            policy: access_policy(),
+            charging: ChargingModel::PerTupleSum,
+            access_decay_rate: 1.0,
+            update_decay_rate: 1.0,
+            read_path: ReadPath::Snapshot,
+            // The test drives every rebuild itself so both executions are
+            // guaranteed to price from the same snapshot generation.
+            snapshot: SnapshotPolicy::new(usize::MAX, 1e9),
+            ..GuardConfig::paper_default()
+        };
+        let db = GuardedDatabase::new(config);
+        db.execute_at("CREATE TABLE items (id INT NOT NULL, body TEXT)", 0.0)
+            .unwrap();
+        db.execute_at("CREATE UNIQUE INDEX items_pk ON items (id)", 0.0)
+            .unwrap();
+        for i in 0..64 {
+            db.execute_at(&format!("INSERT INTO items VALUES ({i}, 'row-{i}')"), 0.0)
+                .unwrap();
+        }
+        for _ in 0..40 {
+            db.execute_with_deadline("SELECT * FROM items WHERE id = 7")
+                .unwrap();
+        }
+        db.refresh();
+        let snap = db.snapshot();
+        assert!(
+            snap.table("items").unwrap().packed_access.is_some(),
+            "access-rate policy must publish a packed table"
+        );
+
+        let sql = "SELECT * FROM items WHERE id >= 4 AND id < 12";
+        let mut prep = db.prepare(sql).unwrap();
+        assert_eq!(prep.table(), "items");
+        let mut scratch = ExecScratch::new();
+        let mut buf = RowBuf::new();
+        let mut charged = ChargedChunk {
+            delays: Vec::new(),
+            offsets: Vec::new(),
+        };
+        let events_before = db.access_events("items");
+        for _ in 0..3 {
+            let reference = db.execute_with_deadline(sql).unwrap();
+            let (rows, delays, offsets) = db
+                .execute_prepared_streaming(&mut prep, &mut scratch, |mut stream| {
+                    let mut rows = Vec::new();
+                    let mut delays = Vec::new();
+                    let mut offsets = Vec::new();
+                    loop {
+                        let filled = stream.next_chunk_into(4, &mut buf).unwrap();
+                        if filled == 0 {
+                            break;
+                        }
+                        stream.charge_into(buf.rows(), &mut charged);
+                        delays.extend_from_slice(&charged.delays);
+                        offsets.extend_from_slice(&charged.offsets);
+                        rows.extend(buf.rows().iter().cloned());
+                    }
+                    (rows, delays, offsets)
+                })
+                .unwrap();
+            let ref_rows = match &reference.output {
+                StatementOutput::Rows(out) => &out.rows,
+                other => panic!("{other:?}"),
+            };
+            assert_eq!(&rows, ref_rows);
+            let bits = |v: &[f64]| v.iter().map(|d| d.to_bits()).collect::<Vec<_>>();
+            // Both executions saw the same snapshot generation (refreshes
+            // only fire on the staleness bounds, far above this traffic),
+            // so delays and offsets must agree to the bit.
+            assert_eq!(bits(&delays), bits(&reference.tuple_delays));
+            assert_eq!(bits(&offsets), bits(&reference.tuple_offsets));
+        }
+        db.refresh();
+        assert!(
+            db.access_events("items") >= events_before + 48,
+            "prepared path must keep recording accesses"
+        );
     }
 
     // ---- cluster replication -------------------------------------------

@@ -47,13 +47,14 @@ pub mod replica;
 pub mod snapshot;
 pub mod update;
 
-pub use access::AccessDelayPolicy;
+pub use access::{AccessDelayPolicy, PackedAccessDelays, PackedScalars};
 pub use clock::{Clock, ManualClock, RealClock};
 pub use config::GuardConfig;
 pub use error::{GuardError, Result};
 pub use gatekeeper::{Gatekeeper, GatekeeperConfig};
 pub use guarded::{
-    ChargedChunk, DeadlineResponse, DeadlineStream, GuardedDatabase, GuardedResponse, StreamedQuery,
+    ChargedChunk, DeadlineResponse, DeadlineStream, GuardedDatabase, GuardedResponse,
+    PreparedQuery, StreamedQuery,
 };
 pub use policy::{ChargingModel, GuardPolicy};
 pub use replica::{tag_remote_key, ReplicaDelta, TableDelta};

@@ -19,6 +19,7 @@
 //! faster; a legitimate user's hot tuple merely takes one refresh epoch
 //! to collapse to its fast price.
 
+use crate::access::PackedAccessDelays;
 use delayguard_popularity::FrequencyTracker;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
@@ -91,6 +92,14 @@ pub struct TableSnapshot {
     /// deltas); pricing adds this to the local cardinality so `n` in
     /// Eq. 1 is the global table size. Zero on a single node.
     pub extra_rows: u64,
+    /// The access tracker flattened into a rank-indexed delay table at
+    /// snapshot build time, when the guard runs a pure access-rate
+    /// policy: the hot path prices from this with one binary search per
+    /// tuple instead of hash probes and a `powf`. `None` when the policy
+    /// is window-dependent (update-rate, hybrid) or the snapshot
+    /// predates any traffic; pricing then falls back to the trackers.
+    /// Delays from the pack are bit-identical to the tracker walk.
+    pub packed_access: Option<PackedAccessDelays>,
 }
 
 impl TableSnapshot {
@@ -115,6 +124,7 @@ pub fn empty_table_snapshot() -> Arc<TableSnapshot> {
             updates: FrequencyTracker::no_decay(),
             epoch: None,
             extra_rows: 0,
+            packed_access: None,
         })
     }))
 }
@@ -209,6 +219,7 @@ mod tests {
             updates: FrequencyTracker::no_decay(),
             epoch: Some(10.0),
             extra_rows: 0,
+            packed_access: None,
         };
         assert_eq!(ts.window(30.0), 20.0);
         assert_eq!(ts.window(10.0), 1e-9, "clamped at epoch");

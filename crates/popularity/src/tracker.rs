@@ -232,6 +232,18 @@ impl FrequencyTracker {
         greater + tied.max(1)
     }
 
+    /// Iterate `(key, approximate 1-based rank)` pairs for every tracked
+    /// key, in arbitrary order. Each rank is exactly what
+    /// [`FrequencyTracker::rank`] would return for that key right now, so
+    /// a frozen tracker can be flattened into a rank table once and
+    /// probed without touching the hash map again (the snapshot pricing
+    /// fast path).
+    pub fn rank_table(&self) -> impl Iterator<Item = (u64, usize)> + '_ {
+        self.counts
+            .iter()
+            .map(|(&k, &raw)| (k, self.rank.rank(raw)))
+    }
+
     /// Iterate `(key, decay-normalized count)` pairs in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
         self.counts
@@ -479,6 +491,20 @@ mod tests {
         t.ensure_tracked(7);
         let e = t.export_counts();
         assert_eq!(e, vec![(3, 1.0), (7, 0.0), (9, 1.0)]);
+    }
+
+    #[test]
+    fn rank_table_matches_rank_per_key() {
+        let mut t = FrequencyTracker::new(DecaySchedule::new(1.2));
+        for i in 0..500u64 {
+            t.record(i % 23);
+        }
+        t.ensure_tracked(1000);
+        let table: Vec<(u64, usize)> = t.rank_table().collect();
+        assert_eq!(table.len(), t.tracked());
+        for (key, rank) in table {
+            assert_eq!(rank, t.rank(key), "key {key}");
+        }
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! The query engine: parse → plan → execute against a shared catalog.
 
-use crate::ast::Statement;
+use crate::ast::{Expr, OrderBy, Projection, Statement};
 use crate::error::{QueryError, Result};
-use crate::exec::SelectCursor;
-use crate::exec::{const_eval, open_select, run_delete, run_select, run_update, SelectOutput};
+use crate::exec::{
+    const_eval, open_select, run_delete, run_select, run_update, ExecScratch, SelectCursor,
+    SelectOutput,
+};
 use crate::parser::parse;
+use crate::plan::SelectPlan;
 use crate::planner::{plan_locate, plan_select};
 use delayguard_storage::{Catalog, Column, Row, RowId, Schema};
 use std::sync::Arc;
@@ -59,6 +62,30 @@ pub enum StreamedStatement<'a> {
     Rows(SelectCursor<'a>),
     /// A non-SELECT statement that already ran to completion.
     Finished(StatementOutput),
+}
+
+/// A SELECT parsed, bound, and planned once, for repeated execution.
+///
+/// The cached plan is validated against the table's DDL version on every
+/// execution: a single u64 compare in the common case, a transparent
+/// replan when an index was created/dropped or the table was rebuilt.
+/// Together with [`ExecScratch`], repeated execution of a prepared
+/// statement is allocation-free on index access paths.
+pub struct PreparedSelect {
+    table: String,
+    projection: Projection,
+    filter: Option<Expr>,
+    order_by: Option<OrderBy>,
+    limit: Option<u64>,
+    plan: SelectPlan,
+    ddl_version: u64,
+}
+
+impl PreparedSelect {
+    /// The table this statement reads.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
 }
 
 /// A SQL engine bound to a catalog.
@@ -215,8 +242,9 @@ impl Engine {
                 let t = self.catalog.table(table)?;
                 let mut t = t.write();
                 let plan = plan_select(&t, projection, filter.as_ref(), order_by.as_ref(), *limit)?;
+                let mut scratch = ExecScratch::new();
                 let (result, yielded) = {
-                    let cursor = open_select(&t, &plan)?;
+                    let cursor = open_select(&t, &plan, &mut scratch)?;
                     let mut streamed = StreamedStatement::Rows(cursor);
                     let result = f(&mut streamed);
                     let yielded = match &streamed {
@@ -234,6 +262,76 @@ impl Engine {
                 Ok(f(&mut streamed))
             }
         }
+    }
+
+    /// Prepare a SELECT for repeated execution: parse, bind, and plan now
+    /// so [`Engine::execute_prepared_streaming`] does neither per query.
+    pub fn prepare_select(&self, sql: &str) -> Result<PreparedSelect> {
+        let stmt = parse(sql)?;
+        let Statement::Select {
+            table,
+            projection,
+            filter,
+            order_by,
+            limit,
+        } = stmt
+        else {
+            return Err(QueryError::Semantic(
+                "only SELECT statements can be prepared".into(),
+            ));
+        };
+        let t = self.catalog.table(&table)?;
+        let t = t.read();
+        let plan = plan_select(&t, &projection, filter.as_ref(), order_by.as_ref(), limit)?;
+        let ddl_version = t.ddl_version();
+        Ok(PreparedSelect {
+            table,
+            projection,
+            filter,
+            order_by,
+            limit,
+            plan,
+            ddl_version,
+        })
+    }
+
+    /// Execute a prepared SELECT in streaming mode.
+    ///
+    /// Identical locking and charging semantics to
+    /// [`Engine::execute_stmt_streaming`], but the plan is reused (after a
+    /// DDL-version check) and every buffer comes from `scratch`, so the
+    /// steady-state path performs no parsing, no planning, and no
+    /// allocation on index access paths.
+    pub fn execute_prepared_streaming<R>(
+        &self,
+        prep: &mut PreparedSelect,
+        scratch: &mut ExecScratch,
+        f: impl FnOnce(&mut StreamedStatement<'_>) -> R,
+    ) -> Result<R> {
+        let t = self.catalog.table(&prep.table)?;
+        let mut t = t.write();
+        if t.ddl_version() != prep.ddl_version {
+            prep.plan = plan_select(
+                &t,
+                &prep.projection,
+                prep.filter.as_ref(),
+                prep.order_by.as_ref(),
+                prep.limit,
+            )?;
+            prep.ddl_version = t.ddl_version();
+        }
+        let (result, yielded) = {
+            let cursor = open_select(&t, &prep.plan, scratch)?;
+            let mut streamed = StreamedStatement::Rows(cursor);
+            let result = f(&mut streamed);
+            let yielded = match &streamed {
+                StreamedStatement::Rows(c) => c.rows_yielded(),
+                StreamedStatement::Finished(_) => 0,
+            };
+            (result, yielded)
+        };
+        t.record_reads(yielded);
+        Ok(result)
     }
 
     /// Convenience: run a SELECT and return just its output, erroring if the
@@ -348,6 +446,70 @@ mod tests {
         e2.execute("INSERT INTO movies VALUES (5, 'Ice Age', 176.0)")
             .unwrap();
         assert_eq!(e.query("SELECT * FROM movies").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn prepared_select_matches_adhoc_and_reuses_scratch() {
+        let e = engine_with_movies();
+        let mut prep = e
+            .prepare_select("SELECT title FROM movies WHERE id >= 1 AND id < 3")
+            .unwrap();
+        let mut scratch = ExecScratch::new();
+        let adhoc = e
+            .query("SELECT title FROM movies WHERE id >= 1 AND id < 3")
+            .unwrap();
+        for _ in 0..3 {
+            let rows = e
+                .execute_prepared_streaming(&mut prep, &mut scratch, |s| {
+                    let StreamedStatement::Rows(cursor) = s else {
+                        panic!("expected rows");
+                    };
+                    let mut rows = Vec::new();
+                    while let Some(pair) = cursor.next_row().unwrap() {
+                        rows.push(pair);
+                    }
+                    rows
+                })
+                .unwrap();
+            assert_eq!(rows, adhoc.rows);
+        }
+    }
+
+    #[test]
+    fn prepared_select_replans_after_ddl() {
+        let e = engine_with_movies();
+        let mut prep = e
+            .prepare_select("SELECT id FROM movies WHERE title = 'Two Towers'")
+            .unwrap();
+        // A new index changes the best access path; the prepared statement
+        // must notice and still return correct results.
+        e.execute("CREATE INDEX movies_title ON movies (title)")
+            .unwrap();
+        let mut scratch = ExecScratch::new();
+        let count = e
+            .execute_prepared_streaming(&mut prep, &mut scratch, |s| {
+                let StreamedStatement::Rows(cursor) = s else {
+                    panic!("expected rows");
+                };
+                let mut n = 0;
+                while cursor.next_row().unwrap().is_some() {
+                    n += 1;
+                }
+                n
+            })
+            .unwrap();
+        assert_eq!(count, 1);
+        assert!(matches!(
+            prep.plan.access,
+            crate::plan::AccessPath::IndexEq { .. }
+        ));
+    }
+
+    #[test]
+    fn prepare_rejects_non_select() {
+        let e = engine_with_movies();
+        assert!(e.prepare_select("DELETE FROM movies").is_err());
+        assert!(e.prepare_select("SELECT * FROM missing").is_err());
     }
 
     #[test]

@@ -94,174 +94,203 @@ fn passes(filter: Option<&BoundExpr>, row: &Row) -> Result<bool> {
     }
 }
 
-/// A Volcano-style pull operator: each call produces the next output row
-/// or `None` when the operator is exhausted.
+/// A Volcano-style pull stream of `(row id, row)` pairs.
 ///
-/// Operators compose into a tree (source → filter → sort → limit →
-/// project); only `SortOp` is a pipeline breaker, buffering its input.
-/// Everything else holds O(1) state, which is what gives the server its
-/// bounded per-connection memory.
+/// [`SelectCursor`] is the one implementation; the trait survives so
+/// callers that only need pull semantics stay decoupled from the cursor.
 pub trait RowStream {
     /// Pull the next `(row id, row)` pair, or `None` at end of stream.
     fn next_row(&mut self) -> Result<Option<(RowId, Row)>>;
 }
 
-/// Leaf operator: a heap scan over the whole table.
-struct ScanSource<'a> {
-    iter: Box<dyn Iterator<Item = delayguard_storage::Result<(RowId, Row)>> + 'a>,
+/// Reusable executor scratch: the buffers a cursor borrows instead of
+/// allocating per query. Recycle one per connection (or per bench
+/// thread) and the steady-state open/pull path allocates nothing.
+#[derive(Default)]
+pub struct ExecScratch {
+    /// Index-probe results (`IndexEq`/`IndexRange` access paths).
+    rids: Vec<RowId>,
+    /// Decode target when the projection is not the identity.
+    row: Row,
 }
 
-impl RowStream for ScanSource<'_> {
-    fn next_row(&mut self) -> Result<Option<(RowId, Row)>> {
-        match self.iter.next() {
-            Some(item) => {
-                let (rid, row) = item?;
-                Ok(Some((rid, row)))
-            }
-            None => Ok(None),
-        }
+impl ExecScratch {
+    /// Fresh, empty scratch. Buffers grow on first use and are then
+    /// recycled.
+    pub fn new() -> ExecScratch {
+        ExecScratch::default()
     }
 }
 
-/// Leaf operator: RowIds from an index probe, rows fetched lazily so an
-/// abandoned stream never pays for rows it did not yield.
-struct IndexSource<'a> {
-    table: &'a Table,
-    rids: std::vec::IntoIter<RowId>,
-}
-
-impl RowStream for IndexSource<'_> {
-    fn next_row(&mut self) -> Result<Option<(RowId, Row)>> {
-        match self.rids.next() {
-            Some(rid) => Ok(Some((rid, self.table.peek(rid)?))),
-            None => Ok(None),
-        }
-    }
-}
-
-/// Drops rows that fail the residual predicate.
-struct FilterOp<'a> {
-    input: Box<dyn RowStream + 'a>,
-    filter: Option<&'a BoundExpr>,
-}
-
-impl RowStream for FilterOp<'_> {
-    fn next_row(&mut self) -> Result<Option<(RowId, Row)>> {
-        while let Some((rid, row)) = self.input.next_row()? {
-            if passes(self.filter, &row)? {
-                return Ok(Some((rid, row)));
-            }
-        }
-        Ok(None)
-    }
-}
-
-/// Pipeline breaker: drains its input on first pull, sorts, then replays.
+/// A caller-owned, recycled chunk of `(RowId, Row)` pairs.
 ///
-/// Sorting happens on unprojected rows (the sort key may not survive the
-/// projection) with the same stable comparator the materialized executor
-/// used, so streamed output order is identical.
-struct SortOp<'a> {
-    input: Option<Box<dyn RowStream + 'a>>,
-    col: usize,
-    ascending: bool,
-    sorted: std::vec::IntoIter<(RowId, Row)>,
+/// `clear` only resets the logical length: the pairs (and the per-value
+/// heap capacity inside each [`Row`]) stay allocated, so refilling a
+/// `RowBuf` with rows of similar shape copies payload bytes but
+/// allocates nothing.
+#[derive(Default)]
+pub struct RowBuf {
+    rows: Vec<(RowId, Row)>,
+    len: usize,
 }
 
-impl<'a> SortOp<'a> {
-    fn new(input: Box<dyn RowStream + 'a>, col: usize, ascending: bool) -> Self {
-        SortOp {
-            input: Some(input),
-            col,
-            ascending,
-            sorted: Vec::new().into_iter(),
+impl RowBuf {
+    /// Fresh, empty buffer.
+    pub fn new() -> RowBuf {
+        RowBuf::default()
+    }
+
+    /// Logical length (rows filled since the last `clear`).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The filled rows.
+    pub fn rows(&self) -> &[(RowId, Row)] {
+        &self.rows[..self.len]
+    }
+
+    /// Reset the logical length, keeping every allocation for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// The next free slot, growing the pool if needed.
+    fn slot(&mut self) -> &mut (RowId, Row) {
+        if self.len == self.rows.len() {
+            self.rows.push((RowId::from_raw(0), Row::new(Vec::new())));
         }
+        &mut self.rows[self.len]
+    }
+
+    /// Commit the slot returned by the last `slot` call.
+    fn commit(&mut self) {
+        self.len += 1;
     }
 }
 
-impl RowStream for SortOp<'_> {
-    fn next_row(&mut self) -> Result<Option<(RowId, Row)>> {
-        if let Some(mut input) = self.input.take() {
-            let mut buffered = Vec::new();
-            while let Some(pair) = input.next_row()? {
-                buffered.push(pair);
-            }
-            let (col, ascending) = (self.col, self.ascending);
-            buffered.sort_by(|(_, a), (_, b)| {
-                let av = a.get(col).cloned().unwrap_or(Value::Null);
-                let bv = b.get(col).cloned().unwrap_or(Value::Null);
-                if ascending {
-                    av.cmp(&bv)
-                } else {
-                    bv.cmp(&av)
-                }
-            });
-            self.sorted = buffered.into_iter();
-        }
-        Ok(self.sorted.next())
-    }
-}
-
-/// Stops after `remaining` rows.
-struct LimitOp<'a> {
-    input: Box<dyn RowStream + 'a>,
-    remaining: u64,
-}
-
-impl RowStream for LimitOp<'_> {
-    fn next_row(&mut self) -> Result<Option<(RowId, Row)>> {
-        if self.remaining == 0 {
-            return Ok(None);
-        }
-        match self.input.next_row()? {
-            Some(pair) => {
-                self.remaining -= 1;
-                Ok(Some(pair))
-            }
-            None => {
-                self.remaining = 0;
-                Ok(None)
-            }
-        }
-    }
-}
-
-/// Projects each row to the output column list.
-struct ProjectOp<'a> {
-    input: Box<dyn RowStream + 'a>,
-    projection: &'a [usize],
-}
-
-impl RowStream for ProjectOp<'_> {
-    fn next_row(&mut self) -> Result<Option<(RowId, Row)>> {
-        match self.input.next_row()? {
-            Some((rid, row)) => Ok(Some((rid, row.project(self.projection)))),
-            None => Ok(None),
-        }
-    }
+/// Where the cursor's rows come from.
+enum Src<'a> {
+    /// Index probe: RowIds resolved at open into borrowed scratch.
+    Rids { rids: &'a [RowId], pos: usize },
+    /// Lazy full heap scan.
+    Scan(delayguard_storage::heap::HeapScan<'a>),
+    /// Sort output (the one pipeline breaker): owns its spill, already
+    /// filtered and ordered.
+    Sorted { rows: Vec<(RowId, Row)>, pos: usize },
 }
 
 /// An open SELECT pipeline: pull projected rows one at a time.
+///
+/// The pipeline is linear by construction (source → filter → [sort] →
+/// limit → project), so instead of a tree of boxed operators the cursor
+/// holds each stage inline: no allocation at open (for index paths) and
+/// no virtual dispatch per row. `SortOp`'s role survives as the `Sorted`
+/// source, the one stage allowed to own a spill buffer.
 ///
 /// The cursor captures `table.len()` at open so the pricing layer can
 /// read cardinality without re-acquiring the table lock mid-stream, and
 /// counts yielded rows so the executor can charge `record_reads` for
 /// exactly the rows a partially-consumed stream produced.
 pub struct SelectCursor<'a> {
-    inner: Box<dyn RowStream + 'a>,
+    table: &'a Table,
+    src: Src<'a>,
+    filter: Option<&'a BoundExpr>,
+    /// `None` means the identity projection (all columns, schema order).
+    projection: Option<&'a [usize]>,
+    remaining: u64,
+    /// Decode target when projecting (borrowed from [`ExecScratch`]).
+    scratch: &'a mut Row,
     columns: &'a [String],
     table_rows: u64,
     yielded: u64,
 }
 
 impl SelectCursor<'_> {
+    /// Pull the next projected row into `out` (reusing its allocations),
+    /// returning its RowId, or `None` at end of stream.
+    pub fn next_row_into(&mut self, out: &mut Row) -> Result<Option<RowId>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        // The sorted source is pre-filtered; rows are moved out of the
+        // spill rather than copied.
+        if let Src::Sorted { rows, pos } = &mut self.src {
+            let Some((rid, row)) = rows.get_mut(*pos) else {
+                self.remaining = 0;
+                return Ok(None);
+            };
+            *pos += 1;
+            match self.projection {
+                None => std::mem::swap(out, row),
+                Some(idx) => row.project_into(idx, out),
+            }
+            self.remaining -= 1;
+            self.yielded += 1;
+            return Ok(Some(*rid));
+        }
+        loop {
+            // Identity projection decodes straight into the caller's row;
+            // otherwise decode into scratch and project after the filter.
+            let dst: &mut Row = match self.projection {
+                None => &mut *out,
+                Some(_) => &mut *self.scratch,
+            };
+            let rid = match &mut self.src {
+                Src::Rids { rids, pos } => {
+                    let Some(&rid) = rids.get(*pos) else {
+                        return Ok(None);
+                    };
+                    *pos += 1;
+                    self.table.peek_into(rid, dst)?;
+                    rid
+                }
+                Src::Scan(scan) => {
+                    let Some((rid, rec)) = scan.next() else {
+                        return Ok(None);
+                    };
+                    delayguard_storage::codec::decode_row_into(rec, dst)?;
+                    rid
+                }
+                Src::Sorted { .. } => unreachable!("handled above"),
+            };
+            if passes(self.filter, dst)? {
+                if let Some(idx) = self.projection {
+                    self.scratch.project_into(idx, out);
+                }
+                self.remaining -= 1;
+                self.yielded += 1;
+                return Ok(Some(rid));
+            }
+        }
+    }
+
     /// Pull the next projected `(row id, row)` pair.
     pub fn next_row(&mut self) -> Result<Option<(RowId, Row)>> {
-        let item = self.inner.next_row()?;
-        if item.is_some() {
-            self.yielded += 1;
+        let mut row = Row::new(Vec::new());
+        Ok(self.next_row_into(&mut row)?.map(|rid| (rid, row)))
+    }
+
+    /// Pull up to `max_rows` rows into `buf` (cleared first), reusing its
+    /// row slots. Returns the number of rows pulled.
+    pub fn fill_chunk(&mut self, max_rows: usize, buf: &mut RowBuf) -> Result<usize> {
+        buf.clear();
+        while buf.len() < max_rows {
+            let slot = buf.slot();
+            match self.next_row_into(&mut slot.1)? {
+                Some(rid) => {
+                    slot.0 = rid;
+                    buf.commit();
+                }
+                None => break,
+            }
         }
-        Ok(item)
+        Ok(buf.len())
     }
 
     /// Output column names, in projection order.
@@ -280,50 +309,97 @@ impl SelectCursor<'_> {
     }
 }
 
+impl RowStream for SelectCursor<'_> {
+    fn next_row(&mut self) -> Result<Option<(RowId, Row)>> {
+        SelectCursor::next_row(self)
+    }
+}
+
 /// Open a SELECT plan as a pull pipeline over `table`.
-pub fn open_select<'a>(table: &'a Table, plan: &'a SelectPlan) -> Result<SelectCursor<'a>> {
-    let source: Box<dyn RowStream + 'a> = match &plan.access {
-        AccessPath::FullScan => Box::new(ScanSource {
-            iter: Box::new(table.scan()),
-        }),
+///
+/// Index-path opens are allocation-free: probe results land in
+/// `scratch.rids`, and per-row decoding reuses either the caller's row
+/// (identity projection) or `scratch.row`. Only full scans (one lazy
+/// iterator, still allocation-free here) and ORDER BY (spill) differ.
+pub fn open_select<'a>(
+    table: &'a Table,
+    plan: &'a SelectPlan,
+    scratch: &'a mut ExecScratch,
+) -> Result<SelectCursor<'a>> {
+    let ExecScratch { rids, row } = scratch;
+    rids.clear();
+    let mut src = match &plan.access {
+        AccessPath::FullScan => Src::Scan(table.heap().scan()),
         AccessPath::IndexEq { columns, key } => {
-            let rids = table
-                .index_lookup(columns, key)
-                .ok_or_else(|| QueryError::Semantic("planned index disappeared".into()))?;
-            Box::new(IndexSource {
-                table,
-                rids: rids.into_iter(),
-            })
+            if !table.index_lookup_into(columns, key, rids) {
+                return Err(QueryError::Semantic("planned index disappeared".into()));
+            }
+            Src::Rids { rids, pos: 0 }
         }
         AccessPath::IndexRange { columns, lo, hi } => {
-            let rids = table
-                .index_range(columns, as_ref_bound(lo), as_ref_bound(hi))
-                .ok_or_else(|| QueryError::Semantic("planned index disappeared".into()))?;
-            Box::new(IndexSource {
-                table,
-                rids: rids.into_iter(),
-            })
+            if !table.index_range_into(columns, as_ref_bound(lo), as_ref_bound(hi), rids) {
+                return Err(QueryError::Semantic("planned index disappeared".into()));
+            }
+            Src::Rids { rids, pos: 0 }
         }
     };
-    let mut stream: Box<dyn RowStream + 'a> = Box::new(FilterOp {
-        input: source,
-        filter: plan.filter.as_ref(),
-    });
+    let mut filter = plan.filter.as_ref();
     if let Some((col, ascending)) = plan.order_by {
-        stream = Box::new(SortOp::new(stream, col, ascending));
-    }
-    if let Some(limit) = plan.limit {
-        stream = Box::new(LimitOp {
-            input: stream,
-            remaining: limit,
+        // Pipeline breaker: drain source through the filter into an owned
+        // spill, sort with the same stable comparator as always, and
+        // serve rows from the spill. The filter is consumed here.
+        let mut spill: Vec<(RowId, Row)> = Vec::new();
+        match src {
+            Src::Rids { rids, pos } => {
+                for &rid in &rids[pos..] {
+                    let row = table.peek(rid)?;
+                    if passes(filter, &row)? {
+                        spill.push((rid, row));
+                    }
+                }
+            }
+            Src::Scan(scan) => {
+                for (rid, rec) in scan {
+                    let row = delayguard_storage::codec::decode_row(rec)?;
+                    if passes(filter, &row)? {
+                        spill.push((rid, row));
+                    }
+                }
+            }
+            Src::Sorted { .. } => unreachable!("sort source cannot pre-exist"),
+        }
+        spill.sort_by(|(_, a), (_, b)| {
+            let av = a.get(col).unwrap_or(&Value::Null);
+            let bv = b.get(col).unwrap_or(&Value::Null);
+            if ascending {
+                av.cmp(bv)
+            } else {
+                bv.cmp(av)
+            }
         });
+        src = Src::Sorted {
+            rows: spill,
+            pos: 0,
+        };
+        filter = None;
     }
-    stream = Box::new(ProjectOp {
-        input: stream,
-        projection: &plan.projection,
-    });
+    let projection = if plan
+        .projection
+        .iter()
+        .copied()
+        .eq(0..table.schema().arity())
+    {
+        None
+    } else {
+        Some(plan.projection.as_slice())
+    };
     Ok(SelectCursor {
-        inner: stream,
+        table,
+        src,
+        filter,
+        projection,
+        remaining: plan.limit.unwrap_or(u64::MAX),
+        scratch: row,
         columns: &plan.output_names,
         table_rows: table.len() as u64,
         yielded: 0,
@@ -333,8 +409,9 @@ pub fn open_select<'a>(table: &'a Table, plan: &'a SelectPlan) -> Result<SelectC
 /// Execute a SELECT plan by draining the pull pipeline.
 pub fn run_select(table: &mut Table, plan: &SelectPlan) -> Result<SelectOutput> {
     let mut rows = Vec::new();
+    let mut scratch = ExecScratch::new();
     let yielded = {
-        let mut cursor = open_select(table, plan)?;
+        let mut cursor = open_select(table, plan, &mut scratch)?;
         while let Some(pair) = cursor.next_row()? {
             rows.push(pair);
         }

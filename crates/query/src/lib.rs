@@ -40,7 +40,7 @@ pub mod plan;
 pub mod planner;
 pub mod token;
 
-pub use engine::{Engine, StatementOutput, StreamedStatement};
+pub use engine::{Engine, PreparedSelect, StatementOutput, StreamedStatement};
 pub use error::{QueryError, Result};
-pub use exec::{open_select, RowStream, SelectCursor, SelectOutput};
+pub use exec::{open_select, ExecScratch, RowBuf, RowStream, SelectCursor, SelectOutput};
 pub use parser::{parse, parse_expr};

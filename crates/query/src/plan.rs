@@ -28,9 +28,11 @@ impl AccessPath {
 
 /// A fully-bound SELECT plan.
 ///
-/// The residual `filter` is the *entire* WHERE clause; it is always
-/// re-evaluated on candidate rows even when an index narrowed them, so an
-/// imprecise access path can never produce wrong results.
+/// The residual `filter` is the *entire* WHERE clause, re-evaluated on
+/// candidate rows whenever the access path might be imprecise — except
+/// when the planner proved the probe returns exactly the satisfying rows,
+/// in which case `filter` is `None` and candidate rows pass untouched
+/// (see the coverage rules in the planner module docs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectPlan {
     pub access: AccessPath,

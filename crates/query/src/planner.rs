@@ -5,8 +5,16 @@
 //! `[col]` (or all columns of a composite index are equality-constrained),
 //! use an [`AccessPath::IndexEq`]. Otherwise, if range conjuncts
 //! (`<`, `<=`, `>`, `>=`) constrain a single-column index, use an
-//! [`AccessPath::IndexRange`]. Otherwise fall back to a full scan. The full
-//! WHERE clause is always kept as a residual filter.
+//! [`AccessPath::IndexRange`]. Otherwise fall back to a full scan.
+//!
+//! The WHERE clause is kept as a residual filter unless the chosen access
+//! path provably returns *exactly* the satisfying rows — every top-level
+//! conjunct was absorbed into the probe, and nothing else constrains the
+//! result. The proof leans on one invariant: index order and filter
+//! comparisons both use [`Value`]'s total order (`Value::cmp`), so an
+//! interval over index keys admits precisely the rows the comparisons
+//! would. When coverage is exact the plan carries no filter at all, and
+//! the executor skips a per-row expression walk on the hot path.
 
 use crate::ast::{BinOp, Expr, OrderBy, Projection};
 use crate::error::{QueryError, Result};
@@ -26,17 +34,17 @@ pub fn plan_select(
     let schema = table.schema();
     let (projection_idx, output_names) = resolve_projection(schema, projection)?;
     let bound_filter = filter.map(|f| bind(f, schema)).transpose()?;
-    let access = filter
+    let (access, covered) = filter
         .map(|f| choose_access(schema, &table.index_defs(), f))
         .transpose()?
         .flatten()
-        .unwrap_or(AccessPath::FullScan);
+        .unwrap_or((AccessPath::FullScan, false));
     let order = order_by
         .map(|ob| Ok::<_, QueryError>((schema.index_of(&ob.column)?, ob.ascending)))
         .transpose()?;
     Ok(SelectPlan {
         access,
-        filter: bound_filter,
+        filter: if covered { None } else { bound_filter },
         projection: projection_idx,
         output_names,
         order_by: order,
@@ -127,15 +135,25 @@ fn flip(op: BinOp) -> BinOp {
 }
 
 /// Choose the best access path for `filter`, if any index applies.
+///
+/// The second element of the pair reports *exact coverage*: the access
+/// path returns precisely the rows satisfying the whole WHERE clause, so
+/// the caller may drop the residual filter. Coverage is exact only when
+/// every top-level conjunct became a [`Constraint`] (nothing else to
+/// check) and the chosen probe absorbed all of them.
 fn choose_access(
     schema: &Schema,
     indexes: &[IndexDef],
     filter: &Expr,
-) -> Result<Option<AccessPath>> {
-    let cons: Vec<Constraint> = conjuncts(filter)
-        .into_iter()
+) -> Result<Option<(AccessPath, bool)>> {
+    let conj = conjuncts(filter);
+    let cons: Vec<Constraint> = conj
+        .iter()
         .filter_map(|e| constraint_of(schema, e))
         .collect();
+    // Some conjunct the probe cannot see (non-sargable, NULL, unknown
+    // column) means the filter must stay regardless of the path chosen.
+    let all_sargable = cons.len() == conj.len();
     if cons.is_empty() {
         return Ok(None);
     }
@@ -148,10 +166,25 @@ fn choose_access(
                 None => continue 'index,
             }
         }
-        return Ok(Some(AccessPath::IndexEq {
-            columns: def.columns.clone(),
-            key,
-        }));
+        // Exact iff the constraints are one equality per key column and
+        // nothing more: a duplicate (`id = 5 AND id = 6`) or an extra
+        // column's predicate still needs re-checking.
+        let exact = all_sargable
+            && cons.len() == def.columns.len()
+            && cons
+                .iter()
+                .all(|c| c.op == BinOp::Eq && def.columns.contains(&c.column))
+            && def
+                .columns
+                .iter()
+                .all(|col| cons.iter().filter(|c| c.column == *col).count() == 1);
+        return Ok(Some((
+            AccessPath::IndexEq {
+                columns: def.columns.clone(),
+                key,
+            },
+            exact,
+        )));
     }
     // 2. Range scan on a single-column index.
     for def in indexes.iter().filter(|d| d.columns.len() == 1) {
@@ -174,11 +207,19 @@ fn choose_access(
             }
         }
         if any && !(matches!(lo, Bound::Unbounded) && matches!(hi, Bound::Unbounded)) {
-            return Ok(Some(AccessPath::IndexRange {
-                columns: def.columns.clone(),
-                lo: map_bound(lo),
-                hi: map_bound(hi),
-            }));
+            // Conjoined intervals over one column intersect to exactly
+            // `[lo, hi]` (tighter_* picks the narrower endpoint under the
+            // same `Value` order the index sorts by), so coverage is
+            // exact whenever every conjunct constrained this column.
+            let exact = all_sargable && cons.iter().all(|c| c.column == col);
+            return Ok(Some((
+                AccessPath::IndexRange {
+                    columns: def.columns.clone(),
+                    lo: map_bound(lo),
+                    hi: map_bound(hi),
+                },
+                exact,
+            )));
         }
     }
     Ok(None)
@@ -236,12 +277,12 @@ pub fn plan_locate(
 ) -> Result<(AccessPath, Option<BoundExpr>)> {
     let schema = table.schema();
     let bound = filter.map(|f| bind(f, schema)).transpose()?;
-    let access = filter
+    let (access, covered) = filter
         .map(|f| choose_access(schema, &table.index_defs(), f))
         .transpose()?
         .flatten()
-        .unwrap_or(AccessPath::FullScan);
-    Ok((access, bound))
+        .unwrap_or((AccessPath::FullScan, false));
+    Ok((access, if covered { None } else { bound }))
 }
 
 #[cfg(test)]
@@ -265,10 +306,14 @@ mod tests {
     }
 
     fn access_for(t: &Table, filter: &str) -> AccessPath {
+        access_and_coverage(t, filter).0
+    }
+
+    fn access_and_coverage(t: &Table, filter: &str) -> (AccessPath, bool) {
         let f = parse_expr(filter).unwrap();
         choose_access(t.schema(), &t.index_defs(), &f)
             .unwrap()
-            .unwrap_or(AccessPath::FullScan)
+            .unwrap_or((AccessPath::FullScan, false))
     }
 
     #[test]
@@ -328,6 +373,42 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn exact_coverage_drops_the_residual_filter() {
+        let t = table();
+        // Fully absorbed probes: no filter left to run.
+        assert!(access_and_coverage(&t, "id = 5").1);
+        assert!(access_and_coverage(&t, "id > 3 AND id <= 9").1);
+        assert!(access_and_coverage(&t, "id > 3 AND id > 7 AND id >= 7").1);
+        assert!(access_and_coverage(&t, "title = 'x' AND gross = 1.0").1);
+        // A conjunct the probe can't see keeps the filter.
+        assert!(!access_and_coverage(&t, "id = 5 AND gross > 10").1);
+        assert!(!access_and_coverage(&t, "id > 3 AND title = 'x'").1);
+        // Contradictory equalities on the key column keep the filter (the
+        // probe only honors one of them).
+        assert!(!access_and_coverage(&t, "id = 5 AND id = 6").1);
+        // And the plans themselves: covered WHERE => filter is None.
+        let covered = plan_select(
+            &t,
+            &Projection::All,
+            Some(&parse_expr("id > 3 AND id <= 9").unwrap()),
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(covered.filter.is_none());
+        assert!(matches!(covered.access, AccessPath::IndexRange { .. }));
+        let residual = plan_select(
+            &t,
+            &Projection::All,
+            Some(&parse_expr("id > 3 AND gross > 10").unwrap()),
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(residual.filter.is_some());
     }
 
     #[test]

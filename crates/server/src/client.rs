@@ -6,7 +6,8 @@
 //! is timestamped on receipt so callers can verify delay enforcement.
 
 use crate::protocol::{
-    read_frame, write_frame, Frame, ProtocolError, RefuseReason, PROTOCOL_VERSION, ROWS_UNKNOWN,
+    read_frame_buffered, write_frame_buffered, Frame, ProtocolError, RefuseReason,
+    PROTOCOL_VERSION, ROWS_UNKNOWN,
 };
 use delayguard_core::clock::{Clock, RealClock};
 use delayguard_storage::Row;
@@ -120,6 +121,10 @@ pub struct Client {
     writer: BufWriter<TcpStream>,
     next_query_id: u32,
     clock: Arc<dyn Clock>,
+    /// Reused frame encode buffer (one per connection, like the server).
+    wbuf: Vec<u8>,
+    /// Reused frame-body staging buffer for the read side.
+    rbuf: Vec<u8>,
 }
 
 impl Client {
@@ -140,11 +145,13 @@ impl Client {
             writer: BufWriter::new(write_half),
             next_query_id: 1,
             clock,
+            wbuf: Vec::with_capacity(256),
+            rbuf: Vec::new(),
         })
     }
 
     fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
-        write_frame(&mut self.writer, frame)?;
+        write_frame_buffered(&mut self.writer, frame, &mut self.wbuf)?;
         self.writer
             .flush()
             .map_err(|e| ClientError::Protocol(ProtocolError::Io(e)))?;
@@ -152,7 +159,7 @@ impl Client {
     }
 
     fn recv(&mut self) -> Result<Frame, ClientError> {
-        match read_frame(&mut self.reader)? {
+        match read_frame_buffered(&mut self.reader, &mut self.rbuf)? {
             Some(frame) => Ok(frame),
             None => Err(ClientError::Closed),
         }

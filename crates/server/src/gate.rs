@@ -28,15 +28,17 @@
 
 use crate::metrics::ServerMetrics;
 use crate::protocol::{Frame, RefuseReason, PROTOCOL_VERSION, ROWS_UNKNOWN};
-use crate::scheduler::DelayScheduler;
+use crate::scheduler::{DelayScheduler, Job};
 use delayguard_core::clock::{secs_to_nanos, Clock};
 use delayguard_core::gatekeeper::{
     Admission, Gatekeeper, GatekeeperConfig, Ipv4, RefusalReason, RegistrationOutcome, UserId,
 };
 use delayguard_core::replica::ReplicaDelta;
-use delayguard_core::{DeadlineStream, GuardedDatabase, StreamedQuery};
+use delayguard_core::{ChargedChunk, DeadlineStream, GuardedDatabase, StreamedQuery};
 use delayguard_query::engine::StatementOutput;
+use delayguard_query::RowBuf;
 use delayguard_sim::Registry;
+use delayguard_storage::{Row, RowId};
 use parking_lot::Mutex as PMutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -59,6 +61,18 @@ pub trait FrameSink: Send + Sync + 'static {
     /// either streams completely or the query is refused at the chunk
     /// boundary (with nothing from that chunk charged).
     fn try_reserve_rows(&self, n: usize) -> bool;
+
+    /// Queue a batch of row frames whose deadlines landed on the same
+    /// scheduler tick, in order, into slots previously reserved with
+    /// [`FrameSink::try_reserve_rows`]. Must never block, like
+    /// [`FrameSink::push_row`]. The default forwards one frame at a
+    /// time; transports with a locked per-connection queue override it
+    /// to take the lock (and wake the writer) once per batch.
+    fn push_rows(&self, frames: &mut Vec<Frame>) {
+        for frame in frames.drain(..) {
+            self.push_row(frame);
+        }
+    }
 }
 
 /// Per-connection protocol state negotiated at `REGISTER`.
@@ -510,6 +524,62 @@ impl FrontDoor {
         }
     }
 
+    /// Schedule one chunk's rows on the wheel: consecutive rows whose
+    /// deadlines land on the same scheduler tick are coalesced into a
+    /// single job that hands the sink the whole batch at once
+    /// ([`FrameSink::push_rows`] — one queue lock and one writer wakeup
+    /// per tick per connection instead of one per row), and the chunk's
+    /// jobs are filed under one wheel-lock acquisition
+    /// ([`DelayScheduler::schedule_batch`]). Release times and frame
+    /// order are exactly those of row-at-a-time scheduling: a batch
+    /// fires at the shared tick, and the wheel's same-tick insertion
+    /// order is preserved. Returns the next row sequence number.
+    fn schedule_rows<S: FrameSink>(
+        &self,
+        query_id: u32,
+        mut seq: u32,
+        issued_at_nanos: u64,
+        rows: &[(RowId, Row)],
+        offsets: &[f64],
+        sink: &Arc<S>,
+    ) -> u32 {
+        let tick_nanos = self.scheduler.tick_nanos();
+        let mut jobs: Vec<(u64, Job)> = Vec::new();
+        let mut batch: Vec<Frame> = Vec::new();
+        let mut batch_deadline = 0u64;
+        let flush = |batch: &mut Vec<Frame>, batch_deadline: u64, jobs: &mut Vec<(u64, Job)>| {
+            if batch.is_empty() {
+                return;
+            }
+            let job_sink = Arc::clone(sink);
+            let mut frames = std::mem::take(batch);
+            jobs.push((
+                batch_deadline,
+                Box::new(move || job_sink.push_rows(&mut frames)),
+            ));
+        };
+        for ((_rid, row), &offset) in rows.iter().zip(offsets) {
+            let deadline = issued_at_nanos.saturating_add(secs_to_nanos(offset));
+            if !batch.is_empty()
+                && deadline.div_ceil(tick_nanos) != batch_deadline.div_ceil(tick_nanos)
+            {
+                flush(&mut batch, batch_deadline, &mut jobs);
+            }
+            if batch.is_empty() {
+                batch_deadline = deadline;
+            }
+            batch.push(Frame::Row {
+                query_id,
+                seq,
+                row: row.clone(),
+            });
+            seq += 1;
+        }
+        flush(&mut batch, batch_deadline, &mut jobs);
+        self.scheduler.schedule_batch(jobs);
+        seq
+    }
+
     /// Version-≥2 `SELECT` delivery: pull → reserve → charge → schedule,
     /// one bounded chunk at a time, with trailer framing.
     fn stream_select<S: FrameSink>(
@@ -522,10 +592,15 @@ impl FrontDoor {
         let chunk_rows = self.config.stream_chunk_rows.max(1);
         let mut seq: u32 = 0;
         let mut began = false;
+        // Chunk-sized scratch recycled across the whole stream: the
+        // executor decodes into `buf` and pricing fills `charged` with
+        // no per-chunk allocation.
+        let mut buf = RowBuf::new();
+        let mut charged = ChargedChunk::default();
         loop {
-            let chunk = match stream.next_chunk(chunk_rows) {
-                Ok(Some(chunk)) => chunk,
-                Ok(None) => break,
+            let n = match stream.next_chunk_into(chunk_rows, &mut buf) {
+                Ok(0) => break,
+                Ok(n) => n,
                 Err(e) => {
                     // Mid-stream executor failure: already-scheduled rows
                     // still deliver at their deadlines; the error frame
@@ -538,7 +613,7 @@ impl FrontDoor {
                     return;
                 }
             };
-            if !sink.try_reserve_rows(chunk.len()) {
+            if !sink.try_reserve_rows(n) {
                 // Refuse BEFORE charging: the tuples of this chunk are
                 // neither delayed-priced nor recorded in the popularity
                 // ledger, so a shed query costs the requester nothing.
@@ -563,7 +638,7 @@ impl FrontDoor {
                 return;
             }
             let before_secs = stream.delay_secs();
-            let charged = stream.charge(&chunk);
+            stream.charge_into(buf.rows(), &mut charged);
             self.metrics
                 .delay_micros_charged
                 .add_secs(stream.delay_secs() - before_secs);
@@ -575,17 +650,15 @@ impl FrontDoor {
                     rows: ROWS_UNKNOWN,
                 });
             }
-            self.metrics.rows_streamed.add(chunk.len() as u64);
-            let issued = stream.issued_at_nanos();
-            for ((_rid, row), offset) in chunk.into_iter().zip(charged.offsets) {
-                let frame = Frame::Row { query_id, seq, row };
-                seq += 1;
-                let job_sink = Arc::clone(sink);
-                self.scheduler.schedule(
-                    issued.saturating_add(secs_to_nanos(offset)),
-                    Box::new(move || job_sink.push_row(frame)),
-                );
-            }
+            self.metrics.rows_streamed.add(n as u64);
+            seq = self.schedule_rows(
+                query_id,
+                seq,
+                stream.issued_at_nanos(),
+                buf.rows(),
+                &charged.offsets,
+                sink,
+            );
         }
         if !began {
             sink.push_control(Frame::RowsBegin {
@@ -666,19 +739,14 @@ impl FrontDoor {
             rows: n as u32,
         });
         self.metrics.rows_streamed.add(n as u64);
-        let issued = stream.issued_at_nanos();
-        for (seq, ((_rid, row), offset)) in rows.into_iter().zip(charged.offsets).enumerate() {
-            let frame = Frame::Row {
-                query_id,
-                seq: seq as u32,
-                row,
-            };
-            let job_sink = Arc::clone(sink);
-            self.scheduler.schedule(
-                issued.saturating_add(secs_to_nanos(offset)),
-                Box::new(move || job_sink.push_row(frame)),
-            );
-        }
+        self.schedule_rows(
+            query_id,
+            0,
+            stream.issued_at_nanos(),
+            &rows,
+            &charged.offsets,
+            sink,
+        );
         let delay_secs = stream.delay_secs();
         let done_sink = Arc::clone(sink);
         self.scheduler.schedule(

@@ -25,7 +25,7 @@
 
 use delayguard_core::gatekeeper::{Charge, GateDelta, SubnetCharges};
 use delayguard_core::replica::{ReplicaDelta, TableDelta};
-use delayguard_storage::codec::{decode_row, row_bytes};
+use delayguard_storage::codec::{decode_row, encode_row};
 use delayguard_storage::Row;
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -291,7 +291,11 @@ impl<'a> Cursor<'a> {
     fn string(&mut self) -> Result<String, ProtocolError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec())
+        // Validate in place, then copy exactly once into the owned
+        // String; `String::from_utf8(bytes.to_vec())` would copy first
+        // and validate after, double-buffering every decoded string.
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
             .map_err(|_| ProtocolError::Malformed("invalid utf-8 string".into()))
     }
 
@@ -407,9 +411,11 @@ impl<'a> Cursor<'a> {
 }
 
 impl Frame {
-    /// Encode into `opcode | payload` (without the length prefix).
-    fn encode_body(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(32);
+    /// Append `opcode | payload` (without the length prefix) onto `out`.
+    ///
+    /// Appending into a caller-owned buffer is the allocation-free hot
+    /// path: a connection reuses one buffer for every frame it writes.
+    fn encode_body_into(&self, out: &mut Vec<u8>) {
         match self {
             Frame::Register {
                 claimed_ip,
@@ -425,15 +431,15 @@ impl Frame {
                 sql,
             } => {
                 out.push(opcode::QUERY);
-                put_u32(&mut out, *query_id);
-                put_u64(&mut out, *user);
-                put_str(&mut out, sql);
+                put_u32(out, *query_id);
+                put_u64(out, *user);
+                put_str(out, sql);
             }
             Frame::Stats => out.push(opcode::STATS),
             Frame::Registered { user, fee } => {
                 out.push(opcode::REGISTERED);
-                put_u64(&mut out, *user);
-                put_f64(&mut out, *fee);
+                put_u64(out, *user);
+                put_f64(out, *fee);
             }
             Frame::Refused {
                 query_id,
@@ -441,9 +447,9 @@ impl Frame {
                 retry_after_secs,
             } => {
                 out.push(opcode::REFUSED);
-                put_u32(&mut out, *query_id);
+                put_u32(out, *query_id);
                 out.push(*reason as u8);
-                put_f64(&mut out, *retry_after_secs);
+                put_f64(out, *retry_after_secs);
             }
             Frame::RowsBegin {
                 query_id,
@@ -451,23 +457,26 @@ impl Frame {
                 rows,
             } => {
                 out.push(opcode::ROWS_BEGIN);
-                put_u32(&mut out, *query_id);
+                put_u32(out, *query_id);
                 out.extend_from_slice(&(columns.len() as u16).to_le_bytes());
                 for c in columns {
-                    put_str(&mut out, c);
+                    put_str(out, c);
                 }
-                put_u32(&mut out, *rows);
+                put_u32(out, *rows);
             }
             Frame::Row { query_id, seq, row } => {
                 out.push(opcode::ROW);
-                put_u32(&mut out, *query_id);
-                put_u32(&mut out, *seq);
-                out.extend_from_slice(&row_bytes(row));
+                put_u32(out, *query_id);
+                put_u32(out, *seq);
+                // Serialize the row straight into the frame buffer; the
+                // old `extend_from_slice(&row_bytes(row))` built a
+                // temporary Vec per row and copied it again.
+                encode_row(row, out);
             }
             Frame::RowsEnd { query_id, rows } => {
                 out.push(opcode::ROWS_END);
-                put_u32(&mut out, *query_id);
-                put_u32(&mut out, *rows);
+                put_u32(out, *query_id);
+                put_u32(out, *rows);
             }
             Frame::Done {
                 query_id,
@@ -475,30 +484,29 @@ impl Frame {
                 tuples,
             } => {
                 out.push(opcode::DONE);
-                put_u32(&mut out, *query_id);
-                put_f64(&mut out, *delay_secs);
-                put_u32(&mut out, *tuples);
+                put_u32(out, *query_id);
+                put_f64(out, *delay_secs);
+                put_u32(out, *tuples);
             }
             Frame::StatsReply { rendered } => {
                 out.push(opcode::STATS_REPLY);
-                put_str(&mut out, rendered);
+                put_str(out, rendered);
             }
             Frame::Error { query_id, message } => {
                 out.push(opcode::ERROR);
-                put_u32(&mut out, *query_id);
-                put_str(&mut out, message);
+                put_u32(out, *query_id);
+                put_str(out, message);
             }
             Frame::Delta { delta } => {
                 out.push(opcode::DELTA);
-                put_replica_delta(&mut out, delta);
+                put_replica_delta(out, delta);
             }
             Frame::DeltaAck { origin, seq } => {
                 out.push(opcode::DELTA_ACK);
                 out.extend_from_slice(&origin.to_le_bytes());
-                put_u64(&mut out, *seq);
+                put_u64(out, *seq);
             }
         }
-        out
     }
 
     /// Decode from an `opcode | payload` body.
@@ -592,20 +600,58 @@ impl Frame {
     }
 }
 
-/// Write one frame to `w` (length prefix + body), without flushing.
-pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), ProtocolError> {
-    let body = frame.encode_body();
-    if body.len() > MAX_FRAME {
-        return Err(ProtocolError::Oversized(body.len()));
+/// Append one complete wire frame (`len: u32 LE | opcode | payload`)
+/// onto `out`.
+///
+/// The 4-byte length prefix is reserved up front and patched after the
+/// body is encoded, so the frame is laid down in a single pass with no
+/// intermediate body buffer. Appends (rather than clears) so a writer
+/// can coalesce a burst of frames into one buffer and one syscall; on an
+/// oversized frame `out` is rolled back to its prior length.
+pub fn encode_frame_into(frame: &Frame, out: &mut Vec<u8>) -> Result<(), ProtocolError> {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    frame.encode_body_into(out);
+    let body_len = out.len() - start - 4;
+    if body_len > MAX_FRAME {
+        out.truncate(start);
+        return Err(ProtocolError::Oversized(body_len));
     }
-    w.write_all(&(body.len() as u32).to_le_bytes())?;
-    w.write_all(&body)?;
+    out[start..start + 4].copy_from_slice(&(body_len as u32).to_le_bytes());
     Ok(())
 }
 
-/// Read one frame from `r`. Returns `Ok(None)` on clean EOF at a frame
-/// boundary.
-pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, ProtocolError> {
+/// Write one frame to `w` (length prefix + body), without flushing,
+/// encoding through the caller's reusable `scratch` buffer. The hot
+/// path: steady state performs zero allocations.
+pub fn write_frame_buffered(
+    w: &mut impl Write,
+    frame: &Frame,
+    scratch: &mut Vec<u8>,
+) -> Result<(), ProtocolError> {
+    scratch.clear();
+    encode_frame_into(frame, scratch)?;
+    w.write_all(scratch)?;
+    Ok(())
+}
+
+/// Write one frame to `w` (length prefix + body), without flushing.
+///
+/// Convenience wrapper over [`write_frame_buffered`] with a throwaway
+/// buffer; per-connection loops should hold their own scratch instead.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), ProtocolError> {
+    let mut scratch = Vec::with_capacity(64);
+    write_frame_buffered(w, frame, &mut scratch)
+}
+
+/// Read one frame from `r`, staging the body in the caller's reusable
+/// `scratch` buffer. Returns `Ok(None)` on clean EOF at a frame
+/// boundary. Steady state performs no transport-side allocations
+/// (decoded frames still own their payload fields).
+pub fn read_frame_buffered(
+    r: &mut impl Read,
+    scratch: &mut Vec<u8>,
+) -> Result<Option<Frame>, ProtocolError> {
     let mut len_buf = [0u8; 4];
     match r.read_exact(&mut len_buf) {
         Ok(()) => {}
@@ -619,9 +665,20 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, ProtocolError> {
     if len > MAX_FRAME {
         return Err(ProtocolError::Oversized(len));
     }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    Frame::decode_body(&body).map(Some)
+    scratch.clear();
+    scratch.resize(len, 0);
+    r.read_exact(scratch)?;
+    Frame::decode_body(scratch).map(Some)
+}
+
+/// Read one frame from `r`. Returns `Ok(None)` on clean EOF at a frame
+/// boundary.
+///
+/// Convenience wrapper over [`read_frame_buffered`] with a throwaway
+/// buffer; per-connection loops should hold their own scratch instead.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, ProtocolError> {
+    let mut scratch = Vec::new();
+    read_frame_buffered(r, &mut scratch)
 }
 
 #[cfg(test)]
@@ -786,6 +843,104 @@ mod tests {
                 version: 1,
             })
         );
+    }
+
+    #[test]
+    fn encode_frame_into_matches_write_frame_bytes() {
+        let frames = vec![
+            Frame::Stats,
+            Frame::Registered { user: 7, fee: 2.5 },
+            Frame::Row {
+                query_id: 1,
+                seq: 5,
+                row: Row::new(vec![Value::Int(9), Value::Text("x".into()), Value::Null]),
+            },
+            Frame::Error {
+                query_id: 2,
+                message: "no such table".into(),
+            },
+        ];
+        for frame in &frames {
+            let mut via_writer = Vec::new();
+            write_frame(&mut via_writer, frame).unwrap();
+            let mut via_encode = Vec::new();
+            encode_frame_into(frame, &mut via_encode).unwrap();
+            assert_eq!(via_writer, via_encode, "wire bytes must be identical");
+        }
+    }
+
+    #[test]
+    fn encode_frame_into_appends_and_coalesces() {
+        // A burst of frames encoded into one buffer parses back in order
+        // — the writer-side coalescing contract.
+        let mut buf = Vec::new();
+        encode_frame_into(&Frame::Stats, &mut buf).unwrap();
+        let after_first = buf.len();
+        encode_frame_into(&Frame::Registered { user: 1, fee: 0.5 }, &mut buf).unwrap();
+        assert!(
+            buf.len() > after_first,
+            "second frame appended, not overwritten"
+        );
+        let mut slice = buf.as_slice();
+        assert_eq!(read_frame(&mut slice).unwrap(), Some(Frame::Stats));
+        assert!(matches!(
+            read_frame(&mut slice).unwrap(),
+            Some(Frame::Registered { user: 1, .. })
+        ));
+        assert_eq!(read_frame(&mut slice).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_rolls_back_the_buffer() {
+        let mut buf = Vec::new();
+        encode_frame_into(&Frame::Stats, &mut buf).unwrap();
+        let len_before = buf.len();
+        let huge = Frame::StatsReply {
+            rendered: "x".repeat(MAX_FRAME),
+        };
+        assert!(matches!(
+            encode_frame_into(&huge, &mut buf),
+            Err(ProtocolError::Oversized(_))
+        ));
+        assert_eq!(
+            buf.len(),
+            len_before,
+            "failed encode must not leave partial bytes"
+        );
+        // The buffer is still a valid stream.
+        assert_eq!(read_frame(&mut buf.as_slice()).unwrap(), Some(Frame::Stats));
+    }
+
+    #[test]
+    fn buffered_read_reuses_scratch_across_frames() {
+        let mut buf = Vec::new();
+        let big = Frame::StatsReply {
+            rendered: "y".repeat(4096),
+        };
+        write_frame(&mut buf, &big).unwrap();
+        write_frame(&mut buf, &Frame::Stats).unwrap();
+        write_frame(&mut buf, &big).unwrap();
+        let mut slice = buf.as_slice();
+        let mut scratch = Vec::new();
+        assert_eq!(
+            read_frame_buffered(&mut slice, &mut scratch).unwrap(),
+            Some(big.clone())
+        );
+        let cap = scratch.capacity();
+        assert_eq!(
+            read_frame_buffered(&mut slice, &mut scratch).unwrap(),
+            Some(Frame::Stats)
+        );
+        assert_eq!(
+            read_frame_buffered(&mut slice, &mut scratch).unwrap(),
+            Some(big)
+        );
+        assert_eq!(
+            scratch.capacity(),
+            cap,
+            "scratch allocation is reused, not reallocated per frame"
+        );
+        assert_eq!(read_frame_buffered(&mut slice, &mut scratch).unwrap(), None);
     }
 
     #[test]

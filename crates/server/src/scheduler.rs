@@ -142,6 +142,38 @@ impl DelayScheduler {
         self.shared.work_cv.notify_one();
     }
 
+    /// Schedule a batch of `(deadline_nanos, job)` pairs under **one**
+    /// lock acquisition and one scheduler wakeup, preserving the batch's
+    /// order among equal deadlines. The streaming gate files a whole
+    /// chunk's releases this way instead of taking the wheel lock per
+    /// row.
+    pub fn schedule_batch(&self, jobs: impl IntoIterator<Item = (u64, Job)>) {
+        let mut st = self.shared.state.lock().unwrap();
+        let mut n = 0u64;
+        for (deadline_nanos, job) in jobs {
+            let tick = self.shared.deadline_tick(deadline_nanos);
+            st.wheel.insert(tick, job);
+            n += 1;
+        }
+        if n == 0 {
+            return;
+        }
+        self.shared.metrics.scheduler_scheduled.add(n);
+        self.shared
+            .metrics
+            .scheduler_pending
+            .set(st.wheel.pending() as i64);
+        drop(st);
+        self.shared.work_cv.notify_one();
+    }
+
+    /// Nanoseconds per wheel tick. Deadlines within the same tick fire in
+    /// one batch; the gate uses this to coalesce same-tick row releases
+    /// into a single job.
+    pub fn tick_nanos(&self) -> u64 {
+        self.shared.tick_nanos
+    }
+
     /// Delays currently pending on the wheel.
     pub fn pending(&self) -> usize {
         self.shared.state.lock().unwrap().wheel.pending()

@@ -34,7 +34,9 @@
 
 use crate::gate::{FrameSink, FrontDoor, GateConfig, SessionControl, SessionState};
 use crate::metrics::ServerMetrics;
-use crate::protocol::{write_frame, Frame, ProtocolError, RefuseReason};
+use crate::protocol::{
+    encode_frame_into, read_frame_buffered, write_frame, Frame, ProtocolError, RefuseReason,
+};
 use crate::scheduler::DelayScheduler;
 use delayguard_core::clock::{secs_to_nanos, Clock};
 use delayguard_core::gatekeeper::GatekeeperConfig;
@@ -162,6 +164,20 @@ impl SendQueue {
         self.ready.notify_one();
     }
 
+    /// Queue a batch of previously reserved row frames under one lock
+    /// acquisition and one writer wakeup. Never blocks.
+    fn push_rows(&self, frames: &mut Vec<Frame>) {
+        let mut q = self.inner.lock().unwrap();
+        if q.closed {
+            q.outstanding_rows = q.outstanding_rows.saturating_sub(frames.len());
+            frames.clear();
+            return;
+        }
+        q.frames.extend(frames.drain(..));
+        drop(q);
+        self.ready.notify_one();
+    }
+
     /// Queue a control frame (registration, refusal, begin/done, stats).
     /// Control frames bypass the row cap; they are small and bounded by
     /// the client's own request rate.
@@ -244,6 +260,10 @@ impl FrameSink for Conn {
 
     fn push_row(&self, frame: Frame) {
         self.queue.push_row(frame);
+    }
+
+    fn push_rows(&self, frames: &mut Vec<Frame>) {
+        self.queue.push_rows(frames);
     }
 
     fn try_reserve_rows(&self, n: usize) -> bool {
@@ -521,21 +541,43 @@ fn handle_accept(
     threads.push(reader);
 }
 
-fn writer_loop(stream: TcpStream, conn: Arc<Conn>) {
-    let mut w = BufWriter::new(stream);
+/// Keep coalescing frames in the writer's buffer until it reaches this
+/// size, then write even mid-burst, bounding writer memory.
+const WRITER_COALESCE_BYTES: usize = 64 * 1024;
+
+/// Shed the writer buffer's allocation after a burst leaves it larger
+/// than this (a lone oversized `STATS_REPLY` must not pin megabytes for
+/// the life of the connection).
+const WRITER_BUF_RETAIN_BYTES: usize = 256 * 1024;
+
+fn writer_loop(mut stream: TcpStream, conn: Arc<Conn>) {
+    // One reusable encode buffer per connection replaces the old
+    // `BufWriter` + per-frame body Vec: a burst of frames is laid down
+    // back-to-back (zero steady-state allocations, one copy per byte)
+    // and leaves in a single `write_all` at the queue boundary.
+    let mut buf: Vec<u8> = Vec::with_capacity(8 * 1024);
     while let Some((frame, more)) = conn.queue.pop_blocking() {
-        if write_frame(&mut w, &frame).is_err() {
+        if encode_frame_into(&frame, &mut buf).is_err() {
             conn.queue.close();
             break;
         }
-        // Flush at queue boundaries so clients see frames promptly while
+        // Write at queue boundaries so clients see frames promptly while
         // bursts still coalesce into large writes.
-        if !more && w.flush().is_err() {
-            conn.queue.close();
-            break;
+        if !more || buf.len() >= WRITER_COALESCE_BYTES {
+            if stream.write_all(&buf).is_err() {
+                conn.queue.close();
+                break;
+            }
+            buf.clear();
+            if buf.capacity() > WRITER_BUF_RETAIN_BYTES {
+                buf = Vec::with_capacity(8 * 1024);
+            }
         }
     }
-    let _ = w.flush();
+    if !buf.is_empty() {
+        let _ = stream.write_all(&buf);
+    }
+    let _ = stream.flush();
     conn.writer_done.store(true, Ordering::SeqCst);
 }
 
@@ -549,8 +591,11 @@ fn peer_octets(peer: SocketAddr) -> [u8; 4] {
 fn session_loop(stream: TcpStream, peer: SocketAddr, shared: &Arc<Shared>, conn: &Arc<Conn>) {
     let mut reader = BufReader::new(stream);
     let peer_ip = peer_octets(peer);
+    // Reused frame-body staging buffer: one allocation per connection,
+    // not one per received frame.
+    let mut scratch: Vec<u8> = Vec::new();
     loop {
-        let frame = match crate::protocol::read_frame(&mut reader) {
+        let frame = match read_frame_buffered(&mut reader, &mut scratch) {
             Ok(Some(frame)) => frame,
             Ok(None) => return, // clean EOF
             Err(ProtocolError::Io(_)) => return,

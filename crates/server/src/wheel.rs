@@ -375,4 +375,51 @@ mod tests {
         assert_eq!(seen, 10_000);
         assert_eq!(w.pending(), 0);
     }
+
+    /// Pins the `pending == 0` fast path: an emptied wheel answers
+    /// `next_deadline` without scanning its slots, no matter how deep the
+    /// cursor sits or how scattered the previous entries were. The
+    /// scheduler leans on this — an idle server calls `next_deadline`
+    /// every tick, and a sparse wheel (entries spread across all four
+    /// levels, then drained) must not degrade that to a 4×64-slot walk.
+    #[test]
+    fn next_deadline_is_cheap_on_drained_sparse_wheel() {
+        let mut w = TimerWheel::new();
+        // One entry per level plus overflow, maximally spread out.
+        for d in [
+            5,
+            SLOTS as u64 * 3,
+            (SLOTS as u64).pow(2) * 7,
+            HORIZON - 1,
+            HORIZON * 2,
+        ] {
+            w.insert(d, d);
+        }
+        // Drain past each deadline in turn; between drains the wheel is
+        // sparse and the minimum must still be exact.
+        let mut remaining = [
+            5,
+            SLOTS as u64 * 3,
+            (SLOTS as u64).pow(2) * 7,
+            HORIZON - 1,
+            HORIZON * 2,
+        ]
+        .to_vec();
+        while let Some(&next) = remaining.first() {
+            assert_eq!(w.next_deadline(), Some(next));
+            let fired = w.advance(next);
+            assert_eq!(fired.len(), 1);
+            remaining.remove(0);
+        }
+        // Cursor is now deep past HORIZON with every slot empty: the
+        // fast path must answer None, repeatedly, from the counter alone.
+        assert_eq!(w.pending(), 0);
+        for _ in 0..1_000_000 {
+            assert_eq!(w.next_deadline(), None);
+        }
+        // And the wheel is still live: a fresh far insert is tracked.
+        let base = HORIZON * 2;
+        w.insert(base + 40, base + 40);
+        assert_eq!(w.next_deadline(), Some(base + 40));
+    }
 }

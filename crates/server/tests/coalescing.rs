@@ -1,0 +1,346 @@
+//! Regression tests for same-tick release coalescing.
+//!
+//! The wheel groups consecutive rows whose deadlines land on the same
+//! scheduler tick into one job, and that job hands the whole batch to the
+//! sink in a single `push_rows` call — one queue lock and one writer
+//! wakeup per tick per connection instead of one per row. These tests pin
+//! both halves of that contract against a recording sink: batching when
+//! deadlines coincide, and per-deadline delivery order when they do not.
+
+use delayguard_core::clock::{secs_to_nanos, Clock, ManualClock};
+use delayguard_core::gatekeeper::RegistrationPolicy;
+use delayguard_core::{ChargingModel, GatekeeperConfig, GuardConfig, GuardedDatabase};
+use delayguard_query::Engine;
+use delayguard_server::gate::{FrameSink, FrontDoor, GateConfig, SessionState};
+use delayguard_server::metrics::ServerMetrics;
+use delayguard_server::protocol::Frame;
+use delayguard_server::scheduler::DelayScheduler;
+use delayguard_sim::Registry;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What the sink observed, in arrival order. Every `push_rows` call is
+/// one `Batch` entry — a per-row fallback would show up as many
+/// single-frame batches.
+#[derive(Debug)]
+enum Event {
+    Control(Frame),
+    Batch(Vec<Frame>),
+}
+
+struct RecordingSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl RecordingSink {
+    fn new() -> Arc<RecordingSink> {
+        Arc::new(RecordingSink {
+            events: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+impl FrameSink for RecordingSink {
+    fn push_control(&self, frame: Frame) {
+        self.events.lock().push(Event::Control(frame));
+    }
+
+    fn push_row(&self, frame: Frame) {
+        self.events.lock().push(Event::Batch(vec![frame]));
+    }
+
+    fn push_rows(&self, frames: &mut Vec<Frame>) {
+        self.events
+            .lock()
+            .push(Event::Batch(std::mem::take(frames)));
+    }
+
+    fn try_reserve_rows(&self, _n: usize) -> bool {
+        true
+    }
+}
+
+struct Rig {
+    clock: Arc<ManualClock>,
+    scheduler: Arc<DelayScheduler>,
+    gate: Arc<FrontDoor>,
+}
+
+/// The real front door on a manual clock and a manual-mode scheduler,
+/// with `rows` one-column tuples seeded at time zero.
+fn rig(charging: ChargingModel, rows: usize) -> Rig {
+    let clock = ManualClock::shared();
+    let dyn_clock: Arc<dyn Clock> = Arc::clone(&clock) as Arc<dyn Clock>;
+    let guard = GuardConfig::paper_default().with_charging(charging);
+    let db = Arc::new(GuardedDatabase::with_engine_and_clock(
+        Engine::new(),
+        guard,
+        Arc::clone(&dyn_clock),
+    ));
+    db.execute_at("CREATE TABLE directory (id INT NOT NULL)", 0.0)
+        .unwrap();
+    for id in 0..rows {
+        db.execute_at(&format!("INSERT INTO directory VALUES ({id})"), 0.0)
+            .unwrap();
+    }
+    let registry = Registry::new();
+    let metrics = ServerMetrics::new(&registry);
+    let scheduler = DelayScheduler::manual(
+        Duration::from_millis(1),
+        metrics.clone(),
+        Arc::clone(&dyn_clock),
+    );
+    let gate = Arc::new(FrontDoor::new(
+        GateConfig {
+            gatekeeper: GatekeeperConfig {
+                registration: RegistrationPolicy::interval(0.0),
+                ..GatekeeperConfig::default()
+            },
+            ..GateConfig::default()
+        },
+        db,
+        Arc::clone(&scheduler),
+        dyn_clock,
+        metrics,
+        registry,
+    ));
+    Rig {
+        clock,
+        scheduler,
+        gate,
+    }
+}
+
+/// Register, run one `SELECT *`, then advance time until the wheel is
+/// drained; returns everything the sink saw.
+fn run_select(rig: &Rig, sink: &Arc<RecordingSink>) -> Vec<Event> {
+    let session = SessionState::new();
+    rig.gate.handle_frame(
+        Frame::Register {
+            claimed_ip: [0; 4],
+            version: 2,
+        },
+        [10, 0, 0, 1],
+        &session,
+        sink,
+    );
+    let user = match sink.events.lock().pop() {
+        Some(Event::Control(Frame::Registered { user, .. })) => user,
+        other => panic!("expected Registered, got {other:?}"),
+    };
+    rig.gate.handle_frame(
+        Frame::Query {
+            query_id: 7,
+            user,
+            sql: "SELECT * FROM directory".into(),
+        },
+        [10, 0, 0, 1],
+        &session,
+        sink,
+    );
+    // Walk the wheel deadline by deadline so jobs fire exactly when (and
+    // in the order) the scheduler says they are due.
+    while let Some(at) = rig.scheduler.next_deadline_nanos() {
+        rig.clock.advance_to_nanos(at);
+        rig.scheduler.poll();
+    }
+    std::mem::take(&mut sink.events.lock())
+}
+
+/// PerQueryMax charges every row the same offset, so all deadlines share
+/// one tick — the whole result set must arrive as ONE `push_rows` batch,
+/// in sequence order, trailed by `ROWS_END` and `DONE`.
+#[test]
+fn same_tick_rows_coalesce_into_one_send() {
+    let rig = rig(ChargingModel::PerQueryMax, 16);
+    let sink = RecordingSink::new();
+    let events = run_select(&rig, &sink);
+
+    let batches: Vec<&Vec<Frame>> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Batch(frames) => Some(frames),
+            Event::Control(_) => None,
+        })
+        .collect();
+    assert_eq!(
+        batches.len(),
+        1,
+        "16 same-deadline rows must be one send, got {batches:?}"
+    );
+    let seqs: Vec<u32> = batches[0]
+        .iter()
+        .map(|f| match f {
+            Frame::Row {
+                query_id: 7, seq, ..
+            } => *seq,
+            other => panic!("non-row frame in batch: {other:?}"),
+        })
+        .collect();
+    assert_eq!(seqs, (0..16).collect::<Vec<u32>>());
+
+    // Controls bracket the batch: RowsBegin before, RowsEnd + Done after.
+    match &events[0] {
+        Event::Control(Frame::RowsBegin { query_id: 7, .. }) => {}
+        other => panic!("expected RowsBegin first, got {other:?}"),
+    }
+    let tail: Vec<&Event> = events.iter().rev().take(2).collect();
+    assert!(matches!(
+        tail[1],
+        Event::Control(Frame::RowsEnd {
+            query_id: 7,
+            rows: 16
+        })
+    ));
+    assert!(matches!(
+        tail[0],
+        Event::Control(Frame::Done {
+            query_id: 7,
+            tuples: 16,
+            ..
+        })
+    ));
+}
+
+/// PerTupleSum on a cold table prices every tuple at the 10 s cap, so
+/// offsets are strictly increasing prefix sums — no two rows share a
+/// tick. Coalescing must degrade to one single-row send per deadline,
+/// delivered in deadline (= sequence) order, never early.
+#[test]
+fn distinct_tick_rows_keep_deadline_order() {
+    let rig = rig(ChargingModel::PerTupleSum, 8);
+    let sink = RecordingSink::new();
+    let session = SessionState::new();
+    rig.gate.handle_frame(
+        Frame::Register {
+            claimed_ip: [0; 4],
+            version: 2,
+        },
+        [10, 0, 0, 1],
+        &session,
+        &sink,
+    );
+    let user = match sink.events.lock().pop() {
+        Some(Event::Control(Frame::Registered { user, .. })) => user,
+        other => panic!("expected Registered, got {other:?}"),
+    };
+    rig.gate.handle_frame(
+        Frame::Query {
+            query_id: 9,
+            user,
+            sql: "SELECT * FROM directory".into(),
+        },
+        [10, 0, 0, 1],
+        &session,
+        &sink,
+    );
+
+    // Each row's deadline is its prefix-sum offset: 10 s, 20 s, … 80 s.
+    // Step the clock to just before each deadline (nothing may fire),
+    // then onto it (exactly one single-row batch fires).
+    for row in 0..8u64 {
+        let due = secs_to_nanos(10.0 * (row + 1) as f64);
+        rig.clock.advance_to_nanos(due - secs_to_nanos(0.5));
+        rig.scheduler.poll();
+        let early: usize = sink
+            .events
+            .lock()
+            .iter()
+            .filter(|e| matches!(e, Event::Batch(_)))
+            .count();
+        assert_eq!(early as u64, row, "row {row} released before its deadline");
+
+        rig.clock.advance_to_nanos(due + secs_to_nanos(0.001));
+        rig.scheduler.poll();
+        let events = sink.events.lock();
+        let batches: Vec<&Vec<Frame>> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Batch(frames) => Some(frames),
+                Event::Control(_) => None,
+            })
+            .collect();
+        assert_eq!(batches.len() as u64, row + 1);
+        let last = batches.last().unwrap();
+        assert_eq!(last.len(), 1, "distinct ticks must not coalesce");
+        assert!(
+            matches!(&last[0], Frame::Row { seq, .. } if *seq as u64 == row),
+            "rows must release in deadline order"
+        );
+    }
+
+    // Drain the trailer; the full transcript ends RowsEnd then Done.
+    while let Some(at) = rig.scheduler.next_deadline_nanos() {
+        rig.clock.advance_to_nanos(at);
+        rig.scheduler.poll();
+    }
+    let events = sink.events.lock();
+    assert!(matches!(
+        events[events.len() - 2],
+        Event::Control(Frame::RowsEnd {
+            query_id: 9,
+            rows: 8
+        })
+    ));
+    assert!(matches!(
+        events[events.len() - 1],
+        Event::Control(Frame::Done {
+            query_id: 9,
+            tuples: 8,
+            ..
+        })
+    ));
+}
+
+/// Two interleaved connections on one wheel: coalescing is per
+/// connection. Each sink still receives its own rows as one batch even
+/// though both queries share every tick of the scheduler.
+#[test]
+fn coalescing_is_per_connection() {
+    let rig = rig(ChargingModel::PerQueryMax, 12);
+    let sink_a = RecordingSink::new();
+    let sink_b = RecordingSink::new();
+    for (query_id, sink) in [(1u32, &sink_a), (2u32, &sink_b)] {
+        let session = SessionState::new();
+        rig.gate.handle_frame(
+            Frame::Register {
+                claimed_ip: [0; 4],
+                version: 2,
+            },
+            [10, 0, (query_id % 256) as u8, 1],
+            &session,
+            sink,
+        );
+        let user = match sink.events.lock().pop() {
+            Some(Event::Control(Frame::Registered { user, .. })) => user,
+            other => panic!("expected Registered, got {other:?}"),
+        };
+        rig.gate.handle_frame(
+            Frame::Query {
+                query_id,
+                user,
+                sql: "SELECT * FROM directory".into(),
+            },
+            [10, 0, (query_id % 256) as u8, 1],
+            &session,
+            sink,
+        );
+    }
+    while let Some(at) = rig.scheduler.next_deadline_nanos() {
+        rig.clock.advance_to_nanos(at);
+        rig.scheduler.poll();
+    }
+    for sink in [&sink_a, &sink_b] {
+        let events = sink.events.lock();
+        let batches: Vec<&Vec<Frame>> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Batch(frames) => Some(frames),
+                Event::Control(_) => None,
+            })
+            .collect();
+        assert_eq!(batches.len(), 1, "one send per connection per tick");
+        assert_eq!(batches[0].len(), 12);
+    }
+}

@@ -17,6 +17,7 @@
 //! so decoding is defensive: every read is bounds-checked and malformed
 //! input yields [`StorageError::CorruptPage`].
 
+use crate::copymeter;
 use crate::error::{Result, StorageError};
 use crate::row::Row;
 use crate::value::Value;
@@ -59,10 +60,12 @@ pub fn encode_value(value: &Value, out: &mut Vec<u8>) {
 
 /// Append the encoding of `row` to `out`.
 pub fn encode_row(row: &Row, out: &mut Vec<u8>) {
+    let start = out.len();
     out.extend_from_slice(&(row.arity() as u16).to_le_bytes());
     for v in row.values() {
         encode_value(v, out);
     }
+    copymeter::add(out.len() - start);
 }
 
 /// Encode a row into a fresh buffer.
@@ -178,20 +181,82 @@ impl<'a> Reader<'a> {
 
     /// Decode a row.
     pub fn row(&mut self) -> Result<Row> {
+        let start = self.pos;
         let arity = self.u16()? as usize;
         let mut values = Vec::with_capacity(arity);
         for _ in 0..arity {
             values.push(self.value()?);
         }
+        copymeter::add(self.pos - start);
         Ok(Row::new(values))
     }
 
-    /// Read a length-prefixed UTF-8 string (u32 length).
+    /// Decode a single value into an existing slot, reusing the slot's
+    /// heap allocations (Text/Bytes capacity) when the variants line up.
+    pub fn value_into(&mut self, slot: &mut Value) -> Result<()> {
+        let tag = self.u8()?;
+        match tag {
+            TAG_NULL => *slot = Value::Null,
+            TAG_BOOL => match self.u8()? {
+                0 => *slot = Value::Bool(false),
+                1 => *slot = Value::Bool(true),
+                b => return Err(StorageError::CorruptPage(format!("bad bool byte {b}"))),
+            },
+            TAG_INT => *slot = Value::Int(self.i64()?),
+            TAG_FLOAT => *slot = Value::Float(self.f64()?),
+            TAG_TEXT => {
+                let len = self.u32()? as usize;
+                let raw = self.take(len)?;
+                let s = std::str::from_utf8(raw).map_err(|e| {
+                    StorageError::CorruptPage(format!("invalid utf8 in TEXT value: {e}"))
+                })?;
+                if let Value::Text(dst) = slot {
+                    dst.clear();
+                    dst.push_str(s);
+                } else {
+                    *slot = Value::Text(s.to_owned());
+                }
+            }
+            TAG_BYTES => {
+                let len = self.u32()? as usize;
+                let raw = self.take(len)?;
+                if let Value::Bytes(dst) = slot {
+                    dst.clear();
+                    dst.extend_from_slice(raw);
+                } else {
+                    *slot = Value::Bytes(raw.to_vec());
+                }
+            }
+            t => return Err(StorageError::CorruptPage(format!("unknown value tag {t}"))),
+        }
+        Ok(())
+    }
+
+    /// Decode a row into an existing [`Row`], reusing its per-slot
+    /// allocations. On error the row's contents are unspecified.
+    pub fn row_into(&mut self, row: &mut Row) -> Result<()> {
+        let start = self.pos;
+        let arity = self.u16()? as usize;
+        let values = row.values_mut();
+        values.truncate(arity);
+        for slot in values.iter_mut() {
+            self.value_into(slot)?;
+        }
+        for _ in values.len()..arity {
+            values.push(self.value()?);
+        }
+        copymeter::add(self.pos - start);
+        Ok(())
+    }
+
+    /// Read a length-prefixed UTF-8 string (u32 length). Validates in
+    /// place and copies once.
     pub fn string(&mut self) -> Result<String> {
         let len = self.u32()? as usize;
         let raw = self.take(len)?;
-        String::from_utf8(raw.to_vec())
-            .map_err(|e| StorageError::CorruptSnapshot(format!("invalid utf8 string: {e}")))
+        let s = std::str::from_utf8(raw)
+            .map_err(|e| StorageError::CorruptSnapshot(format!("invalid utf8 string: {e}")))?;
+        Ok(s.to_owned())
     }
 }
 
@@ -212,6 +277,21 @@ pub fn decode_row(buf: &[u8]) -> Result<Row> {
         )));
     }
     Ok(row)
+}
+
+/// Decode a row from a standalone buffer into an existing [`Row`],
+/// reusing its per-slot allocations. Requires full consumption. On
+/// error the row's contents are unspecified.
+pub fn decode_row_into(buf: &[u8], row: &mut Row) -> Result<()> {
+    let mut r = Reader::new(buf);
+    r.row_into(row)?;
+    if r.remaining() != 0 {
+        return Err(StorageError::CorruptPage(format!(
+            "{} trailing bytes after row",
+            r.remaining()
+        )));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -291,6 +371,74 @@ mod tests {
         buf.extend_from_slice(&2u32.to_le_bytes());
         buf.extend_from_slice(&[0xFF, 0xFE]);
         assert!(decode_row(&buf).is_err());
+    }
+
+    #[test]
+    fn decode_into_matches_decode_and_reuses_slots() {
+        let rows = [
+            Row::new(vec![
+                Value::Int(7),
+                Value::Text("a longer title than the next".into()),
+                Value::Bytes(vec![9; 64]),
+                Value::Float(1.5),
+            ]),
+            Row::new(vec![
+                Value::Int(8),
+                Value::Text("short".into()),
+                Value::Bytes(vec![1, 2]),
+                Value::Null,
+            ]),
+            Row::new(vec![Value::Bool(true)]),
+            Row::new(vec![]),
+            Row::new(vec![
+                Value::Null,
+                Value::Text("back to wide again wide wide".into()),
+                Value::Bytes(vec![3; 32]),
+                Value::Bool(false),
+                Value::Int(-1),
+            ]),
+        ];
+        let mut reused = Row::new(Vec::new());
+        for row in &rows {
+            let buf = row_bytes(row);
+            decode_row_into(&buf, &mut reused).unwrap();
+            assert_eq!(&reused, row);
+            assert_eq!(reused, decode_row(&buf).unwrap());
+        }
+        // Reused Text capacity survives a shrink/regrow cycle.
+        let wide = row_bytes(&rows[0]);
+        let narrow = row_bytes(&rows[1]);
+        decode_row_into(&wide, &mut reused).unwrap();
+        decode_row_into(&narrow, &mut reused).unwrap();
+        assert_eq!(reused, rows[1]);
+    }
+
+    #[test]
+    fn decode_into_rejects_what_decode_rejects() {
+        let mut reused = Row::new(Vec::new());
+        let buf = row_bytes(&Row::new(vec![Value::Text("abcdef".into())]));
+        for cut in 0..buf.len() {
+            assert!(decode_row_into(&buf[..cut], &mut reused).is_err());
+        }
+        let mut trailing = row_bytes(&Row::new(vec![Value::Int(1)]));
+        trailing.push(0xAA);
+        assert!(decode_row_into(&trailing, &mut reused).is_err());
+        assert!(decode_row_into(&[1, 0, 99], &mut reused).is_err());
+    }
+
+    #[test]
+    fn copymeter_counts_row_payloads() {
+        let row = Row::new(vec![Value::Int(1), Value::Text("abc".into())]);
+        let buf = row_bytes(&row);
+        crate::copymeter::take();
+        let mut reused = Row::new(Vec::new());
+        decode_row_into(&buf, &mut reused).unwrap();
+        assert_eq!(crate::copymeter::take(), buf.len() as u64);
+        let _ = decode_row(&buf).unwrap();
+        assert_eq!(crate::copymeter::take(), buf.len() as u64);
+        let mut out = Vec::new();
+        encode_row(&row, &mut out);
+        assert_eq!(crate::copymeter::take(), buf.len() as u64);
     }
 
     #[test]

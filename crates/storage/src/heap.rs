@@ -130,6 +130,16 @@ impl HeapFile {
         })
     }
 
+    /// Same traversal as [`HeapFile::iter`], but as a nameable type so
+    /// hot-path cursors can hold it without boxing.
+    pub fn scan(&self) -> HeapScan<'_> {
+        HeapScan {
+            pages: &self.pages,
+            pidx: 0,
+            slot: 0,
+        }
+    }
+
     /// Access raw pages for snapshotting.
     pub fn pages(&self) -> &[Page] {
         &self.pages
@@ -149,6 +159,32 @@ impl HeapFile {
 impl Default for HeapFile {
     fn default() -> Self {
         HeapFile::new()
+    }
+}
+
+/// A concrete, allocation-free live-record iterator over a heap file.
+pub struct HeapScan<'a> {
+    pages: &'a [Page],
+    pidx: usize,
+    slot: usize,
+}
+
+impl<'a> Iterator for HeapScan<'a> {
+    type Item = (RowId, &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(page) = self.pages.get(self.pidx) {
+            while self.slot < page.num_slots() {
+                let slot = self.slot;
+                self.slot += 1;
+                if let Some(rec) = page.get(slot as u16) {
+                    return Some((RowId::new(self.pidx as u32, slot as u16), rec));
+                }
+            }
+            self.pidx += 1;
+            self.slot = 0;
+        }
+        None
     }
 }
 
@@ -249,6 +285,21 @@ mod tests {
         h.delete(b);
         let rids: Vec<RowId> = h.iter().map(|(rid, _)| rid).collect();
         assert_eq!(rids, vec![a, c]);
+    }
+
+    #[test]
+    fn scan_matches_iter() {
+        let mut h = HeapFile::new();
+        let mut rids = Vec::new();
+        for i in 0..200u16 {
+            rids.push(h.insert(&vec![i as u8; 40 + (i as usize % 60)]).unwrap());
+        }
+        for rid in rids.iter().step_by(3) {
+            h.delete(*rid);
+        }
+        let a: Vec<(RowId, Vec<u8>)> = h.iter().map(|(r, b)| (r, b.to_vec())).collect();
+        let b: Vec<(RowId, Vec<u8>)> = h.scan().map(|(r, b)| (r, b.to_vec())).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 pub mod catalog;
 pub mod codec;
+pub mod copymeter;
 pub mod error;
 pub mod heap;
 pub mod index;

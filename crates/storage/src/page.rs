@@ -63,7 +63,8 @@ impl Page {
         &self.buf
     }
 
-    fn num_slots(&self) -> usize {
+    /// Number of slot entries ever allocated (live or dead).
+    pub fn num_slots(&self) -> usize {
         read_u16(&self.buf, 0) as usize
     }
 

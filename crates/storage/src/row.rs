@@ -4,7 +4,7 @@ use crate::value::Value;
 use std::fmt;
 
 /// A tuple: an ordered list of values matching some [`crate::schema::Schema`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Row {
     values: Vec<Value>,
 }
@@ -40,9 +40,28 @@ impl Row {
         self.values
     }
 
+    /// Mutable access to the values, for decoders that refill a row in
+    /// place. Callers are responsible for keeping the arity consistent
+    /// with whatever schema the row is used against.
+    pub fn values_mut(&mut self) -> &mut Vec<Value> {
+        &mut self.values
+    }
+
     /// Project the row onto the given column positions.
     pub fn project(&self, indices: &[usize]) -> Row {
         Row::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Project into an existing row, reusing its per-slot allocations.
+    pub fn project_into(&self, indices: &[usize], out: &mut Row) {
+        let values = &mut out.values;
+        values.truncate(indices.len());
+        for (slot, &i) in values.iter_mut().zip(indices) {
+            self.values[i].clone_into_slot(slot);
+        }
+        for &i in &indices[values.len()..] {
+            values.push(self.values[i].clone());
+        }
     }
 }
 

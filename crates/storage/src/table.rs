@@ -1,6 +1,6 @@
 //! Tables: schema + heap + indexes, kept mutually consistent.
 
-use crate::codec::{decode_row, row_bytes};
+use crate::codec::{decode_row, decode_row_into, row_bytes};
 use crate::error::{Result, StorageError};
 use crate::heap::HeapFile;
 use crate::index::{Index, IndexDef, IndexKey};
@@ -8,6 +8,16 @@ use crate::row::{Row, RowId};
 use crate::schema::Schema;
 use crate::stats::TableStats;
 use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global source of DDL versions: every table instance and every
+/// index change gets a fresh value, so a cached plan can detect both
+/// schema changes *and* table re-creation with a single u64 compare.
+static NEXT_DDL_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_ddl_version() -> u64 {
+    NEXT_DDL_VERSION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A table: rows stored in a heap file, plus any number of named indexes.
 ///
@@ -19,6 +29,7 @@ pub struct Table {
     heap: HeapFile,
     indexes: Vec<Index>,
     stats: TableStats,
+    ddl_version: u64,
 }
 
 impl Table {
@@ -30,6 +41,7 @@ impl Table {
             heap: HeapFile::new(),
             indexes: Vec::new(),
             stats: TableStats::default(),
+            ddl_version: fresh_ddl_version(),
         }
     }
 
@@ -69,6 +81,13 @@ impl Table {
         &self.heap
     }
 
+    /// An opaque version that changes whenever the set of indexes changes
+    /// or the table object is rebuilt. Values are unique process-wide, so
+    /// equality means "the plan I cached is still valid for this table".
+    pub fn ddl_version(&self) -> u64 {
+        self.ddl_version
+    }
+
     /// Index definitions (for snapshotting and planning).
     pub fn index_defs(&self) -> Vec<IndexDef> {
         self.indexes.iter().map(|i| i.def().clone()).collect()
@@ -92,6 +111,7 @@ impl Table {
             index.insert(index.key_of(&row), rid)?;
         }
         self.indexes.push(index);
+        self.ddl_version = fresh_ddl_version();
         Ok(())
     }
 
@@ -103,6 +123,7 @@ impl Table {
             .position(|i| i.def().name == name)
             .ok_or_else(|| StorageError::IndexNotFound(name.to_owned()))?;
         self.indexes.remove(pos);
+        self.ddl_version = fresh_ddl_version();
         Ok(())
     }
 
@@ -162,6 +183,16 @@ impl Table {
         decode_row(rec)
     }
 
+    /// Like [`Table::peek`], but decodes into an existing row, reusing
+    /// its per-slot allocations.
+    pub fn peek_into(&self, rid: RowId, row: &mut Row) -> Result<()> {
+        let rec = self
+            .heap
+            .get(rid)
+            .ok_or(StorageError::RowNotFound(rid.raw()))?;
+        decode_row_into(rec, row)
+    }
+
     /// Replace the row at `rid` with `new_row`, keeping indexes consistent.
     /// Returns the (possibly relocated) RowId.
     pub fn update(&mut self, rid: RowId, new_row: Row) -> Result<RowId> {
@@ -218,6 +249,24 @@ impl Table {
         self.index_on(columns).map(|i| i.lookup(key).to_vec())
     }
 
+    /// Like [`Table::index_lookup`], but appends into a caller-owned
+    /// buffer. Returns false (leaving `out` untouched) if no index over
+    /// exactly `columns` exists.
+    pub fn index_lookup_into(
+        &self,
+        columns: &[usize],
+        key: &IndexKey,
+        out: &mut Vec<RowId>,
+    ) -> bool {
+        match self.index_on(columns) {
+            Some(i) => {
+                out.extend_from_slice(i.lookup(key));
+                true
+            }
+            None => false,
+        }
+    }
+
     /// RowIds within a key range on an index over `columns`.
     pub fn index_range(
         &self,
@@ -226,6 +275,25 @@ impl Table {
         hi: Bound<&IndexKey>,
     ) -> Option<Vec<RowId>> {
         self.index_on(columns).map(|i| i.range(lo, hi).collect())
+    }
+
+    /// Like [`Table::index_range`], but appends into a caller-owned
+    /// buffer. Returns false (leaving `out` untouched) if no index over
+    /// exactly `columns` exists.
+    pub fn index_range_into(
+        &self,
+        columns: &[usize],
+        lo: Bound<&IndexKey>,
+        hi: Bound<&IndexKey>,
+        out: &mut Vec<RowId>,
+    ) -> bool {
+        match self.index_on(columns) {
+            Some(i) => {
+                out.extend(i.range(lo, hi));
+                true
+            }
+            None => false,
+        }
     }
 
     /// Rebuild from snapshot parts (heap pages already loaded).
@@ -242,6 +310,7 @@ impl Table {
             heap,
             indexes: Vec::new(),
             stats,
+            ddl_version: fresh_ddl_version(),
         };
         for def in index_defs {
             let mut index = Index::new(def);
@@ -401,6 +470,61 @@ mod tests {
             t.drop_index("movies_title"),
             Err(StorageError::IndexNotFound(_))
         ));
+    }
+
+    #[test]
+    fn ddl_version_changes_on_index_ddl_and_recreation() {
+        let mut t = movies();
+        let v0 = t.ddl_version();
+        t.create_index("by_gross", &["gross"], false).unwrap();
+        let v1 = t.ddl_version();
+        assert_ne!(v0, v1);
+        t.drop_index("by_gross").unwrap();
+        let v2 = t.ddl_version();
+        assert_ne!(v1, v2);
+        // A freshly built table never shares a version with an old one.
+        assert_ne!(movies().ddl_version(), v2);
+    }
+
+    #[test]
+    fn peek_into_matches_peek() {
+        let mut t = movies();
+        let rid = t.insert(movie(1, "Spider-Man", 403.7e6)).unwrap();
+        let mut row = Row::new(Vec::new());
+        t.peek_into(rid, &mut row).unwrap();
+        assert_eq!(row, t.peek(rid).unwrap());
+    }
+
+    #[test]
+    fn index_into_variants_match_owned() {
+        let mut t = movies();
+        for i in 0..10 {
+            t.insert(movie(i, &format!("m{i}"), i as f64)).unwrap();
+        }
+        let id_col = t.schema().index_of("id").unwrap();
+        let lo = vec![Value::Int(3)];
+        let hi = vec![Value::Int(6)];
+        let owned = t
+            .index_range(&[id_col], Bound::Included(&lo), Bound::Excluded(&hi))
+            .unwrap();
+        let mut buf = Vec::new();
+        assert!(t.index_range_into(
+            &[id_col],
+            Bound::Included(&lo),
+            Bound::Excluded(&hi),
+            &mut buf
+        ));
+        assert_eq!(owned, buf);
+        let key = vec![Value::Int(4)];
+        let owned = t.index_lookup(&[id_col], &key).unwrap();
+        buf.clear();
+        assert!(t.index_lookup_into(&[id_col], &key, &mut buf));
+        assert_eq!(owned, buf);
+        // Missing index: false, buffer untouched.
+        buf.clear();
+        buf.push(RowId::from_raw(7));
+        assert!(!t.index_lookup_into(&[2], &key, &mut buf));
+        assert_eq!(buf, vec![RowId::from_raw(7)]);
     }
 
     #[test]

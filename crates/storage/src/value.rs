@@ -102,6 +102,22 @@ impl Value {
         }
     }
 
+    /// Clone into an existing slot, reusing the slot's heap capacity
+    /// when both sides are the same variable-width variant.
+    pub fn clone_into_slot(&self, slot: &mut Value) {
+        match (self, slot) {
+            (Value::Text(s), Value::Text(dst)) => {
+                dst.clear();
+                dst.push_str(s);
+            }
+            (Value::Bytes(b), Value::Bytes(dst)) => {
+                dst.clear();
+                dst.extend_from_slice(b);
+            }
+            (v, dst) => *dst = v.clone(),
+        }
+    }
+
     /// Interpret as an integer when possible (for LIMIT, key fields, ...).
     pub fn as_int(&self) -> Option<i64> {
         match self {

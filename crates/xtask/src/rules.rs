@@ -39,6 +39,17 @@
 //!   O(result) memory. Bounded, vetted collections (column-name lists,
 //!   config tables) go through `crates/xtask/lint-allow.txt`. Unit-test
 //!   modules are exempt.
+//! * **R6 no per-row allocation on the wire path** — `Vec::new`,
+//!   `format!` and `.to_vec()` are banned inside loop bodies in the
+//!   files that touch every released tuple (`crates/server/src/gate.rs`,
+//!   `crates/server/src/scheduler.rs`, `crates/server/src/protocol.rs`):
+//!   the zero-copy pipeline's allocation budget (two allocations per
+//!   query, measured by the bench counting allocator) only holds if the
+//!   per-row loops reuse caller-owned buffers, and one `format!` in a
+//!   row loop turns a budget into a hope. Allocations that run once per
+//!   *chunk* or per *connection* (outside any loop) are fine; vetted
+//!   per-iteration sites go through `crates/xtask/lint-allow.txt`.
+//!   Unit-test modules are exempt.
 
 use std::collections::HashSet;
 use std::path::Path;
@@ -102,6 +113,7 @@ pub fn lint_file(rel: &str, src: &str, allow: &Allowlist) -> Vec<Finding> {
     rule_no_unwrap_on_server_paths(rel, &scanned, &source_lines, allow, &mut findings);
     rule_no_relaxed_pointer_publish(rel, &scanned, &mut findings);
     rule_no_collect_on_server_hot_path(rel, &scanned, &source_lines, allow, &mut findings);
+    rule_no_alloc_in_row_loops(rel, &scanned, &source_lines, allow, &mut findings);
     findings
 }
 
@@ -296,6 +308,100 @@ fn rule_no_collect_on_server_hot_path(
                       crates/xtask/lint-allow.txt"
                 .to_string(),
         });
+    }
+}
+
+/// Files whose loops run once per released tuple, where a stray
+/// allocation multiplies by the row count and blows the measured
+/// two-allocations-per-query budget.
+fn row_loop_alloc_path(rel: &str) -> bool {
+    matches!(
+        rel,
+        "crates/server/src/gate.rs"
+            | "crates/server/src/scheduler.rs"
+            | "crates/server/src/protocol.rs"
+    )
+}
+
+/// Per-byte map of "inside a loop body": a brace frame is a loop frame
+/// when the code between the previous `{`/`}`/`;` and its opening brace
+/// contains a `for`, `while` or `loop` token. Works on the scanner's
+/// code view, so braces in strings and comments never confuse the
+/// nesting.
+fn loop_mask(code: &[String]) -> Vec<Vec<bool>> {
+    let mut stack: Vec<bool> = Vec::new();
+    let mut pending = String::new();
+    let mut masks = Vec::with_capacity(code.len());
+    for line in code {
+        let mut mask = vec![false; line.len()];
+        for (at, c) in line.char_indices() {
+            match c {
+                '{' => {
+                    let is_loop = has_token(&pending, "for")
+                        || has_token(&pending, "while")
+                        || has_token(&pending, "loop");
+                    stack.push(is_loop);
+                    pending.clear();
+                }
+                '}' => {
+                    stack.pop();
+                    pending.clear();
+                }
+                ';' => pending.clear(),
+                _ => pending.push(c),
+            }
+            let in_loop = stack.iter().any(|&l| l);
+            for m in mask.iter_mut().skip(at).take(c.len_utf8()) {
+                *m = in_loop;
+            }
+        }
+        masks.push(mask);
+    }
+    masks
+}
+
+fn rule_no_alloc_in_row_loops(
+    rel: &str,
+    s: &Scanned,
+    source_lines: &[&str],
+    allow: &Allowlist,
+    findings: &mut Vec<Finding>,
+) {
+    if !row_loop_alloc_path(rel) {
+        return;
+    }
+    let in_test = test_mod_lines(&s.code);
+    let masks = loop_mask(&s.code);
+    for (i, code) in s.code.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        for needle in ["Vec::new", "format!", ".to_vec()"] {
+            let mut start = 0;
+            while let Some(pos) = code[start..].find(needle) {
+                let at = start + pos;
+                start = at + needle.len();
+                if !masks[i].get(at).copied().unwrap_or(false) {
+                    continue;
+                }
+                let source = source_lines.get(i).copied().unwrap_or("");
+                if allow.permits(rel, source) {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: i + 1,
+                    message: format!(
+                        "`{needle}` inside a loop on the wire path — this \
+                         runs once per row and breaks the allocation \
+                         budget; reuse a caller-owned buffer, hoist the \
+                         allocation out of the loop, or add a vetted entry \
+                         to crates/xtask/lint-allow.txt"
+                    ),
+                });
+                break;
+            }
+        }
     }
 }
 
@@ -663,5 +769,83 @@ mod tests {
         let src = "// results .collect() whole is discussed here\n\
                    fn f() { let s = \"never .collect()\"; }\n";
         assert!(lint("crates/server/src/gate.rs", src).is_empty());
+    }
+
+    #[test]
+    fn per_row_alloc_in_loop_fires_on_every_wire_file() {
+        for bad in [
+            "fn f(rows: &[Row]) { for r in rows { let v = Vec::new(); } }\n",
+            "fn f(rows: &[Row]) { for r in rows { let s = format!(\"{r:?}\"); } }\n",
+            "fn f(rows: &[Row]) { for r in rows { let b = r.bytes.to_vec(); } }\n",
+            "fn f(n: u64) { while n > 0 { let v = Vec::new(); } }\n",
+            "fn f() { loop { let v = Vec::new(); } }\n",
+        ] {
+            for rel in [
+                "crates/server/src/gate.rs",
+                "crates/server/src/scheduler.rs",
+                "crates/server/src/protocol.rs",
+            ] {
+                let f = lint(rel, bad);
+                assert_eq!(f.len(), 1, "{rel} must flag {bad:?}");
+                assert!(f[0].message.contains("once per row"));
+            }
+        }
+    }
+
+    #[test]
+    fn alloc_outside_loops_is_fine() {
+        // Per-chunk and per-connection allocations sit outside any loop.
+        let src = "fn f(rows: &[Row]) {\n\
+                       let mut jobs = Vec::new();\n\
+                       for r in rows {\n\
+                           jobs.push(r.id);\n\
+                       }\n\
+                       let tail = Vec::new();\n\
+                   }\n";
+        assert!(lint("crates/server/src/gate.rs", src).is_empty());
+        // Same tokens in an unwatched file never fire.
+        let loopy = "fn f(rows: &[Row]) { for r in rows { let v = Vec::new(); } }\n";
+        assert!(lint("crates/server/src/server.rs", loopy).is_empty());
+        assert!(lint("crates/core/src/guarded.rs", loopy).is_empty());
+    }
+
+    #[test]
+    fn alloc_in_nested_block_of_loop_still_fires() {
+        let src = "fn f(rows: &[Row]) {\n\
+                       for r in rows {\n\
+                           if r.big() {\n\
+                               let v = Vec::new();\n\
+                           }\n\
+                       }\n\
+                   }\n";
+        assert_eq!(lint("crates/server/src/protocol.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn loop_keyword_in_identifier_or_format_is_not_a_loop() {
+        // `format!` must not read as a `for` loop header, and a call
+        // after a closed loop body is back outside it.
+        let src = "fn f(rows: &[Row]) {\n\
+                       for r in rows { touch(r); }\n\
+                       let label = format!(\"n={}\", rows.len());\n\
+                   }\n";
+        assert!(lint("crates/server/src/gate.rs", src).is_empty());
+    }
+
+    #[test]
+    fn row_loop_alloc_allowlist_and_test_modules_exempt() {
+        let src = "fn f(rows: &[Row]) { for r in rows { let v = r.b.to_vec(); } }\n";
+        let allow = Allowlist::parse(
+            "crates/server/src/gate.rs: fn f(rows: &[Row]) { for r in rows { let v = r.b.to_vec(); } }\n",
+        );
+        assert!(lint_file("crates/server/src/gate.rs", src, &allow).is_empty());
+        assert_eq!(lint("crates/server/src/gate.rs", src).len(), 1);
+        let test_src = "fn f() {}\n\
+                        #[cfg(test)]\n\
+                        mod tests {\n\
+                            #[test]\n\
+                            fn t() { for i in 0..4 { let v = Vec::new(); } }\n\
+                        }\n";
+        assert!(lint("crates/server/src/scheduler.rs", test_src).is_empty());
     }
 }

@@ -1,13 +1,198 @@
 //! Offline stand-in for the `bytes` crate.
 //!
-//! Only the `BytesMut` surface the workspace uses is provided: a growable,
-//! mutable byte buffer that derefs to `[u8]`. Backed by a plain `Vec<u8>`;
-//! the real crate's zero-copy splitting machinery is not needed here.
+//! Provides the surface the workspace uses: [`BytesMut`], a growable
+//! mutable byte buffer that derefs to `[u8]` and can be frozen, and
+//! [`Bytes`], a cheaply-cloneable immutable view over shared storage.
+//! `BytesMut` is backed by a plain `Vec<u8>`; `Bytes` is an
+//! `Arc<[u8]>`-backed window with O(1) `clone`, `slice` and `split_to`.
+//! The real crate's vtable machinery and unsafe pointer arithmetic are
+//! deliberately not reproduced — the shim is `forbid(unsafe_code)` and
+//! trades a copy at `freeze`/`split_to(BytesMut)` boundaries for
+//! simplicity, while keeping every *view* operation allocation-free.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
-use std::ops::{Deref, DerefMut};
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable, cheaply-cloneable view into shared byte storage
+/// (minimal `bytes::Bytes` stand-in).
+///
+/// Cloning, slicing and splitting never copy the underlying bytes: they
+/// bump the `Arc` and adjust the `[start, end)` window.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty view.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// A view copying `src` once into shared storage.
+    pub fn copy_from_slice(src: &[u8]) -> Bytes {
+        Bytes::from(src.to_vec())
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view of `self` (zero-copy: shares the same storage).
+    ///
+    /// # Panics
+    /// Panics when the range escapes the view.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let len = self.len();
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            lo <= hi && hi <= len,
+            "slice [{lo}, {hi}) out of range for Bytes of len {len}"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Split off and return the first `at` bytes, leaving the rest in
+    /// `self`. Zero-copy: both views share the same storage.
+    ///
+    /// # Panics
+    /// Panics when `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(
+            at <= self.len(),
+            "split_to({at}) out of range for Bytes of len {}",
+            self.len()
+        );
+        let front = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        front
+    }
+
+    /// Split off and return everything from `at` onward, leaving the
+    /// first `at` bytes in `self`. Zero-copy.
+    ///
+    /// # Panics
+    /// Panics when `at > len`.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(
+            at <= self.len(),
+            "split_off({at}) out of range for Bytes of len {}",
+            self.len()
+        );
+        let back = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + at,
+            end: self.end,
+        };
+        self.end = self.start + at;
+        back
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(src: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(src)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Bytes {
+        b.freeze()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self[..] == *other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes(len={})", self.len())
+    }
+}
 
 /// A mutable, growable byte buffer (minimal `bytes::BytesMut` stand-in).
 #[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -45,9 +230,79 @@ impl BytesMut {
         self.inner.is_empty()
     }
 
+    /// Bytes the buffer can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Reserve capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    /// Drop all contents, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Shorten the buffer to `len` bytes (no-op when already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.inner.truncate(len);
+    }
+
+    /// Resize to `len` bytes, filling any growth with `value`.
+    pub fn resize(&mut self, len: usize, value: u8) {
+        self.inner.resize(len, value);
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+
     /// Append bytes to the end of the buffer.
     pub fn extend_from_slice(&mut self, extend: &[u8]) {
         self.inner.extend_from_slice(extend);
+    }
+
+    /// Split off and return the first `at` bytes, leaving the rest (and
+    /// the original allocation) in `self`. Unlike the real crate this
+    /// copies the tail once; the returned head keeps the buffer's
+    /// allocation so a drain-the-front loop stays allocation-free in
+    /// steady state.
+    ///
+    /// # Panics
+    /// Panics when `at > len`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(
+            at <= self.len(),
+            "split_to({at}) out of range for BytesMut of len {}",
+            self.len()
+        );
+        let tail = self.inner.split_off(at);
+        let head = std::mem::replace(&mut self.inner, tail);
+        BytesMut { inner: head }
+    }
+
+    /// Split off and return everything from `at` onward, leaving the
+    /// first `at` bytes in `self`.
+    ///
+    /// # Panics
+    /// Panics when `at > len`.
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        assert!(
+            at <= self.len(),
+            "split_off({at}) out of range for BytesMut of len {}",
+            self.len()
+        );
+        BytesMut {
+            inner: self.inner.split_off(at),
+        }
+    }
+
+    /// Freeze into an immutable, cheaply-cloneable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.inner)
     }
 
     /// Consume the buffer, returning the underlying vector.
@@ -128,5 +383,89 @@ mod tests {
         b.extend_from_slice(b"ab");
         b.extend_from_slice(b"cd");
         assert_eq!(&b[..], b"abcd");
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut b = BytesMut::with_capacity(64);
+        b.extend_from_slice(&[9u8; 48]);
+        let cap = b.capacity();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap, "clear must not shed the allocation");
+        b.reserve(128);
+        assert!(b.capacity() >= 128);
+    }
+
+    #[test]
+    fn truncate_and_resize() {
+        let mut b = BytesMut::from(&b"abcdef"[..]);
+        b.truncate(3);
+        assert_eq!(&b[..], b"abc");
+        b.truncate(10); // no-op past the end
+        assert_eq!(&b[..], b"abc");
+        b.resize(5, 0x7a);
+        assert_eq!(&b[..], b"abczz");
+        b.resize(2, 0);
+        assert_eq!(&b[..], b"ab");
+    }
+
+    #[test]
+    fn freeze_then_zero_copy_views() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"hello world");
+        let b = m.freeze();
+        let c = b.clone();
+        assert_eq!(b, c);
+        let hello = b.slice(..5);
+        let world = b.slice(6..);
+        assert_eq!(&hello[..], b"hello");
+        assert_eq!(&world[..], b"world");
+        // Views share storage with the parent: all alive at once.
+        assert_eq!(&b[..], b"hello world");
+    }
+
+    #[test]
+    fn bytes_split_to_and_off() {
+        let mut b = Bytes::from(&b"0123456789"[..]);
+        let head = b.split_to(4);
+        assert_eq!(&head[..], b"0123");
+        assert_eq!(&b[..], b"456789");
+        let tail = b.split_off(2);
+        assert_eq!(&b[..], b"45");
+        assert_eq!(&tail[..], b"6789");
+        let empty = b.split_to(0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to(11)")]
+    fn bytes_split_past_end_panics() {
+        let mut b = Bytes::from(&b"0123456789"[..]);
+        let _ = b.split_to(11);
+    }
+
+    #[test]
+    fn bytes_mut_split_to_keeps_allocation_in_head() {
+        let mut m = BytesMut::with_capacity(256);
+        m.extend_from_slice(&[1u8; 8]);
+        m.extend_from_slice(&[2u8; 8]);
+        let head = m.split_to(8);
+        assert_eq!(&head[..], &[1u8; 8]);
+        assert_eq!(&m[..], &[2u8; 8]);
+        assert!(
+            head.capacity() >= 256,
+            "head inherits the original allocation"
+        );
+    }
+
+    #[test]
+    fn bytes_equality_and_slice_of_slice() {
+        let b = Bytes::from(&b"abcdef"[..]);
+        let mid = b.slice(1..5); // bcde
+        let inner = mid.slice(1..3); // cd
+        assert_eq!(&inner[..], b"cd");
+        assert_eq!(inner, Bytes::from(&b"cd"[..]));
+        assert!(inner == b"cd"[..]);
     }
 }
