@@ -89,7 +89,17 @@ impl ClusterCampaign {
         let policy = AccessDelayPolicy::new(base.alpha, base.beta)
             .with_cap(base.cap_secs)
             .with_fmax_mode(FmaxMode::DecayedTotal);
-        let guard = GuardConfig::paper_default().with_policy(GuardPolicy::AccessRate(policy));
+        // Like `Campaign::new`: fold the world seed into the jitter seed
+        // when shaping is on, so `TESTKIT_REPLAY` replays the exact
+        // shaped schedule. Every node shares the folded seed — a query
+        // must price identically wherever its shard lives.
+        let mut shaping = base.shaping;
+        if shaping.enabled {
+            shaping.seed ^= seed;
+        }
+        let guard = GuardConfig::paper_default()
+            .with_policy(GuardPolicy::AccessRate(policy))
+            .with_shaping(shaping);
         let gate = GateConfig {
             gatekeeper: base.gatekeeper,
             ..GateConfig::default()

@@ -20,6 +20,7 @@
 
 use delayguard_cluster::{ClusterCampaign, ClusterCampaignParams, ClusterConfig, ClusterWorld};
 use delayguard_core::gatekeeper::{GatekeeperConfig, RegistrationPolicy};
+use delayguard_core::shaping::DelayShaping;
 use delayguard_server::gate::GateConfig;
 use delayguard_sim::MetricValue;
 use delayguard_testkit::net::{self, NetLink, QueryOutcome};
@@ -313,4 +314,43 @@ fn same_seed_drives_bit_identical_executions() {
             assert_eq!(f1, f2);
         },
     );
+}
+
+/// Delay shaping rides `ClusterConfig::guard` onto every node: a shaped
+/// cluster replays bit-identically under the same seed (jitter is a pure
+/// function of the folded seed, query nonce, and tuple key — on whichever
+/// shard prices it), a *disabled* shaping knob is inert down to the wire
+/// digest, and enabling it only raises the charged totals.
+#[test]
+fn shaped_cluster_replays_bit_identically() {
+    check_in(PKG, "shaped_cluster_replays_bit_identically", 29, |seed| {
+        let run = |shaping: DelayShaping| {
+            let mut p = params(120, 4, 60.0);
+            p.base.shaping = shaping;
+            let mut campaign = ClusterCampaign::new(seed, p);
+            let ranks: Vec<u64> = (1..=48).collect();
+            let report = campaign.sequential_crawl([10, 0, 0, 1], &ranks);
+            assert!(report.min_margin_secs >= -1e-6);
+            (campaign.world().digest(), report.total_delay_secs)
+        };
+
+        let shaping = DelayShaping::new(3600.0, 8.0, 0.25, 0xFACE);
+        let (d1, total1) = run(shaping);
+        let (d2, total2) = run(shaping);
+        assert_eq!(d1, d2, "shaped cluster diverged for seed {seed}");
+        assert_eq!(total1.to_bits(), total2.to_bits());
+
+        let (plain_digest, plain_total) = run(DelayShaping::off());
+        let mut loud_but_off = shaping;
+        loud_but_off.enabled = false;
+        let (off_digest, off_total) = run(loud_but_off);
+        assert_eq!(
+            plain_digest, off_digest,
+            "disabled shaping must not perturb the cluster"
+        );
+        assert_eq!(plain_total.to_bits(), off_total.to_bits());
+
+        assert_ne!(d1, plain_digest, "shaping must change the wire trace");
+        assert!(total1 > plain_total, "shaping only raises prices");
+    });
 }

@@ -5,6 +5,7 @@
 //! it gives one), so simulations can be cross-checked against theory in
 //! `EXPERIMENTS.md` and the `analysis_vs_sim` integration test.
 
+use crate::shaping::DelayShaping;
 use delayguard_workload::{generalized_harmonic, power_sum};
 
 /// Eq. 1: delay of the `i`-th most popular of `n` tuples.
@@ -186,6 +187,92 @@ pub fn replication_lag_slack(warm_events: f64, event_rate: f64, lag_secs: f64) -
     (event_rate * lag_secs) / warm_events
 }
 
+// ---- shaped-delay (timing side channel) closed forms ---------------------
+
+/// Eq. 1 with the Eq. 5 cap and the [`DelayShaping`] noise term: the
+/// *expected* delay the shaped pipeline charges the `i`-th ranked tuple.
+/// The raw capped delay is rounded up to its geometric bucket edge and
+/// the uniform jitter averages to `1 + jitter_frac/2` of the edge. With
+/// shaping disabled this is exactly the raw capped Eq. 1 value.
+pub fn shaped_delay_at_rank(
+    n: u64,
+    alpha: f64,
+    beta: f64,
+    fmax: f64,
+    dmax: f64,
+    shaping: &DelayShaping,
+    rank: u64,
+) -> f64 {
+    shaping.expected(delay_at_rank(n, alpha, beta, fmax, rank).min(dmax))
+}
+
+/// Eq. 4's numerator re-derived with the quantization/noise term: the
+/// expected total delay a crawler of all `n` tuples is charged under
+/// shaping. Direct summation of [`shaped_delay_at_rank`] — quantization
+/// rounds up, so this is ≥ [`adversary_total_capped`], never below.
+pub fn shaped_adversary_total(
+    n: u64,
+    alpha: f64,
+    beta: f64,
+    fmax: f64,
+    dmax: f64,
+    shaping: &DelayShaping,
+) -> f64 {
+    (1..=n)
+        .map(|i| shaped_delay_at_rank(n, alpha, beta, fmax, dmax, shaping, i))
+        .sum()
+}
+
+/// Eq. 3's median-user delay re-derived with the noise term: the expected
+/// shaped delay of the median *request* (the [`median_rank_exact`] rank
+/// of the Zipf(α) workload). The honest-user inflation from shaping is
+/// this value over the raw capped median delay.
+pub fn shaped_median_user_delay(
+    n: u64,
+    alpha: f64,
+    beta: f64,
+    fmax: f64,
+    dmax: f64,
+    shaping: &DelayShaping,
+) -> f64 {
+    let med = median_rank_exact(n, alpha);
+    shaped_delay_at_rank(n, alpha, beta, fmax, dmax, shaping, med)
+}
+
+/// The information-theoretic ceiling on rank inference under shaping: the
+/// fraction of tuple pairs whose *bucket* still orders them.
+///
+/// Within a bucket every tuple pays the same edge and ordering is jitter
+/// noise (expected pair contribution 0); only cross-bucket pairs keep
+/// their true order. Kendall tau-a of a timing attack therefore cannot
+/// exceed `cross_pairs / C(n, 2)` in expectation — the quantity the
+/// sidechannel campaigns compare their measured tau against.
+pub fn shaping_tau_ceiling(
+    n: u64,
+    alpha: f64,
+    beta: f64,
+    fmax: f64,
+    dmax: f64,
+    shaping: &DelayShaping,
+) -> f64 {
+    assert!(n >= 2);
+    // Bucket sizes: ranks sharing a quantized edge.
+    let mut sizes: Vec<u64> = Vec::new();
+    let mut last_edge = f64::NAN;
+    for i in 1..=n {
+        let edge = shaping.quantize(delay_at_rank(n, alpha, beta, fmax, i).min(dmax));
+        if edge == last_edge {
+            *sizes.last_mut().expect("size exists when edge repeats") += 1;
+        } else {
+            sizes.push(1);
+            last_edge = edge;
+        }
+    }
+    let total_pairs = n as f64 * (n - 1) as f64 / 2.0;
+    let within: f64 = sizes.iter().map(|&s| s as f64 * (s - 1) as f64 / 2.0).sum();
+    (total_pairs - within) / total_pairs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +415,56 @@ mod tests {
         // priced as its own universe: m = 1, fmax = 1, d = 1.
         let tiny = sharded_unreplicated_total(3, 8, 1.0, 1.0);
         assert!((tiny - 3.0).abs() < 1e-12, "got {tiny}");
+    }
+
+    #[test]
+    fn shaped_forms_reduce_to_raw_when_off() {
+        let (n, a, b) = (256u64, 1.0, 1.0);
+        let fmax = 1.0 / generalized_harmonic(n, a);
+        let cap = 2000.0;
+        let off = DelayShaping::off();
+        let raw_total = adversary_total_capped(n, a, b, fmax, cap);
+        assert!((shaped_adversary_total(n, a, b, fmax, cap, &off) - raw_total).abs() < 1e-9);
+        let med = median_rank_exact(n, a);
+        let raw_med = delay_at_rank(n, a, b, fmax, med).min(cap);
+        assert!((shaped_median_user_delay(n, a, b, fmax, cap, &off) - raw_med).abs() < 1e-12);
+        // Unshaped, every pair of distinct raw delays stays ordered.
+        assert!((shaping_tau_ceiling(n, a, b, fmax, cap, &off) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shaping_only_raises_prices() {
+        let (n, a, b) = (256u64, 1.0, 1.0);
+        let fmax = 1.0 / generalized_harmonic(n, a);
+        let cap = 2000.0;
+        let s = DelayShaping::new(2000.0, 400.0, 0.1, 7);
+        assert!(
+            shaped_adversary_total(n, a, b, fmax, cap, &s)
+                > adversary_total_capped(n, a, b, fmax, cap)
+        );
+        for rank in [1, 13, 100, 256] {
+            let raw = delay_at_rank(n, a, b, fmax, rank).min(cap);
+            assert!(shaped_delay_at_rank(n, a, b, fmax, cap, &s, rank) >= raw);
+        }
+    }
+
+    #[test]
+    fn sidechannel_geometry_collapses_the_tau_ceiling() {
+        // The campaign's world: n = 256, α = β = 1, cap above the max raw
+        // delay, two-bucket geometry (edges 2000 and 5). The top bucket
+        // holds all but the hottest handful of ranks, so almost every
+        // pair becomes a tie.
+        let (n, a, b) = (256u64, 1.0, 1.0);
+        let fmax = 1.0 / generalized_harmonic(n, a);
+        let cap = 2000.0;
+        let s = DelayShaping::new(2000.0, 400.0, 0.1, 7);
+        let ceiling = shaping_tau_ceiling(n, a, b, fmax, cap, &s);
+        assert!(
+            ceiling < 0.12,
+            "tau ceiling {ceiling} too high for the campaign's near-chance band"
+        );
+        // Sanity: the unshaped world keeps full rank information.
+        assert!(shaping_tau_ceiling(n, a, b, fmax, cap, &DelayShaping::off()) > 0.999);
     }
 
     #[test]

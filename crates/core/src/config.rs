@@ -3,6 +3,7 @@
 use crate::access::AccessDelayPolicy;
 use crate::error::{GuardError, Result};
 use crate::policy::{ChargingModel, GuardPolicy};
+use crate::shaping::DelayShaping;
 use crate::snapshot::{ReadPath, SnapshotPolicy};
 
 /// Configuration of a [`crate::GuardedDatabase`].
@@ -27,6 +28,12 @@ pub struct GuardConfig {
     /// is split across. Rounded up to a power of two; `1` reproduces the
     /// original global-mutex guard.
     pub shards: usize,
+    /// Timing-side-channel defense: quantize delays into geometric
+    /// buckets and add seeded per-(query, tuple) jitter so response
+    /// times stop revealing popularity rank. Off by default —
+    /// [`DelayShaping::off`] makes pricing bit-identical to the
+    /// unshaped pipeline.
+    pub shaping: DelayShaping,
 }
 
 impl GuardConfig {
@@ -42,6 +49,7 @@ impl GuardConfig {
             read_path: ReadPath::Snapshot,
             snapshot: SnapshotPolicy::default(),
             shards: 16,
+            shaping: DelayShaping::off(),
         }
     }
 
@@ -81,6 +89,12 @@ impl GuardConfig {
         self
     }
 
+    /// Replace the delay-shaping policy.
+    pub fn with_shaping(mut self, shaping: DelayShaping) -> GuardConfig {
+        self.shaping = shaping;
+        self
+    }
+
     /// Validate parameter ranges.
     pub fn validate(&self) -> Result<()> {
         if self.access_decay_rate < 1.0 || !self.access_decay_rate.is_finite() {
@@ -116,6 +130,7 @@ impl GuardConfig {
                 self.snapshot.max_age_secs
             )));
         }
+        self.shaping.validate()?;
         Ok(())
     }
 }
@@ -181,5 +196,15 @@ mod tests {
         assert!(c.validate().is_ok());
         assert_eq!(c.read_path, ReadPath::Locked);
         assert_eq!(c.snapshot.max_pending_events, 64);
+    }
+
+    #[test]
+    fn shaping_knob_validates_through_config() {
+        let c = GuardConfig::paper_default().with_shaping(DelayShaping::new(10.0, 4.0, 0.25, 7));
+        assert!(c.validate().is_ok());
+        assert!(c.shaping.enabled);
+        let bad = GuardConfig::paper_default().with_shaping(DelayShaping::new(10.0, 0.5, 0.0, 7));
+        assert!(bad.validate().is_err());
+        assert_eq!(GuardConfig::paper_default().shaping, DelayShaping::off());
     }
 }

@@ -323,6 +323,10 @@ pub struct DeadlineStream<'s, 'c> {
     now_secs: f64,
     issued_at_nanos: u64,
     pricing: StreamPricing,
+    /// Per-query shaping nonce, pinned at open so every chunk of one
+    /// statement draws jitter from the same `(seed, nonce, key)` inputs
+    /// — chunking cannot change a query's shaped schedule.
+    nonce: u64,
     /// Running combine of every delay charged so far: the prefix sum
     /// under `PerTupleSum`, the running max under `PerQueryMax`.
     total_delay_secs: f64,
@@ -379,6 +383,12 @@ impl DeadlineStream<'_, '_> {
     pub fn charge_into(&mut self, rows: &[(RowId, Row)], out: &mut ChargedChunk) {
         out.delays.clear();
         out.offsets.clear();
+        // Shaping wraps every raw policy delay *before* the charging-model
+        // fold below, so deadlines, DONE trailers, the server wheel and
+        // the cluster all speak the shaped schedule. With shaping off,
+        // `shape` is the bit-exact identity.
+        let shaping = self.db.config.shaping;
+        let nonce = self.nonce;
         match &self.pricing {
             StreamPricing::Snapshot {
                 stats,
@@ -393,20 +403,22 @@ impl DeadlineStream<'_, '_> {
                         let mut hint = 0usize;
                         for (rid, _) in rows {
                             let key = rid.raw();
-                            out.delays.push(packed.delay_seq(scalars, key, &mut hint));
+                            let raw = packed.delay_seq(scalars, key, &mut hint);
+                            out.delays.push(shaping.shape(raw, nonce, key));
                             keys.push(key);
                         }
                     }
                     _ => {
                         for (rid, _) in rows {
                             let key = rid.raw();
-                            out.delays.push(self.db.config.policy.tuple_delay(
+                            let raw = self.db.config.policy.tuple_delay(
                                 &stats.access,
                                 &stats.updates,
                                 self.n,
                                 key,
                                 *window,
-                            ));
+                            );
+                            out.delays.push(shaping.shape(raw, nonce, key));
                             keys.push(key);
                         }
                     }
@@ -424,6 +436,7 @@ impl DeadlineStream<'_, '_> {
                 rows.iter().map(|(rid, _)| *rid),
                 self.now_secs,
                 self.n,
+                nonce,
             )),
         }
         out.offsets.reserve(out.delays.len());
@@ -508,6 +521,11 @@ pub struct GuardedDatabase {
     /// `remote_version` value the current snapshot generation reflects
     /// (written only under `refresh_lock`).
     remote_applied: AtomicU64,
+    /// Monotone per-statement counter feeding the shaping jitter hash:
+    /// each statement (or open stream) draws one nonce, so re-querying
+    /// the same tuple re-draws its jitter. Only advanced when shaping is
+    /// enabled, keeping the unshaped hot path untouched.
+    shaping_nonce: AtomicU64,
     /// The guard's one time source: every deadline-path read goes through
     /// here, so a simulated clock makes the whole guard deterministic.
     clock: Arc<dyn Clock>,
@@ -547,6 +565,7 @@ impl GuardedDatabase {
             remote: Mutex::new(BTreeMap::new()),
             remote_version: AtomicU64::new(0),
             remote_applied: AtomicU64::new(0),
+            shaping_nonce: AtomicU64::new(0),
             config,
             shards,
             clock,
@@ -573,6 +592,17 @@ impl GuardedDatabase {
     /// deadlines and guard deadlines live on the same clock).
     pub fn clock(&self) -> Arc<dyn Clock> {
         Arc::clone(&self.clock)
+    }
+
+    /// Draw the shaping nonce for one statement. A no-op zero when
+    /// shaping is disabled so the unshaped pipeline stays bit-identical
+    /// (and free of the extra atomic).
+    fn next_shaping_nonce(&self) -> u64 {
+        if self.config.shaping.enabled {
+            self.shaping_nonce.fetch_add(1, Ordering::Relaxed)
+        } else {
+            0
+        }
     }
 
     fn shard(&self, table: &str) -> &Mutex<HashMap<String, TableGuard>> {
@@ -629,11 +659,14 @@ impl GuardedDatabase {
     ) -> Result<(StatementOutput, Vec<f64>)> {
         let output = self.engine.execute_stmt(stmt)?;
         let table = statement_table(stmt);
+        let nonce = self.next_shaping_nonce();
         let tuple_delays = match (&output, table) {
             (StatementOutput::Rows(rows), Some(table)) => match path {
-                ReadPath::Locked => self.charge_select_locked(table, rows.row_ids(), now_secs)?,
+                ReadPath::Locked => {
+                    self.charge_select_locked(table, rows.row_ids(), now_secs, nonce)?
+                }
                 ReadPath::Snapshot => {
-                    self.charge_select_snapshot(table, rows.row_ids(), now_secs)?
+                    self.charge_select_snapshot(table, rows.row_ids(), now_secs, nonce)?
                 }
             },
             (StatementOutput::Updated { rids }, Some(table)) => {
@@ -735,6 +768,7 @@ impl GuardedDatabase {
         let issued_at_nanos = self.clock.now_nanos();
         let now_secs = nanos_to_secs(issued_at_nanos);
         let path = self.config.read_path;
+        let nonce = self.next_shaping_nonce();
         let table = statement_table(stmt).map(str::to_owned);
         let result = self
             .engine
@@ -758,6 +792,7 @@ impl GuardedDatabase {
                         now_secs,
                         issued_at_nanos,
                         pricing,
+                        nonce,
                         total_delay_secs: 0.0,
                         tuples_charged: 0,
                     }))
@@ -852,6 +887,7 @@ impl GuardedDatabase {
         let issued_at_nanos = self.clock.now_nanos();
         let now_secs = nanos_to_secs(issued_at_nanos);
         let path = self.config.read_path;
+        let nonce = self.next_shaping_nonce();
         let table = Arc::clone(&prep.table);
         let result =
             self.engine
@@ -869,6 +905,7 @@ impl GuardedDatabase {
                         now_secs,
                         issued_at_nanos,
                         pricing,
+                        nonce,
                         total_delay_secs: 0.0,
                         tuples_charged: 0,
                     })
@@ -897,9 +934,10 @@ impl GuardedDatabase {
         table: &str,
         rids: impl Iterator<Item = RowId>,
         now: f64,
+        nonce: u64,
     ) -> Result<Vec<f64>> {
         let n = self.table_len(table)?;
-        Ok(self.charge_chunk_locked(table, rids, now, n))
+        Ok(self.charge_chunk_locked(table, rids, now, n, nonce))
     }
 
     /// Exact-path pricing for one chunk of returned tuples, with the
@@ -913,6 +951,7 @@ impl GuardedDatabase {
         rids: impl Iterator<Item = RowId>,
         now: f64,
         n: u64,
+        nonce: u64,
     ) -> Vec<f64> {
         // Events queued by snapshot-path traffic precede this statement;
         // fold them in first so the trackers are exact.
@@ -931,7 +970,7 @@ impl GuardedDatabase {
                 .config
                 .policy
                 .tuple_delay(&guard.access, &guard.updates, n, key, window);
-            delays.push(d);
+            delays.push(self.config.shaping.shape(d, nonce, key));
             guard.access.record(key);
         }
         if !delays.is_empty() {
@@ -988,6 +1027,7 @@ impl GuardedDatabase {
         table: &str,
         rids: impl Iterator<Item = RowId>,
         now: f64,
+        nonce: u64,
     ) -> Result<Vec<f64>> {
         let snap = self.snapshot.load_full();
         let stats: Arc<TableSnapshot> = match snap.table(table) {
@@ -1004,7 +1044,7 @@ impl GuardedDatabase {
                 .config
                 .policy
                 .tuple_delay(&stats.access, &stats.updates, n, key, window);
-            delays.push(d);
+            delays.push(self.config.shaping.shape(d, nonce, key));
             keys.push(key);
         }
         if !keys.is_empty() {
@@ -1145,6 +1185,7 @@ impl GuardedDatabase {
             version: old.version + 1,
             built_at_secs: self.now_secs(),
             mutations_seen: seen,
+            shaping: self.config.shaping,
         }));
         self.rebuilds.fetch_add(1, Ordering::Relaxed);
     }
@@ -1294,9 +1335,12 @@ impl GuardedDatabase {
         }
     }
 
-    /// The delay one tuple would currently be charged (without executing a
-    /// query) — used by extraction accounting and by operators inspecting
-    /// the policy. Exact: folds in any pending events first.
+    /// The *raw* (unshaped) delay one tuple would currently be charged
+    /// (without executing a query) — used by extraction accounting and by
+    /// operators inspecting the policy. Exact: folds in any pending
+    /// events first. Deliberately pre-[`DelayShaping`](crate::shaping):
+    /// this is the Eq. 1 price the closed forms reason about; only the
+    /// charge sites (which face the network) speak the shaped schedule.
     pub fn tuple_delay(&self, table: &str, rid: RowId, now: f64) -> Result<f64> {
         let n = self.table_len(table)?;
         self.apply_pending();
@@ -1311,9 +1355,10 @@ impl GuardedDatabase {
             .tuple_delay(&guard.access, &guard.updates, n, rid.raw(), window))
     }
 
-    /// The delay one tuple would be charged *by the snapshot path right
-    /// now*, read purely from the current snapshot (no refresh, no
-    /// locks): what a concurrent query thread would actually charge.
+    /// The *raw* (unshaped) delay one tuple would be charged *by the
+    /// snapshot path right now*, read purely from the current snapshot
+    /// (no refresh, no locks): the pre-shaping price a concurrent query
+    /// thread would fold (see [`Self::tuple_delay`] on why raw).
     pub fn snapshot_tuple_delay(&self, table: &str, rid: RowId, now: f64) -> Result<f64> {
         let snap = self.snapshot.load_full();
         let stats = match snap.table(table) {
@@ -1338,6 +1383,24 @@ impl GuardedDatabase {
             .load_full()
             .table(table)
             .map(|t| t.access.rank(rid.raw()))
+    }
+
+    /// Every tracked tuple of `table` as `(key, rank)` pairs, sorted by
+    /// rank then key (snapshot-served, like [`Self::popularity_rank`]).
+    ///
+    /// This is the complete rank order the delay policy prices from —
+    /// exactly what a timing adversary works to reconstruct — so servers
+    /// must never expose it to unauthenticated peers (see the
+    /// `stats_expose_popularity` server knob, off by default).
+    pub fn popularity_table(&self, table: &str) -> Vec<(u64, usize)> {
+        self.sync_snapshot();
+        let snap = self.snapshot.load_full();
+        let mut pairs: Vec<(u64, usize)> = match snap.table(table) {
+            Some(t) => t.access.rank_table().collect(),
+            None => return Vec::new(),
+        };
+        pairs.sort_unstable_by_key(|&(key, rank)| (rank, key));
+        pairs
     }
 
     /// Number of accesses recorded against a table (snapshot-served, like

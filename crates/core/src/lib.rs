@@ -44,6 +44,7 @@ pub mod gatekeeper;
 pub mod guarded;
 pub mod policy;
 pub mod replica;
+pub mod shaping;
 pub mod snapshot;
 pub mod update;
 
@@ -58,5 +59,6 @@ pub use guarded::{
 };
 pub use policy::{ChargingModel, GuardPolicy};
 pub use replica::{tag_remote_key, ReplicaDelta, TableDelta};
+pub use shaping::DelayShaping;
 pub use snapshot::{PolicySnapshot, ReadPath, SnapshotPolicy, SnapshotStats, TableSnapshot};
 pub use update::UpdateDelayPolicy;

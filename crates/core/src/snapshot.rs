@@ -20,6 +20,7 @@
 //! to collapse to its fast price.
 
 use crate::access::PackedAccessDelays;
+use crate::shaping::DelayShaping;
 use delayguard_popularity::FrequencyTracker;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
@@ -145,6 +146,12 @@ pub struct PolicySnapshot {
     /// compares it against the live counter to detect staleness from the
     /// exact/locked path.
     pub mutations_seen: u64,
+    /// The delay-shaping policy this snapshot prices under (stamped from
+    /// `GuardConfig::shaping` at build time, [`DelayShaping::off`] on the
+    /// boot snapshot). Observational — the charge sites read the live
+    /// config — but lets STATS/debug consumers tell which schedule a
+    /// generation speaks.
+    pub shaping: DelayShaping,
 }
 
 impl PolicySnapshot {
@@ -155,6 +162,7 @@ impl PolicySnapshot {
             version: 0,
             built_at_secs: 0.0,
             mutations_seen: 0,
+            shaping: DelayShaping::off(),
         }
     }
 

@@ -144,6 +144,15 @@ pub struct GateConfig {
     /// buffering per connection at `stream_chunk_rows × row size`,
     /// independent of result-set size.
     pub stream_chunk_rows: usize,
+    /// Append per-table popularity detail (access totals and the full
+    /// key → rank order) to `STATS` replies. **Off by default, and it
+    /// must stay off on anything reachable by untrusted peers**: the rank
+    /// order is exactly what the delay policy prices from, so serving it
+    /// hands a database-extraction adversary the target list the timing
+    /// side channel would otherwise have to infer — and short-circuits
+    /// delay shaping entirely. Enable only on an operator-facing,
+    /// authenticated surface.
+    pub stats_expose_popularity: bool,
 }
 
 impl Default for GateConfig {
@@ -153,6 +162,7 @@ impl Default for GateConfig {
             trust_client_ip: false,
             retry_after_secs: 1.0,
             stream_chunk_rows: 256,
+            stats_expose_popularity: false,
         }
     }
 }
@@ -206,6 +216,28 @@ impl FrontDoor {
     /// Seconds on the front door's clock.
     pub fn now_secs(&self) -> f64 {
         self.clock.now_secs()
+    }
+
+    /// The rank-revealing `STATS` appendix, rendered only when
+    /// `stats_expose_popularity` is on: per observed table, the access
+    /// total and the complete popularity order the policy prices from.
+    fn render_popularity(&self) -> String {
+        use std::fmt::Write as _;
+        // `write!` appends into the one growing buffer (infallible for
+        // `String`); STATS is a control verb, not the wire hot path, but
+        // the R6 allocation budget is cheap to honor anyway.
+        let mut out = String::new();
+        for table in self.db.tables() {
+            let _ = writeln!(
+                out,
+                "popularity_table {table}  accesses {}",
+                self.db.access_events(&table)
+            );
+            for (key, rank) in self.db.popularity_table(&table) {
+                let _ = writeln!(out, "popularity_rank {table}  key {key}  rank {rank}");
+            }
+        }
+        out
     }
 
     /// The injected clock.
@@ -361,9 +393,11 @@ impl FrontDoor {
                 SessionControl::Continue
             }
             Frame::Stats => {
-                sink.push_control(Frame::StatsReply {
-                    rendered: self.registry.render(),
-                });
+                let mut rendered = self.registry.render();
+                if self.config.stats_expose_popularity {
+                    rendered.push_str(&self.render_popularity());
+                }
+                sink.push_control(Frame::StatsReply { rendered });
                 SessionControl::Continue
             }
             other => {

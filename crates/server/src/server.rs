@@ -79,6 +79,12 @@ pub struct ServerConfig {
     /// refreshes via `GuardConfig::snapshot`, but the dedicated thread
     /// keeps snapshot age bounded even when query threads are saturated.
     pub snapshot_refresh_interval: Duration,
+    /// Append per-table popularity detail (access totals and the full
+    /// key → rank order) to `STATS` replies. Off by default — the rank
+    /// order is the very secret the delay policy defends, so exposing it
+    /// to untrusted peers short-circuits the timing side-channel defense
+    /// (see `GateConfig::stats_expose_popularity`).
+    pub stats_expose_popularity: bool,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +98,7 @@ impl Default for ServerConfig {
             retry_after_secs: 1.0,
             stream_chunk_rows: 256,
             snapshot_refresh_interval: Duration::from_millis(20),
+            stats_expose_popularity: false,
         }
     }
 }
@@ -104,6 +111,7 @@ impl ServerConfig {
             trust_client_ip: self.trust_client_ip,
             retry_after_secs: self.retry_after_secs,
             stream_chunk_rows: self.stream_chunk_rows,
+            stats_expose_popularity: self.stats_expose_popularity,
         }
     }
 }

@@ -372,3 +372,48 @@ fn stats_verb_reports_counters() {
     }
     handle.shutdown();
 }
+
+/// The STATS leak audit: the popularity rank order is the secret the
+/// delay policy defends, so by default a `STATS` reply must not carry
+/// any of it — an adversary who could read ranks off the stats surface
+/// would not need the timing side channel at all. The rank detail only
+/// appears behind the explicit opt-in knob (an operator-facing surface).
+#[test]
+fn stats_reply_hides_rank_order_unless_opted_in() {
+    for expose in [false, true] {
+        let db = seeded_db(5, 0.0, ChargingModel::PerQueryMax);
+        let handle = start(
+            ServerConfig {
+                gatekeeper: open_gatekeeper(),
+                stats_expose_popularity: expose,
+                ..ServerConfig::default()
+            },
+            db,
+        );
+        let mut c = Client::connect(handle.addr()).unwrap();
+        let user = register(&mut c);
+        // Create a rank order worth leaking before asking for stats.
+        for _ in 0..3 {
+            c.query(user, "SELECT * FROM directory WHERE id = 1")
+                .unwrap();
+        }
+        c.query(user, "SELECT * FROM directory WHERE id = 3")
+            .unwrap();
+        let stats = c.stats().unwrap();
+        assert!(stats.contains("server_queries_admitted"));
+        if expose {
+            assert!(
+                stats.contains("popularity_table directory")
+                    && stats.contains("popularity_rank directory")
+                    && stats.contains("rank 1"),
+                "opted-in stats must carry the rank detail:\n{stats}"
+            );
+        } else {
+            assert!(
+                !stats.contains("popularity") && !stats.contains("rank"),
+                "default stats must not leak popularity/rank fields:\n{stats}"
+            );
+        }
+        handle.shutdown();
+    }
+}

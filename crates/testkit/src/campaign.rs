@@ -22,6 +22,14 @@
 //! * [`Campaign::zipf_ranks`] — a popularity-aware workload (the
 //!   *user*'s side of Eq. 4, or a smart crawler that goes for the
 //!   popular head first).
+//! * [`Campaign::rank_inference_crawl`] / [`Campaign::adaptive_probe_attack`]
+//!   — the timing side-channel adversaries: one sorts tuples by observed
+//!   response time to recover the popularity rank order (scored by
+//!   Kendall tau and tail recall), the other probes a small sample to
+//!   fit the delay-vs-rank curve and then aims its budget at the
+//!   slow-looking (actually high-value) tail. Run them against a
+//!   [`CampaignParams::sidechannel`] world with shaping off (control)
+//!   and on (defended) to measure the crossover.
 
 use crate::net::{self, NetLink, QueryOutcome};
 use crate::world::{MeshLink, SimConfig, SimWorld};
@@ -29,6 +37,7 @@ use delayguard_core::access::{AccessDelayPolicy, FmaxMode};
 use delayguard_core::analysis;
 use delayguard_core::gatekeeper::{GatekeeperConfig, RegistrationPolicy};
 use delayguard_core::policy::GuardPolicy;
+use delayguard_core::shaping::DelayShaping;
 use delayguard_core::GuardConfig;
 use delayguard_query::StatementOutput;
 use delayguard_server::gate::GateConfig;
@@ -67,6 +76,44 @@ pub struct CampaignParams {
     pub tick: Duration,
     /// Per-connection send-queue row cap.
     pub send_queue_rows: usize,
+    /// Timing side-channel defense. Off by default so every pre-existing
+    /// campaign reproduces bit-for-bit; [`Campaign::new`] folds the world
+    /// seed into the jitter seed when enabled, so `TESTKIT_REPLAY`
+    /// replays the exact shaped schedule too.
+    pub shaping: DelayShaping,
+}
+
+impl CampaignParams {
+    /// The timing side-channel world: a full-database timing sweep per
+    /// test (`n = 1024` — large enough that within-bucket Kendall-τ
+    /// noise, ~2/(3√n), stays well under the collapse bound), α = β = 1,
+    /// a finite cap *above* the rank-`n` delay (so the unshaped control
+    /// leaks every rank — no cap ties), a 200 ms wheel tick (observed
+    /// times resolve individual ranks), and — when `shaped` — a geometry
+    /// with edges at 8 ms / 8 s / 8000 s (γ = 1000): the ~33 hottest
+    /// ranks land in the fast buckets (the median rank, ≈ 24, among
+    /// them, so honest Eq. 3 costs stay bounded) and the other ~991
+    /// share the slow bucket, with 10% multiplicative jitter on top.
+    pub fn sidechannel(shaped: bool) -> CampaignParams {
+        CampaignParams {
+            n: 1024,
+            alpha: 1.0,
+            beta: 1.0,
+            cap_secs: 8000.0,
+            tick: Duration::from_millis(200),
+            shaping: if shaped {
+                DelayShaping::new(8000.0, 1000.0, 0.1, 0x51DE_C4A7)
+            } else {
+                DelayShaping::off()
+            },
+            // Deep-tail seeded counts must differ by ≫ 1 (the gap is
+            // `seed_scale/i²` ≈ 950 at rank 1024) or the campaign's own
+            // unit accesses reorder adjacent ranks mid-sweep and blur
+            // the very channel under test.
+            seed_scale: 1e9,
+            ..CampaignParams::default()
+        }
+    }
 }
 
 impl Default for CampaignParams {
@@ -87,6 +134,7 @@ impl Default for CampaignParams {
             },
             tick: Duration::from_secs(1),
             send_queue_rows: 4096,
+            shaping: DelayShaping::off(),
         }
     }
 }
@@ -154,6 +202,139 @@ impl SybilReport {
     }
 }
 
+/// One timed query: the true popularity rank it touched, what the server
+/// *charged* (its own `DONE` accounting) and what the client *observed*
+/// (`DONE` arrival minus send — the only signal a timing adversary has).
+#[derive(Debug, Clone, Copy)]
+pub struct Observation {
+    /// True popularity rank of the queried tuple (1 = most popular).
+    pub rank: u64,
+    /// Server-accounted delay, in seconds (the economics signal).
+    pub charged_secs: f64,
+    /// Client-observed response time, in seconds (the attack signal).
+    pub observed_secs: f64,
+}
+
+/// A crawl that kept per-query timing observations.
+#[derive(Debug, Clone)]
+pub struct ObservationReport {
+    /// One entry per answered query, in issue order.
+    pub observations: Vec<Observation>,
+    /// Refusals absorbed (each followed by honoring the retry hint).
+    pub refused: u64,
+    /// Sum of charged delays across all answered queries.
+    pub total_charged_secs: f64,
+    /// Minimum over all queries of `observed − charged`: negative means
+    /// some tuple was released early.
+    pub min_margin_secs: f64,
+}
+
+impl ObservationReport {
+    /// Median of the charged per-query delays (the honest-user cost
+    /// statistic Eq. 3 speaks about).
+    pub fn median_charged_secs(&self) -> f64 {
+        assert!(!self.observations.is_empty());
+        let mut d: Vec<f64> = self.observations.iter().map(|o| o.charged_secs).collect();
+        d.sort_by(|a, b| a.partial_cmp(b).expect("finite delays"));
+        d[d.len() / 2]
+    }
+}
+
+/// What the rank-inference crawler recovered.
+#[derive(Debug, Clone)]
+pub struct RankInferenceReport {
+    /// The timing sweep, one observation per rank (shuffled issue order).
+    pub sweep: ObservationReport,
+    /// Kendall tau-a between true rank order and observed response time:
+    /// 1.0 = the timing channel leaks the full rank order, ~0 = chance.
+    pub tau: f64,
+    /// Fraction of the true `k` least-popular (highest-value) tuples the
+    /// attacker finds among its `k` slowest-observed — its ability to aim
+    /// extraction at the tail.
+    pub tail_recall: f64,
+    /// The `k` used for [`RankInferenceReport::tail_recall`].
+    pub tail_k: usize,
+}
+
+/// What the adaptive (probe-then-target) attacker achieved.
+#[derive(Debug, Clone)]
+pub struct AdaptiveReport {
+    /// Least-squares slope of `ln(observed)` vs `ln(assumed rank)` over
+    /// the probe set: against the unshaped policy this recovers `α + β`.
+    pub fitted_exponent: f64,
+    /// Ranks probed in the fitting phase.
+    pub probe_count: usize,
+    /// Of the `k` tuples the attacker targets (slowest-observed in its
+    /// full sweep), the fraction that truly belong to the value tail.
+    pub tail_capture: f64,
+    /// The targeting sweep (for economics accounting).
+    pub sweep: ObservationReport,
+}
+
+/// Kendall tau-a between true rank and observed time over all pairs:
+/// `Σ sign(Δrank)·sign(Δobserved) / C(n,2)`. Ties in either coordinate
+/// contribute 0 — deterministically, with no tie-breaking heuristics to
+/// smuggle rank information back in. O(n²), fine at campaign sizes.
+pub fn kendall_tau(obs: &[Observation]) -> f64 {
+    let n = obs.len();
+    assert!(n >= 2, "tau needs at least two observations");
+    let mut s: i64 = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dr = (obs[j].rank as i64 - obs[i].rank as i64).signum();
+            let dt = match obs[j]
+                .observed_secs
+                .partial_cmp(&obs[i].observed_secs)
+                .expect("finite observations")
+            {
+                std::cmp::Ordering::Greater => 1,
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+            };
+            s += dr * dt;
+        }
+    }
+    s as f64 / (n as f64 * (n - 1) as f64 / 2.0)
+}
+
+/// Tail recall: sort observations by observed time (stable, so ties keep
+/// the — shuffled — issue order and cannot leak rank), take the `k`
+/// slowest as the attacker's predicted value-tail, and score the overlap
+/// with the true `k` largest ranks present in the sweep.
+pub fn tail_recall(obs: &[Observation], k: usize) -> f64 {
+    assert!(k >= 1 && k <= obs.len());
+    let mut by_time: Vec<&Observation> = obs.iter().collect();
+    by_time.sort_by(|a, b| {
+        b.observed_secs
+            .partial_cmp(&a.observed_secs)
+            .expect("finite observations")
+    });
+    let mut ranks: Vec<u64> = obs.iter().map(|o| o.rank).collect();
+    ranks.sort_unstable();
+    let cutoff = ranks[ranks.len() - k];
+    let hit = by_time[..k].iter().filter(|o| o.rank >= cutoff).count();
+    hit as f64 / k as f64
+}
+
+/// Theil–Sen slope through `(x, y)` points — the adaptive attacker's
+/// estimate of the policy exponent from a log-log fit. The median of all
+/// pairwise slopes shrugs off the heavy log-scale noise in the smallest
+/// rank order statistics that wrecks an ordinary least-squares fit.
+pub fn theil_sen_slope(pts: &[(f64, f64)]) -> f64 {
+    assert!(pts.len() >= 2, "slope needs at least two points");
+    let mut slopes = Vec::with_capacity(pts.len() * (pts.len() - 1) / 2);
+    for i in 0..pts.len() {
+        for j in (i + 1)..pts.len() {
+            let (dx, dy) = (pts[j].0 - pts[i].0, pts[j].1 - pts[i].1);
+            if dx != 0.0 {
+                slopes.push(dy / dx);
+            }
+        }
+    }
+    slopes.sort_by(|a, b| a.partial_cmp(b).expect("finite slopes"));
+    slopes[slopes.len() / 2]
+}
+
 /// A simulated deployment seeded as the paper's running example.
 pub struct Campaign {
     world: SimWorld,
@@ -172,7 +353,16 @@ impl Campaign {
         let policy = AccessDelayPolicy::new(params.alpha, params.beta)
             .with_cap(params.cap_secs)
             .with_fmax_mode(FmaxMode::DecayedTotal);
-        let guard = GuardConfig::paper_default().with_policy(GuardPolicy::AccessRate(policy));
+        // Fold the world seed into the jitter seed so different campaign
+        // seeds exercise different jitter draws while one seed replays
+        // bit-identically.
+        let mut shaping = params.shaping;
+        if shaping.enabled {
+            shaping.seed ^= seed;
+        }
+        let guard = GuardConfig::paper_default()
+            .with_policy(GuardPolicy::AccessRate(policy))
+            .with_shaping(shaping);
         let gate = GateConfig {
             gatekeeper: params.gatekeeper,
             ..GateConfig::default()
@@ -287,6 +477,70 @@ impl Campaign {
         analysis::median_rank_exact(self.params.n, self.params.alpha)
     }
 
+    /// The shaping policy the world actually prices under (the params'
+    /// policy with the world seed folded into the jitter seed).
+    pub fn effective_shaping(&self) -> DelayShaping {
+        self.world.db().config().shaping
+    }
+
+    /// Expected shaped delay for rank `i` (the raw capped Eq. 1 price
+    /// through the quantization/noise term; raw when shaping is off).
+    pub fn analytic_shaped_delay_at_rank(&self, rank: u64) -> f64 {
+        let p = &self.params;
+        analysis::shaped_delay_at_rank(
+            p.n,
+            p.alpha,
+            p.beta,
+            self.fmax(),
+            p.cap_secs,
+            &self.effective_shaping(),
+            rank,
+        )
+    }
+
+    /// Eq. 4's numerator under shaping: expected total a full-sweep
+    /// adversary is charged (equals [`Campaign::analytic_total`] when
+    /// shaping is off).
+    pub fn analytic_shaped_total(&self) -> f64 {
+        let p = &self.params;
+        analysis::shaped_adversary_total(
+            p.n,
+            p.alpha,
+            p.beta,
+            self.fmax(),
+            p.cap_secs,
+            &self.effective_shaping(),
+        )
+    }
+
+    /// Eq. 3's median-user delay under shaping: expected charge of the
+    /// median Zipf request.
+    pub fn analytic_shaped_median_user_delay(&self) -> f64 {
+        let p = &self.params;
+        analysis::shaped_median_user_delay(
+            p.n,
+            p.alpha,
+            p.beta,
+            self.fmax(),
+            p.cap_secs,
+            &self.effective_shaping(),
+        )
+    }
+
+    /// The information-theoretic tau ceiling under this world's shaping:
+    /// the fraction of tuple pairs whose bucket still orders them.
+    pub fn analytic_tau_ceiling(&self) -> f64 {
+        let p = &self.params;
+        analysis::shaping_tau_ceiling(
+            p.n,
+            p.alpha,
+            p.beta,
+            self.fmax(),
+            p.cap_secs,
+            &self.effective_shaping(),
+        )
+    }
+
     /// The point query that touches exactly the rank-`i` tuple.
     pub fn sql_for_rank(&self, rank: u64) -> String {
         format!("SELECT * FROM directory WHERE id = {}", rank - 1)
@@ -381,6 +635,133 @@ impl Campaign {
         }
         report.finished_secs = self.world.now_secs();
         report
+    }
+
+    /// One identity from `ip` queries `ranks` in the given order, keeping
+    /// a per-query [`Observation`] (true rank, server-charged delay,
+    /// client-observed response time). The timing-adversary primitive:
+    /// everything the attacker learns is in `observed_secs`.
+    pub fn crawl_observations(&mut self, ip: [u8; 4], ranks: &[u64]) -> ObservationReport {
+        let (mut link, user, _) = self.register_link(ip);
+        let mut report = ObservationReport {
+            observations: Vec::with_capacity(ranks.len()),
+            refused: 0,
+            total_charged_secs: 0.0,
+            min_margin_secs: f64::INFINITY,
+        };
+        for &rank in ranks {
+            let sql = self.sql_for_rank(rank);
+            loop {
+                let qid = self.fresh_query_id();
+                match net::run_query(&mut link, qid, user, &sql, QUERY_TIMEOUT_SECS)
+                    .expect("link alive")
+                {
+                    QueryOutcome::Rows {
+                        rows,
+                        delay_secs,
+                        sent_at_secs,
+                        done_at_secs,
+                        ..
+                    } => {
+                        assert_eq!(rows.len(), 1, "rank {rank} must be a point lookup");
+                        let observed = done_at_secs - sent_at_secs;
+                        report.observations.push(Observation {
+                            rank,
+                            charged_secs: delay_secs,
+                            observed_secs: observed,
+                        });
+                        report.total_charged_secs += delay_secs;
+                        report.min_margin_secs = report.min_margin_secs.min(observed - delay_secs);
+                        break;
+                    }
+                    QueryOutcome::Refused {
+                        retry_after_secs, ..
+                    } => {
+                        report.refused += 1;
+                        self.world.run_for(retry_after_secs + 1e-6);
+                    }
+                    QueryOutcome::Error { message } => panic!("rank {rank}: {message}"),
+                    QueryOutcome::TimedOut => panic!("rank {rank}: query timed out"),
+                }
+            }
+        }
+        report
+    }
+
+    /// The rank-inference crawler: time every tuple once (in a shuffled
+    /// order, so nothing but the timing channel carries rank), then sort
+    /// by observed response time and score the recovered order against
+    /// the true popularity ranks with Kendall tau and tail recall
+    /// (`tail_k` = the least-popular eighth of the table).
+    pub fn rank_inference_crawl(&mut self, ip: [u8; 4]) -> RankInferenceReport {
+        let mut order = self.all_ranks();
+        self.rng.shuffle(&mut order);
+        let sweep = self.crawl_observations(ip, &order);
+        let tau = kendall_tau(&sweep.observations);
+        let tail_k = (self.params.n as usize / 8).max(1);
+        let recall = tail_recall(&sweep.observations, tail_k);
+        RankInferenceReport {
+            sweep,
+            tau,
+            tail_recall: recall,
+            tail_k,
+        }
+    }
+
+    /// The adaptive attacker: probe `probes` random tuples to fit the
+    /// delay-vs-rank power law (log-log least squares, probes' sorted
+    /// delays matched to their expected order statistics), then sweep and
+    /// spend the budget on the `tail_k` slowest-looking tuples. Against
+    /// the unshaped policy the fit recovers `α + β` and the targeted set
+    /// is the true value tail; under shaping both collapse.
+    pub fn adaptive_probe_attack(
+        &mut self,
+        ip: [u8; 4],
+        probes: usize,
+        tail_k: usize,
+    ) -> AdaptiveReport {
+        assert!(probes >= 2 && (probes as u64) <= self.params.n);
+        let mut pool = self.all_ranks();
+        self.rng.shuffle(&mut pool);
+        let probe_ranks: Vec<u64> = pool[..probes].to_vec();
+        let probe_obs = self.crawl_observations(ip, &probe_ranks);
+        let mut sorted: Vec<f64> = probe_obs
+            .observations
+            .iter()
+            .map(|o| o.observed_secs)
+            .collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+        // The j-th smallest probed delay estimates the j-th order
+        // statistic of a uniform rank sample: rank ≈ j·(n+1)/(s+1).
+        let n = self.params.n as f64;
+        let pts: Vec<(f64, f64)> = sorted
+            .iter()
+            .enumerate()
+            .map(|(j, &d)| {
+                let assumed_rank = (j as f64 + 1.0) * (n + 1.0) / (probes as f64 + 1.0);
+                (assumed_rank.ln(), d.max(1e-9).ln())
+            })
+            .collect();
+        let fitted_exponent = theil_sen_slope(&pts);
+        // Targeting phase: full timing sweep, aim at the slowest-looking.
+        let mut order = self.all_ranks();
+        self.rng.shuffle(&mut order);
+        let sweep = self.crawl_observations(ip, &order);
+        let tail_capture = tail_recall(&sweep.observations, tail_k);
+        AdaptiveReport {
+            fitted_exponent,
+            probe_count: probes,
+            tail_capture,
+            sweep,
+        }
+    }
+
+    /// An honest user session: `count` queries sampled from the Zipf(α)
+    /// popularity distribution, with per-query charge observations (for
+    /// the Eq. 3 median-user economics under shaping).
+    pub fn honest_zipf_session(&mut self, ip: [u8; 4], count: u64) -> ObservationReport {
+        let ranks = self.zipf_ranks(count);
+        self.crawl_observations(ip, &ranks)
     }
 
     /// `ips.len()` identities register serially (honoring the

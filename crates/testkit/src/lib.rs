@@ -46,7 +46,10 @@ pub mod net;
 pub mod seed;
 pub mod world;
 
-pub use campaign::{Campaign, CampaignParams, CrawlReport, SybilReport};
+pub use campaign::{
+    kendall_tau, tail_recall, theil_sen_slope, AdaptiveReport, Campaign, CampaignParams,
+    CrawlReport, Observation, ObservationReport, RankInferenceReport, SybilReport,
+};
 pub use net::{Arrival, FaultPlan, LinkError, NetLink, QueryOutcome, SimNet, TcpNet};
 pub use seed::{check, check_in, check_seeds, check_seeds_in, replay_seed};
 pub use world::{ConnId, SimConfig, SimWorld};
