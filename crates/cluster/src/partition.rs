@@ -93,6 +93,33 @@ impl PartitionMap {
             None => 0,
         }
     }
+
+    /// Extract the partition key of an `INSERT ... VALUES (<k>, ...)`
+    /// statement: the first literal of the first row, which is the `id`
+    /// column under the cluster's schema convention. `None` for
+    /// non-numeric first values or anything that isn't a `VALUES` insert.
+    pub fn insert_id(sql: &str) -> Option<u64> {
+        let lower = sql.to_ascii_lowercase();
+        let pos = lower.find(" values")?;
+        let rest = sql[pos + " values".len()..].trim_start();
+        let rest = rest.strip_prefix('(')?.trim_start();
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if digits.is_empty() {
+            return None;
+        }
+        digits.parse().ok()
+    }
+
+    /// Route a write statement by its partition key: `UPDATE`/`DELETE`
+    /// pin to their point predicate's owner, `INSERT` to the owner of
+    /// its first value (the new row's id). Writes without a recognizable
+    /// key land on node 0, like un-routable reads.
+    pub fn route_write(&self, sql: &str) -> usize {
+        match Self::point_query_id(sql).or_else(|| Self::insert_id(sql)) {
+            Some(id) => self.node_for_id(id),
+            None => 0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -161,5 +188,35 @@ mod tests {
         let p = PartitionMap::new(4);
         assert_eq!(p.route("SELECT * FROM directory WHERE id = 6"), 2);
         assert_eq!(p.route("CREATE TABLE t (x INT)"), 0);
+    }
+
+    #[test]
+    fn insert_keys_parse() {
+        assert_eq!(
+            PartitionMap::insert_id("INSERT INTO directory VALUES (42, 'x')"),
+            Some(42)
+        );
+        assert_eq!(
+            PartitionMap::insert_id("insert into t values(7,'a')"),
+            Some(7)
+        );
+        assert_eq!(
+            PartitionMap::insert_id("INSERT INTO t VALUES ('a', 7)"),
+            None
+        );
+        assert_eq!(PartitionMap::insert_id("DELETE FROM t WHERE id = 1"), None);
+    }
+
+    #[test]
+    fn writes_route_by_partition_key() {
+        let p = PartitionMap::new(4);
+        assert_eq!(p.route_write("INSERT INTO directory VALUES (6, 'x')"), 2);
+        assert_eq!(
+            p.route_write("UPDATE directory SET entry = 'y' WHERE id = 7"),
+            3
+        );
+        assert_eq!(p.route_write("DELETE FROM directory WHERE id = 5"), 1);
+        // No recognizable key: lands on node 0 like un-routable reads.
+        assert_eq!(p.route_write("DELETE FROM directory"), 0);
     }
 }

@@ -118,7 +118,7 @@ impl ClusterSink {
         let out = std::mem::take(&mut g.queue);
         let rows = out
             .iter()
-            .filter(|f| matches!(f, Frame::Row { .. }))
+            .filter(|f| matches!(f, Frame::Row { .. } | Frame::Mutated { .. }))
             .count();
         g.rows_outstanding = g.rows_outstanding.saturating_sub(rows);
         out
@@ -141,6 +141,11 @@ impl FrameSink for ClusterSink {
         }
         g.rows_outstanding += n;
         true
+    }
+
+    fn release_rows(&self, n: usize) {
+        let mut g = self.inner.lock();
+        g.rows_outstanding = g.rows_outstanding.saturating_sub(n);
     }
 }
 
@@ -529,6 +534,21 @@ impl Core {
             }
             Frame::Query { sql, .. } => {
                 let j = self.partition.route(sql);
+                let control = self.nodes[j]
+                    .gate
+                    .handle_frame(frame, ip, &sessions[j], &sinks[j]);
+                if control == SessionControl::Terminate {
+                    if let Some(c) = self.conns.get_mut(&conn_id) {
+                        c.open = false;
+                    }
+                }
+            }
+            // Writes pin to the partition key's owner: the mutated row's
+            // update-rate weight accrues on the shard that serves it, and
+            // peers learn of it through the DELTA sync like any other
+            // locally-originated popularity state.
+            Frame::Insert { sql, .. } | Frame::Update { sql, .. } | Frame::Delete { sql, .. } => {
+                let j = self.partition.route_write(sql);
                 let control = self.nodes[j]
                     .gate
                     .handle_frame(frame, ip, &sessions[j], &sinks[j]);

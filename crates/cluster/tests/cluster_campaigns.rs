@@ -18,7 +18,9 @@
 //! * **Determinism.** Same seed, same drive ⇒ bit-identical event
 //!   digest, gossip, partitions and heals included.
 
-use delayguard_cluster::{ClusterCampaign, ClusterCampaignParams, ClusterConfig, ClusterWorld};
+use delayguard_cluster::{
+    ClusterCampaign, ClusterCampaignParams, ClusterConfig, ClusterLink, ClusterWorld,
+};
 use delayguard_core::gatekeeper::{GatekeeperConfig, RegistrationPolicy};
 use delayguard_core::shaping::DelayShaping;
 use delayguard_server::gate::GateConfig;
@@ -353,4 +355,262 @@ fn shaped_cluster_replays_bit_identically() {
         assert_ne!(d1, plain_digest, "shaping must change the wire trace");
         assert!(total1 > plain_total, "shaping only raises prices");
     });
+}
+
+/// Writes go through the same front door as reads: the router pins each
+/// `INSERT`/`UPDATE`/`DELETE` to the shard owning its partition key, the
+/// mutation feeds the owner's update-rate tracker, and the aggregate
+/// rides the existing `DELTA` gossip — so after one sync round the
+/// owner prices `d = c/(N·r)` from the *global* cardinality, exactly
+/// like the read-side closed forms.
+#[test]
+fn writes_route_to_owners_and_ride_delta_sync() {
+    check_in(
+        PKG,
+        "writes_route_to_owners_and_ride_delta_sync",
+        37,
+        |seed| {
+            use delayguard_core::{GuardConfig, GuardPolicy, UpdateDelayPolicy};
+            use delayguard_server::gate::MutationVerb;
+            use delayguard_testkit::net::MutationOutcome;
+
+            let mut world = ClusterWorld::new(
+                seed,
+                ClusterConfig {
+                    nodes: 2,
+                    guard: GuardConfig {
+                        policy: GuardPolicy::UpdateRate(UpdateDelayPolicy::new(0.1).with_cap(10.0)),
+                        ..GuardConfig::paper_default()
+                    },
+                    gate: GateConfig {
+                        gatekeeper: wide_open(),
+                        ..GateConfig::default()
+                    },
+                    sync_interval_secs: 60.0,
+                    ..ClusterConfig::default()
+                },
+            );
+            // Gossip only when the test says so: the before/after contrast
+            // below is exactly the replication effect.
+            world.set_sync_enabled(false);
+            let map = world.partition_map();
+            for j in 0..2 {
+                let db = world.node_db(j);
+                db.execute_at(
+                    "CREATE TABLE directory (id INT NOT NULL, entry TEXT NOT NULL)",
+                    0.0,
+                )
+                .expect("create table");
+                for id in map.ids_of(j, 8) {
+                    db.execute_at(
+                        &format!("INSERT INTO directory VALUES ({id}, 'entry-{id}')"),
+                        0.0,
+                    )
+                    .expect("insert");
+                }
+            }
+            let mut link = world.connect_link([10, 0, 0, 1]);
+            let (user, _) = net::register_until_admitted(&mut world, &mut link, [0; 4], 600.0)
+                .expect("register");
+
+            // INSERT id 8 → node 0 (8 mod 2): its data version moves, the
+            // peer's does not.
+            let out = net::run_mutation(
+                &mut link,
+                101,
+                user,
+                MutationVerb::Insert,
+                "INSERT INTO directory VALUES (8, 'entry-8')",
+                600.0,
+            )
+            .expect("link alive");
+            let MutationOutcome::Mutated {
+                rows, data_version, ..
+            } = out
+            else {
+                panic!("insert: {out:?}");
+            };
+            assert_eq!(rows, 1);
+            assert_eq!(
+                data_version,
+                world.node_db(0).table_data_version("directory").unwrap(),
+                "MUTATED must report the owner's post-write data version"
+            );
+            assert_eq!(data_version, 5, "four seed inserts plus this one");
+            assert_eq!(world.node_db(1).table_data_version("directory").unwrap(), 4);
+
+            // UPDATE id 1 and DELETE id 3 → node 1; node 0 stays untouched.
+            for (qid, verb, sql) in [
+                (
+                    102,
+                    MutationVerb::Update,
+                    "UPDATE directory SET entry = 'u1' WHERE id = 1",
+                ),
+                (
+                    103,
+                    MutationVerb::Delete,
+                    "DELETE FROM directory WHERE id = 3",
+                ),
+            ] {
+                let out =
+                    net::run_mutation(&mut link, qid, user, verb, sql, 600.0).expect("link alive");
+                assert_eq!(out.rows(), Some(1), "{sql}: {out:?}");
+            }
+            assert_eq!(world.node_db(0).table_data_version("directory").unwrap(), 5);
+            assert_eq!(world.node_db(1).table_data_version("directory").unwrap(), 6);
+
+            // The update aggregate that will gossip: the update and the
+            // delete each count one update event (inserts only ensure the
+            // row is tracked), and the physical row count reflects the
+            // delete.
+            let delta = world.node_gate(1).export_delta();
+            let (_, dir) = delta
+                .tables
+                .iter()
+                .find(|(name, _)| name == "directory")
+                .expect("directory delta");
+            let total_updates: f64 = dir.updates.iter().map(|(_, c)| c).sum();
+            assert!(
+                (total_updates - 2.0).abs() < 1e-9,
+                "1 update + 1 delete, got {total_updates}"
+            );
+            assert_eq!(dir.rows, 3, "node 1 holds ids 1, 5, 7 after the delete");
+
+            // Let the update window grow, then price the updated tuple on
+            // its owner before and after one gossip round. Before: n is the
+            // owner's local slice. After: the peer's delta raises n to the
+            // global cardinality, so d = c/(N·r) drops by roughly the
+            // local/global row ratio (3/8) — the write fed pricing, and the
+            // aggregate rode the sync.
+            world.run_for(150.0);
+            // The snapshot path prices from the last-built snapshot; the
+            // server's background refresher folds pending events in on a
+            // cadence. Pin the refreshes here so both reads price from an
+            // up-to-date view.
+            world.node_db(1).refresh();
+            let read = |world: &ClusterWorld, link: &mut ClusterLink, qid| match net::run_query(
+                link,
+                qid,
+                user,
+                "SELECT * FROM directory WHERE id = 1",
+                3600.0,
+            )
+            .expect("link alive")
+            {
+                QueryOutcome::Rows {
+                    rows, delay_secs, ..
+                } => {
+                    assert_eq!(rows.len(), 1, "point lookup at t={}", world.now_secs());
+                    delay_secs
+                }
+                other => panic!("read id 1: {other:?}"),
+            };
+            let d_before = read(&world, &mut link, 201);
+            assert!(
+                d_before > 1.0 && d_before < 10.0,
+                "pre-sync delay should be computed, not capped: {d_before}"
+            );
+            world.sync_now();
+            world.node_db(1).refresh();
+            let d_after = read(&world, &mut link, 202);
+            let ratio = d_after / d_before;
+            assert!(
+                (0.2..0.6).contains(&ratio),
+                "global n should cut the delay by ~3/8: before {d_before}, after {d_after}"
+            );
+        },
+    );
+}
+
+/// The combined access+update policy is inert when the update term is
+/// off: a read-only cluster run under `Hybrid(access, update)` with the
+/// update term zeroed is bit-identical — digest and totals — to the
+/// plain access-rate cluster, while a live update term changes the wire
+/// trace and only raises prices (mirrors the shaping inertness proof).
+#[test]
+fn update_term_off_is_bit_identical_for_cluster_reads() {
+    check_in(
+        PKG,
+        "update_term_off_is_bit_identical_for_cluster_reads",
+        41,
+        |seed| {
+            use delayguard_core::{AccessDelayPolicy, GuardConfig, GuardPolicy, UpdateDelayPolicy};
+
+            let run = |policy: GuardPolicy| {
+                let mut world = ClusterWorld::new(
+                    seed,
+                    ClusterConfig {
+                        nodes: 2,
+                        guard: GuardConfig {
+                            policy,
+                            ..GuardConfig::paper_default()
+                        },
+                        gate: GateConfig {
+                            gatekeeper: wide_open(),
+                            ..GateConfig::default()
+                        },
+                        sync_interval_secs: 60.0,
+                        ..ClusterConfig::default()
+                    },
+                );
+                let map = world.partition_map();
+                for j in 0..2 {
+                    let db = world.node_db(j);
+                    db.execute_at(
+                        "CREATE TABLE directory (id INT NOT NULL, entry TEXT NOT NULL)",
+                        0.0,
+                    )
+                    .expect("create table");
+                    for id in map.ids_of(j, 8) {
+                        db.execute_at(
+                            &format!("INSERT INTO directory VALUES ({id}, 'entry-{id}')"),
+                            0.0,
+                        )
+                        .expect("insert");
+                    }
+                }
+                let mut link = world.connect_link([10, 0, 0, 1]);
+                let (user, _) = net::register_until_admitted(&mut world, &mut link, [0; 4], 600.0)
+                    .expect("register");
+                // Age the update window (seed inserts count as update
+                // events at t = 0) so a live update term has a real
+                // price, then read every id across two gossip rounds.
+                world.run_for(1000.0);
+                let mut total = 0.0;
+                for pass in 0..2u32 {
+                    for id in 0..8u64 {
+                        let sql = format!("SELECT * FROM directory WHERE id = {id}");
+                        let qid = 100 * (pass + 1) + id as u32;
+                        match net::run_query(&mut link, qid, user, &sql, 3600.0)
+                            .expect("link alive")
+                        {
+                            QueryOutcome::Rows { delay_secs, .. } => total += delay_secs,
+                            other => panic!("id {id}: {other:?}"),
+                        }
+                    }
+                    world.run_for(120.0);
+                }
+                (world.digest(), total)
+            };
+
+            let access = AccessDelayPolicy::new(1.5, 1.0);
+            let (d_plain, t_plain) = run(GuardPolicy::AccessRate(access));
+            let (d_off, t_off) = run(GuardPolicy::Hybrid(
+                access,
+                UpdateDelayPolicy::new(0.3).with_cap(0.0),
+            ));
+            assert_eq!(
+                d_plain, d_off,
+                "a zeroed update term must not perturb the cluster (seed {seed})"
+            );
+            assert_eq!(t_plain.to_bits(), t_off.to_bits());
+
+            let (d_on, t_on) = run(GuardPolicy::Hybrid(
+                access,
+                UpdateDelayPolicy::new(0.3).with_cap(30.0),
+            ));
+            assert_ne!(d_plain, d_on, "a live update term must change the trace");
+            assert!(t_on > t_plain, "max-combine only raises prices");
+        },
+    );
 }

@@ -677,6 +677,12 @@ impl GuardedDatabase {
                 self.note_rows(table, rids, now_secs, path, RowNote::Insert);
                 Vec::new()
             }
+            // A delete changes the tuple's value (to "gone") — for the §3
+            // staleness guarantee it is an update event like any other.
+            (StatementOutput::Deleted { rids }, Some(table)) => {
+                self.note_rows(table, rids, now_secs, path, RowNote::Update);
+                Vec::new()
+            }
             _ => Vec::new(),
         };
         Ok((output, tuple_delays))
@@ -805,6 +811,10 @@ impl GuardedDatabase {
                         }
                         (StatementOutput::Inserted { rids }, Some(t)) => {
                             self.note_rows(t, rids, now_secs, path, RowNote::Insert)
+                        }
+                        // Deletes are update events for §3 staleness.
+                        (StatementOutput::Deleted { rids }, Some(t)) => {
+                            self.note_rows(t, rids, now_secs, path, RowNote::Update)
                         }
                         _ => {}
                     }
@@ -1313,6 +1323,34 @@ impl GuardedDatabase {
         self.refresh_inner();
     }
 
+    /// Bulk-load *update-rate* state: record `units` worth of update
+    /// events against each row, then publish a fresh snapshot — the §3
+    /// counterpart of [`Self::warm_accesses`]. A deployment (or a
+    /// staleness campaign) that knows its per-tuple update rates seeds
+    /// `count_i = rate_i · window` in one call instead of replaying the
+    /// whole update history through the write path.
+    pub fn warm_updates(&self, table: &str, counts: &[(RowId, f64)], now_secs: f64) {
+        if counts.is_empty() {
+            return;
+        }
+        let _refresh = self.refresh_lock.lock();
+        self.apply_batch(self.queue.drain());
+        {
+            let mut guards = self.shard(table).lock();
+            let guard = guards
+                .entry(table.to_owned())
+                .or_insert_with(|| TableGuard::new(&self.config));
+            guard.epoch.get_or_insert(now_secs);
+            for &(rid, units) in counts {
+                guard.updates.record_static_weighted(rid.raw(), units);
+            }
+            guard.dirty = true;
+        }
+        self.mutations
+            .fetch_add(counts.len() as u64, Ordering::Release);
+        self.refresh_inner();
+    }
+
     // ---- inspection (served from the snapshot) --------------------------
 
     /// The current policy snapshot (an immutable, consistent view; callers
@@ -1425,6 +1463,15 @@ impl GuardedDatabase {
         let t = self.engine.catalog().table(table)?;
         let len = t.read().len() as u64;
         Ok(len)
+    }
+
+    /// The table's current data version (bumped by every committed row
+    /// mutation) — what the `MUTATED` protocol reply reports so clients
+    /// can order their view of the data.
+    pub fn table_data_version(&self, table: &str) -> Result<u64> {
+        let t = self.engine.catalog().table(table)?;
+        let version = t.read().data_version();
+        Ok(version)
     }
 }
 
@@ -1719,6 +1766,75 @@ mod tests {
         let cold = db.snapshot_tuple_delay("items", cold_rid, 2.0).unwrap();
         assert!(fast < cold, "warmed {fast} vs cold {cold}");
         assert_eq!(cold, 10.0, "unwarmed tuple still pays the cap");
+    }
+
+    #[test]
+    fn warm_updates_seeds_update_rate_in_bulk() {
+        let db = setup(GuardPolicy::UpdateRate(
+            UpdateDelayPolicy::new(1.0).with_cap(10.0),
+        ));
+        let out = db
+            .execute_at("SELECT * FROM items WHERE id = 1", 0.5)
+            .unwrap();
+        let hot = match &out.output {
+            StatementOutput::Rows(rows) => rows.rows[0].0,
+            other => panic!("{other:?}"),
+        };
+        // Seed 1000 update events' worth of weight in one call — as if
+        // tuple 1 had been written ten times a second for the whole
+        // 100-second window.
+        db.warm_updates("items", &[(hot, 1000.0)], 100.0);
+        let fast = db
+            .execute_at("SELECT * FROM items WHERE id = 1", 100.0)
+            .unwrap();
+        let cold = db
+            .execute_at("SELECT * FROM items WHERE id = 50", 100.0)
+            .unwrap();
+        assert!(fast.delay_secs < 0.1, "warmed {}", fast.delay_secs);
+        assert_eq!(cold.delay_secs, 10.0, "never-updated pays cap");
+    }
+
+    #[test]
+    fn deletes_count_as_update_events() {
+        let db = setup(GuardPolicy::UpdateRate(
+            UpdateDelayPolicy::new(1.0).with_cap(10.0),
+        ));
+        let out = db
+            .execute_at("SELECT * FROM items WHERE id = 7", 0.5)
+            .unwrap();
+        let rid = match &out.output {
+            StatementOutput::Rows(rows) => rows.rows[0].0,
+            other => panic!("{other:?}"),
+        };
+        let before = db.tuple_delay("items", rid, 4.0).unwrap();
+        assert_eq!(before, 10.0, "never-mutated tuple at the cap");
+        db.execute_at("DELETE FROM items WHERE id = 7", 5.0)
+            .unwrap();
+        let after = db.tuple_delay("items", rid, 10.0).unwrap();
+        assert!(
+            after < before,
+            "delete recorded as an update event: {after} vs {before}"
+        );
+    }
+
+    #[test]
+    fn table_data_version_reflects_mutations() {
+        let db = setup(GuardPolicy::None);
+        let v0 = db.table_data_version("items").unwrap();
+        db.execute_at("UPDATE items SET body = 'x' WHERE id = 1", 1.0)
+            .unwrap();
+        assert_eq!(db.table_data_version("items").unwrap(), v0 + 1);
+        db.execute_at("DELETE FROM items WHERE id = 2", 2.0)
+            .unwrap();
+        assert_eq!(db.table_data_version("items").unwrap(), v0 + 2);
+        db.execute_at("SELECT * FROM items WHERE id = 3", 3.0)
+            .unwrap();
+        assert_eq!(
+            db.table_data_version("items").unwrap(),
+            v0 + 2,
+            "reads are free"
+        );
+        assert!(db.table_data_version("missing").is_err());
     }
 
     #[test]

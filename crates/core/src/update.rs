@@ -164,4 +164,57 @@ mod tests {
     fn non_positive_c_rejected() {
         UpdateDelayPolicy::new(0.0);
     }
+
+    #[test]
+    fn smax_limits_at_extreme_alpha() {
+        // α → 0⁺ with c below 1+α: the exponent 1/α blows up on a base
+        // below one, so the guarantee collapses to (numerically) zero —
+        // uniform updates give extraction no time to go stale.
+        let p = UpdateDelayPolicy::new(0.5);
+        assert!(p.smax(0.01) < 1e-20, "got {}", p.smax(0.01));
+        // α → 0⁺ with c above 1+α: base above one, the clamp engages and
+        // the whole copy is guaranteed stale.
+        let loud = UpdateDelayPolicy::new(2.0);
+        assert_eq!(loud.smax(0.01), 1.0);
+        // α ≥ 1: exact at the paper's α = 1 (c/2), approaches 1 from
+        // below as the update skew concentrates everything on rank 1.
+        let p = UpdateDelayPolicy::new(0.9);
+        assert!((p.smax(1.0) - 0.45).abs() < 1e-12);
+        for alpha in [1.0, 2.0, 8.0, 64.0] {
+            let s = p.smax(alpha);
+            assert!(s > 0.0 && s < 1.0, "alpha {alpha}: {s}");
+        }
+        assert!(p.smax(64.0) > 0.9, "got {}", p.smax(64.0));
+    }
+
+    #[test]
+    fn for_staleness_round_trips_at_the_edges() {
+        // Near-zero and near-total staleness targets, and the steep-skew
+        // corner where c = s^α·(1+α) is tiny — the inversion must hold
+        // everywhere new(c) accepts the result.
+        for (s, alpha) in [(0.05, 2.0), (0.99, 1.0), (0.5, 8.0), (0.01, 0.5)] {
+            let p = UpdateDelayPolicy::for_staleness(s, alpha);
+            assert!(p.c > 0.0);
+            assert!((p.smax(alpha) - s).abs() < 1e-9, "s={s}, alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn zero_rate_always_pays_the_cap() {
+        // Never-updated tuples pay exactly the configured cap through
+        // every entry point: empty tracker, empty relation, zero and
+        // negative rates.
+        let updates = FrequencyTracker::no_decay();
+        for cap in [0.0, 0.5, 10.0, 3600.0] {
+            let p = UpdateDelayPolicy::new(0.3).with_cap(cap);
+            assert_eq!(p.delay(&updates, 1000, 7, 1e6), cap);
+            assert_eq!(p.delay_from_rate(0, 5.0), cap);
+            assert_eq!(p.delay_from_rate(1000, 0.0), cap);
+            assert_eq!(p.delay_from_rate(1000, -1.0), cap);
+        }
+        // A zero cap also nulls positive-rate delays — the knob that
+        // makes the combined policy's update term provably inert.
+        let off = UpdateDelayPolicy::new(0.3).with_cap(0.0);
+        assert_eq!(off.delay_from_rate(1000, 2.0), 0.0);
+    }
 }

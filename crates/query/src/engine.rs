@@ -66,11 +66,14 @@ pub enum StreamedStatement<'a> {
 
 /// A SELECT parsed, bound, and planned once, for repeated execution.
 ///
-/// The cached plan is validated against the table's DDL version on every
-/// execution: a single u64 compare in the common case, a transparent
-/// replan when an index was created/dropped or the table was rebuilt.
-/// Together with [`ExecScratch`], repeated execution of a prepared
-/// statement is allocation-free on index access paths.
+/// The cached plan is validated against the table's DDL *and* data
+/// versions on every execution: two u64 compares in the common case, a
+/// transparent replan when an index was created/dropped, the table was
+/// rebuilt, or any row was inserted/updated/deleted since planning (the
+/// planner's derived statistics and located row sets go stale with the
+/// data, not just the schema). Together with [`ExecScratch`], repeated
+/// execution of a prepared statement is allocation-free on index access
+/// paths.
 pub struct PreparedSelect {
     table: String,
     projection: Projection,
@@ -79,6 +82,7 @@ pub struct PreparedSelect {
     limit: Option<u64>,
     plan: SelectPlan,
     ddl_version: u64,
+    data_version: u64,
 }
 
 impl PreparedSelect {
@@ -284,6 +288,7 @@ impl Engine {
         let t = t.read();
         let plan = plan_select(&t, &projection, filter.as_ref(), order_by.as_ref(), limit)?;
         let ddl_version = t.ddl_version();
+        let data_version = t.data_version();
         Ok(PreparedSelect {
             table,
             projection,
@@ -292,6 +297,7 @@ impl Engine {
             limit,
             plan,
             ddl_version,
+            data_version,
         })
     }
 
@@ -310,7 +316,7 @@ impl Engine {
     ) -> Result<R> {
         let t = self.catalog.table(&prep.table)?;
         let mut t = t.write();
-        if t.ddl_version() != prep.ddl_version {
+        if t.ddl_version() != prep.ddl_version || t.data_version() != prep.data_version {
             prep.plan = plan_select(
                 &t,
                 &prep.projection,
@@ -319,6 +325,7 @@ impl Engine {
                 prep.limit,
             )?;
             prep.ddl_version = t.ddl_version();
+            prep.data_version = t.data_version();
         }
         let (result, yielded) = {
             let cursor = open_select(&t, &prep.plan, scratch)?;
@@ -503,6 +510,44 @@ mod tests {
             prep.plan.access,
             crate::plan::AccessPath::IndexEq { .. }
         ));
+    }
+
+    #[test]
+    fn prepared_select_sees_rows_mutated_after_prepare() {
+        let e = engine_with_movies();
+        let mut prep = e
+            .prepare_select("SELECT title FROM movies WHERE id = 9")
+            .unwrap();
+        let mut scratch = ExecScratch::new();
+        let collect = |s: &mut StreamedStatement<'_>| {
+            let StreamedStatement::Rows(cursor) = s else {
+                panic!("expected rows");
+            };
+            let mut rows = Vec::new();
+            while let Some(pair) = cursor.next_row().unwrap() {
+                rows.push(pair);
+            }
+            rows
+        };
+        let before = e
+            .execute_prepared_streaming(&mut prep, &mut scratch, collect)
+            .unwrap();
+        assert!(before.is_empty());
+        // A row inserted after preparation must be visible on the next
+        // execution: the data-version check forces a replan over the
+        // mutated index instead of reusing a stale located plan.
+        e.execute("INSERT INTO movies VALUES (9, 'Late Arrival', 2004.0)")
+            .unwrap();
+        let after = e
+            .execute_prepared_streaming(&mut prep, &mut scratch, collect)
+            .unwrap();
+        assert_eq!(after.len(), 1);
+        // And a delete disappears the same way.
+        e.execute("DELETE FROM movies WHERE id = 9").unwrap();
+        let gone = e
+            .execute_prepared_streaming(&mut prep, &mut scratch, collect)
+            .unwrap();
+        assert!(gone.is_empty());
     }
 
     #[test]

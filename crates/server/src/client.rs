@@ -115,6 +115,25 @@ impl QueryOutcome {
     }
 }
 
+/// Result of [`Client::insert`] / [`Client::update`] / [`Client::delete`].
+#[derive(Debug)]
+pub enum MutateOutcome {
+    /// The write committed: affected row count and the table's data
+    /// version after the commit.
+    Mutated {
+        rows: u32,
+        data_version: u64,
+        elapsed: Duration,
+    },
+    /// The gatekeeper (or load shedding, or a v1 session) refused it.
+    Refused {
+        reason: RefuseReason,
+        retry_after_secs: f64,
+    },
+    /// The engine (or the verb check) rejected the statement.
+    Failed { message: String },
+}
+
 /// A blocking protocol client.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -285,6 +304,100 @@ impl Client {
                 }
                 other => return Err(ClientError::Unexpected(other)),
             }
+        }
+    }
+
+    /// Register speaking protocol version 1 (legacy count-up-front
+    /// framing) — for exercising the v1 compatibility surface, which
+    /// includes being refused writes with `WritesUnsupported`.
+    pub fn register_v1(&mut self) -> Result<RegisterOutcome, ClientError> {
+        self.send(&Frame::Register {
+            claimed_ip: [0, 0, 0, 0],
+            version: 1,
+        })?;
+        match self.recv()? {
+            Frame::Registered { user, fee } => Ok(RegisterOutcome::Registered { user, fee }),
+            Frame::Refused {
+                reason,
+                retry_after_secs,
+                ..
+            } => Ok(RegisterOutcome::Refused {
+                reason,
+                retry_after_secs,
+            }),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Run an `INSERT` as `user` through the v2 write verb, blocking
+    /// until the `MUTATED` confirmation (or refusal/error) arrives.
+    pub fn insert(&mut self, user: u64, sql: &str) -> Result<MutateOutcome, ClientError> {
+        let query_id = self.next_query_id;
+        self.next_query_id += 1;
+        self.mutate_inner(
+            query_id,
+            Frame::Insert {
+                query_id,
+                user,
+                sql: sql.to_string(),
+            },
+        )
+    }
+
+    /// Run an `UPDATE` as `user` through the v2 write verb.
+    pub fn update(&mut self, user: u64, sql: &str) -> Result<MutateOutcome, ClientError> {
+        let query_id = self.next_query_id;
+        self.next_query_id += 1;
+        self.mutate_inner(
+            query_id,
+            Frame::Update {
+                query_id,
+                user,
+                sql: sql.to_string(),
+            },
+        )
+    }
+
+    /// Run a `DELETE` as `user` through the v2 write verb.
+    pub fn delete(&mut self, user: u64, sql: &str) -> Result<MutateOutcome, ClientError> {
+        let query_id = self.next_query_id;
+        self.next_query_id += 1;
+        self.mutate_inner(
+            query_id,
+            Frame::Delete {
+                query_id,
+                user,
+                sql: sql.to_string(),
+            },
+        )
+    }
+
+    fn mutate_inner(&mut self, query_id: u32, frame: Frame) -> Result<MutateOutcome, ClientError> {
+        let started = self.clock.now_nanos();
+        self.send(&frame)?;
+        match self.recv()? {
+            Frame::Mutated {
+                query_id: qid,
+                rows,
+                data_version,
+            } if qid == query_id => Ok(MutateOutcome::Mutated {
+                rows,
+                data_version,
+                elapsed: Duration::from_nanos(self.clock.now_nanos().saturating_sub(started)),
+            }),
+            Frame::Refused {
+                query_id: qid,
+                reason,
+                retry_after_secs,
+            } if qid == query_id || qid == 0 => Ok(MutateOutcome::Refused {
+                reason,
+                retry_after_secs,
+            }),
+            Frame::Error {
+                query_id: qid,
+                message,
+            } if qid == query_id => Ok(MutateOutcome::Failed { message }),
+            other => Err(ClientError::Unexpected(other)),
         }
     }
 

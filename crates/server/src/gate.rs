@@ -35,8 +35,9 @@ use delayguard_core::gatekeeper::{
 };
 use delayguard_core::replica::ReplicaDelta;
 use delayguard_core::{ChargedChunk, DeadlineStream, GuardedDatabase, StreamedQuery};
+use delayguard_query::ast::Statement;
 use delayguard_query::engine::StatementOutput;
-use delayguard_query::RowBuf;
+use delayguard_query::{parse, RowBuf};
 use delayguard_sim::Registry;
 use delayguard_storage::{Row, RowId};
 use parking_lot::Mutex as PMutex;
@@ -71,6 +72,34 @@ pub trait FrameSink: Send + Sync + 'static {
     fn push_rows(&self, frames: &mut Vec<Frame>) {
         for frame in frames.drain(..) {
             self.push_row(frame);
+        }
+    }
+
+    /// Return `n` row slots reserved with [`FrameSink::try_reserve_rows`]
+    /// without sending anything — the error path of a write that reserved
+    /// its `MUTATED` reply slot and then failed to apply. Sinks that
+    /// account reservations must override this or the slots leak for the
+    /// connection's lifetime.
+    fn release_rows(&self, _n: usize) {}
+}
+
+/// Which write verb a mutation frame carried. The opcode is the
+/// client's *claim*; [`FrontDoor::handle_mutation`] checks it against
+/// the parsed statement so a `DELETE` can never ride in on an `INSERT`
+/// frame's semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationVerb {
+    Insert,
+    Update,
+    Delete,
+}
+
+impl MutationVerb {
+    fn name(self) -> &'static str {
+        match self {
+            MutationVerb::Insert => "INSERT",
+            MutationVerb::Update => "UPDATE",
+            MutationVerb::Delete => "DELETE",
         }
     }
 }
@@ -392,6 +421,30 @@ impl FrontDoor {
                 self.handle_query(query_id, user, &sql, session, sink);
                 SessionControl::Continue
             }
+            Frame::Insert {
+                query_id,
+                user,
+                sql,
+            } => {
+                self.handle_mutation(MutationVerb::Insert, query_id, user, &sql, session, sink);
+                SessionControl::Continue
+            }
+            Frame::Update {
+                query_id,
+                user,
+                sql,
+            } => {
+                self.handle_mutation(MutationVerb::Update, query_id, user, &sql, session, sink);
+                SessionControl::Continue
+            }
+            Frame::Delete {
+                query_id,
+                user,
+                sql,
+            } => {
+                self.handle_mutation(MutationVerb::Delete, query_id, user, &sql, session, sink);
+                SessionControl::Continue
+            }
             Frame::Stats => {
                 let mut rendered = self.registry.render();
                 if self.config.stats_expose_popularity {
@@ -555,6 +608,173 @@ impl FrontDoor {
                 query_id,
                 message: e.to_string(),
             });
+        }
+    }
+
+    /// Handle a write frame (`INSERT`/`UPDATE`/`DELETE`): admission,
+    /// verb check, reserve-before-apply, and a single `MUTATED` reply.
+    ///
+    /// The order of checks is deliberate:
+    ///
+    /// 1. v1 sessions are refused with [`RefuseReason::WritesUnsupported`]
+    ///    — they never negotiated the mutation surface, and guessing at
+    ///    framing an old client cannot parse is worse than an explicit
+    ///    code.
+    /// 2. The SQL is parsed and checked against the frame's verb *before*
+    ///    anything is reserved, so malformed writes have no release path.
+    /// 3. One reply slot is reserved in the send queue before the
+    ///    statement is applied ([`FrameSink::try_reserve_rows`], the same
+    ///    backpressure seam `SELECT` chunks use): a write whose `MUTATED`
+    ///    confirmation cannot be delivered is refused `Overloaded` before
+    ///    it mutates anything, never applied-but-unconfirmable.
+    /// 4. The `MUTATED` reply rides the wheel at the statement's deadline
+    ///    and consumes the reservation via [`FrameSink::push_row`]; if
+    ///    the engine rejects the statement after the reservation, the
+    ///    slot is handed back with [`FrameSink::release_rows`].
+    pub fn handle_mutation<S: FrameSink>(
+        &self,
+        verb: MutationVerb,
+        query_id: u32,
+        user: u64,
+        sql: &str,
+        session: &SessionState,
+        sink: &Arc<S>,
+    ) {
+        let retry = self.config.retry_after_secs;
+        self.inflight_queries.fetch_add(1, Ordering::SeqCst);
+        let _guard = InflightGuard(self);
+        if self.draining() {
+            self.metrics.refused_shutdown.inc();
+            sink.push_control(Frame::Refused {
+                query_id,
+                reason: RefuseReason::ShuttingDown,
+                retry_after_secs: retry,
+            });
+            return;
+        }
+        if session.version() < 2 {
+            sink.push_control(Frame::Refused {
+                query_id,
+                reason: RefuseReason::WritesUnsupported,
+                retry_after_secs: 0.0,
+            });
+            return;
+        }
+        let now = self.now_secs();
+        let admission = {
+            let mut gk = self.gatekeeper.lock();
+            match gk.admit(UserId(user), now) {
+                Admission::Granted => None,
+                Admission::Refused(reason) => {
+                    let hint = match reason {
+                        RefusalReason::UserRateExceeded | RefusalReason::SubnetRateExceeded => gk
+                            .retry_at(UserId(user), now)
+                            .map(|at| (at - now).max(0.0))
+                            .unwrap_or(retry),
+                        RefusalReason::Unregistered => retry,
+                    };
+                    Some((reason, hint))
+                }
+            }
+        };
+        if let Some((reason, hint)) = admission {
+            let counter = match reason {
+                RefusalReason::Unregistered => &self.metrics.refused_unregistered,
+                RefusalReason::UserRateExceeded => &self.metrics.refused_user_rate,
+                RefusalReason::SubnetRateExceeded => &self.metrics.refused_subnet_rate,
+            };
+            counter.inc();
+            sink.push_control(Frame::Refused {
+                query_id,
+                reason: wire_reason(reason),
+                retry_after_secs: hint,
+            });
+            return;
+        }
+        let stmt = match parse(sql) {
+            Ok(stmt) => stmt,
+            Err(e) => {
+                self.metrics.query_errors.inc();
+                sink.push_control(Frame::Error {
+                    query_id,
+                    message: e.to_string(),
+                });
+                return;
+            }
+        };
+        let table = match (&stmt, verb) {
+            (Statement::Insert { table, .. }, MutationVerb::Insert)
+            | (Statement::Update { table, .. }, MutationVerb::Update)
+            | (Statement::Delete { table, .. }, MutationVerb::Delete) => table.clone(),
+            _ => {
+                self.metrics.query_errors.inc();
+                sink.push_control(Frame::Error {
+                    query_id,
+                    message: format!("statement does not match {} frame", verb.name()),
+                });
+                return;
+            }
+        };
+        if !sink.try_reserve_rows(1) {
+            // Refuse BEFORE applying: a write we could not confirm is a
+            // write that did not happen.
+            self.metrics.refused_backpressure.inc();
+            sink.push_control(Frame::Refused {
+                query_id,
+                reason: RefuseReason::Overloaded,
+                retry_after_secs: retry,
+            });
+            return;
+        }
+        let result = self.db.execute_stmt_streaming(&stmt, |query| match query {
+            StreamedQuery::Finished(resp) => {
+                self.metrics.queries_admitted.inc();
+                let rows = match &resp.output {
+                    StatementOutput::Inserted { rids } => rids.len() as u32,
+                    StatementOutput::Updated { rids } => rids.len() as u32,
+                    StatementOutput::Deleted { rids } => rids.len() as u32,
+                    _ => 0,
+                };
+                Some((rows, resp.deadline_nanos()))
+            }
+            // Unreachable after the verb check; tolerated defensively so
+            // a planner change cannot panic the wheel thread.
+            StreamedQuery::Rows(_) => None,
+        });
+        match result {
+            Ok(Some((rows, deadline))) => {
+                // The engine released its table lock when the closure
+                // returned; reading the catalog version here cannot
+                // deadlock, and it observes this statement's own bump.
+                let data_version = self.db.table_data_version(&table).unwrap_or(0);
+                let reply_sink = Arc::clone(sink);
+                self.scheduler.schedule(
+                    deadline,
+                    Box::new(move || {
+                        reply_sink.push_row(Frame::Mutated {
+                            query_id,
+                            rows,
+                            data_version,
+                        })
+                    }),
+                );
+            }
+            Ok(None) => {
+                sink.release_rows(1);
+                self.metrics.query_errors.inc();
+                sink.push_control(Frame::Error {
+                    query_id,
+                    message: format!("{} frame produced a row stream", verb.name()),
+                });
+            }
+            Err(e) => {
+                sink.release_rows(1);
+                self.metrics.query_errors.inc();
+                sink.push_control(Frame::Error {
+                    query_id,
+                    message: e.to_string(),
+                });
+            }
         }
     }
 

@@ -31,8 +31,8 @@ pub mod scheduler;
 pub mod server;
 pub mod wheel;
 
-pub use client::{Client, ClientError, QueryOutcome, ReceivedRow, RegisterOutcome};
-pub use gate::{FrameSink, FrontDoor, GateConfig, SessionControl, SessionState};
+pub use client::{Client, ClientError, MutateOutcome, QueryOutcome, ReceivedRow, RegisterOutcome};
+pub use gate::{FrameSink, FrontDoor, GateConfig, MutationVerb, SessionControl, SessionState};
 pub use metrics::ServerMetrics;
 pub use protocol::{Frame, ProtocolError, RefuseReason, PROTOCOL_VERSION, ROWS_UNKNOWN};
 pub use scheduler::DelayScheduler;

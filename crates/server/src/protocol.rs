@@ -1,11 +1,14 @@
 //! The wire protocol: length-delimited frames over TCP.
 //!
 //! Every frame is `len: u32 LE | opcode: u8 | payload`, where `len`
-//! counts the opcode byte plus payload. Three request verbs (`REGISTER`,
-//! `QUERY`, `STATS`) and seven response frames; `SELECT` results stream
-//! as `ROWS_BEGIN`, then one `ROW` per tuple *as its delay deadline
-//! expires*, then `DONE`. Responses carry the originating `query_id` so
-//! a client may pipeline queries on one connection.
+//! counts the opcode byte plus payload. Six request verbs (`REGISTER`,
+//! `QUERY`, `STATS`, and the v2-only write verbs `INSERT`/`UPDATE`/
+//! `DELETE`) and eight response frames; `SELECT` results stream as
+//! `ROWS_BEGIN`, then one `ROW` per tuple *as its delay deadline
+//! expires*, then `DONE`. A successful write answers with a single
+//! `MUTATED` frame carrying the affected row count and the table's new
+//! data version. Responses carry the originating `query_id` so a client
+//! may pipeline queries on one connection.
 //!
 //! # Versioning
 //!
@@ -18,6 +21,11 @@
 //! count once the executor finishes. Old servers reject the 5-byte
 //! register payload outright (trailing bytes), so a v2 client is never
 //! silently mis-framed.
+//!
+//! The write verbs ride the same negotiation: a session that registered
+//! as v1 never negotiated the mutation surface, so the server answers
+//! its write frames with `REFUSED(WritesUnsupported)` instead of
+//! guessing at framing the client cannot parse.
 //!
 //! Row payloads reuse the storage engine's row codec
 //! ([`delayguard_storage::codec`]), so the server adds no second
@@ -59,6 +67,9 @@ pub enum RefuseReason {
     Overloaded = 5,
     /// The server is draining for shutdown.
     ShuttingDown = 6,
+    /// The session registered as protocol v1, which never negotiated the
+    /// mutation frames; re-register with version ≥ 2 to write.
+    WritesUnsupported = 7,
 }
 
 impl RefuseReason {
@@ -70,6 +81,7 @@ impl RefuseReason {
             4 => RefuseReason::RegistrationTooSoon,
             5 => RefuseReason::Overloaded,
             6 => RefuseReason::ShuttingDown,
+            7 => RefuseReason::WritesUnsupported,
             _ => return None,
         })
     }
@@ -86,6 +98,26 @@ pub enum Frame {
     Register { claimed_ip: [u8; 4], version: u8 },
     /// Execute SQL as `user`; responses echo `query_id`.
     Query {
+        query_id: u32,
+        user: u64,
+        sql: String,
+    },
+    /// Execute an `INSERT` statement as `user` (v2+ sessions only).
+    /// The payload mirrors [`Frame::Query`]; the verb is in the opcode
+    /// so the gate can refuse writes before parsing any SQL.
+    Insert {
+        query_id: u32,
+        user: u64,
+        sql: String,
+    },
+    /// Execute an `UPDATE` statement as `user` (v2+ sessions only).
+    Update {
+        query_id: u32,
+        user: u64,
+        sql: String,
+    },
+    /// Execute a `DELETE` statement as `user` (v2+ sessions only).
+    Delete {
         query_id: u32,
         user: u64,
         sql: String,
@@ -120,6 +152,13 @@ pub enum Frame {
         delay_secs: f64,
         tuples: u32,
     },
+    /// A write committed: `rows` affected, and the table's data version
+    /// after the commit so the client can order its view of the data.
+    Mutated {
+        query_id: u32,
+        rows: u32,
+        data_version: u64,
+    },
     /// Metrics snapshot rendering.
     StatsReply { rendered: String },
     /// The statement failed.
@@ -137,6 +176,9 @@ mod opcode {
     pub const REGISTER: u8 = 0x01;
     pub const QUERY: u8 = 0x02;
     pub const STATS: u8 = 0x03;
+    pub const INSERT: u8 = 0x04;
+    pub const UPDATE: u8 = 0x05;
+    pub const DELETE: u8 = 0x06;
     pub const REGISTERED: u8 = 0x10;
     pub const REFUSED: u8 = 0x11;
     pub const ROWS_BEGIN: u8 = 0x12;
@@ -145,6 +187,7 @@ mod opcode {
     pub const STATS_REPLY: u8 = 0x15;
     pub const ERROR: u8 = 0x16;
     pub const ROWS_END: u8 = 0x17;
+    pub const MUTATED: u8 = 0x18;
     pub const DELTA: u8 = 0x20;
     pub const DELTA_ACK: u8 = 0x21;
 }
@@ -435,6 +478,36 @@ impl Frame {
                 put_u64(out, *user);
                 put_str(out, sql);
             }
+            Frame::Insert {
+                query_id,
+                user,
+                sql,
+            } => {
+                out.push(opcode::INSERT);
+                put_u32(out, *query_id);
+                put_u64(out, *user);
+                put_str(out, sql);
+            }
+            Frame::Update {
+                query_id,
+                user,
+                sql,
+            } => {
+                out.push(opcode::UPDATE);
+                put_u32(out, *query_id);
+                put_u64(out, *user);
+                put_str(out, sql);
+            }
+            Frame::Delete {
+                query_id,
+                user,
+                sql,
+            } => {
+                out.push(opcode::DELETE);
+                put_u32(out, *query_id);
+                put_u64(out, *user);
+                put_str(out, sql);
+            }
             Frame::Stats => out.push(opcode::STATS),
             Frame::Registered { user, fee } => {
                 out.push(opcode::REGISTERED);
@@ -488,6 +561,16 @@ impl Frame {
                 put_f64(out, *delay_secs);
                 put_u32(out, *tuples);
             }
+            Frame::Mutated {
+                query_id,
+                rows,
+                data_version,
+            } => {
+                out.push(opcode::MUTATED);
+                put_u32(out, *query_id);
+                put_u32(out, *rows);
+                put_u64(out, *data_version);
+            }
             Frame::StatsReply { rendered } => {
                 out.push(opcode::STATS_REPLY);
                 put_str(out, rendered);
@@ -525,6 +608,21 @@ impl Frame {
                 }
             }
             opcode::QUERY => Frame::Query {
+                query_id: c.u32()?,
+                user: c.u64()?,
+                sql: c.string()?,
+            },
+            opcode::INSERT => Frame::Insert {
+                query_id: c.u32()?,
+                user: c.u64()?,
+                sql: c.string()?,
+            },
+            opcode::UPDATE => Frame::Update {
+                query_id: c.u32()?,
+                user: c.u64()?,
+                sql: c.string()?,
+            },
+            opcode::DELETE => Frame::Delete {
                 query_id: c.u32()?,
                 user: c.u64()?,
                 sql: c.string()?,
@@ -574,6 +672,11 @@ impl Frame {
                 query_id: c.u32()?,
                 delay_secs: c.f64()?,
                 tuples: c.u32()?,
+            },
+            opcode::MUTATED => Frame::Mutated {
+                query_id: c.u32()?,
+                rows: c.u32()?,
+                data_version: c.u64()?,
             },
             opcode::STATS_REPLY => Frame::StatsReply {
                 rendered: c.string()?,
@@ -706,6 +809,21 @@ mod tests {
             user: 42,
             sql: "SELECT * FROM t WHERE id = 1".into(),
         });
+        round_trip(Frame::Insert {
+            query_id: 4,
+            user: 42,
+            sql: "INSERT INTO t VALUES (1, 'x')".into(),
+        });
+        round_trip(Frame::Update {
+            query_id: 5,
+            user: 42,
+            sql: "UPDATE t SET body = 'y' WHERE id = 1".into(),
+        });
+        round_trip(Frame::Delete {
+            query_id: 6,
+            user: 42,
+            sql: "DELETE FROM t WHERE id = 1".into(),
+        });
         round_trip(Frame::Stats);
         round_trip(Frame::Registered { user: 7, fee: 2.5 });
         round_trip(Frame::Refused {
@@ -731,6 +849,16 @@ mod tests {
             query_id: 1,
             delay_secs: 10.0,
             tuples: 100,
+        });
+        round_trip(Frame::Mutated {
+            query_id: 6,
+            rows: 3,
+            data_version: 501,
+        });
+        round_trip(Frame::Refused {
+            query_id: 6,
+            reason: RefuseReason::WritesUnsupported,
+            retry_after_secs: 0.0,
         });
         round_trip(Frame::StatsReply {
             rendered: "a  1\nb  2\n".into(),

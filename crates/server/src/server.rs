@@ -186,6 +186,13 @@ impl SendQueue {
         self.ready.notify_one();
     }
 
+    /// Hand back reserved row slots without queueing frames (the error
+    /// path of a write that reserved its reply and failed to apply).
+    fn release_rows(&self, n: usize) {
+        let mut q = self.inner.lock().unwrap();
+        q.outstanding_rows = q.outstanding_rows.saturating_sub(n);
+    }
+
     /// Queue a control frame (registration, refusal, begin/done, stats).
     /// Control frames bypass the row cap; they are small and bounded by
     /// the client's own request rate.
@@ -204,7 +211,9 @@ impl SendQueue {
         let mut q = self.inner.lock().unwrap();
         loop {
             if let Some(frame) = q.frames.pop_front() {
-                if matches!(frame, Frame::Row { .. }) {
+                // MUTATED replies consume a reserved slot like rows do:
+                // a write reserves its confirmation before applying.
+                if matches!(frame, Frame::Row { .. } | Frame::Mutated { .. }) {
                     q.outstanding_rows = q.outstanding_rows.saturating_sub(1);
                 }
                 let more = !q.frames.is_empty();
@@ -276,6 +285,10 @@ impl FrameSink for Conn {
 
     fn try_reserve_rows(&self, n: usize) -> bool {
         self.queue.try_reserve_rows(n, self.rows_cap)
+    }
+
+    fn release_rows(&self, n: usize) {
+        self.queue.release_rows(n);
     }
 }
 

@@ -132,7 +132,7 @@ fn arb_delta(rng: &mut Rng) -> ReplicaDelta {
 
 /// One random frame, uniformly over every variant the wire carries.
 fn arb_frame(rng: &mut Rng) -> Frame {
-    match rng.below(13) {
+    match rng.below(17) {
         0 => Frame::Register {
             claimed_ip: [
                 rng.below(256) as u8,
@@ -165,7 +165,8 @@ fn arb_frame(rng: &mut Rng) -> Frame {
                 RefuseReason::RegistrationTooSoon,
                 RefuseReason::Overloaded,
                 RefuseReason::ShuttingDown,
-            ][rng.below(6) as usize],
+                RefuseReason::WritesUnsupported,
+            ][rng.below(7) as usize],
             retry_after_secs: rng.f64().abs(),
         },
         5 => Frame::RowsBegin {
@@ -196,6 +197,26 @@ fn arb_frame(rng: &mut Rng) -> Frame {
         },
         11 => Frame::Delta {
             delta: arb_delta(rng),
+        },
+        12 => Frame::Insert {
+            query_id: rng.next() as u32,
+            user: rng.next(),
+            sql: arb_string(rng, 64),
+        },
+        13 => Frame::Update {
+            query_id: rng.next() as u32,
+            user: rng.next(),
+            sql: arb_string(rng, 64),
+        },
+        14 => Frame::Delete {
+            query_id: rng.next() as u32,
+            user: rng.next(),
+            sql: arb_string(rng, 64),
+        },
+        15 => Frame::Mutated {
+            query_id: rng.next() as u32,
+            rows: rng.next() as u32,
+            data_version: rng.below(1 << 40),
         },
         _ => Frame::DeltaAck {
             origin: rng.below(8) as u16,

@@ -16,7 +16,7 @@ use delayguard_core::config::GuardConfig;
 use delayguard_core::gatekeeper::{GatekeeperConfig, RegistrationPolicy};
 use delayguard_core::policy::{ChargingModel, GuardPolicy};
 use delayguard_core::GuardedDatabase;
-use delayguard_server::client::{Client, QueryOutcome, RegisterOutcome};
+use delayguard_server::client::{Client, MutateOutcome, QueryOutcome, RegisterOutcome};
 use delayguard_server::protocol::RefuseReason;
 use delayguard_server::server::{Server, ServerConfig, ServerHandle};
 use delayguard_sim::{MetricValue, Registry};
@@ -369,6 +369,112 @@ fn stats_verb_reports_counters() {
         "scheduler_threads",
     ] {
         assert!(stats.contains(metric), "missing {metric} in:\n{stats}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn writes_flow_through_the_front_door_end_to_end() {
+    let db = seeded_db(10, 0.0, ChargingModel::PerQueryMax);
+    let handle = start(
+        ServerConfig {
+            gatekeeper: open_gatekeeper(),
+            ..ServerConfig::default()
+        },
+        db,
+    );
+    let addr = handle.addr();
+    let mut c = Client::connect(addr).unwrap();
+    let user = register(&mut c);
+
+    // INSERT commits and reports the table's bumped data version.
+    let v_insert = match c
+        .insert(user, "INSERT INTO directory VALUES (100, 'entry-100')")
+        .unwrap()
+    {
+        MutateOutcome::Mutated {
+            rows, data_version, ..
+        } => {
+            assert_eq!(rows, 1);
+            data_version
+        }
+        other => panic!("insert: {other:?}"),
+    };
+
+    // The row is immediately visible to reads on the same connection.
+    match c
+        .query(user, "SELECT entry FROM directory WHERE id = 100")
+        .unwrap()
+    {
+        QueryOutcome::Rows { rows, .. } => assert_eq!(rows.len(), 1),
+        other => panic!("select after insert: {other:?}"),
+    }
+
+    // UPDATE and DELETE advance the version monotonically.
+    let v_update = match c
+        .update(
+            user,
+            "UPDATE directory SET entry = 'renamed' WHERE id = 100",
+        )
+        .unwrap()
+    {
+        MutateOutcome::Mutated {
+            rows, data_version, ..
+        } => {
+            assert_eq!(rows, 1);
+            data_version
+        }
+        other => panic!("update: {other:?}"),
+    };
+    assert!(v_update > v_insert, "{v_update} vs {v_insert}");
+    match c
+        .delete(user, "DELETE FROM directory WHERE id = 100")
+        .unwrap()
+    {
+        MutateOutcome::Mutated {
+            rows, data_version, ..
+        } => {
+            assert_eq!(rows, 1);
+            assert!(data_version > v_update);
+        }
+        other => panic!("delete: {other:?}"),
+    }
+
+    // The opcode is a claim the server checks: SQL that does not match
+    // the frame's verb is rejected without touching the database.
+    match c
+        .insert(user, "DELETE FROM directory WHERE id = 1")
+        .unwrap()
+    {
+        MutateOutcome::Failed { message } => {
+            assert!(message.contains("INSERT"), "{message}")
+        }
+        other => panic!("verb mismatch: {other:?}"),
+    }
+
+    // A v1 session never negotiated the write surface: explicit refusal
+    // code, connection stays usable for reads.
+    let mut legacy = Client::connect(addr).unwrap();
+    let legacy_user = match legacy.register_v1().unwrap() {
+        RegisterOutcome::Registered { user, .. } => user,
+        other => panic!("v1 register: {other:?}"),
+    };
+    match legacy
+        .insert(legacy_user, "INSERT INTO directory VALUES (101, 'x')")
+        .unwrap()
+    {
+        MutateOutcome::Refused {
+            reason: RefuseReason::WritesUnsupported,
+            ..
+        } => {}
+        other => panic!("v1 write: {other:?}"),
+    }
+    match legacy
+        .query(legacy_user, "SELECT entry FROM directory WHERE id = 1")
+        .unwrap()
+    {
+        QueryOutcome::Rows { rows, .. } => assert_eq!(rows.len(), 1),
+        other => panic!("v1 read after refused write: {other:?}"),
     }
     handle.shutdown();
 }

@@ -30,6 +30,7 @@ pub struct Table {
     indexes: Vec<Index>,
     stats: TableStats,
     ddl_version: u64,
+    data_version: u64,
 }
 
 impl Table {
@@ -42,6 +43,7 @@ impl Table {
             indexes: Vec::new(),
             stats: TableStats::default(),
             ddl_version: fresh_ddl_version(),
+            data_version: 0,
         }
     }
 
@@ -86,6 +88,14 @@ impl Table {
     /// equality means "the plan I cached is still valid for this table".
     pub fn ddl_version(&self) -> u64 {
         self.ddl_version
+    }
+
+    /// A counter bumped by every committed row mutation (insert, update,
+    /// delete). Together with [`Table::ddl_version`] it lets a cached
+    /// plan detect that the *data* under it moved — derived statistics,
+    /// located row sets, and prepared scans all go stale the same way.
+    pub fn data_version(&self) -> u64 {
+        self.data_version
     }
 
     /// Index definitions (for snapshotting and planning).
@@ -160,6 +170,7 @@ impl Table {
                 .expect("uniqueness was pre-checked; insert cannot fail");
         }
         self.stats.inserts += 1;
+        self.data_version += 1;
         Ok(rid)
     }
 
@@ -222,6 +233,7 @@ impl Table {
             }
         }
         self.stats.updates += 1;
+        self.data_version += 1;
         Ok(new_rid)
     }
 
@@ -234,6 +246,7 @@ impl Table {
             index.remove(&key, rid);
         }
         self.stats.deletes += 1;
+        self.data_version += 1;
         Ok(row)
     }
 
@@ -311,6 +324,7 @@ impl Table {
             indexes: Vec::new(),
             stats,
             ddl_version: fresh_ddl_version(),
+            data_version: 0,
         };
         for def in index_defs {
             let mut index = Index::new(def);
@@ -484,6 +498,29 @@ mod tests {
         assert_ne!(v1, v2);
         // A freshly built table never shares a version with an old one.
         assert_ne!(movies().ddl_version(), v2);
+    }
+
+    #[test]
+    fn data_version_bumps_on_every_row_mutation() {
+        let mut t = movies();
+        let v0 = t.data_version();
+        let rid = t.insert(movie(1, "Heat", 1.0)).unwrap();
+        let v1 = t.data_version();
+        assert!(v1 > v0);
+        let rid = t.update(rid, movie(1, "Heat", 2.0)).unwrap();
+        let v2 = t.data_version();
+        assert!(v2 > v1);
+        t.delete(rid).unwrap();
+        assert!(t.data_version() > v2);
+        // DDL does not bump the data version, and a failed insert leaves
+        // it untouched.
+        t.create_index("by_gross", &["gross"], false).unwrap();
+        let v3 = t.data_version();
+        t.insert(movie(7, "A", 1.0)).unwrap();
+        let v4 = t.data_version();
+        assert!(t.insert(movie(7, "B", 2.0)).is_err(), "unique violation");
+        assert_eq!(t.data_version(), v4);
+        assert!(v4 > v3);
     }
 
     #[test]

@@ -44,12 +44,16 @@
 pub mod campaign;
 pub mod net;
 pub mod seed;
+pub mod staleness;
 pub mod world;
 
 pub use campaign::{
     kendall_tau, tail_recall, theil_sen_slope, AdaptiveReport, Campaign, CampaignParams,
     CrawlReport, Observation, ObservationReport, RankInferenceReport, SybilReport,
 };
-pub use net::{Arrival, FaultPlan, LinkError, NetLink, QueryOutcome, SimNet, TcpNet};
+pub use net::{
+    Arrival, FaultPlan, LinkError, MutationOutcome, NetLink, QueryOutcome, SimNet, TcpNet,
+};
 pub use seed::{check, check_in, check_seeds, check_seeds_in, replay_seed};
+pub use staleness::{StalenessCampaign, StalenessParams, StalenessReport};
 pub use world::{ConnId, SimConfig, SimWorld};

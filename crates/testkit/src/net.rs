@@ -19,6 +19,7 @@
 //! not of a sim-only shim.
 
 use delayguard_core::clock::{Clock, RealClock};
+use delayguard_server::gate::MutationVerb;
 use delayguard_server::protocol::{read_frame, write_frame, Frame, RefuseReason, PROTOCOL_VERSION};
 use delayguard_storage::Row;
 use std::io::Write as _;
@@ -330,6 +331,41 @@ impl QueryOutcome {
     }
 }
 
+/// The complete outcome of one mutation as observed on the wire.
+#[derive(Debug, Clone)]
+pub enum MutationOutcome {
+    /// The write was applied.
+    Mutated {
+        /// Rows affected, from `MUTATED`.
+        rows: u32,
+        /// The table's data version after the write, from `MUTATED`.
+        data_version: u64,
+        /// When the mutation was sent / when `MUTATED` arrived.
+        sent_at_secs: f64,
+        done_at_secs: f64,
+    },
+    /// The server refused the mutation (admission, backpressure, or a
+    /// v1 session hitting `WritesUnsupported`).
+    Refused {
+        reason: RefuseReason,
+        retry_after_secs: f64,
+    },
+    /// The statement failed.
+    Error { message: String },
+    /// No terminal frame arrived within the timeout.
+    TimedOut,
+}
+
+impl MutationOutcome {
+    /// The rows affected, or `None` for any non-applied outcome.
+    pub fn rows(&self) -> Option<u32> {
+        match self {
+            MutationOutcome::Mutated { rows, .. } => Some(*rows),
+            _ => None,
+        }
+    }
+}
+
 /// Send one `REGISTER` (negotiating the current protocol version) and
 /// wait for the verdict.
 pub fn register_once(
@@ -393,6 +429,77 @@ pub fn register_until_admitted(
                 // transport clock quantizes to nanoseconds.
                 net.wait(retry_after + 1e-6);
             }
+        }
+    }
+}
+
+/// Run one mutation to its terminal frame (`MUTATED`, `REFUSED`,
+/// `ERROR`) or the timeout. The verb selects which request frame is
+/// sent; the server cross-checks it against the parsed statement.
+pub fn run_mutation(
+    link: &mut dyn NetLink,
+    query_id: u32,
+    user: u64,
+    verb: MutationVerb,
+    sql: &str,
+    timeout_secs: f64,
+) -> Result<MutationOutcome, LinkError> {
+    let sent_at_secs = link.now_secs();
+    let sql = sql.to_owned();
+    link.send(&match verb {
+        MutationVerb::Insert => Frame::Insert {
+            query_id,
+            user,
+            sql,
+        },
+        MutationVerb::Update => Frame::Update {
+            query_id,
+            user,
+            sql,
+        },
+        MutationVerb::Delete => Frame::Delete {
+            query_id,
+            user,
+            sql,
+        },
+    })?;
+    let deadline = sent_at_secs + timeout_secs;
+    loop {
+        let remaining = deadline - link.now_secs();
+        if remaining <= 0.0 {
+            return Ok(MutationOutcome::TimedOut);
+        }
+        let Some(arrival) = link.recv(remaining)? else {
+            return Ok(MutationOutcome::TimedOut);
+        };
+        match arrival.frame {
+            Frame::Mutated {
+                query_id: qid,
+                rows,
+                data_version,
+            } if qid == query_id => {
+                return Ok(MutationOutcome::Mutated {
+                    rows,
+                    data_version,
+                    sent_at_secs,
+                    done_at_secs: arrival.at_secs,
+                });
+            }
+            Frame::Refused {
+                query_id: qid,
+                reason,
+                retry_after_secs,
+            } if qid == query_id || qid == 0 => {
+                return Ok(MutationOutcome::Refused {
+                    reason,
+                    retry_after_secs,
+                });
+            }
+            Frame::Error {
+                query_id: qid,
+                message,
+            } if qid == query_id => return Ok(MutationOutcome::Error { message }),
+            _ => continue, // frames for other query ids
         }
     }
 }

@@ -106,7 +106,7 @@ impl SimSink {
         let out = std::mem::take(&mut g.queue);
         let rows = out
             .iter()
-            .filter(|f| matches!(f, Frame::Row { .. }))
+            .filter(|f| matches!(f, Frame::Row { .. } | Frame::Mutated { .. }))
             .count();
         g.rows_outstanding = g.rows_outstanding.saturating_sub(rows);
         out
@@ -129,6 +129,11 @@ impl FrameSink for SimSink {
         }
         g.rows_outstanding += n;
         true
+    }
+
+    fn release_rows(&self, n: usize) {
+        let mut g = self.inner.lock();
+        g.rows_outstanding = g.rows_outstanding.saturating_sub(n);
     }
 }
 
